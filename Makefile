@@ -1,0 +1,40 @@
+# Plug-and-Play architectural design and verification.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench experiments matrix verify-examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/pnprt/ ./internal/bridge/ -run Runtime
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every EXPERIMENTS.md table.
+experiments:
+	$(GO) run ./cmd/pnpbridge
+	$(GO) run ./cmd/pnpmatrix
+
+matrix:
+	$(GO) run ./cmd/pnpmatrix
+
+verify-examples:
+	$(GO) run ./cmd/pnpverify examples/adl/pingpong.pnp
+	$(GO) run ./cmd/pnpverify examples/adl/bridge.pnp
+	-$(GO) run ./cmd/pnpverify -bfs examples/adl/bridge-broken.pnp
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,135 @@
+// Command pnpverify verifies a Plug-and-Play architecture description:
+// it composes the system from the block library and the referenced
+// component models, checks every declared property, and prints verdicts
+// with counterexample traces (optionally as message sequence charts).
+//
+// Usage:
+//
+//	pnpverify [-bfs] [-max-states N] [-msc] system.pnp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pnp/internal/adl"
+	"pnp/internal/checker"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	bfs := flag.Bool("bfs", false, "breadth-first search (shortest counterexamples)")
+	maxStates := flag.Int("max-states", 0, "state limit (0 = unlimited)")
+	msc := flag.Bool("msc", false, "render counterexamples as message sequence charts")
+	bitstate := flag.Bool("bitstate", false, "bitstate hashing (probabilistic, lower memory)")
+	fair := flag.Bool("fair", false, "weak process fairness for LTL properties")
+	strongFair := flag.Bool("strong-fair", false, "strong process fairness for LTL properties (fair-SCC search)")
+	por := flag.Bool("por", false, "partial-order reduction for the safety search")
+	unreached := flag.Bool("unreached", false, "report never-executed transitions (dead code)")
+	dotFile := flag.String("dot", "", "write the state graph (<=500 states) to this DOT file")
+	simulate := flag.Int("simulate", 0, "random-walk simulate N steps instead of verifying")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pnpverify [flags] system.pnp\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+		return 1
+	}
+	dir := filepath.Dir(path)
+	resolve := func(ref string) (string, error) {
+		b, err := os.ReadFile(filepath.Join(dir, ref))
+		return string(b), err
+	}
+	sys, err := adl.Load(string(src), resolve, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+		return 1
+	}
+	fmt.Printf("system %s: %d processes, %d channels\n",
+		sys.Name, sys.Builder.System().NumInstances(), sys.Builder.System().NumChannels())
+
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+			return 1
+		}
+		chk := checker.New(sys.Builder.System(), checker.Options{Invariants: sys.Invariants})
+		werr := chk.WriteDOT(f, 500)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "pnpverify: writing %s: %v %v\n", *dotFile, werr, cerr)
+			return 1
+		}
+		fmt.Printf("state graph written to %s\n", *dotFile)
+	}
+
+	if *simulate > 0 {
+		chk := checker.New(sys.Builder.System(), checker.Options{Invariants: sys.Invariants})
+		res := chk.Simulate(*seed, *simulate)
+		fmt.Println(res.Trace)
+		if !res.OK {
+			fmt.Printf("simulation hit: %s\n", res.Summary())
+			return 1
+		}
+		return 0
+	}
+
+	results := sys.VerifyAll(checker.Options{
+		BFS:             *bfs,
+		MaxStates:       *maxStates,
+		Bitstate:        *bitstate,
+		WeakFairness:    *fair,
+		StrongFairness:  *strongFair,
+		PartialOrder:    *por,
+		ReportUnreached: *unreached,
+	})
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		res := results[name]
+		fmt.Printf("  %-20s %s\n", name, res.Summary())
+		if !res.OK {
+			failed++
+			if res.Trace != nil {
+				fmt.Println(res.Trace)
+				if *msc {
+					fmt.Println(res.Trace.MSC(nil))
+				}
+			}
+		}
+	}
+	if *unreached {
+		if safety := results["safety"]; safety != nil && len(safety.Unreached) > 0 {
+			fmt.Println("never-executed transitions:")
+			for _, u := range safety.Unreached {
+				fmt.Printf("  %s\n", u)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d propert(y/ies) FAILED\n", failed)
+		return 1
+	}
+	fmt.Println("all properties verified")
+	return 0
+}

@@ -1,0 +1,35 @@
+/* Component models for the ping-pong ADL example. Both components use
+ * only the standard Plug-and-Play interfaces, so the connector between
+ * them can be swapped freely in pingpong.pnp. */
+
+byte sent, got;
+
+proctype Ping(chan esig; chan edat; byte n) {
+	byte i;
+	mtype st;
+	do
+	:: i < n ->
+	   sent = sent + 1;
+	   edat!i + 1,0,0,0,1;
+	   esig?st,_;
+	   i = i + 1
+	:: else -> break
+	od
+}
+
+proctype Pong(chan rsig; chan rdat; byte n) {
+	mtype st;
+	byte d, sid, sd;
+	bit sel, rem;
+	do
+	:: got < n ->
+	   rdat!0,0,0,0,1;
+	   rsig?st,_;
+	   rdat?d,sid,sd,sel,rem;
+	   if
+	   :: st == RECV_SUCC -> got = got + 1
+	   :: else
+	   fi
+	:: else -> break
+	od
+}

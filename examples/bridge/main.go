@@ -1,0 +1,119 @@
+// Bridge: the paper's Section 4 case study end to end. Verifies the
+// initial exactly-N design (asynchronous enter sends) and prints the
+// crash counterexample as a message sequence chart; swaps the send ports
+// to synchronous — a connector-only change — and re-verifies; then checks
+// the richer at-most-N design of Figure 14.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"pnp/internal/blocks"
+	"pnp/internal/bridge"
+	"pnp/internal/checker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bridge: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cache := blocks.NewCache()
+
+	fmt.Println("=== Single-lane bridge (paper Section 4) ===")
+	fmt.Println()
+	fmt.Println("[1] Initial design (Fig. 13): exactly-N, ASYNCHRONOUS blocking enter sends")
+	res, err := bridge.Verify(bridge.Config{
+		Variant:   bridge.ExactlyN,
+		EnterSend: blocks.AsynBlockingSend,
+	}, cache, checker.Options{BFS: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    %s\n", res.Summary())
+	if !res.OK {
+		fmt.Println("\n    shortest counterexample (both cars on the bridge):")
+		fmt.Println(indent(res.Trace.String()))
+		fmt.Println("    as a message sequence chart:")
+		fmt.Println(indent(res.Trace.MSC(nil)))
+	}
+
+	fmt.Println("[2] The fix: swap the enter send ports to SYNCHRONOUS blocking.")
+	fmt.Println("    (Car and controller component models are untouched.)")
+	t0 := time.Now()
+	res, err = bridge.Verify(bridge.Config{
+		Variant:   bridge.ExactlyN,
+		EnterSend: blocks.SynBlockingSend,
+	}, cache, checker.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    %s (%s)\n\n", res.Summary(), time.Since(t0).Round(time.Millisecond))
+
+	fmt.Println("[3] At-most-N design (Fig. 14): controllers yield idle turns over")
+	fmt.Println("    new connectors (sync blocking send, single slot, nonblocking recv).")
+	fmt.Println("    (bounded sweep here; run `go test ./internal/bridge` for the")
+	fmt.Println("    exhaustive 2.4M-state verification)")
+	t0 = time.Now()
+	res, err = bridge.Verify(bridge.Config{
+		Variant:   bridge.AtMostN,
+		EnterSend: blocks.SynBlockingSend,
+	}, cache, checker.Options{MaxStates: 200000})
+	if err != nil {
+		return err
+	}
+	verdict := res.Summary()
+	if res.Kind == checker.SearchLimit {
+		verdict = fmt.Sprintf("no violation within %d states (bounded)", res.Stats.StatesStored)
+	}
+	fmt.Printf("    %s (%s)\n", verdict, time.Since(t0).Round(time.Millisecond))
+
+	hits, misses := cache.Stats()
+	fmt.Printf("\nmodel cache across the three runs: %d hits, %d misses\n", hits, misses)
+	fmt.Println("(the exactly-N designs share one compiled program: the port swap reused it)")
+
+	fmt.Println("\n[4] The same designs on the goroutine runtime (2 cars/side, 50 crossings each):")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, kind := range []blocks.SendPortKind{blocks.AsynBlockingSend, blocks.SynBlockingSend} {
+		sim, err := bridge.Simulate(ctx, bridge.SimulationConfig{
+			CarsPerSide: 2, N: 1, Crossings: 50, EnterSend: kind,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    %-18s %4d crossings, %4d collisions, max %d car(s) on the bridge\n",
+			kind, sim.Crossings, sim.Collisions, sim.MaxOn)
+	}
+	fmt.Println("    the race the checker found is real: the async build collides in practice")
+	return nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "      " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

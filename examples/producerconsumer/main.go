@@ -1,0 +1,121 @@
+// Producer/consumer: runs the same workload over several connector
+// compositions on the runtime and reports throughput and observed
+// behavior — the executable counterpart of the pnpmatrix sweep. Watch the
+// dropping buffer lose messages and the checking send surface SEND_FAIL,
+// while the component code never changes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pnp"
+)
+
+const messages = 2000
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "producerconsumer: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type outcome struct {
+	spec      pnp.ConnectorSpec
+	delivered int
+	sendFails int
+	dropped   int64
+	elapsed   time.Duration
+}
+
+func run() error {
+	specs := []pnp.ConnectorSpec{
+		{Send: pnp.SynBlockingSend, Channel: pnp.SingleSlot, Recv: pnp.BlockingRecv},
+		{Send: pnp.AsynBlockingSend, Channel: pnp.SingleSlot, Recv: pnp.BlockingRecv},
+		{Send: pnp.AsynBlockingSend, Channel: pnp.FIFOQueue, Size: 64, Recv: pnp.BlockingRecv},
+		{Send: pnp.AsynCheckingSend, Channel: pnp.FIFOQueue, Size: 8, Recv: pnp.BlockingRecv},
+		{Send: pnp.AsynBlockingSend, Channel: pnp.DroppingBuffer, Size: 8, Recv: pnp.BlockingRecv},
+		{Send: pnp.AsynBlockingSend, Channel: pnp.PriorityQueue, Size: 64, Recv: pnp.BlockingRecv},
+	}
+	fmt.Printf("workload: %d messages, one producer, one consumer\n\n", messages)
+	fmt.Printf("%-54s %10s %10s %8s %12s %12s\n",
+		"connector", "delivered", "sendfails", "dropped", "msgs/sec", "time")
+	for _, spec := range specs {
+		oc, err := runOne(spec)
+		if err != nil {
+			return err
+		}
+		rate := float64(oc.delivered) / oc.elapsed.Seconds()
+		fmt.Printf("%-54s %10d %10d %8d %12.0f %12s\n",
+			oc.spec, oc.delivered, oc.sendFails, oc.dropped, rate, oc.elapsed.Round(time.Millisecond))
+	}
+	fmt.Println("\nnote: the dropping buffer loses messages under pressure; the checking")
+	fmt.Println("send reports SEND_FAIL instead of blocking. The producer and consumer")
+	fmt.Println("code is identical in every row — only the connector changed.")
+	return nil
+}
+
+func runOne(spec pnp.ConnectorSpec) (outcome, error) {
+	conn, err := pnp.NewConnector("pipe", spec)
+	if err != nil {
+		return outcome{}, err
+	}
+	snd, err := conn.NewSender()
+	if err != nil {
+		return outcome{}, err
+	}
+	rcv, err := conn.NewReceiver()
+	if err != nil {
+		return outcome{}, err
+	}
+	if err := conn.Start(context.Background()); err != nil {
+		return outcome{}, err
+	}
+	defer conn.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	oc := outcome{spec: spec}
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < messages; i++ {
+			st, err := snd.Send(ctx, pnp.Message{Data: i, Tag: i % 4})
+			if err != nil {
+				return
+			}
+			if st == pnp.SendFail {
+				oc.sendFails++
+			}
+		}
+	}()
+
+	// The consumer drains until the producer is done and the pipe is dry:
+	// a short grace timeout distinguishes "momentarily empty" from "done"
+	// for the lossy connectors.
+	for {
+		rctx, rcancel := context.WithTimeout(ctx, 200*time.Millisecond)
+		st, _, err := rcv.Receive(rctx, pnp.RecvRequest{})
+		rcancel()
+		if err != nil {
+			break // drained (or global timeout)
+		}
+		if st == pnp.RecvSucc {
+			oc.delivered++
+			if oc.delivered == messages {
+				break
+			}
+		}
+	}
+	wg.Wait()
+	oc.elapsed = time.Since(start)
+	oc.dropped = conn.Stats().Dropped
+	return oc, nil
+}

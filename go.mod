@@ -1,0 +1,3 @@
+module pnp
+
+go 1.22

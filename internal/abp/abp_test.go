@@ -1,0 +1,133 @@
+package abp
+
+import (
+	"testing"
+
+	"pnp/internal/blocks"
+	"pnp/internal/checker"
+	"pnp/internal/model"
+)
+
+func TestABPOverLossyChannels(t *testing.T) {
+	res, err := Verify(Config{Payloads: 2}, nil, checker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Safety.OK {
+		t.Fatalf("safety failed: %s\n%s", res.Safety.Summary(), res.Safety.Trace)
+	}
+	if !res.Delivery.OK {
+		t.Fatalf("delivery goal failed: %s\n%s", res.Delivery.Summary(), res.Delivery.Trace)
+	}
+}
+
+func TestABPThreePayloads(t *testing.T) {
+	res, err := Verify(Config{Payloads: 3}, nil, checker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Safety.OK || !res.Delivery.OK {
+		t.Fatalf("safety=%s delivery=%s", res.Safety.Summary(), res.Delivery.Summary())
+	}
+}
+
+func TestABPReliableControl(t *testing.T) {
+	res, err := Verify(Config{Payloads: 2, Reliable: true}, nil, checker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Safety.OK || !res.Delivery.OK {
+		t.Fatalf("safety=%s delivery=%s", res.Safety.Summary(), res.Delivery.Summary())
+	}
+}
+
+// TestNaiveTransferOverLossyChannelFails is the contrast experiment: the
+// same lossy connectors WITHOUT the protocol (plain send, count on
+// receive) cannot guarantee completion — the dropping buffer plus a
+// nonblocking world loses messages for good.
+func TestNaiveTransferOverLossyChannelFails(t *testing.T) {
+	const naive = `
+byte delivered;
+proctype NaiveSender(chan dsig; chan ddat; byte k) {
+	byte i;
+	mtype st;
+	do
+	:: i < k ->
+	   ddat!i + 1,0,0,0,1;
+	   dsig?st,_;
+	   i = i + 1
+	:: else -> break
+	od
+}
+proctype NaiveReceiver(chan dsig; chan ddat; byte k) {
+	mtype st;
+	byte d, sid, sd;
+	bit sel, rem;
+	do
+	:: delivered < k ->
+	   ddat!0,0,0,0,1;
+	   dsig?st,_;
+	   ddat?d,sid,sd,sel,rem;
+	   if
+	   :: st == RECV_SUCC -> delivered = delivered + 1
+	   :: else
+	   fi
+	:: else -> break
+	od
+}`
+	b, err := blocks.NewBuilder(naive, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := blocks.ConnectorSpec{
+		Send: blocks.AsynBlockingSend, Channel: blocks.DroppingBuffer, Size: 1,
+		Recv: blocks.NonblockingRecv,
+	}
+	conn, err := b.NewConnector("Data", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := conn.AddSender("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := conn.AddReceiver("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Spawn("NaiveSender", model.Chan(snd.Sig), model.Chan(snd.Dat), model.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Spawn("NaiveReceiver", model.Chan(rcv.Sig), model.Chan(rcv.Dat), model.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	target, err := b.Program().CompileGlobalExpr("delivered == 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checker.New(b.System(), checker.Options{}).CheckEventuallyReachable(target)
+	if res.OK {
+		t.Fatal("naive transfer over a dropping channel should NOT guarantee delivery")
+	}
+}
+
+// TestABPDeliveryEventuallyUnderStrongFairness: the full LTL eventuality
+// holds under strong fairness (retransmission makes progress whenever the
+// scheduler is fair to every intermittently enabled process).
+func TestABPDeliveryEventuallyUnderStrongFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("strong-fairness product is large")
+	}
+	b, err := Build(Config{Payloads: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := checker.PropsFromSource(b.Program(), map[string]string{"done": "delivered == 1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checker.New(b.System(), checker.Options{}).CheckLTLStrongFair("<> done", props)
+	if !res.OK {
+		t.Fatalf("<>done should hold under strong fairness: %s\n%s", res.Summary(), res.Trace)
+	}
+}

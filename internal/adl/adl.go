@@ -1,0 +1,254 @@
+// Package adl implements a small textual architecture description
+// language for Plug-and-Play systems — the scriptable stand-in for the
+// paper's ArchStudio-based prototype tool. An ADL file names component
+// models (pml sources), declares connectors as block triples, attaches
+// component instances to connector endpoints, and states the properties
+// to verify. Swapping a port kind is a one-token edit.
+//
+// Example:
+//
+//	system bridge {
+//	    components "cars.pml"
+//
+//	    connector BlueEnter {
+//	        send    syn-blocking
+//	        channel fifo(2)
+//	        receive blocking
+//	    }
+//
+//	    instance car0 = Car(send BlueEnter, send RedExit, 0)
+//	    instance ctl  = Controller(recv BlueEnter, recv BlueExit, 1, 1)
+//
+//	    invariant safety "!(blueOn > 0 && redOn > 0)"
+//	    ltl eventually_crossed "<> crossed" { crossed = "done > 0" }
+//	}
+package adl
+
+import (
+	"fmt"
+	"strings"
+
+	"pnp/internal/blocks"
+	"pnp/internal/checker"
+	"pnp/internal/model"
+	"pnp/internal/pml"
+)
+
+// LTLProperty is a named LTL formula with its atomic propositions.
+type LTLProperty struct {
+	Name    string
+	Formula string
+	Props   map[string]pml.RExpr
+}
+
+// Goal is a named AG EF property: the expression must stay reachable from
+// every reachable state (fairness-independent delivery guarantees).
+type Goal struct {
+	Name string
+	Expr pml.RExpr
+}
+
+// System is a loaded, fully composed architecture ready for verification.
+type System struct {
+	Name       string
+	Builder    *blocks.Builder
+	Connectors map[string]*blocks.Connector
+	Invariants []checker.Invariant
+	Goals      []Goal
+	LTL        []LTLProperty
+}
+
+// Resolver loads referenced component files; path is the string given in
+// the ADL `components` clause.
+type Resolver func(path string) (string, error)
+
+// Error reports an ADL syntax or composition error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("adl: line %d: %s", e.Line, e.Msg)
+}
+
+var sendKinds = map[string]blocks.SendPortKind{
+	"asyn-nonblocking":  blocks.AsynNonblockingSend,
+	"asyn-blocking":     blocks.AsynBlockingSend,
+	"asyn-checking":     blocks.AsynCheckingSend,
+	"syn-blocking":      blocks.SynBlockingSend,
+	"syn-checking":      blocks.SynCheckingSend,
+	"AsynNbSendPort":    blocks.AsynNonblockingSend,
+	"AsynBlSendPort":    blocks.AsynBlockingSend,
+	"AsynCheckSendPort": blocks.AsynCheckingSend,
+	"SynBlSendPort":     blocks.SynBlockingSend,
+	"SynCheckSendPort":  blocks.SynCheckingSend,
+}
+
+var recvKinds = map[string]blocks.RecvPortKind{
+	"blocking":    blocks.BlockingRecv,
+	"nonblocking": blocks.NonblockingRecv,
+	"BlRecvPort":  blocks.BlockingRecv,
+	"NbRecvPort":  blocks.NonblockingRecv,
+}
+
+var chanKinds = map[string]blocks.ChannelKind{
+	"single-slot": blocks.SingleSlot,
+	"fifo":        blocks.FIFOQueue,
+	"priority":    blocks.PriorityQueue,
+	"dropping":    blocks.DroppingBuffer,
+}
+
+// --- parsed (pre-composition) form ---
+
+type parsedConnector struct {
+	name string
+	spec blocks.ConnectorSpec
+	line int
+}
+
+type parsedArg struct {
+	kind string // "send", "recv", "int"
+	conn string
+	n    int64
+	line int
+}
+
+type parsedInstance struct {
+	name  string
+	count int
+	proc  string
+	args  []parsedArg
+	line  int
+}
+
+type parsedFile struct {
+	name       string
+	components []string // paths
+	connectors []parsedConnector
+	instances  []parsedInstance
+	invariants [][2]string // name, expr
+	goals      [][2]string // name, expr
+	ltl        []parsedLTL
+}
+
+type parsedLTL struct {
+	name    string
+	formula string
+	props   map[string]string
+}
+
+// Load parses src and composes the described system. Component files are
+// fetched through resolve; a non-nil cache reuses compiled models.
+func Load(src string, resolve Resolver, cache *blocks.Cache) (*System, error) {
+	pf, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var compSrc strings.Builder
+	for _, path := range pf.components {
+		if resolve == nil {
+			return nil, fmt.Errorf("adl: system references %q but no resolver was given", path)
+		}
+		text, err := resolve(path)
+		if err != nil {
+			return nil, fmt.Errorf("adl: loading %q: %w", path, err)
+		}
+		compSrc.WriteString(text)
+		compSrc.WriteByte('\n')
+	}
+	b, err := blocks.NewBuilder(compSrc.String(), cache)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Name:       pf.name,
+		Builder:    b,
+		Connectors: make(map[string]*blocks.Connector, len(pf.connectors)),
+	}
+	for _, pc := range pf.connectors {
+		if _, dup := sys.Connectors[pc.name]; dup {
+			return nil, &Error{Line: pc.line, Msg: fmt.Sprintf("duplicate connector %q", pc.name)}
+		}
+		conn, err := b.NewConnector(pc.name, pc.spec)
+		if err != nil {
+			return nil, &Error{Line: pc.line, Msg: err.Error()}
+		}
+		sys.Connectors[pc.name] = conn
+	}
+	for _, pi := range pf.instances {
+		for k := 0; k < pi.count; k++ {
+			label := pi.name
+			if pi.count > 1 {
+				label = fmt.Sprintf("%s%d", pi.name, k)
+			}
+			args := make([]model.Arg, 0, len(pi.args)*2)
+			for ai, pa := range pi.args {
+				switch pa.kind {
+				case "int":
+					args = append(args, model.Int(pa.n))
+				case "send", "recv":
+					conn, ok := sys.Connectors[pa.conn]
+					if !ok {
+						return nil, &Error{Line: pa.line, Msg: fmt.Sprintf("unknown connector %q", pa.conn)}
+					}
+					var ep blocks.Endpoint
+					var err error
+					epName := fmt.Sprintf("%s.arg%d", label, ai)
+					if pa.kind == "send" {
+						ep, err = conn.AddSender(epName)
+					} else {
+						ep, err = conn.AddReceiver(epName)
+					}
+					if err != nil {
+						return nil, &Error{Line: pa.line, Msg: err.Error()}
+					}
+					args = append(args, model.Chan(ep.Sig), model.Chan(ep.Dat))
+				}
+			}
+			if _, err := b.Spawn(pi.proc, args...); err != nil {
+				return nil, &Error{Line: pi.line, Msg: err.Error()}
+			}
+		}
+	}
+	for _, inv := range pf.invariants {
+		ci, err := checker.InvariantFromSource(b.Program(), inv[0], inv[1])
+		if err != nil {
+			return nil, err
+		}
+		sys.Invariants = append(sys.Invariants, ci)
+	}
+	for _, g := range pf.goals {
+		expr, err := b.Program().CompileGlobalExpr(g[1])
+		if err != nil {
+			return nil, fmt.Errorf("adl: goal %s: %w", g[0], err)
+		}
+		sys.Goals = append(sys.Goals, Goal{Name: g[0], Expr: expr})
+	}
+	for _, pl := range pf.ltl {
+		props, err := checker.PropsFromSource(b.Program(), pl.props)
+		if err != nil {
+			return nil, err
+		}
+		sys.LTL = append(sys.LTL, LTLProperty{Name: pl.name, Formula: pl.formula, Props: props})
+	}
+	return sys, nil
+}
+
+// VerifyAll checks every declared property: the safety search with all
+// invariants, then each LTL property. Results are keyed by property name;
+// the safety run is keyed "safety".
+func (s *System) VerifyAll(opts checker.Options) map[string]*checker.Result {
+	out := make(map[string]*checker.Result, 1+len(s.LTL))
+	safetyOpts := opts
+	safetyOpts.Invariants = append(append([]checker.Invariant(nil), opts.Invariants...), s.Invariants...)
+	out["safety"] = checker.New(s.Builder.System(), safetyOpts).CheckSafety()
+	for _, g := range s.Goals {
+		out[g.Name] = checker.New(s.Builder.System(), opts).CheckEventuallyReachable(g.Expr)
+	}
+	for _, p := range s.LTL {
+		out[p.Name] = checker.New(s.Builder.System(), opts).CheckLTL(p.Formula, p.Props)
+	}
+	return out
+}

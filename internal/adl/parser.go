@@ -1,0 +1,376 @@
+package adl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type adlToken struct {
+	kind string // "ident", "string", "number", or the punctuation itself
+	text string
+	line int
+}
+
+type adlLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func lexADL(src string) ([]adlToken, error) {
+	lx := &adlLexer{src: src, line: 1}
+	var out []adlToken
+	for lx.pos < len(src) {
+		c := src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(src) && src[lx.pos+1] == '/':
+			for lx.pos < len(src) && src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '#':
+			for lx.pos < len(src) && src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case strings.ContainsRune("{}()=*,;", rune(c)):
+			out = append(out, adlToken{kind: string(c), line: lx.line})
+			lx.pos++
+		case c == '"':
+			start := lx.pos + 1
+			j := start
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, &Error{Line: lx.line, Msg: "unterminated string"}
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, &Error{Line: lx.line, Msg: "unterminated string"}
+			}
+			out = append(out, adlToken{kind: "string", text: src[start:j], line: lx.line})
+			lx.pos = j + 1
+		case c == '-' || c >= '0' && c <= '9':
+			start := lx.pos
+			lx.pos++
+			for lx.pos < len(src) && src[lx.pos] >= '0' && src[lx.pos] <= '9' {
+				lx.pos++
+			}
+			out = append(out, adlToken{kind: "number", text: src[start:lx.pos], line: lx.line})
+		case isADLIdent(c):
+			start := lx.pos
+			for lx.pos < len(src) && (isADLIdent(src[lx.pos]) || src[lx.pos] == '-') {
+				lx.pos++
+			}
+			out = append(out, adlToken{kind: "ident", text: src[start:lx.pos], line: lx.line})
+		default:
+			return nil, &Error{Line: lx.line, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	out = append(out, adlToken{kind: "eof", line: lx.line})
+	return out, nil
+}
+
+func isADLIdent(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+type adlParser struct {
+	toks []adlToken
+	pos  int
+}
+
+func (p *adlParser) cur() adlToken { return p.toks[p.pos] }
+
+func (p *adlParser) next() adlToken {
+	t := p.toks[p.pos]
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *adlParser) accept(kind string) bool {
+	if p.cur().kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *adlParser) expect(kind string) (adlToken, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, &Error{Line: t.line, Msg: fmt.Sprintf("expected %s, found %s %q", kind, t.kind, t.text)}
+	}
+	return p.next(), nil
+}
+
+func (p *adlParser) expectIdent(word string) error {
+	t := p.cur()
+	if t.kind != "ident" || t.text != word {
+		return &Error{Line: t.line, Msg: fmt.Sprintf("expected %q, found %q", word, t.text)}
+	}
+	p.next()
+	return nil
+}
+
+func parse(src string) (*parsedFile, error) {
+	toks, err := lexADL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &adlParser{toks: toks}
+	if err := p.expectIdent("system"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect("ident")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	pf := &parsedFile{name: name.text}
+	for !p.accept("}") {
+		t := p.cur()
+		if t.kind == "eof" {
+			return nil, &Error{Line: t.line, Msg: "unexpected end of file (missing })"}
+		}
+		if t.kind != "ident" {
+			return nil, &Error{Line: t.line, Msg: fmt.Sprintf("expected declaration, found %q", t.text)}
+		}
+		switch t.text {
+		case "components":
+			p.next()
+			path, err := p.expect("string")
+			if err != nil {
+				return nil, err
+			}
+			pf.components = append(pf.components, path.text)
+		case "connector":
+			c, err := p.connectorDecl()
+			if err != nil {
+				return nil, err
+			}
+			pf.connectors = append(pf.connectors, c)
+		case "instance":
+			in, err := p.instanceDecl()
+			if err != nil {
+				return nil, err
+			}
+			pf.instances = append(pf.instances, in)
+		case "invariant":
+			p.next()
+			nm, err := p.expect("ident")
+			if err != nil {
+				return nil, err
+			}
+			expr, err := p.expect("string")
+			if err != nil {
+				return nil, err
+			}
+			pf.invariants = append(pf.invariants, [2]string{nm.text, expr.text})
+		case "goal":
+			p.next()
+			nm, err := p.expect("ident")
+			if err != nil {
+				return nil, err
+			}
+			expr, err := p.expect("string")
+			if err != nil {
+				return nil, err
+			}
+			pf.goals = append(pf.goals, [2]string{nm.text, expr.text})
+		case "ltl":
+			l, err := p.ltlDecl()
+			if err != nil {
+				return nil, err
+			}
+			pf.ltl = append(pf.ltl, l)
+		default:
+			return nil, &Error{Line: t.line, Msg: fmt.Sprintf("unknown declaration %q", t.text)}
+		}
+		p.accept(";")
+	}
+	return pf, nil
+}
+
+func (p *adlParser) connectorDecl() (parsedConnector, error) {
+	line := p.cur().line
+	p.next() // connector
+	name, err := p.expect("ident")
+	if err != nil {
+		return parsedConnector{}, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return parsedConnector{}, err
+	}
+	var pc parsedConnector
+	pc.name = name.text
+	pc.line = line
+	for !p.accept("}") {
+		t := p.cur()
+		if t.kind != "ident" {
+			return parsedConnector{}, &Error{Line: t.line, Msg: "expected send/channel/receive clause"}
+		}
+		switch t.text {
+		case "send":
+			p.next()
+			k, err := p.expect("ident")
+			if err != nil {
+				return parsedConnector{}, err
+			}
+			kind, ok := sendKinds[k.text]
+			if !ok {
+				return parsedConnector{}, &Error{Line: k.line, Msg: fmt.Sprintf("unknown send port kind %q", k.text)}
+			}
+			pc.spec.Send = kind
+		case "receive":
+			p.next()
+			k, err := p.expect("ident")
+			if err != nil {
+				return parsedConnector{}, err
+			}
+			kind, ok := recvKinds[k.text]
+			if !ok {
+				return parsedConnector{}, &Error{Line: k.line, Msg: fmt.Sprintf("unknown receive port kind %q", k.text)}
+			}
+			pc.spec.Recv = kind
+		case "channel":
+			p.next()
+			k, err := p.expect("ident")
+			if err != nil {
+				return parsedConnector{}, err
+			}
+			kind, ok := chanKinds[k.text]
+			if !ok {
+				return parsedConnector{}, &Error{Line: k.line, Msg: fmt.Sprintf("unknown channel kind %q", k.text)}
+			}
+			pc.spec.Channel = kind
+			if p.accept("(") {
+				n, err := p.expect("number")
+				if err != nil {
+					return parsedConnector{}, err
+				}
+				v, convErr := strconv.Atoi(n.text)
+				if convErr != nil {
+					return parsedConnector{}, &Error{Line: n.line, Msg: "bad channel size"}
+				}
+				pc.spec.Size = v
+				if _, err := p.expect(")"); err != nil {
+					return parsedConnector{}, err
+				}
+			}
+		default:
+			return parsedConnector{}, &Error{Line: t.line, Msg: fmt.Sprintf("unknown connector clause %q", t.text)}
+		}
+		p.accept(";")
+	}
+	return pc, nil
+}
+
+func (p *adlParser) instanceDecl() (parsedInstance, error) {
+	line := p.cur().line
+	p.next() // instance
+	name, err := p.expect("ident")
+	if err != nil {
+		return parsedInstance{}, err
+	}
+	in := parsedInstance{name: name.text, count: 1, line: line}
+	if p.accept("*") {
+		n, err := p.expect("number")
+		if err != nil {
+			return parsedInstance{}, err
+		}
+		v, convErr := strconv.Atoi(n.text)
+		if convErr != nil || v < 1 {
+			return parsedInstance{}, &Error{Line: n.line, Msg: "bad instance count"}
+		}
+		in.count = v
+	}
+	if _, err := p.expect("="); err != nil {
+		return parsedInstance{}, err
+	}
+	proc, err := p.expect("ident")
+	if err != nil {
+		return parsedInstance{}, err
+	}
+	in.proc = proc.text
+	if _, err := p.expect("("); err != nil {
+		return parsedInstance{}, err
+	}
+	if !p.accept(")") {
+		for {
+			a, err := p.arg()
+			if err != nil {
+				return parsedInstance{}, err
+			}
+			in.args = append(in.args, a)
+			if p.accept(")") {
+				break
+			}
+			if _, err := p.expect(","); err != nil {
+				return parsedInstance{}, err
+			}
+		}
+	}
+	return in, nil
+}
+
+func (p *adlParser) arg() (parsedArg, error) {
+	t := p.cur()
+	switch {
+	case t.kind == "number":
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return parsedArg{}, &Error{Line: t.line, Msg: "bad number"}
+		}
+		return parsedArg{kind: "int", n: v, line: t.line}, nil
+	case t.kind == "ident" && (t.text == "send" || t.text == "recv"):
+		p.next()
+		conn, err := p.expect("ident")
+		if err != nil {
+			return parsedArg{}, err
+		}
+		return parsedArg{kind: t.text, conn: conn.text, line: t.line}, nil
+	default:
+		return parsedArg{}, &Error{Line: t.line, Msg: fmt.Sprintf("expected argument, found %q", t.text)}
+	}
+}
+
+func (p *adlParser) ltlDecl() (parsedLTL, error) {
+	p.next() // ltl
+	name, err := p.expect("ident")
+	if err != nil {
+		return parsedLTL{}, err
+	}
+	formula, err := p.expect("string")
+	if err != nil {
+		return parsedLTL{}, err
+	}
+	l := parsedLTL{name: name.text, formula: formula.text, props: map[string]string{}}
+	if p.accept("{") {
+		for !p.accept("}") {
+			nm, err := p.expect("ident")
+			if err != nil {
+				return parsedLTL{}, err
+			}
+			if _, err := p.expect("="); err != nil {
+				return parsedLTL{}, err
+			}
+			expr, err := p.expect("string")
+			if err != nil {
+				return parsedLTL{}, err
+			}
+			l.props[nm.text] = expr.text
+			p.accept(";")
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,785 @@
+// Package blocks is the paper's library of pre-defined, reusable connector
+// building blocks (its Figure 1 catalog), each with a pre-built formal
+// model in pml mirroring the paper's Figures 5-11, plus a composition API
+// that wires components, ports, and channels into verifiable systems.
+//
+// Message shape: the paper's typedefs are flattened into channel tuples.
+//
+//	SynChan.signal -> chan [0] of { mtype, byte }         (signal, port_pid)
+//	SynChan.data   -> chan [0] of { byte, byte, byte, bit, bit }
+//	                  (data, sender_id, selectiveData, selective, remove)
+//
+// Deliberate deviations from the paper's figures, all needed to make the
+// models deadlock-free and multi-port safe (documented per DESIGN.md):
+//
+//   - Channels tag data deliveries with the requesting receive port's pid
+//     (instead of the original sender id), so several receive ports can
+//     share one channel without stealing each other's deliveries.
+//   - Send ports drain stray RECV_OK notifications at their idle points;
+//     copy-receives deliver a message repeatedly, so a channel may emit
+//     more RECV_OK signals than a sync port waits for.
+//   - The FIFO and priority channels hold their buffers in a local pml
+//     channel with static capacity 8; the `size` parameter bounds the
+//     logical capacity (1..8). A copy-receive on the FIFO moves the
+//     delivered message to the back of the buffer.
+package blocks
+
+// Signal is the shared signal alphabet of the building-block protocols,
+// exactly the mtype of the paper's Figure 6.
+const signalMtype = `
+mtype = { SEND_SUCC, SEND_FAIL, IN_OK, IN_FAIL, OUT_OK, OUT_FAIL,
+          RECV_OK, RECV_SUCC, RECV_FAIL };
+`
+
+// sendPorts holds the five send-port models of the Figure 1 catalog.
+const sendPorts = `
+/* Synchronous blocking send port (paper Fig. 6): confirms to the
+ * component only after the message has been stored AND delivered. */
+proctype SynBlSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?RECV_OK,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   do
+	   :: chDat!d,_pid,sd,sel,rem;
+	      if
+	      :: chSig?IN_OK,eval(_pid) -> break
+	      :: chSig?IN_FAIL,eval(_pid)
+	      fi
+	   :: chSig?RECV_OK,eval(_pid)
+	   od;
+	   chSig?RECV_OK,eval(_pid);
+	   compSig!SEND_SUCC,0
+	od
+}
+
+/* Synchronous checking send port: like the synchronous blocking port but
+ * reports SEND_FAIL instead of retrying when the channel is full. */
+proctype SynCheckSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?RECV_OK,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   do
+	   :: chDat!d,_pid,sd,sel,rem -> break
+	   :: chSig?RECV_OK,eval(_pid)
+	   od;
+	   if
+	   :: chSig?IN_OK,eval(_pid) ->
+	      chSig?RECV_OK,eval(_pid);
+	      compSig!SEND_SUCC,0
+	   :: chSig?IN_FAIL,eval(_pid) ->
+	      compSig!SEND_FAIL,0
+	   fi
+	od
+}
+
+/* Asynchronous blocking send port: confirms once the message is stored in
+ * the channel; retries while the buffer is full. */
+proctype AsynBlSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?RECV_OK,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   do
+	   :: chDat!d,_pid,sd,sel,rem;
+	      if
+	      :: chSig?IN_OK,eval(_pid) -> break
+	      :: chSig?IN_FAIL,eval(_pid)
+	      fi
+	   :: chSig?RECV_OK,eval(_pid)
+	   od;
+	   compSig!SEND_SUCC,0
+	od
+}
+
+/* Asynchronous checking send port: reports IN_FAIL to the component as
+ * SEND_FAIL instead of retrying. */
+proctype AsynCheckSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?RECV_OK,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   do
+	   :: chDat!d,_pid,sd,sel,rem -> break
+	   :: chSig?RECV_OK,eval(_pid)
+	   od;
+	   if
+	   :: chSig?IN_OK,eval(_pid) -> compSig!SEND_SUCC,0
+	   :: chSig?IN_FAIL,eval(_pid) -> compSig!SEND_FAIL,0
+	   fi
+	od
+}
+
+/* Asynchronous nonblocking send port (paper Fig. 7): confirms immediately,
+ * then forwards; all channel signals are drained and ignored. */
+proctype AsynNbSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?_,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   compSig!SEND_SUCC,0;
+	   do
+	   :: chDat!d,_pid,sd,sel,rem -> break
+	   :: chSig?_,eval(_pid)
+	   od
+	od
+}
+`
+
+// recvPorts holds the receive-port models.
+const recvPorts = `
+/* Blocking receive port (paper Fig. 8): retries the request until the
+ * channel delivers, then confirms RECV_SUCC followed by the message. */
+proctype BlRecvPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte qd, qsid, qsd;
+	bit qsel, qrem;
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: compDat?qd,qsid,qsd,qsel,qrem;
+	   do
+	   :: chDat!qd,_pid,qsd,qsel,qrem;
+	      if
+	      :: chSig?OUT_OK,eval(_pid) ->
+	         chDat?d,eval(_pid),sd,sel,rem;
+	         break
+	      :: chSig?OUT_FAIL,eval(_pid)
+	      fi
+	   od;
+	   compSig!RECV_SUCC,0;
+	   compDat!d,sid,sd,sel,rem
+	od
+}
+
+/* Nonblocking receive port: reports RECV_FAIL with an empty stub message
+ * when the channel has nothing to deliver. */
+proctype NbRecvPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte qd, qsid, qsd;
+	bit qsel, qrem;
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: compDat?qd,qsid,qsd,qsel,qrem;
+	   chDat!qd,_pid,qsd,qsel,qrem;
+	   if
+	   :: chSig?OUT_OK,eval(_pid) ->
+	      chDat?d,eval(_pid),sd,sel,rem;
+	      compSig!RECV_SUCC,0;
+	      compDat!d,sid,sd,sel,rem
+	   :: chSig?OUT_FAIL,eval(_pid) ->
+	      compSig!RECV_FAIL,0;
+	      compDat!0,0,0,0,0
+	   fi
+	od
+}
+`
+
+// channels holds the channel (storage medium) models.
+const channelBlocks = `
+/* Single-slot buffer channel (paper Fig. 11): holds one message, supports
+ * selective and copy/remove receives, notifies IN_FAIL when full and
+ * OUT_FAIL when a request cannot be met. */
+proctype SingleSlotChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat) {
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	bool buffer_empty = 1;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   if
+	   :: (!buffer_empty && !rqsel) || (!buffer_empty && rqsel && bsd == rqsd) ->
+	      rcvSig!OUT_OK,rqpid;
+	      rcvDat!bd,rqpid,bsd,bsel,brem;
+	      sndSig!RECV_OK,bsid;
+	      if
+	      :: rqrem -> buffer_empty = 1
+	      :: else
+	      fi
+	   :: else ->
+	      rcvSig!OUT_FAIL,rqpid
+	   fi
+	:: sndDat?md,msid,msd,msel,mrem;
+	   if
+	   :: buffer_empty ->
+	      sndSig!IN_OK,msid;
+	      bd = md; bsid = msid; bsd = msd; bsel = msel; brem = mrem;
+	      buffer_empty = 0
+	   :: else ->
+	      sndSig!IN_FAIL,msid
+	   fi
+	od
+}
+
+/* FIFO queue channel of logical size 1..8: stores and delivers messages in
+ * first-in-first-out order. */
+proctype FifoChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byte size) {
+	chan buf = [8] of { byte, byte, byte, bit, bit };
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   if
+	   :: rqsel ->
+	      if
+	      :: buf??bd,bsid,eval(rqsd),bsel,brem ->
+	         rcvSig!OUT_OK,rqpid;
+	         rcvDat!bd,rqpid,rqsd,bsel,brem;
+	         sndSig!RECV_OK,bsid;
+	         if
+	         :: !rqrem -> buf!bd,bsid,rqsd,bsel,brem
+	         :: else
+	         fi
+	      :: else ->
+	         rcvSig!OUT_FAIL,rqpid
+	      fi
+	   :: else ->
+	      if
+	      :: buf?bd,bsid,bsd,bsel,brem ->
+	         rcvSig!OUT_OK,rqpid;
+	         rcvDat!bd,rqpid,bsd,bsel,brem;
+	         sndSig!RECV_OK,bsid;
+	         if
+	         :: !rqrem -> buf!bd,bsid,bsd,bsel,brem
+	         :: else
+	         fi
+	      :: else ->
+	         rcvSig!OUT_FAIL,rqpid
+	      fi
+	   fi
+	:: sndDat?md,msid,msd,msel,mrem;
+	   if
+	   :: len(buf) < size ->
+	      sndSig!IN_OK,msid;
+	      buf!md,msid,msd,msel,mrem
+	   :: else ->
+	      sndSig!IN_FAIL,msid
+	   fi
+	od
+}
+
+/* Priority queue channel of logical size 1..8: the selectiveData field is
+ * the priority (lower value = higher priority); delivery takes the highest
+ * priority message first. */
+proctype PriorityChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byte size) {
+	chan buf = [8] of { byte, byte, byte, bit, bit };
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   if
+	   :: rqsel ->
+	      if
+	      :: buf??eval(rqsd),bd,bsid,bsel,brem ->
+	         rcvSig!OUT_OK,rqpid;
+	         rcvDat!bd,rqpid,rqsd,bsel,brem;
+	         sndSig!RECV_OK,bsid;
+	         if
+	         :: !rqrem -> buf!!rqsd,bd,bsid,bsel,brem
+	         :: else
+	         fi
+	      :: else ->
+	         rcvSig!OUT_FAIL,rqpid
+	      fi
+	   :: else ->
+	      if
+	      :: buf?bsd,bd,bsid,bsel,brem ->
+	         rcvSig!OUT_OK,rqpid;
+	         rcvDat!bd,rqpid,bsd,bsel,brem;
+	         sndSig!RECV_OK,bsid;
+	         if
+	         :: !rqrem -> buf!!bsd,bd,bsid,bsel,brem
+	         :: else
+	         fi
+	      :: else ->
+	         rcvSig!OUT_FAIL,rqpid
+	      fi
+	   fi
+	:: sndDat?md,msid,msd,msel,mrem;
+	   if
+	   :: len(buf) < size ->
+	      sndSig!IN_OK,msid;
+	      buf!!msd,md,msid,msel,mrem
+	   :: else ->
+	      sndSig!IN_FAIL,msid
+	   fi
+	od
+}
+
+/* Dropping buffer channel (paper Sec. 3.3): silently discards messages
+ * that arrive while the buffer is full, confirming IN_OK regardless. */
+proctype DroppingChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byte size) {
+	chan buf = [8] of { byte, byte, byte, bit, bit };
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   if
+	   :: rqsel ->
+	      if
+	      :: buf??bd,bsid,eval(rqsd),bsel,brem ->
+	         rcvSig!OUT_OK,rqpid;
+	         rcvDat!bd,rqpid,rqsd,bsel,brem;
+	         sndSig!RECV_OK,bsid;
+	         if
+	         :: !rqrem -> buf!bd,bsid,rqsd,bsel,brem
+	         :: else
+	         fi
+	      :: else ->
+	         rcvSig!OUT_FAIL,rqpid
+	      fi
+	   :: else ->
+	      if
+	      :: buf?bd,bsid,bsd,bsel,brem ->
+	         rcvSig!OUT_OK,rqpid;
+	         rcvDat!bd,rqpid,bsd,bsel,brem;
+	         sndSig!RECV_OK,bsid;
+	         if
+	         :: !rqrem -> buf!bd,bsid,bsd,bsel,brem
+	         :: else
+	         fi
+	      :: else ->
+	         rcvSig!OUT_FAIL,rqpid
+	      fi
+	   fi
+	:: sndDat?md,msid,msd,msel,mrem;
+	   if
+	   :: len(buf) < size ->
+	      sndSig!IN_OK,msid;
+	      buf!md,msid,msd,msel,mrem
+	   :: else ->
+	      sndSig!IN_OK,msid
+	   fi
+	od
+}
+`
+
+// componentTemplates holds generic sender/receiver component models using
+// the paper's standard interfaces (Figs. 9 and 10). They are the stock
+// components used by tests and the semantics-matrix experiment; real
+// systems supply their own component models.
+const componentTemplates = `
+/* A sending component (paper Fig. 9): sends n messages with payloads
+ * 1..n and tag, waiting for SendStatus after each. done_senders counts
+ * completions for test observability. */
+proctype PnPSender(chan portSig; chan portDat; byte n; byte tag) {
+	byte i = 0;
+	mtype st;
+	do
+	:: i < n ->
+	   portDat!i + 1,0,tag,0,1;
+	   portSig?st,_;
+	   i = i + 1
+	:: else -> break
+	od
+}
+
+/* A receiving component (paper Fig. 10): issues receive requests until it
+ * has accepted n messages; a RECV_FAIL stub is discarded and retried. */
+proctype PnPReceiver(chan portSig; chan portDat; byte n) {
+	byte i = 0;
+	mtype st;
+	byte d, sid, sd;
+	bit sel, rem;
+	do
+	:: i < n ->
+	   portDat!0,0,0,0,1;
+	   portSig?st,_;
+	   portDat?d,sid,sd,sel,rem;
+	   if
+	   :: st == RECV_SUCC -> i = i + 1
+	   :: else
+	   fi
+	:: else -> break
+	od
+}
+`
+
+// LibrarySourcePlain is the paper-literal block library: every protocol
+// step is a separate interleaving point, exactly as in the paper's
+// Figures 5-11. It exists for fidelity and for the state-explosion
+// ablation (experiment E13); real verification runs should use
+// LibrarySource, whose models are semantically equivalent but merged.
+const LibrarySourcePlain = signalMtype + sendPorts + recvPorts + channelBlocks + componentTemplates
+
+// optChannelBlocks contains the optimized channel models: the paper's
+// Section 6 observes that decomposing connectors into port and channel
+// processes inflates the state space and proposes optimized models for
+// common connectors. Here the channel-internal handling of each request
+// (guard evaluation, reply signal, buffer update) runs as an atomic/d_step
+// sequence. Ports and channels never touch user globals, so merging their
+// private steps preserves every reachable global-state valuation as well
+// as all deadlocks (atomicity is released whenever the sequence blocks).
+const optChannelBlocks = `
+proctype SingleSlotChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat) {
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	bool buffer_empty = 1;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   atomic {
+	     if
+	     :: (!buffer_empty && !rqsel) || (!buffer_empty && rqsel && bsd == rqsd) ->
+	        rcvSig!OUT_OK,rqpid;
+	        rcvDat!bd,rqpid,bsd,bsel,brem;
+	        sndSig!RECV_OK,bsid;
+	        if
+	        :: rqrem -> buffer_empty = 1
+	        :: else
+	        fi
+	     :: else ->
+	        rcvSig!OUT_FAIL,rqpid
+	     fi
+	   }
+	:: sndDat?md,msid,msd,msel,mrem;
+	   atomic {
+	     if
+	     :: buffer_empty ->
+	        sndSig!IN_OK,msid;
+	        d_step { bd = md; bsid = msid; bsd = msd; bsel = msel; brem = mrem; buffer_empty = 0 }
+	     :: else ->
+	        sndSig!IN_FAIL,msid
+	     fi
+	   }
+	od
+}
+
+proctype FifoChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byte size) {
+	chan buf = [8] of { byte, byte, byte, bit, bit };
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   atomic {
+	     if
+	     :: rqsel ->
+	        if
+	        :: buf??bd,bsid,eval(rqsd),bsel,brem ->
+	           rcvSig!OUT_OK,rqpid;
+	           rcvDat!bd,rqpid,rqsd,bsel,brem;
+	           sndSig!RECV_OK,bsid;
+	           if
+	           :: !rqrem -> buf!bd,bsid,rqsd,bsel,brem
+	           :: else
+	           fi
+	        :: else ->
+	           rcvSig!OUT_FAIL,rqpid
+	        fi
+	     :: else ->
+	        if
+	        :: buf?bd,bsid,bsd,bsel,brem ->
+	           rcvSig!OUT_OK,rqpid;
+	           rcvDat!bd,rqpid,bsd,bsel,brem;
+	           sndSig!RECV_OK,bsid;
+	           if
+	           :: !rqrem -> buf!bd,bsid,bsd,bsel,brem
+	           :: else
+	           fi
+	        :: else ->
+	           rcvSig!OUT_FAIL,rqpid
+	        fi
+	     fi
+	   }
+	:: sndDat?md,msid,msd,msel,mrem;
+	   atomic {
+	     if
+	     :: len(buf) < size ->
+	        sndSig!IN_OK,msid;
+	        buf!md,msid,msd,msel,mrem
+	     :: else ->
+	        sndSig!IN_FAIL,msid
+	     fi
+	   }
+	od
+}
+
+proctype PriorityChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byte size) {
+	chan buf = [8] of { byte, byte, byte, bit, bit };
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   atomic {
+	     if
+	     :: rqsel ->
+	        if
+	        :: buf??eval(rqsd),bd,bsid,bsel,brem ->
+	           rcvSig!OUT_OK,rqpid;
+	           rcvDat!bd,rqpid,rqsd,bsel,brem;
+	           sndSig!RECV_OK,bsid;
+	           if
+	           :: !rqrem -> buf!!rqsd,bd,bsid,bsel,brem
+	           :: else
+	           fi
+	        :: else ->
+	           rcvSig!OUT_FAIL,rqpid
+	        fi
+	     :: else ->
+	        if
+	        :: buf?bsd,bd,bsid,bsel,brem ->
+	           rcvSig!OUT_OK,rqpid;
+	           rcvDat!bd,rqpid,bsd,bsel,brem;
+	           sndSig!RECV_OK,bsid;
+	           if
+	           :: !rqrem -> buf!!bsd,bd,bsid,bsel,brem
+	           :: else
+	           fi
+	        :: else ->
+	           rcvSig!OUT_FAIL,rqpid
+	        fi
+	     fi
+	   }
+	:: sndDat?md,msid,msd,msel,mrem;
+	   atomic {
+	     if
+	     :: len(buf) < size ->
+	        sndSig!IN_OK,msid;
+	        buf!!msd,md,msid,msel,mrem
+	     :: else ->
+	        sndSig!IN_FAIL,msid
+	     fi
+	   }
+	od
+}
+
+proctype DroppingChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byte size) {
+	chan buf = [8] of { byte, byte, byte, bit, bit };
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   atomic {
+	     if
+	     :: rqsel ->
+	        if
+	        :: buf??bd,bsid,eval(rqsd),bsel,brem ->
+	           rcvSig!OUT_OK,rqpid;
+	           rcvDat!bd,rqpid,rqsd,bsel,brem;
+	           sndSig!RECV_OK,bsid;
+	           if
+	           :: !rqrem -> buf!bd,bsid,rqsd,bsel,brem
+	           :: else
+	           fi
+	        :: else ->
+	           rcvSig!OUT_FAIL,rqpid
+	        fi
+	     :: else ->
+	        if
+	        :: buf?bd,bsid,bsd,bsel,brem ->
+	           rcvSig!OUT_OK,rqpid;
+	           rcvDat!bd,rqpid,bsd,bsel,brem;
+	           sndSig!RECV_OK,bsid;
+	           if
+	           :: !rqrem -> buf!bd,bsid,bsd,bsel,brem
+	           :: else
+	           fi
+	        :: else ->
+	           rcvSig!OUT_FAIL,rqpid
+	        fi
+	     fi
+	   }
+	:: sndDat?md,msid,msd,msel,mrem;
+	   atomic {
+	     if
+	     :: len(buf) < size ->
+	        sndSig!IN_OK,msid;
+	        buf!md,msid,msd,msel,mrem
+	     :: else ->
+	        sndSig!IN_OK,msid
+	     fi
+	   }
+	od
+}
+`
+
+// optPorts contains optimized port models: the component-facing reply
+// sequences are merged so that forwarding a message and relaying its
+// status do not interleave with unrelated processes.
+const optSendPorts = `
+proctype SynBlSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?RECV_OK,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   atomic {
+	     do
+	     :: chDat!d,_pid,sd,sel,rem;
+	        if
+	        :: chSig?IN_OK,eval(_pid) -> break
+	        :: chSig?IN_FAIL,eval(_pid)
+	        fi
+	     :: chSig?RECV_OK,eval(_pid)
+	     od;
+	     chSig?RECV_OK,eval(_pid);
+	     compSig!SEND_SUCC,0
+	   }
+	od
+}
+
+proctype SynCheckSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?RECV_OK,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   atomic {
+	     do
+	     :: chDat!d,_pid,sd,sel,rem -> break
+	     :: chSig?RECV_OK,eval(_pid)
+	     od;
+	     if
+	     :: chSig?IN_OK,eval(_pid) ->
+	        chSig?RECV_OK,eval(_pid);
+	        compSig!SEND_SUCC,0
+	     :: chSig?IN_FAIL,eval(_pid) ->
+	        compSig!SEND_FAIL,0
+	     fi
+	   }
+	od
+}
+
+proctype AsynBlSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?RECV_OK,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   atomic {
+	     do
+	     :: chDat!d,_pid,sd,sel,rem;
+	        if
+	        :: chSig?IN_OK,eval(_pid) -> break
+	        :: chSig?IN_FAIL,eval(_pid)
+	        fi
+	     :: chSig?RECV_OK,eval(_pid)
+	     od;
+	     compSig!SEND_SUCC,0
+	   }
+	od
+}
+
+proctype AsynCheckSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?RECV_OK,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   atomic {
+	     do
+	     :: chDat!d,_pid,sd,sel,rem -> break
+	     :: chSig?RECV_OK,eval(_pid)
+	     od;
+	     if
+	     :: chSig?IN_OK,eval(_pid) -> compSig!SEND_SUCC,0
+	     :: chSig?IN_FAIL,eval(_pid) -> compSig!SEND_FAIL,0
+	     fi
+	   }
+	od
+}
+
+proctype AsynNbSendPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: chSig?_,eval(_pid)
+	:: compDat?d,sid,sd,sel,rem;
+	   atomic {
+	     compSig!SEND_SUCC,0;
+	     do
+	     :: chDat!d,_pid,sd,sel,rem -> break
+	     :: chSig?_,eval(_pid)
+	     od
+	   }
+	od
+}
+`
+
+const optRecvPorts = `
+proctype BlRecvPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte qd, qsid, qsd;
+	bit qsel, qrem;
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: compDat?qd,qsid,qsd,qsel,qrem;
+	   atomic {
+	     do
+	     :: chDat!qd,_pid,qsd,qsel,qrem;
+	        if
+	        :: chSig?OUT_OK,eval(_pid) ->
+	           chDat?d,eval(_pid),sd,sel,rem;
+	           break
+	        :: chSig?OUT_FAIL,eval(_pid)
+	        fi
+	     od;
+	     compSig!RECV_SUCC,0;
+	     compDat!d,sid,sd,sel,rem
+	   }
+	od
+}
+
+proctype NbRecvPort(chan compSig; chan compDat; chan chSig; chan chDat) {
+	byte qd, qsid, qsd;
+	bit qsel, qrem;
+	byte d, sid, sd;
+	bit sel, rem;
+	end: do
+	:: compDat?qd,qsid,qsd,qsel,qrem;
+	   atomic {
+	     chDat!qd,_pid,qsd,qsel,qrem;
+	     if
+	     :: chSig?OUT_OK,eval(_pid) ->
+	        chDat?d,eval(_pid),sd,sel,rem;
+	        compSig!RECV_SUCC,0;
+	        compDat!d,sid,sd,sel,rem
+	     :: chSig?OUT_FAIL,eval(_pid) ->
+	        compSig!RECV_FAIL,0;
+	        compDat!0,0,0,0,0
+	     fi
+	   }
+	od
+}
+`
+
+// LibrarySource is the default building-block library: the same protocols
+// as LibrarySourcePlain with channel- and port-internal sequences merged
+// into atomic steps (the paper's Section 6 optimization). Verification
+// verdicts are identical; state counts are far smaller.
+const LibrarySource = signalMtype + optSendPorts + optRecvPorts + optChannelBlocks + componentTemplates

@@ -1,0 +1,387 @@
+// Package bridge implements the paper's evaluation case study (Section 4):
+// the single-lane bridge controlled by two controllers, in both the
+// "exactly-N-cars-per-turn" (Fig. 13) and "at-most-N-cars-per-turn"
+// (Fig. 14) variants.
+//
+// Cars and controllers are pml component models using the standard
+// interfaces; every interaction goes through connectors composed from the
+// block library, so the experiments of the paper are reproduced by
+// swapping ports:
+//
+//   - E8: exactly-N with asynchronous blocking enter sends -> the bridge
+//     safety invariant is violated (a car drives on before its request is
+//     processed).
+//   - E9: replace the enter send ports with synchronous blocking ones —
+//     the car components are untouched — and the invariant holds.
+//   - E10: at-most-N adds controller-to-controller yield connectors
+//     (synchronous blocking send, single-slot buffer, nonblocking receive)
+//     and nonblocking receives on the car connectors; the invariant holds.
+package bridge
+
+import (
+	"fmt"
+
+	"pnp/internal/blocks"
+	"pnp/internal/checker"
+	"pnp/internal/model"
+)
+
+// Variant selects the traffic-control protocol.
+type Variant int
+
+// Bridge variants.
+const (
+	ExactlyN Variant = iota + 1
+	AtMostN
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == ExactlyN {
+		return "exactly-N-cars-per-turn"
+	}
+	return "at-most-N-cars-per-turn"
+}
+
+// CarSource is the pml model of a car component. It is shared verbatim by
+// both bridge variants and by both the safe and unsafe connector choices —
+// the paper's standard-interface claim (E9) is that connector changes do
+// not touch this text.
+const CarSource = `
+byte blueOn, redOn;
+
+/* A car: requests entry, drives onto the bridge once the SendStatus
+ * arrives, crosses, leaves, and notifies the far-side controller. */
+proctype Car(chan esig; chan edat; chan xsig; chan xdat; bit color) {
+	mtype st;
+	end: do
+	:: edat!1,0,0,0,1;
+	   esig?st,_;
+	   if
+	   :: color == 0 -> blueOn = blueOn + 1
+	   :: else -> redOn = redOn + 1
+	   fi;
+	   if
+	   :: color == 0 -> blueOn = blueOn - 1
+	   :: else -> redOn = redOn - 1
+	   fi;
+	   xdat!1,0,0,0,1;
+	   xsig?st,_
+	od
+}
+`
+
+// exactlyNControllers is the controller model for the Fig. 13 design: the
+// controllers alternate turns implicitly by counting exit notifications.
+const exactlyNControllers = `
+/* Exactly-N controller: admit n enter requests, then wait for n exit
+ * notifications (produced by the other side's cars) before admitting the
+ * next batch. The side that starts passive waits for exits first. */
+proctype TurnController(chan ensig; chan endat; chan exsig; chan exdat;
+                        byte n; bit startsActive) {
+	byte i;
+	mtype st;
+	byte d, sid, sd;
+	bit sel, rem;
+	if
+	:: startsActive -> skip
+	:: else ->
+	   i = 0;
+	   do
+	   :: i < n ->
+	      exdat!0,0,0,0,1;
+	      exsig?st,_;
+	      exdat?d,sid,sd,sel,rem;
+	      i = i + 1
+	   :: else -> break
+	   od
+	fi;
+	end: do
+	:: i = 0;
+	   do
+	   :: i < n ->
+	      endat!0,0,0,0,1;
+	      ensig?st,_;
+	      endat?d,sid,sd,sel,rem;
+	      i = i + 1
+	   :: else -> break
+	   od;
+	   i = 0;
+	   do
+	   :: i < n ->
+	      exdat!0,0,0,0,1;
+	      exsig?st,_;
+	      exdat?d,sid,sd,sel,rem;
+	      i = i + 1
+	   :: else -> break
+	   od
+	od
+}
+`
+
+// atMostNControllers is the controller model for the Fig. 14 design: a
+// controller polls for enter requests with nonblocking receives, yields
+// the turn (with the count of cars in flight) as soon as no car is
+// waiting or the quota is reached, and while passive waits for the yield
+// message and then for that many exit notifications.
+const atMostNControllers = `
+proctype YieldController(chan ensig; chan endat; chan exsig; chan exdat;
+                         chan ysig; chan ydat; chan osig; chan odat;
+                         byte n; bit startsActive) {
+	byte admitted, k;
+	mtype st;
+	byte d, sid, sd;
+	bit sel, rem;
+	if
+	:: startsActive -> goto turn_active
+	:: else -> goto turn_passive
+	fi;
+turn_active:
+	admitted = 0;
+	do
+	:: admitted < n ->
+	   endat!0,0,0,0,1;
+	   ensig?st,_;
+	   endat?d,sid,sd,sel,rem;
+	   if
+	   :: st == RECV_SUCC -> admitted = admitted + 1
+	   :: else -> break
+	   fi
+	:: else -> break
+	od;
+	odat!admitted,0,0,0,1;
+	osig?st,_;
+	goto turn_passive;
+turn_passive:
+	end: do
+	:: ydat!0,0,0,0,1;
+	   ysig?st,_;
+	   ydat?d,sid,sd,sel,rem;
+	   if
+	   :: st == RECV_SUCC -> break
+	   :: else
+	   fi
+	od;
+	k = d;
+	do
+	:: k > 0 ->
+	   exdat!0,0,0,0,1;
+	   exsig?st,_;
+	   exdat?d,sid,sd,sel,rem;
+	   if
+	   :: st == RECV_SUCC -> k = k - 1
+	   :: else
+	   fi
+	:: else -> break
+	od;
+	goto turn_active
+}
+`
+
+// Config describes one bridge system to build and verify.
+type Config struct {
+	Variant     Variant
+	CarsPerSide int
+	N           int // per-turn quota
+	// EnterSend is the send-port kind of the car->controller enter
+	// connectors: the design decision the paper's experiment varies.
+	EnterSend blocks.SendPortKind
+	// EnterBuf is the FIFO size of the enter connectors (default 2).
+	EnterBuf int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CarsPerSide == 0 {
+		c.CarsPerSide = 1
+	}
+	if c.N == 0 {
+		c.N = 1
+	}
+	if c.EnterSend == 0 {
+		c.EnterSend = blocks.SynBlockingSend
+	}
+	if c.EnterBuf == 0 {
+		c.EnterBuf = 2
+	}
+	return c
+}
+
+// String summarizes the configuration.
+func (c Config) String() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("%s cars=%d n=%d enter=%s", c.Variant, c.CarsPerSide, c.N, c.EnterSend)
+}
+
+// Build composes the bridge system: components, connectors, and ports.
+func Build(cfg Config, cache *blocks.Cache) (*blocks.Builder, error) {
+	cfg = cfg.withDefaults()
+	var src string
+	switch cfg.Variant {
+	case ExactlyN:
+		src = CarSource + exactlyNControllers
+	case AtMostN:
+		src = CarSource + atMostNControllers
+	default:
+		return nil, fmt.Errorf("bridge: unknown variant %d", cfg.Variant)
+	}
+	b, err := blocks.NewBuilder(src, cache)
+	if err != nil {
+		return nil, err
+	}
+
+	recvKind := blocks.BlockingRecv
+	if cfg.Variant == AtMostN {
+		// The Fig. 14 controllers poll, so every controller-side receive
+		// port must be nonblocking.
+		recvKind = blocks.NonblockingRecv
+	}
+	enterSpec := blocks.ConnectorSpec{
+		Send: cfg.EnterSend, Channel: blocks.FIFOQueue, Size: cfg.EnterBuf, Recv: recvKind,
+	}
+	exitSpec := blocks.ConnectorSpec{
+		Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: recvKind,
+	}
+
+	blueEnter, err := b.NewConnector("BlueEnter", enterSpec)
+	if err != nil {
+		return nil, err
+	}
+	redEnter, err := b.NewConnector("RedEnter", enterSpec)
+	if err != nil {
+		return nil, err
+	}
+	// Blue cars exit at the red end and notify the red controller, and
+	// vice versa (the paper's RedExit / BlueExit connectors).
+	redExit, err := b.NewConnector("RedExit", exitSpec)
+	if err != nil {
+		return nil, err
+	}
+	blueExit, err := b.NewConnector("BlueExit", exitSpec)
+	if err != nil {
+		return nil, err
+	}
+
+	spawnCars := func(color int64, enter, exit *blocks.Connector, label string) error {
+		for i := 0; i < cfg.CarsPerSide; i++ {
+			e, err := enter.AddSender(fmt.Sprintf("%sCar%d", label, i))
+			if err != nil {
+				return err
+			}
+			x, err := exit.AddSender(fmt.Sprintf("%sCar%dExit", label, i))
+			if err != nil {
+				return err
+			}
+			if _, err := b.Spawn("Car",
+				model.Chan(e.Sig), model.Chan(e.Dat),
+				model.Chan(x.Sig), model.Chan(x.Dat),
+				model.Int(color)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := spawnCars(0, blueEnter, redExit, "Blue"); err != nil {
+		return nil, err
+	}
+	if err := spawnCars(1, redEnter, blueExit, "Red"); err != nil {
+		return nil, err
+	}
+
+	blueEnterRecv, err := blueEnter.AddReceiver("BlueCtl")
+	if err != nil {
+		return nil, err
+	}
+	blueExitRecv, err := blueExit.AddReceiver("BlueCtlExit")
+	if err != nil {
+		return nil, err
+	}
+	redEnterRecv, err := redEnter.AddReceiver("RedCtl")
+	if err != nil {
+		return nil, err
+	}
+	redExitRecv, err := redExit.AddReceiver("RedCtlExit")
+	if err != nil {
+		return nil, err
+	}
+
+	switch cfg.Variant {
+	case ExactlyN:
+		if _, err := b.Spawn("TurnController",
+			model.Chan(blueEnterRecv.Sig), model.Chan(blueEnterRecv.Dat),
+			model.Chan(blueExitRecv.Sig), model.Chan(blueExitRecv.Dat),
+			model.Int(int64(cfg.N)), model.Int(1)); err != nil {
+			return nil, err
+		}
+		if _, err := b.Spawn("TurnController",
+			model.Chan(redEnterRecv.Sig), model.Chan(redEnterRecv.Dat),
+			model.Chan(redExitRecv.Sig), model.Chan(redExitRecv.Dat),
+			model.Int(int64(cfg.N)), model.Int(0)); err != nil {
+			return nil, err
+		}
+	case AtMostN:
+		yieldSpec := blocks.ConnectorSpec{
+			Send: blocks.SynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.NonblockingRecv,
+		}
+		blueToRed, err := b.NewConnector("BlueToRed", yieldSpec)
+		if err != nil {
+			return nil, err
+		}
+		redToBlue, err := b.NewConnector("RedToBlue", yieldSpec)
+		if err != nil {
+			return nil, err
+		}
+		blueYieldOut, err := blueToRed.AddSender("BlueCtlYield")
+		if err != nil {
+			return nil, err
+		}
+		blueYieldIn, err := redToBlue.AddReceiver("BlueCtlListen")
+		if err != nil {
+			return nil, err
+		}
+		redYieldOut, err := redToBlue.AddSender("RedCtlYield")
+		if err != nil {
+			return nil, err
+		}
+		redYieldIn, err := blueToRed.AddReceiver("RedCtlListen")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.Spawn("YieldController",
+			model.Chan(blueEnterRecv.Sig), model.Chan(blueEnterRecv.Dat),
+			model.Chan(blueExitRecv.Sig), model.Chan(blueExitRecv.Dat),
+			model.Chan(blueYieldIn.Sig), model.Chan(blueYieldIn.Dat),
+			model.Chan(blueYieldOut.Sig), model.Chan(blueYieldOut.Dat),
+			model.Int(int64(cfg.N)), model.Int(1)); err != nil {
+			return nil, err
+		}
+		if _, err := b.Spawn("YieldController",
+			model.Chan(redEnterRecv.Sig), model.Chan(redEnterRecv.Dat),
+			model.Chan(redExitRecv.Sig), model.Chan(redExitRecv.Dat),
+			model.Chan(redYieldIn.Sig), model.Chan(redYieldIn.Dat),
+			model.Chan(redYieldOut.Sig), model.Chan(redYieldOut.Dat),
+			model.Int(int64(cfg.N)), model.Int(0)); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// SafetyInvariant is the bridge-safety property: cars traveling in
+// opposite directions are never on the bridge simultaneously.
+func SafetyInvariant(b *blocks.Builder) (checker.Invariant, error) {
+	return checker.InvariantFromSource(b.Program(), "bridge-safety", "!(blueOn > 0 && redOn > 0)")
+}
+
+// Verify builds the configured bridge and checks the safety invariant.
+func Verify(cfg Config, cache *blocks.Cache, opts checker.Options) (*checker.Result, error) {
+	b, err := Build(cfg, cache)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := SafetyInvariant(b)
+	if err != nil {
+		return nil, err
+	}
+	opts.Invariants = append(opts.Invariants, inv)
+	return checker.New(b.System(), opts).CheckSafety(), nil
+}

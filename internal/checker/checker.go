@@ -1,0 +1,245 @@
+// Package checker is the finite-state verifier of the Plug-and-Play
+// toolchain: explicit-state safety search (assertions, deadlocks, global
+// invariants) with DFS or BFS, LTL checking via Büchi products and nested
+// depth-first search, optional bitstate hashing, and counterexample
+// reconstruction as traces.
+//
+// It plays the role Spin plays in the paper: systems composed from the
+// building-block models are explored exhaustively and verdicts come with
+// readable counterexamples.
+package checker
+
+import (
+	"fmt"
+	"time"
+
+	"pnp/internal/model"
+	"pnp/internal/pml"
+	"pnp/internal/trace"
+)
+
+// ViolationKind classifies a verification failure.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	NoViolation ViolationKind = iota
+	Assertion
+	Deadlock
+	InvariantViolation
+	RuntimeError
+	AcceptanceCycle
+	SearchLimit
+)
+
+var violationNames = map[ViolationKind]string{
+	NoViolation:        "none",
+	Assertion:          "assertion violation",
+	Deadlock:           "invalid end state (deadlock)",
+	InvariantViolation: "invariant violation",
+	RuntimeError:       "runtime error",
+	AcceptanceCycle:    "acceptance cycle (liveness violation)",
+	SearchLimit:        "search limit reached",
+}
+
+// String names the violation kind.
+func (k ViolationKind) String() string { return violationNames[k] }
+
+// Invariant is a named global-state predicate that must hold in every
+// reachable state.
+type Invariant struct {
+	Name string
+	Expr pml.RExpr
+}
+
+// Options configures a verification run.
+type Options struct {
+	// MaxStates bounds the number of stored states (0 = unlimited).
+	MaxStates int
+	// MaxDepth bounds DFS depth (0 = unlimited).
+	MaxDepth int
+	// BFS searches breadth-first, yielding shortest counterexamples.
+	BFS bool
+	// Invariants are checked in every reachable state.
+	Invariants []Invariant
+	// IgnoreDeadlock disables invalid-end-state detection.
+	IgnoreDeadlock bool
+	// ReportUnreached records which compiled transitions never executed
+	// during the safety search and lists them in Result.Unreached.
+	// Incompatible with PartialOrder (the reduction legitimately skips
+	// transitions).
+	ReportUnreached bool
+	// PartialOrder enables ample-set partial-order reduction in the DFS
+	// safety search: states where some process has only process-private
+	// (Local) moves expand only that process, with the cycle proviso
+	// guaranteeing soundness. Verdicts are unchanged; state counts drop.
+	PartialOrder bool
+	// WeakFairness restricts LTL acceptance-cycle search to weakly fair
+	// runs (every continuously enabled process eventually moves), via the
+	// Choueka copy construction — Spin's -f option. It multiplies the
+	// product state space by the number of processes plus two.
+	WeakFairness bool
+	// StrongFairness restricts LTL acceptance-cycle search to strongly
+	// fair runs (every infinitely-often-enabled process moves infinitely
+	// often), via fair-SCC decomposition. Takes precedence over
+	// WeakFairness; the full product graph is materialized.
+	StrongFairness bool
+	// Bitstate replaces the exact visited set with a double-hash bitstate
+	// table of 2^BitstateBits bits (Spin's -DBITSTATE analogue). The search
+	// becomes probabilistic: violations found are real, but coverage may be
+	// partial.
+	Bitstate     bool
+	BitstateBits uint
+}
+
+// Stats summarizes the exploration.
+type Stats struct {
+	StatesStored  int
+	StatesMatched int
+	Transitions   int
+	MaxDepth      int
+	// Reduced counts states expanded with an ample set instead of the
+	// full successor set (partial-order reduction).
+	Reduced   int
+	Truncated bool
+	Elapsed   time.Duration
+}
+
+// Result is the outcome of a verification run.
+type Result struct {
+	OK      bool
+	Kind    ViolationKind
+	Message string
+	Trace   *trace.Trace
+	Stats   Stats
+	// Unreached lists transitions never executed during an exhaustive
+	// safety search (Spin's "unreached in proctype" report) — possible
+	// dead code in the component or block models. Populated only when
+	// Options.ReportUnreached is set and the search was not truncated.
+	Unreached []string
+}
+
+// Summary renders a one-line verdict.
+func (r *Result) Summary() string {
+	if r.OK {
+		return fmt.Sprintf("verified: %d states, %d transitions, depth %d",
+			r.Stats.StatesStored, r.Stats.Transitions, r.Stats.MaxDepth)
+	}
+	return fmt.Sprintf("%s: %s (%d states explored)", r.Kind, r.Message, r.Stats.StatesStored)
+}
+
+// Checker verifies one instantiated system.
+type Checker struct {
+	sys  *model.System
+	opts Options
+}
+
+// New creates a Checker for a system with the given options.
+func New(sys *model.System, opts Options) *Checker {
+	return &Checker{sys: sys, opts: opts}
+}
+
+// InvariantFromSource parses src as a global-scope pml expression and
+// wraps it as a named invariant.
+func InvariantFromSource(prog *pml.Compiled, name, src string) (Invariant, error) {
+	e, err := prog.CompileGlobalExpr(src)
+	if err != nil {
+		return Invariant{}, fmt.Errorf("checker: invariant %s: %w", name, err)
+	}
+	return Invariant{Name: name, Expr: e}, nil
+}
+
+// eventOf converts a model transition to a trace event.
+func eventOf(sys *model.System, tr model.Transition) trace.Event {
+	ev := trace.Event{
+		Proc:   sys.ProcName(tr.Proc),
+		Action: tr.Edge.Label,
+		Msg:    sys.FormatMsg(tr),
+		Note:   tr.Violation,
+	}
+	if tr.Ch >= 0 {
+		ev.Ch = sys.ChannelName(tr.Ch)
+	}
+	if tr.Partner >= 0 {
+		ev.Partner = sys.ProcName(tr.Partner)
+	}
+	return ev
+}
+
+// visitedSet is the exploration's duplicate detector.
+type visitedSet interface {
+	// seen tests-and-sets the key, reporting whether it was present.
+	seen(key string) bool
+	// size returns the number of stored entries (approximate for bitstate).
+	size() int
+}
+
+type mapSet struct {
+	m map[string]struct{}
+}
+
+func newMapSet() *mapSet { return &mapSet{m: make(map[string]struct{}, 1024)} }
+
+func (s *mapSet) seen(key string) bool {
+	if _, ok := s.m[key]; ok {
+		return true
+	}
+	s.m[key] = struct{}{}
+	return false
+}
+
+func (s *mapSet) size() int { return len(s.m) }
+
+// bitstateSet is a double-hash Bloom-style bitstate table, the classic
+// Spin supertrace structure.
+type bitstateSet struct {
+	bits  []uint64
+	mask  uint64
+	count int
+}
+
+func newBitstateSet(bitsLog2 uint) *bitstateSet {
+	if bitsLog2 < 10 {
+		bitsLog2 = 10
+	}
+	n := uint64(1) << bitsLog2
+	return &bitstateSet{bits: make([]uint64, n/64), mask: n - 1}
+}
+
+func (s *bitstateSet) hashes(key string) (uint64, uint64) {
+	// FNV-1a with two different offset bases.
+	const prime = 1099511628211
+	h1 := uint64(14695981039346656037)
+	h2 := uint64(1099511628211*31 + 7)
+	for i := 0; i < len(key); i++ {
+		h1 = (h1 ^ uint64(key[i])) * prime
+		h2 = (h2 ^ uint64(key[i])) * (prime + 2)
+	}
+	return h1 & s.mask, h2 & s.mask
+}
+
+func (s *bitstateSet) seen(key string) bool {
+	a, b := s.hashes(key)
+	hadA := s.bits[a/64]&(1<<(a%64)) != 0
+	hadB := s.bits[b/64]&(1<<(b%64)) != 0
+	if hadA && hadB {
+		return true
+	}
+	s.bits[a/64] |= 1 << (a % 64)
+	s.bits[b/64] |= 1 << (b % 64)
+	s.count++
+	return false
+}
+
+func (s *bitstateSet) size() int { return s.count }
+
+func (c *Checker) newVisited() visitedSet {
+	if c.opts.Bitstate {
+		bits := c.opts.BitstateBits
+		if bits == 0 {
+			bits = 24
+		}
+		return newBitstateSet(bits)
+	}
+	return newMapSet()
+}

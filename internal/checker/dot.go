@@ -1,0 +1,104 @@
+package checker
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pnp/internal/model"
+)
+
+// WriteDOT renders the reachable state graph (up to maxStates states) in
+// Graphviz DOT format — useful for inspecting small systems and for
+// documentation. Node labels show the global variables; edge labels show
+// the transition. States where an invariant fails are drawn in red, valid
+// end states with a double border.
+func (c *Checker) WriteDOT(w io.Writer, maxStates int) error {
+	if maxStates <= 0 {
+		maxStates = 500
+	}
+	index := map[string]int{}
+	var arena []*model.State
+	add := func(st *model.State) (int, bool) {
+		key := st.Key()
+		if i, ok := index[key]; ok {
+			return i, false
+		}
+		index[key] = len(arena)
+		arena = append(arena, st)
+		return len(arena) - 1, true
+	}
+
+	if _, err := fmt.Fprintln(w, "digraph statespace {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=LR; node [shape=box, fontname=monospace, fontsize=9];"); err != nil {
+		return err
+	}
+
+	globals := c.sys.Prog.GlobalVars
+	label := func(st *model.State) string {
+		var parts []string
+		for i, g := range globals {
+			parts = append(parts, fmt.Sprintf("%s=%d", g.Name, st.Globals[i]))
+		}
+		if len(parts) == 0 {
+			return "·"
+		}
+		return strings.Join(parts, "\\n")
+	}
+	bad := func(st *model.State) bool {
+		for _, inv := range c.opts.Invariants {
+			v, err := c.sys.EvalGlobal(st, inv.Expr)
+			if err != nil || v == 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	init := c.sys.InitialState()
+	add(init)
+	truncated := false
+	for head := 0; head < len(arena); head++ {
+		st := arena[head]
+		attrs := ""
+		if bad(st) {
+			attrs = ", color=red, fontcolor=red"
+		}
+		trs := c.sys.Successors(st)
+		if len(trs) == 0 {
+			attrs += ", peripheries=2"
+		}
+		if _, err := fmt.Fprintf(w, "  s%d [label=\"%s\"%s];\n", head, label(st), attrs); err != nil {
+			return err
+		}
+		for _, tr := range trs {
+			if tr.Violation != "" {
+				continue
+			}
+			to, fresh := add(tr.Next)
+			if fresh && len(arena) > maxStates {
+				truncated = true
+				arena = arena[:maxStates]
+				break
+			}
+			if to < len(arena) {
+				el := strings.ReplaceAll(c.sys.FormatTransition(tr), `"`, `'`)
+				if _, err := fmt.Fprintf(w, "  s%d -> s%d [label=\"%s\", fontsize=8];\n", head, to, el); err != nil {
+					return err
+				}
+			}
+		}
+		if truncated {
+			break
+		}
+	}
+	if truncated {
+		if _, err := fmt.Fprintf(w, "  trunc [label=\"(truncated at %d states)\", shape=plaintext];\n", maxStates); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

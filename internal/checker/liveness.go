@@ -1,0 +1,412 @@
+package checker
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"pnp/internal/ltl"
+	"pnp/internal/model"
+	"pnp/internal/pml"
+	"pnp/internal/trace"
+)
+
+// PropsFromSource compiles a map of atomic-proposition names to pml
+// global-scope expressions.
+func PropsFromSource(prog *pml.Compiled, defs map[string]string) (map[string]pml.RExpr, error) {
+	out := make(map[string]pml.RExpr, len(defs))
+	for name, src := range defs {
+		e, err := prog.CompileGlobalExpr(src)
+		if err != nil {
+			return nil, fmt.Errorf("checker: proposition %s: %w", name, err)
+		}
+		out[name] = e
+	}
+	return out, nil
+}
+
+// CheckLTL verifies the system against an LTL formula (Spin syntax). The
+// named atomic propositions must all be defined in props as global-state
+// predicates. Finite runs are stutter-extended: a deadlocked or terminated
+// state repeats forever.
+func (c *Checker) CheckLTL(formula string, props map[string]pml.RExpr) *Result {
+	f, err := ltl.Parse(formula)
+	if err != nil {
+		return &Result{Kind: RuntimeError, Message: err.Error()}
+	}
+	return c.CheckLTLFormula(f, props)
+}
+
+// product node and successor types for the nested DFS. copy is the
+// weak-fairness counter of the Choueka construction (always 0 when
+// fairness is off).
+type pnode struct {
+	st   *model.State
+	q    int
+	copy int
+}
+
+type psucc struct {
+	to        int
+	tr        model.Transition
+	stutter   bool
+	violation string
+}
+
+const (
+	flagBlue uint8 = 1 << iota
+	flagRed
+	flagOnStack
+)
+
+// CheckLTLFormula is CheckLTL for a pre-parsed formula. With
+// Options.StrongFairness it dispatches to the fair-SCC search.
+func (c *Checker) CheckLTLFormula(f *ltl.Formula, props map[string]pml.RExpr) *Result {
+	if c.opts.StrongFairness {
+		return c.CheckLTLFormulaStrongFair(f, props)
+	}
+	return c.checkLTLNestedDFS(f, props)
+}
+
+func (c *Checker) checkLTLNestedDFS(f *ltl.Formula, props map[string]pml.RExpr) *Result {
+	start := time.Now()
+	res := &Result{OK: true}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+
+	aut, err := ltl.Translate(ltl.Not(f))
+	if err != nil {
+		res.Kind = RuntimeError
+		res.Message = err.Error()
+		res.OK = false
+		return res
+	}
+	atomExprs := make([]pml.RExpr, len(aut.Atoms))
+	for i, name := range aut.Atoms {
+		e, ok := props[name]
+		if !ok {
+			res.Kind = RuntimeError
+			res.OK = false
+			res.Message = fmt.Sprintf("undefined atomic proposition %q", name)
+			return res
+		}
+		atomExprs[i] = e
+	}
+
+	// valuation evaluates the automaton's atoms on a system state.
+	valuation := func(st *model.State) (func(int) bool, string) {
+		vals := make([]bool, len(atomExprs))
+		for i, e := range atomExprs {
+			v, err := c.sys.EvalGlobal(st, e)
+			if err != nil {
+				return nil, err.Error()
+			}
+			vals[i] = v != 0
+		}
+		return func(i int) bool { return vals[i] }, ""
+	}
+
+	// Weak fairness (Choueka construction): the product runs in copies
+	// 0..nProcs+1. Copy 0 waits for an accepting automaton state; copy i
+	// (1..nProcs) is passed when process i-1 takes the step or is disabled
+	// in the source state; copy nProcs+1 is the accepting layer and resets
+	// to 0. An accepting cycle then gives every continuously enabled
+	// process infinitely many steps.
+	nProcs := c.sys.NumInstances()
+	acceptCopy := 0
+	if c.opts.WeakFairness {
+		acceptCopy = nProcs + 1
+	}
+	accepting := func(nd pnode) bool {
+		if c.opts.WeakFairness {
+			return nd.copy == acceptCopy
+		}
+		return aut.States[nd.q].Accepting
+	}
+
+	var arena []pnode
+	index := map[string]int{}
+	var flags []uint8
+	intern := func(st *model.State, key string, q, copy int) int {
+		k := key + "#" + strconv.Itoa(q) + "#" + strconv.Itoa(copy)
+		if i, ok := index[k]; ok {
+			res.Stats.StatesMatched++
+			return i
+		}
+		index[k] = len(arena)
+		arena = append(arena, pnode{st: st, q: q, copy: copy})
+		flags = append(flags, 0)
+		res.Stats.StatesStored++
+		return len(arena) - 1
+	}
+
+	// nextCopy advances the fairness counter for a step out of nd whose
+	// acting processes are in moved (nil for a stutter step), into
+	// automaton state q2. enabled reports per-process enabledness in the
+	// source system state.
+	nextCopy := func(nd pnode, q2 int, moved map[int]bool, enabled func(int) bool) int {
+		if !c.opts.WeakFairness {
+			return 0
+		}
+		cp := nd.copy
+		if cp == acceptCopy {
+			cp = 0
+		}
+		if cp == 0 && aut.States[q2].Accepting {
+			cp = 1
+		}
+		for cp >= 1 && cp <= nProcs {
+			p := cp - 1
+			if moved[p] || !enabled(p) {
+				cp++
+				continue
+			}
+			break
+		}
+		return cp
+	}
+
+	// successors expands one product node: system step (or stutter at
+	// quiescence) followed by an automaton step on the *new* state's labels.
+	successors := func(i int) ([]psucc, string) {
+		nd := arena[i]
+		trs := c.sys.Successors(nd.st)
+		res.Stats.Transitions += len(trs)
+		var out []psucc
+
+		var enabledCache []int8
+		enabled := func(p int) bool {
+			if enabledCache == nil {
+				enabledCache = make([]int8, nProcs)
+			}
+			if enabledCache[p] == 0 {
+				if c.sys.ProcEnabled(nd.st, p) {
+					enabledCache[p] = 1
+				} else {
+					enabledCache[p] = -1
+				}
+			}
+			return enabledCache[p] == 1
+		}
+
+		step := func(next *model.State, key string, tr model.Transition, moved map[int]bool, stutter bool) string {
+			val, verr := valuation(next)
+			if verr != "" {
+				return verr
+			}
+			for _, at := range aut.States[nd.q].Trans {
+				if at.Sat(val) {
+					cp := nextCopy(nd, at.Dst, moved, enabled)
+					out = append(out, psucc{to: intern(next, key, at.Dst, cp), tr: tr, stutter: stutter})
+				}
+			}
+			return ""
+		}
+		if len(trs) == 0 {
+			if verr := step(nd.st, nd.st.Key(), model.Transition{}, nil, true); verr != "" {
+				return nil, verr
+			}
+			return out, ""
+		}
+		for _, tr := range trs {
+			if tr.Violation != "" {
+				out = append(out, psucc{to: -1, tr: tr, violation: tr.Violation})
+				continue
+			}
+			moved := map[int]bool{tr.Proc: true}
+			if tr.Partner >= 0 {
+				moved[tr.Partner] = true
+			}
+			if verr := step(tr.Next, tr.Next.Key(), tr, moved, false); verr != "" {
+				return nil, verr
+			}
+		}
+		return out, ""
+	}
+
+	succEvent := func(s psucc) trace.Event {
+		if s.stutter {
+			return trace.Event{Action: "(stutter)"}
+		}
+		return eventOf(c.sys, s.tr)
+	}
+
+	// Initial product nodes.
+	init := c.sys.InitialState()
+	val0, verr := valuation(init)
+	if verr != "" {
+		res.OK = false
+		res.Kind = RuntimeError
+		res.Message = verr
+		return res
+	}
+	var roots []int
+	initKey := init.Key()
+	for _, at := range aut.InitTrans {
+		if at.Sat(val0) {
+			cp := 0
+			if c.opts.WeakFairness && aut.States[at.Dst].Accepting {
+				cp = 1
+			}
+			roots = append(roots, intern(init, initKey, at.Dst, cp))
+		}
+	}
+
+	type frame struct {
+		node int
+		in   psucc
+		succ []psucc
+		idx  int
+	}
+	var stack []frame
+
+	prefixEvents := func() []trace.Event {
+		var out []trace.Event
+		for i := 1; i < len(stack); i++ {
+			out = append(out, succEvent(stack[i].in))
+		}
+		return out
+	}
+
+	failSafety := func(s psucc) *Result {
+		res.OK = false
+		res.Kind = violationKind(s.violation)
+		res.Message = s.violation
+		tr := &trace.Trace{Prefix: prefixEvents(), Final: s.violation}
+		tr.Prefix = append(tr.Prefix, succEvent(s))
+		res.Trace = tr
+		return res
+	}
+
+	// redSearch looks for a path from seed back to seed or to any node on
+	// the blue stack; it returns the cycle events on success.
+	redSearch := func(seed int) ([]trace.Event, string) {
+		type rframe struct {
+			node int
+			in   psucc
+			succ []psucc
+			idx  int
+		}
+		seedSucc, verr := successors(seed)
+		if verr != "" {
+			return nil, verr
+		}
+		rstack := []rframe{{node: seed, succ: seedSucc}}
+		for len(rstack) > 0 {
+			top := &rstack[len(rstack)-1]
+			if top.idx >= len(top.succ) {
+				rstack = rstack[:len(rstack)-1]
+				continue
+			}
+			s := top.succ[top.idx]
+			top.idx++
+			if s.violation != "" {
+				continue // safety violations are reported by the blue search
+			}
+			if s.to == seed || flags[s.to]&flagOnStack != 0 {
+				// Cycle found: red path plus (if needed) the blue-stack
+				// segment from the hit node back to the seed.
+				var cyc []trace.Event
+				for i := 1; i < len(rstack); i++ {
+					cyc = append(cyc, succEvent(rstack[i].in))
+				}
+				cyc = append(cyc, succEvent(s))
+				if s.to != seed {
+					hit := -1
+					for i, fr := range stack {
+						if fr.node == s.to {
+							hit = i
+							break
+						}
+					}
+					for i := hit + 1; i < len(stack); i++ {
+						cyc = append(cyc, succEvent(stack[i].in))
+					}
+				}
+				return cyc, ""
+			}
+			if flags[s.to]&flagRed != 0 {
+				continue
+			}
+			flags[s.to] |= flagRed
+			ss, verr := successors(s.to)
+			if verr != "" {
+				return nil, verr
+			}
+			rstack = append(rstack, rframe{node: s.to, in: s, succ: ss})
+		}
+		return nil, ""
+	}
+
+	reportCycle := func(cyc []trace.Event) *Result {
+		res.OK = false
+		res.Kind = AcceptanceCycle
+		res.Message = fmt.Sprintf("LTL property violated: %s", f)
+		res.Trace = &trace.Trace{Prefix: prefixEvents(), Cycle: cyc, Final: res.Message}
+		return res
+	}
+
+	for _, root := range roots {
+		if flags[root]&flagBlue != 0 {
+			continue
+		}
+		flags[root] |= flagBlue | flagOnStack
+		rootSucc, verr := successors(root)
+		if verr != "" {
+			res.OK = false
+			res.Kind = RuntimeError
+			res.Message = verr
+			return res
+		}
+		stack = append(stack[:0], frame{node: root, succ: rootSucc})
+		for len(stack) > 0 {
+			if len(stack) > res.Stats.MaxDepth {
+				res.Stats.MaxDepth = len(stack)
+			}
+			top := &stack[len(stack)-1]
+			if top.idx >= len(top.succ) {
+				// Postorder: run the red search from accepting nodes.
+				if accepting(arena[top.node]) {
+					flags[top.node] |= flagRed
+					cyc, verr := redSearch(top.node)
+					if verr != "" {
+						res.OK = false
+						res.Kind = RuntimeError
+						res.Message = verr
+						return res
+					}
+					if cyc != nil {
+						return reportCycle(cyc)
+					}
+				}
+				flags[top.node] &^= flagOnStack
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			s := top.succ[top.idx]
+			top.idx++
+			if s.violation != "" {
+				return failSafety(s)
+			}
+			if flags[s.to]&flagBlue != 0 {
+				continue
+			}
+			if c.opts.MaxStates > 0 && res.Stats.StatesStored > c.opts.MaxStates {
+				res.Stats.Truncated = true
+				res.OK = false
+				res.Kind = SearchLimit
+				res.Message = fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates)
+				return res
+			}
+			flags[s.to] |= flagBlue | flagOnStack
+			ss, verr := successors(s.to)
+			if verr != "" {
+				res.OK = false
+				res.Kind = RuntimeError
+				res.Message = verr
+				return res
+			}
+			stack = append(stack, frame{node: s.to, in: s, succ: ss})
+		}
+	}
+	return res
+}

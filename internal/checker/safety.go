@@ -1,0 +1,465 @@
+package checker
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pnp/internal/model"
+	"pnp/internal/pml"
+	"pnp/internal/trace"
+)
+
+// CheckSafety explores the reachable state space and reports the first
+// assertion violation, runtime error, invariant violation, or invalid end
+// state (deadlock). With Options.BFS the counterexample is shortest.
+func (c *Checker) CheckSafety() *Result {
+	if c.opts.BFS {
+		return c.checkSafetyBFS()
+	}
+	return c.checkSafetyDFS()
+}
+
+// stateProblem checks invariants and deadlock for a state; it returns a
+// non-nil partial result on violation.
+func (c *Checker) stateProblem(st *model.State, numSucc int) (ViolationKind, string) {
+	for _, inv := range c.opts.Invariants {
+		v, err := c.sys.EvalGlobal(st, inv.Expr)
+		if err != nil {
+			return RuntimeError, fmt.Sprintf("invariant %s: %s", inv.Name, err)
+		}
+		if v == 0 {
+			return InvariantViolation, fmt.Sprintf("invariant %s violated", inv.Name)
+		}
+	}
+	if numSucc == 0 && !c.opts.IgnoreDeadlock {
+		var stuck []string
+		for i := range c.sys.Instances() {
+			if !c.sys.AtEndState(st, i) {
+				stuck = append(stuck, c.sys.ProcName(i))
+			}
+		}
+		if len(stuck) > 0 {
+			return Deadlock, "processes blocked outside valid end states: " + strings.Join(stuck, ", ")
+		}
+	}
+	return NoViolation, ""
+}
+
+// collectUnreached lists edges of every instantiated proctype that were
+// never executed.
+func (c *Checker) collectUnreached(executed map[*pml.Edge]bool) []string {
+	seenProc := map[string]bool{}
+	var out []string
+	for _, inst := range c.sys.Instances() {
+		p := inst.Proc
+		if seenProc[p.Name] {
+			continue
+		}
+		seenProc[p.Name] = true
+		for ni := range p.Nodes {
+			for ei := range p.Nodes[ni].Edges {
+				e := &p.Nodes[ni].Edges[ei]
+				if !executed[e] {
+					out = append(out, fmt.Sprintf("%s: %s at %s", p.Name, e.Label, e.Pos))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func violationKind(msg string) ViolationKind {
+	if msg == "assertion violated" {
+		return Assertion
+	}
+	return RuntimeError
+}
+
+type dfsFrame struct {
+	st  *model.State
+	key string
+	in  model.Transition // transition that produced this frame; Edge==nil at root
+	trs []model.Transition
+	idx int
+}
+
+func (c *Checker) checkSafetyDFS() *Result {
+	start := time.Now()
+	visited := c.newVisited()
+	res := &Result{OK: true}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+
+	var executed map[*pml.Edge]bool
+	if c.opts.ReportUnreached && !c.opts.PartialOrder {
+		executed = make(map[*pml.Edge]bool)
+	}
+	mark := func(trs []model.Transition) {
+		if executed == nil {
+			return
+		}
+		for _, tr := range trs {
+			if tr.Violation != "" {
+				continue
+			}
+			executed[tr.Edge] = true
+			if tr.PartnerEdge != nil {
+				executed[tr.PartnerEdge] = true
+			}
+		}
+	}
+
+	// onStack supports the partial-order reduction's cycle proviso: an
+	// ample set whose successor closes a cycle on the DFS stack could
+	// postpone other processes forever, so such states expand fully.
+	onStack := map[string]bool{}
+	succsOf := func(st *model.State) []model.Transition {
+		if c.opts.PartialOrder {
+			if trs, ok := c.sys.AmpleSuccessors(st); ok {
+				closes := false
+				for _, tr := range trs {
+					if tr.Violation == "" && onStack[tr.Next.Key()] {
+						closes = true
+						break
+					}
+				}
+				if !closes {
+					res.Stats.Reduced++
+					return trs
+				}
+			}
+		}
+		return c.sys.Successors(st)
+	}
+
+	pathEvents := func(stack []dfsFrame, extra *model.Transition) *trace.Trace {
+		t := &trace.Trace{}
+		for i := 1; i < len(stack); i++ {
+			t.Prefix = append(t.Prefix, eventOf(c.sys, stack[i].in))
+		}
+		if extra != nil {
+			t.Prefix = append(t.Prefix, eventOf(c.sys, *extra))
+		}
+		return t
+	}
+
+	fail := func(stack []dfsFrame, extra *model.Transition, kind ViolationKind, msg string) *Result {
+		res.OK = false
+		res.Kind = kind
+		res.Message = msg
+		res.Trace = pathEvents(stack, extra)
+		res.Trace.Final = msg
+		return res
+	}
+
+	init := c.sys.InitialState()
+	initKey := init.Key()
+	visited.seen(initKey)
+	onStack[initKey] = true
+	res.Stats.StatesStored = 1
+
+	initTrs := succsOf(init)
+	mark(initTrs)
+	res.Stats.Transitions += len(initTrs)
+	stack := []dfsFrame{{st: init, key: initKey, trs: initTrs}}
+	if kind, msg := c.stateProblem(init, len(initTrs)); kind != NoViolation {
+		return fail(stack, nil, kind, msg)
+	}
+
+	for len(stack) > 0 {
+		if len(stack) > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = len(stack)
+		}
+		top := &stack[len(stack)-1]
+		if top.idx >= len(top.trs) {
+			delete(onStack, top.key)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		tr := top.trs[top.idx]
+		top.idx++
+
+		if tr.Violation != "" {
+			return fail(stack, &tr, violationKind(tr.Violation), tr.Violation)
+		}
+		key := tr.Next.Key()
+		if visited.seen(key) {
+			res.Stats.StatesMatched++
+			continue
+		}
+		res.Stats.StatesStored++
+		if c.opts.MaxStates > 0 && res.Stats.StatesStored > c.opts.MaxStates {
+			res.Stats.Truncated = true
+			res.OK = false
+			res.Kind = SearchLimit
+			res.Message = fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates)
+			return res
+		}
+		if c.opts.MaxDepth > 0 && len(stack) >= c.opts.MaxDepth {
+			res.Stats.Truncated = true
+			continue
+		}
+		onStack[key] = true
+		succ := succsOf(tr.Next)
+		mark(succ)
+		res.Stats.Transitions += len(succ)
+		stack = append(stack, dfsFrame{st: tr.Next, key: key, in: tr, trs: succ})
+		if kind, msg := c.stateProblem(tr.Next, len(succ)); kind != NoViolation {
+			return fail(stack, nil, kind, msg)
+		}
+	}
+	if res.Stats.Truncated {
+		res.OK = false
+		res.Kind = SearchLimit
+		res.Message = fmt.Sprintf("depth limit %d reached; search incomplete", c.opts.MaxDepth)
+	}
+	if executed != nil && !res.Stats.Truncated {
+		res.Unreached = c.collectUnreached(executed)
+	}
+	return res
+}
+
+// CheckReachable searches breadth-first for a state satisfying target.
+// Result.OK reports that the target IS reachable, with the shortest
+// witness in Result.Trace. Assertion violations and deadlocks encountered
+// along the way are not reported; only reachability is decided.
+func (c *Checker) CheckReachable(target pml.RExpr) *Result {
+	start := time.Now()
+	visited := c.newVisited()
+	res := &Result{}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+
+	sat := func(st *model.State) (bool, string) {
+		v, err := c.sys.EvalGlobal(st, target)
+		if err != nil {
+			return false, err.Error()
+		}
+		return v != 0, ""
+	}
+
+	init := c.sys.InitialState()
+	visited.seen(init.Key())
+	res.Stats.StatesStored = 1
+	arena := []bfsNode{{st: init, parent: -1}}
+
+	buildTrace := func(i int) *trace.Trace {
+		var rev []trace.Event
+		for j := i; j > 0; j = arena[j].parent {
+			rev = append(rev, eventOf(c.sys, arena[j].in))
+		}
+		t := &trace.Trace{Final: "target state reached"}
+		for k := len(rev) - 1; k >= 0; k-- {
+			t.Prefix = append(t.Prefix, rev[k])
+		}
+		return t
+	}
+
+	for head := 0; head < len(arena); head++ {
+		ok, errMsg := sat(arena[head].st)
+		if errMsg != "" {
+			res.Kind = RuntimeError
+			res.Message = errMsg
+			return res
+		}
+		if ok {
+			res.OK = true
+			res.Trace = buildTrace(head)
+			return res
+		}
+		trs := c.sys.Successors(arena[head].st)
+		res.Stats.Transitions += len(trs)
+		for _, tr := range trs {
+			if tr.Violation != "" {
+				continue
+			}
+			key := tr.Next.Key()
+			if visited.seen(key) {
+				res.Stats.StatesMatched++
+				continue
+			}
+			res.Stats.StatesStored++
+			if c.opts.MaxStates > 0 && res.Stats.StatesStored > c.opts.MaxStates {
+				res.Stats.Truncated = true
+				res.Kind = SearchLimit
+				res.Message = fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates)
+				return res
+			}
+			arena = append(arena, bfsNode{st: tr.Next, parent: head, in: tr})
+		}
+	}
+	res.Kind = NoViolation
+	res.Message = "target state is unreachable"
+	return res
+}
+
+// CheckEventuallyReachable decides AG EF target: from every reachable
+// state, a state satisfying target remains reachable. Result.OK reports
+// the property holds; on failure, Result.Trace leads to a state from
+// which the target has become unreachable (e.g. a message was
+// irrecoverably lost). This is the fairness-independent way to check
+// "nothing is ever permanently lost".
+func (c *Checker) CheckEventuallyReachable(target pml.RExpr) *Result {
+	start := time.Now()
+	res := &Result{}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+
+	// Forward pass: build the full reachable graph.
+	index := map[string]int{}
+	var arena []bfsNode
+	var succs [][]int
+	add := func(st *model.State, parent int, in model.Transition) int {
+		key := st.Key()
+		if i, ok := index[key]; ok {
+			res.Stats.StatesMatched++
+			return i
+		}
+		index[key] = len(arena)
+		arena = append(arena, bfsNode{st: st, parent: parent, in: in})
+		succs = append(succs, nil)
+		res.Stats.StatesStored++
+		return len(arena) - 1
+	}
+	add(c.sys.InitialState(), -1, model.Transition{})
+	for head := 0; head < len(arena); head++ {
+		if c.opts.MaxStates > 0 && len(arena) > c.opts.MaxStates {
+			res.Stats.Truncated = true
+			res.Kind = SearchLimit
+			res.Message = fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates)
+			return res
+		}
+		trs := c.sys.Successors(arena[head].st)
+		res.Stats.Transitions += len(trs)
+		for _, tr := range trs {
+			if tr.Violation != "" {
+				continue
+			}
+			succs[head] = append(succs[head], add(tr.Next, head, tr))
+		}
+	}
+
+	// Backward pass: states from which a target state is reachable.
+	good := make([]bool, len(arena))
+	preds := make([][]int, len(arena))
+	var queue []int
+	for i := range arena {
+		v, err := c.sys.EvalGlobal(arena[i].st, target)
+		if err != nil {
+			res.Kind = RuntimeError
+			res.Message = err.Error()
+			return res
+		}
+		if v != 0 {
+			good[i] = true
+			queue = append(queue, i)
+		}
+		for _, j := range succs[i] {
+			preds[j] = append(preds[j], i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, p := range preds[i] {
+			if !good[p] {
+				good[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	for i := range arena {
+		if good[i] {
+			continue
+		}
+		// Found a reachable state from which the target is unreachable.
+		res.Kind = InvariantViolation
+		res.Message = "target became unreachable"
+		var rev []trace.Event
+		for j := i; j > 0; j = arena[j].parent {
+			rev = append(rev, eventOf(c.sys, arena[j].in))
+		}
+		t := &trace.Trace{Final: res.Message}
+		for k := len(rev) - 1; k >= 0; k-- {
+			t.Prefix = append(t.Prefix, rev[k])
+		}
+		res.Trace = t
+		return res
+	}
+	res.OK = true
+	return res
+}
+
+type bfsNode struct {
+	st     *model.State
+	parent int
+	in     model.Transition
+}
+
+func (c *Checker) checkSafetyBFS() *Result {
+	start := time.Now()
+	visited := c.newVisited()
+	res := &Result{OK: true}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+
+	buildTrace := func(arena []bfsNode, i int, extra *model.Transition) *trace.Trace {
+		var rev []trace.Event
+		for j := i; j > 0; j = arena[j].parent {
+			rev = append(rev, eventOf(c.sys, arena[j].in))
+		}
+		t := &trace.Trace{}
+		for k := len(rev) - 1; k >= 0; k-- {
+			t.Prefix = append(t.Prefix, rev[k])
+		}
+		if extra != nil {
+			t.Prefix = append(t.Prefix, eventOf(c.sys, *extra))
+		}
+		return t
+	}
+
+	fail := func(arena []bfsNode, i int, extra *model.Transition, kind ViolationKind, msg string) *Result {
+		res.OK = false
+		res.Kind = kind
+		res.Message = msg
+		res.Trace = buildTrace(arena, i, extra)
+		res.Trace.Final = msg
+		return res
+	}
+
+	init := c.sys.InitialState()
+	visited.seen(init.Key())
+	res.Stats.StatesStored = 1
+	arena := []bfsNode{{st: init, parent: -1}}
+	depth := map[int]int{0: 0}
+
+	for head := 0; head < len(arena); head++ {
+		st := arena[head].st
+		trs := c.sys.Successors(st)
+		res.Stats.Transitions += len(trs)
+		if d := depth[head]; d > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = d
+		}
+		if kind, msg := c.stateProblem(st, len(trs)); kind != NoViolation {
+			return fail(arena, head, nil, kind, msg)
+		}
+		for _, tr := range trs {
+			if tr.Violation != "" {
+				return fail(arena, head, &tr, violationKind(tr.Violation), tr.Violation)
+			}
+			key := tr.Next.Key()
+			if visited.seen(key) {
+				res.Stats.StatesMatched++
+				continue
+			}
+			res.Stats.StatesStored++
+			if c.opts.MaxStates > 0 && res.Stats.StatesStored > c.opts.MaxStates {
+				res.Stats.Truncated = true
+				res.OK = false
+				res.Kind = SearchLimit
+				res.Message = fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates)
+				return res
+			}
+			arena = append(arena, bfsNode{st: tr.Next, parent: head, in: tr})
+			depth[len(arena)-1] = depth[head] + 1
+		}
+	}
+	return res
+}

@@ -1,0 +1,54 @@
+package checker
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pnp/internal/trace"
+)
+
+// Simulate performs a seeded random walk of up to maxSteps transitions —
+// Spin's simulation mode. It stops early at an assertion violation,
+// runtime error, invariant violation, or quiescence (reporting deadlock
+// when the final state is not a valid end state). The walk so far is
+// returned as the result's trace.
+func (c *Checker) Simulate(seed int64, maxSteps int) *Result {
+	start := time.Now()
+	r := rand.New(rand.NewSource(seed))
+	res := &Result{OK: true, Trace: &trace.Trace{}}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+
+	st := c.sys.InitialState()
+	for step := 0; step < maxSteps; step++ {
+		trs := c.sys.Successors(st)
+		res.Stats.Transitions += len(trs)
+		// stateProblem checks invariants always and deadlock when the
+		// state is quiescent.
+		if kind, msg := c.stateProblem(st, len(trs)); kind != NoViolation {
+			res.OK = false
+			res.Kind = kind
+			res.Message = msg
+			res.Trace.Final = msg
+			return res
+		}
+		if len(trs) == 0 {
+			res.Trace.Final = fmt.Sprintf("all processes at valid end states after %d steps", step)
+			return res
+		}
+		tr := trs[r.Intn(len(trs))]
+		res.Trace.Prefix = append(res.Trace.Prefix, eventOf(c.sys, tr))
+		if tr.Violation != "" {
+			res.OK = false
+			res.Kind = violationKind(tr.Violation)
+			res.Message = tr.Violation
+			res.Trace.Final = tr.Violation
+			return res
+		}
+		st = tr.Next
+		res.Stats.StatesStored++
+		res.Stats.MaxDepth = step + 1
+	}
+	res.Trace.Final = fmt.Sprintf("walk truncated after %d steps", maxSteps)
+	return res
+}

@@ -1,0 +1,95 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimulateCleanTermination(t *testing.T) {
+	s := sysFromSource(t, `
+byte x;
+active proctype P() { x = 1; x = 2 }`)
+	res := New(s, Options{}).Simulate(1, 100)
+	if !res.OK {
+		t.Fatalf("clean walk failed: %s", res.Summary())
+	}
+	if !strings.Contains(res.Trace.Final, "valid end states") {
+		t.Errorf("final = %q", res.Trace.Final)
+	}
+	if len(res.Trace.Prefix) != 2 {
+		t.Errorf("walk length = %d, want 2", len(res.Trace.Prefix))
+	}
+}
+
+func TestSimulateFindsAssertOnPath(t *testing.T) {
+	// Deterministic program: every walk hits the assert.
+	s := sysFromSource(t, `
+byte x;
+active proctype P() { x = 1; assert(x == 0) }`)
+	res := New(s, Options{}).Simulate(7, 100)
+	if res.OK || res.Kind != Assertion {
+		t.Fatalf("expected assertion on walk, got %s", res.Summary())
+	}
+}
+
+func TestSimulateDetectsDeadlock(t *testing.T) {
+	s := sysFromSource(t, `
+chan a = [0] of { byte };
+active proctype P() { byte x; a?x }`)
+	res := New(s, Options{}).Simulate(3, 100)
+	if res.OK || res.Kind != Deadlock {
+		t.Fatalf("expected deadlock, got %s", res.Summary())
+	}
+}
+
+func TestSimulateDeterministicPerSeed(t *testing.T) {
+	src := `
+byte x;
+active proctype P() {
+	do
+	:: x < 20 -> x = x + 1
+	:: x < 20 -> x = x + 2
+	:: x >= 20 -> break
+	od
+}`
+	a := New(sysFromSource(t, src), Options{}).Simulate(42, 50)
+	b := New(sysFromSource(t, src), Options{}).Simulate(42, 50)
+	if a.Trace.String() != b.Trace.String() {
+		t.Error("same seed produced different walks")
+	}
+	c := New(sysFromSource(t, src), Options{}).Simulate(43, 50)
+	if a.Trace.String() == c.Trace.String() {
+		t.Log("different seeds produced identical walks (possible but unlikely)")
+	}
+}
+
+func TestSimulateChecksInvariants(t *testing.T) {
+	s := sysFromSource(t, `
+byte x;
+active proctype P() { x = 1; x = 2; x = 3 }`)
+	inv, err := InvariantFromSource(s.Prog, "small", "x < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := New(s, Options{Invariants: []Invariant{inv}}).Simulate(1, 100)
+	if res.OK || res.Kind != InvariantViolation {
+		t.Fatalf("expected invariant violation on walk, got %s", res.Summary())
+	}
+}
+
+func TestSimulateTruncates(t *testing.T) {
+	s := sysFromSource(t, `
+byte x;
+active proctype P() {
+	do
+	:: x = 1 - x
+	od
+}`)
+	res := New(s, Options{}).Simulate(1, 25)
+	if !res.OK {
+		t.Fatalf("walk failed: %s", res.Summary())
+	}
+	if len(res.Trace.Prefix) != 25 || !strings.Contains(res.Trace.Final, "truncated") {
+		t.Errorf("walk = %d events, final %q", len(res.Trace.Prefix), res.Trace.Final)
+	}
+}

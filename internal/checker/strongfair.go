@@ -1,0 +1,508 @@
+package checker
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"pnp/internal/ltl"
+	"pnp/internal/model"
+	"pnp/internal/pml"
+	"pnp/internal/trace"
+)
+
+// CheckLTLStrongFair verifies an LTL formula under strong process
+// fairness: any process enabled infinitely often must move infinitely
+// often. Weak fairness (Options.WeakFairness) cannot express this — a
+// retry loop that toggles a peer's enabledness starves it under weakly
+// fair schedules — so this check uses the classic Streett-style
+// SCC decomposition instead of a counter construction: a counterexample
+// exists iff some reachable SCC of the product contains an accepting
+// state and, for every process enabled somewhere in the SCC, also an
+// edge moved by that process; offending processes' enabled-states are
+// pruned and the SCC re-decomposed until the answer stabilizes.
+//
+// The whole product graph is materialized, so this is the most expensive
+// verification mode; use it for the liveness properties that need it.
+func (c *Checker) CheckLTLStrongFair(formula string, props map[string]pml.RExpr) *Result {
+	f, err := ltl.Parse(formula)
+	if err != nil {
+		return &Result{Kind: RuntimeError, Message: err.Error()}
+	}
+	return c.CheckLTLFormulaStrongFair(f, props)
+}
+
+// product graph node for the strong-fairness search.
+type sfNode struct {
+	st         *model.State
+	q          int
+	accepting  bool
+	enabled    []bool // per process, in st
+	succ       []sfEdge
+	parent     int // BFS tree for prefix reconstruction
+	parentEdge int
+}
+
+type sfEdge struct {
+	to    int
+	ev    trace.Event
+	moved [2]int // acting pids, -1 when unused (stutter: both -1)
+}
+
+// sfTask is a node subset awaiting (re-)decomposition into SCCs.
+type sfTask struct{ members []int }
+
+// CheckLTLFormulaStrongFair is CheckLTLStrongFair for a parsed formula.
+func (c *Checker) CheckLTLFormulaStrongFair(f *ltl.Formula, props map[string]pml.RExpr) *Result {
+	start := time.Now()
+	res := &Result{OK: true}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+
+	aut, err := ltl.Translate(ltl.Not(f))
+	if err != nil {
+		res.OK = false
+		res.Kind = RuntimeError
+		res.Message = err.Error()
+		return res
+	}
+	atomExprs := make([]pml.RExpr, len(aut.Atoms))
+	for i, name := range aut.Atoms {
+		e, ok := props[name]
+		if !ok {
+			res.OK = false
+			res.Kind = RuntimeError
+			res.Message = fmt.Sprintf("undefined atomic proposition %q", name)
+			return res
+		}
+		atomExprs[i] = e
+	}
+	nProcs := c.sys.NumInstances()
+
+	valuation := func(st *model.State) (func(int) bool, error) {
+		vals := make([]bool, len(atomExprs))
+		for i, e := range atomExprs {
+			v, err := c.sys.EvalGlobal(st, e)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v != 0
+		}
+		return func(i int) bool { return vals[i] }, nil
+	}
+
+	// Materialize the reachable product graph (BFS).
+	var nodes []*sfNode
+	index := map[string]int{}
+	intern := func(st *model.State, key string, q int) int {
+		k := key + "#" + strconv.Itoa(q)
+		if i, ok := index[k]; ok {
+			res.Stats.StatesMatched++
+			return i
+		}
+		index[k] = len(nodes)
+		en := make([]bool, nProcs)
+		for p := 0; p < nProcs; p++ {
+			en[p] = c.sys.ProcEnabled(st, p)
+		}
+		nodes = append(nodes, &sfNode{
+			st: st, q: q, accepting: aut.States[q].Accepting,
+			enabled: en, parent: -1, parentEdge: -1,
+		})
+		res.Stats.StatesStored++
+		return len(nodes) - 1
+	}
+
+	fail := func(kind ViolationKind, msg string) *Result {
+		res.OK = false
+		res.Kind = kind
+		res.Message = msg
+		return res
+	}
+
+	init := c.sys.InitialState()
+	val0, verr := valuation(init)
+	if verr != nil {
+		return fail(RuntimeError, verr.Error())
+	}
+	initKey := init.Key()
+	var roots []int
+	for _, at := range aut.InitTrans {
+		if at.Sat(val0) {
+			roots = append(roots, intern(init, initKey, at.Dst))
+		}
+	}
+	for head := 0; head < len(nodes); head++ {
+		if c.opts.MaxStates > 0 && len(nodes) > c.opts.MaxStates {
+			res.Stats.Truncated = true
+			return fail(SearchLimit, fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates))
+		}
+		nd := nodes[head]
+		trs := c.sys.Successors(nd.st)
+		res.Stats.Transitions += len(trs)
+		expand := func(next *model.State, ev trace.Event, moved [2]int) error {
+			val, err := valuation(next)
+			if err != nil {
+				return err
+			}
+			key := next.Key()
+			for _, at := range aut.States[nd.q].Trans {
+				if !at.Sat(val) {
+					continue
+				}
+				to := intern(next, key, at.Dst)
+				nd.succ = append(nd.succ, sfEdge{to: to, ev: ev, moved: moved})
+				if nodes[to].parent == -1 && to != head && !isRoot(roots, to) {
+					nodes[to].parent = head
+					nodes[to].parentEdge = len(nd.succ) - 1
+				}
+			}
+			return nil
+		}
+		if len(trs) == 0 {
+			if err := expand(nd.st, trace.Event{Action: "(stutter)"}, [2]int{-1, -1}); err != nil {
+				return fail(RuntimeError, err.Error())
+			}
+			continue
+		}
+		for _, tr := range trs {
+			if tr.Violation != "" {
+				// Safety violations surface regardless of fairness.
+				t := c.sfPrefix(nodes, head)
+				t.Prefix = append(t.Prefix, eventOf(c.sys, tr))
+				t.Final = tr.Violation
+				res.Trace = t
+				return fail(violationKind(tr.Violation), tr.Violation)
+			}
+			if err := expand(tr.Next, eventOf(c.sys, tr), [2]int{tr.Proc, tr.Partner}); err != nil {
+				return fail(RuntimeError, err.Error())
+			}
+		}
+	}
+
+	// Recursive fair-SCC search over shrinking node sets.
+	alive := make([]bool, len(nodes))
+	all := make([]int, len(nodes))
+	for i := range nodes {
+		all[i] = i
+	}
+	stack := []sfTask{{members: all}}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, i := range t.members {
+			alive[i] = true
+		}
+		sccs := c.sfSCCs(nodes, t.members, alive)
+		for _, scc := range sccs {
+			if fairTrace := c.sfCheckSCC(nodes, scc, nProcs, &stack); fairTrace != nil {
+				res.OK = false
+				res.Kind = AcceptanceCycle
+				res.Message = fmt.Sprintf("LTL property violated under strong fairness: %s", f)
+				fairTrace.Final = res.Message
+				res.Trace = fairTrace
+				return res
+			}
+		}
+		for _, i := range t.members {
+			alive[i] = false
+		}
+	}
+	return res
+}
+
+func isRoot(roots []int, i int) bool {
+	for _, r := range roots {
+		if r == i {
+			return true
+		}
+	}
+	return false
+}
+
+// sfPrefix reconstructs the BFS-tree path to node i as trace events.
+func (c *Checker) sfPrefix(nodes []*sfNode, i int) *trace.Trace {
+	var rev []trace.Event
+	for j := i; nodes[j].parent != -1; j = nodes[j].parent {
+		p := nodes[j].parent
+		rev = append(rev, nodes[p].succ[nodes[j].parentEdge].ev)
+	}
+	t := &trace.Trace{}
+	for k := len(rev) - 1; k >= 0; k-- {
+		t.Prefix = append(t.Prefix, rev[k])
+	}
+	return t
+}
+
+// sfSCCs computes the nontrivial SCCs of the subgraph induced by members
+// (alive flags must be set for exactly the members). Iterative Tarjan.
+func (c *Checker) sfSCCs(nodes []*sfNode, members []int, alive []bool) [][]int {
+	idx := make(map[int]int, len(members)) // node -> tarjan index
+	low := make(map[int]int, len(members))
+	onstack := make(map[int]bool, len(members))
+	var st []int
+	var out [][]int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	for _, start := range members {
+		if _, seen := idx[start]; seen {
+			continue
+		}
+		var callStack []frame
+		idx[start] = next
+		low[start] = next
+		next++
+		st = append(st, start)
+		onstack[start] = true
+		callStack = append(callStack, frame{v: start})
+		for len(callStack) > 0 {
+			fr := &callStack[len(callStack)-1]
+			advanced := false
+			for fr.ei < len(nodes[fr.v].succ) {
+				e := nodes[fr.v].succ[fr.ei]
+				fr.ei++
+				if !alive[e.to] {
+					continue
+				}
+				if _, seen := idx[e.to]; !seen {
+					idx[e.to] = next
+					low[e.to] = next
+					next++
+					st = append(st, e.to)
+					onstack[e.to] = true
+					callStack = append(callStack, frame{v: e.to})
+					advanced = true
+					break
+				}
+				if onstack[e.to] && idx[e.to] < low[fr.v] {
+					low[fr.v] = idx[e.to]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-order for fr.v.
+			v := fr.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				pv := callStack[len(callStack)-1].v
+				if low[v] < low[pv] {
+					low[pv] = low[v]
+				}
+			}
+			if low[v] == idx[v] {
+				var scc []int
+				for {
+					w := st[len(st)-1]
+					st = st[:len(st)-1]
+					onstack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				if c.sfNontrivial(nodes, scc, alive) {
+					out = append(out, scc)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sfNontrivial reports whether the SCC has at least one internal edge.
+func (c *Checker) sfNontrivial(nodes []*sfNode, scc []int, alive []bool) bool {
+	if len(scc) > 1 {
+		return true
+	}
+	v := scc[0]
+	for _, e := range nodes[v].succ {
+		if e.to == v && alive[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// sfCheckSCC decides whether the SCC contains a strongly fair accepting
+// cycle; when processes are enabled but never move inside, their
+// enabled-states are pruned and the remainder queued for re-decomposition.
+// On success it returns the complete counterexample trace.
+func (c *Checker) sfCheckSCC(nodes []*sfNode, scc []int, nProcs int, queue *[]sfTask) *trace.Trace {
+	inSCC := make(map[int]bool, len(scc))
+	for _, i := range scc {
+		inSCC[i] = true
+	}
+	hasAccepting := false
+	for _, i := range scc {
+		if nodes[i].accepting {
+			hasAccepting = true
+			break
+		}
+	}
+	enabledIn := make([]bool, nProcs)
+	movesIn := make([]bool, nProcs)
+	for _, i := range scc {
+		for p := 0; p < nProcs; p++ {
+			if nodes[i].enabled[p] {
+				enabledIn[p] = true
+			}
+		}
+		for _, e := range nodes[i].succ {
+			if !inSCC[e.to] {
+				continue
+			}
+			for _, p := range e.moved {
+				if p >= 0 {
+					movesIn[p] = true
+				}
+			}
+		}
+	}
+	var bad []int
+	for p := 0; p < nProcs; p++ {
+		if enabledIn[p] && !movesIn[p] {
+			bad = append(bad, p)
+		}
+	}
+	if len(bad) == 0 {
+		if !hasAccepting {
+			return nil
+		}
+		return c.sfBuildCounterexample(nodes, scc, inSCC, nProcs, movesIn)
+	}
+	// Prune states where a starved process is enabled; what remains may
+	// still contain a fair cycle.
+	var rest []int
+	for _, i := range scc {
+		ok := true
+		for _, p := range bad {
+			if nodes[i].enabled[p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rest = append(rest, i)
+		}
+	}
+	if len(rest) > 0 {
+		*queue = append(*queue, sfTask{members: rest})
+	}
+	return nil
+}
+
+// sfBuildCounterexample constructs a concrete fair lasso: the BFS prefix
+// into the SCC, then a cycle that visits an accepting node and one move
+// of every process that is enabled within the SCC.
+func (c *Checker) sfBuildCounterexample(nodes []*sfNode, scc []int, inSCC map[int]bool, nProcs int, movesIn []bool) *trace.Trace {
+	entry := scc[0]
+	// Prefer the node with the shortest BFS prefix (parent chain length).
+	depth := func(i int) int {
+		d := 0
+		for j := i; nodes[j].parent != -1; j = nodes[j].parent {
+			d++
+		}
+		return d
+	}
+	for _, i := range scc {
+		if depth(i) < depth(entry) {
+			entry = i
+		}
+	}
+	t := c.sfPrefix(nodes, entry)
+
+	// bfsPath returns the edge events from src to the first node
+	// satisfying pred, staying inside the SCC; it also returns the
+	// destination. pred(src) may hold with an empty path.
+	bfsPath := func(src int, pred func(int) bool) ([]trace.Event, int) {
+		if pred(src) {
+			return nil, src
+		}
+		type crumb struct {
+			node, prev, edge int
+		}
+		seen := map[int]crumb{src: {node: src, prev: -1}}
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for ei, e := range nodes[v].succ {
+				if !inSCC[e.to] {
+					continue
+				}
+				if _, ok := seen[e.to]; ok {
+					continue
+				}
+				seen[e.to] = crumb{node: e.to, prev: v, edge: ei}
+				if pred(e.to) {
+					var rev []trace.Event
+					for x := e.to; seen[x].prev != -1; x = seen[x].prev {
+						cr := seen[x]
+						rev = append(rev, nodes[cr.prev].succ[cr.edge].ev)
+					}
+					out := make([]trace.Event, 0, len(rev))
+					for k := len(rev) - 1; k >= 0; k-- {
+						out = append(out, rev[k])
+					}
+					return out, e.to
+				}
+				queue = append(queue, e.to)
+			}
+		}
+		return nil, src // unreachable within SCC: should not happen
+	}
+
+	cur := entry
+	var cycle []trace.Event
+	// Visit an accepting node.
+	seg, nxt := bfsPath(cur, func(i int) bool { return nodes[i].accepting })
+	cycle = append(cycle, seg...)
+	cur = nxt
+	// Visit a move of every process that must move.
+	for p := 0; p < nProcs; p++ {
+		if !movesIn[p] {
+			continue
+		}
+		p := p
+		// Find a node with an in-SCC edge moved by p, then take it.
+		hasMove := func(i int) bool {
+			for _, e := range nodes[i].succ {
+				if !inSCC[e.to] {
+					continue
+				}
+				if e.moved[0] == p || e.moved[1] == p {
+					return true
+				}
+			}
+			return false
+		}
+		seg, nxt = bfsPath(cur, hasMove)
+		cycle = append(cycle, seg...)
+		cur = nxt
+		for _, e := range nodes[cur].succ {
+			if inSCC[e.to] && (e.moved[0] == p || e.moved[1] == p) {
+				cycle = append(cycle, e.ev)
+				cur = e.to
+				break
+			}
+		}
+	}
+	// Close the loop.
+	seg, _ = bfsPath(cur, func(i int) bool { return i == entry })
+	cycle = append(cycle, seg...)
+	if len(cycle) == 0 {
+		// Degenerate self-loop.
+		for _, e := range nodes[entry].succ {
+			if e.to == entry {
+				cycle = append(cycle, e.ev)
+				break
+			}
+		}
+	}
+	t.Cycle = cycle
+	return t
+}

@@ -1,0 +1,327 @@
+// Package core is the design-level heart of the Plug-and-Play approach:
+// a declarative Design holds component models, connectors composed from
+// the block library, instances, and properties. Connector blocks are
+// swapped with one-call plug operations that leave components untouched;
+// the same Design verifies through the model checker and instantiates
+// executable connectors through the runtime.
+package core
+
+import (
+	"fmt"
+
+	"pnp/internal/blocks"
+	"pnp/internal/checker"
+	"pnp/internal/model"
+	"pnp/internal/pnprt"
+)
+
+// BlockInfo is one catalog entry: a reusable building block with the
+// paper's Figure 1 description.
+type BlockInfo struct {
+	Name        string
+	Kind        string // "send-port", "recv-port", "channel"
+	Description string
+}
+
+// Catalog returns the paper's Figure 1 building-block catalog as shipped
+// in this library.
+func Catalog() []BlockInfo {
+	return []BlockInfo{
+		{Name: "AsynNbSendPort", Kind: "send-port", Description: "Asynchronous nonblocking send: confirms immediately; the message may or may not be accepted by the channel."},
+		{Name: "AsynBlSendPort", Kind: "send-port", Description: "Asynchronous blocking send: confirms after the message has been accepted by the channel."},
+		{Name: "AsynCheckSendPort", Kind: "send-port", Description: "Asynchronous checking send: notifies the sender when the channel cannot accept the message, otherwise confirms once stored."},
+		{Name: "SynBlSendPort", Kind: "send-port", Description: "Synchronous blocking send: confirms only after the message has been received by the receiver."},
+		{Name: "SynCheckSendPort", Kind: "send-port", Description: "Synchronous checking send: like checking send, but when accepted it blocks until the message is received by the receiver."},
+		{Name: "BlRecvPort", Kind: "recv-port", Description: "Blocking receive (copy/remove): blocks until a desired message is retrieved from the channel."},
+		{Name: "NbRecvPort", Kind: "recv-port", Description: "Nonblocking receive (copy/remove): returns immediately with a notification and an empty message when nothing can be retrieved."},
+		{Name: "SingleSlotChannel", Kind: "channel", Description: "1-slot buffer: a buffer of size 1."},
+		{Name: "FifoChannel", Kind: "channel", Description: "FIFO queue: a first-in-first-out queue of size N."},
+		{Name: "PriorityChannel", Kind: "channel", Description: "Priority queue: a priority queue of size N (lower tag = higher priority)."},
+		{Name: "DroppingChannel", Kind: "channel", Description: "Dropping buffer: silently drops messages that arrive while full."},
+	}
+}
+
+// ArgKind classifies an instance argument.
+type ArgKind int
+
+// Instance argument kinds.
+const (
+	ArgInt ArgKind = iota + 1
+	ArgSend
+	ArgRecv
+)
+
+// InstanceArg is one argument of a component instance: an integer or an
+// attachment to a connector endpoint (which expands to the endpoint's
+// signal and data channels).
+type InstanceArg struct {
+	Kind ArgKind
+	N    int64
+	Conn string
+}
+
+// IntArg passes an integer parameter.
+func IntArg(v int64) InstanceArg { return InstanceArg{Kind: ArgInt, N: v} }
+
+// SendTo attaches the instance as a sender on the named connector.
+func SendTo(conn string) InstanceArg { return InstanceArg{Kind: ArgSend, Conn: conn} }
+
+// RecvFrom attaches the instance as a receiver on the named connector.
+func RecvFrom(conn string) InstanceArg { return InstanceArg{Kind: ArgRecv, Conn: conn} }
+
+// NamedConnector pairs a connector name with its block composition.
+type NamedConnector struct {
+	Name string
+	Spec blocks.ConnectorSpec
+}
+
+// Instance declares component instances of a proctype.
+type Instance struct {
+	Name  string
+	Proc  string
+	Count int
+	Args  []InstanceArg
+}
+
+// Property declarations.
+type invariantDecl struct {
+	Name string
+	Expr string
+}
+
+type goalDecl struct {
+	Name string
+	Expr string
+}
+
+type ltlDecl struct {
+	Name    string
+	Formula string
+	Props   map[string]string
+}
+
+// Design is a complete Plug-and-Play system design. Designs are value-ish:
+// the With* plug operations return modified copies so alternatives can be
+// explored side by side (the paper's design-space experimentation).
+type Design struct {
+	Name       string
+	Components string // pml source of the component models
+	Connectors []NamedConnector
+	Instances  []Instance
+	invariants []invariantDecl
+	goals      []goalDecl
+	ltls       []ltlDecl
+}
+
+// NewDesign creates an empty design over the given component models.
+func NewDesign(name, componentSource string) *Design {
+	return &Design{Name: name, Components: componentSource}
+}
+
+// AddConnector declares a connector composed from library blocks.
+func (d *Design) AddConnector(name string, spec blocks.ConnectorSpec) *Design {
+	d.Connectors = append(d.Connectors, NamedConnector{Name: name, Spec: spec})
+	return d
+}
+
+// AddInstance declares count instances of a component proctype.
+func (d *Design) AddInstance(name, proc string, count int, args ...InstanceArg) *Design {
+	d.Instances = append(d.Instances, Instance{Name: name, Proc: proc, Count: count, Args: args})
+	return d
+}
+
+// AddInvariant declares a global safety invariant.
+func (d *Design) AddInvariant(name, expr string) *Design {
+	d.invariants = append(d.invariants, invariantDecl{Name: name, Expr: expr})
+	return d
+}
+
+// AddGoal declares a delivery goal: from every reachable state it must
+// remain possible to reach a state satisfying expr (AG EF expr). Unlike an
+// LTL eventuality, a goal is insensitive to scheduler fairness, so it is
+// the right way to state "no message is ever permanently lost".
+func (d *Design) AddGoal(name, expr string) *Design {
+	d.goals = append(d.goals, goalDecl{Name: name, Expr: expr})
+	return d
+}
+
+// AddLTL declares an LTL property with its atomic propositions.
+func (d *Design) AddLTL(name, formula string, props map[string]string) *Design {
+	d.ltls = append(d.ltls, ltlDecl{Name: name, Formula: formula, Props: props})
+	return d
+}
+
+// clone copies the design (slices copied, component source shared).
+func (d *Design) clone() *Design {
+	n := *d
+	n.Connectors = append([]NamedConnector(nil), d.Connectors...)
+	n.Instances = append([]Instance(nil), d.Instances...)
+	n.invariants = append([]invariantDecl(nil), d.invariants...)
+	n.goals = append([]goalDecl(nil), d.goals...)
+	n.ltls = append([]ltlDecl(nil), d.ltls...)
+	return &n
+}
+
+func (d *Design) connectorIndex(name string) (int, error) {
+	for i, c := range d.Connectors {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("core: design %s has no connector %q", d.Name, name)
+}
+
+// WithSendPort returns a copy of the design with the named connector's
+// send port replaced — the paper's plug-and-play edit. Components are
+// untouched.
+func (d *Design) WithSendPort(conn string, k blocks.SendPortKind) (*Design, error) {
+	i, err := d.connectorIndex(conn)
+	if err != nil {
+		return nil, err
+	}
+	n := d.clone()
+	n.Connectors[i].Spec = n.Connectors[i].Spec.WithSend(k)
+	return n, nil
+}
+
+// WithRecvPort returns a copy with the named connector's receive port
+// replaced.
+func (d *Design) WithRecvPort(conn string, k blocks.RecvPortKind) (*Design, error) {
+	i, err := d.connectorIndex(conn)
+	if err != nil {
+		return nil, err
+	}
+	n := d.clone()
+	n.Connectors[i].Spec = n.Connectors[i].Spec.WithRecv(k)
+	return n, nil
+}
+
+// WithChannel returns a copy with the named connector's channel replaced.
+func (d *Design) WithChannel(conn string, k blocks.ChannelKind, size int) (*Design, error) {
+	i, err := d.connectorIndex(conn)
+	if err != nil {
+		return nil, err
+	}
+	n := d.clone()
+	n.Connectors[i].Spec = n.Connectors[i].Spec.WithChannel(k, size)
+	return n, nil
+}
+
+// Build composes the design into a verifiable model system.
+func (d *Design) Build(cache *blocks.Cache) (*blocks.Builder, error) {
+	b, err := blocks.NewBuilder(d.Components, cache)
+	if err != nil {
+		return nil, err
+	}
+	conns := make(map[string]*blocks.Connector, len(d.Connectors))
+	for _, nc := range d.Connectors {
+		if _, dup := conns[nc.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate connector %q", nc.Name)
+		}
+		c, err := b.NewConnector(nc.Name, nc.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: connector %s: %w", nc.Name, err)
+		}
+		conns[nc.Name] = c
+	}
+	for _, in := range d.Instances {
+		count := in.Count
+		if count < 1 {
+			count = 1
+		}
+		for k := 0; k < count; k++ {
+			label := in.Name
+			if count > 1 {
+				label = fmt.Sprintf("%s%d", in.Name, k)
+			}
+			args := make([]model.Arg, 0, 2*len(in.Args))
+			for ai, a := range in.Args {
+				switch a.Kind {
+				case ArgInt:
+					args = append(args, model.Int(a.N))
+				case ArgSend, ArgRecv:
+					c, ok := conns[a.Conn]
+					if !ok {
+						return nil, fmt.Errorf("core: instance %s references unknown connector %q", in.Name, a.Conn)
+					}
+					var ep blocks.Endpoint
+					var err error
+					epName := fmt.Sprintf("%s.a%d", label, ai)
+					if a.Kind == ArgSend {
+						ep, err = c.AddSender(epName)
+					} else {
+						ep, err = c.AddReceiver(epName)
+					}
+					if err != nil {
+						return nil, fmt.Errorf("core: instance %s: %w", in.Name, err)
+					}
+					args = append(args, model.Chan(ep.Sig), model.Chan(ep.Dat))
+				default:
+					return nil, fmt.Errorf("core: instance %s: bad argument kind", in.Name)
+				}
+			}
+			if _, err := b.Spawn(in.Proc, args...); err != nil {
+				return nil, fmt.Errorf("core: instance %s: %w", in.Name, err)
+			}
+		}
+	}
+	return b, nil
+}
+
+// VerifyResults holds per-property verification outcomes; "safety" is the
+// combined invariant/deadlock/assertion search.
+type VerifyResults map[string]*checker.Result
+
+// AllOK reports whether every property verified.
+func (v VerifyResults) AllOK() bool {
+	for _, r := range v {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify builds the design and checks every declared property.
+func (d *Design) Verify(cache *blocks.Cache, opts checker.Options) (VerifyResults, error) {
+	b, err := d.Build(cache)
+	if err != nil {
+		return nil, err
+	}
+	out := make(VerifyResults, 1+len(d.ltls))
+	safetyOpts := opts
+	for _, inv := range d.invariants {
+		ci, err := checker.InvariantFromSource(b.Program(), inv.Name, inv.Expr)
+		if err != nil {
+			return nil, err
+		}
+		safetyOpts.Invariants = append(safetyOpts.Invariants, ci)
+	}
+	out["safety"] = checker.New(b.System(), safetyOpts).CheckSafety()
+	for _, g := range d.goals {
+		expr, err := b.Program().CompileGlobalExpr(g.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("core: goal %s: %w", g.Name, err)
+		}
+		out[g.Name] = checker.New(b.System(), opts).CheckEventuallyReachable(expr)
+	}
+	for _, l := range d.ltls {
+		props, err := checker.PropsFromSource(b.Program(), l.Props)
+		if err != nil {
+			return nil, err
+		}
+		out[l.Name] = checker.New(b.System(), opts).CheckLTL(l.Formula, props)
+	}
+	return out, nil
+}
+
+// RuntimeConnector instantiates the named connector as an executable
+// pnprt connector — the same spec that was verified now runs on
+// goroutines.
+func (d *Design) RuntimeConnector(name string, opts ...pnprt.Option) (*pnprt.Connector, error) {
+	i, err := d.connectorIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	return pnprt.NewConnector(name, d.Connectors[i].Spec, opts...)
+}

@@ -1,0 +1,395 @@
+// Package ltl implements linear temporal logic: parsing, negation normal
+// form, translation to Büchi automata via the GPVW on-the-fly tableau
+// construction with degeneralization, and direct evaluation over
+// ultimately-periodic words (used to cross-validate the translation).
+//
+// The checker package builds the product of a system with the automaton
+// for the negated formula and searches for acceptance cycles, exactly as
+// Spin does with never claims.
+package ltl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a formula node operator.
+type Op int
+
+// Formula operators. Implication and equivalence are desugared by the
+// parser; Eventually and Always are desugared to Until/Release.
+const (
+	OpTrue Op = iota + 1
+	OpFalse
+	OpAtom
+	OpNot
+	OpAnd
+	OpOr
+	OpNext
+	OpUntil
+	OpRelease
+)
+
+// Formula is an LTL formula node. Formulas are immutable; construct them
+// with the helper constructors to get hash-consed, normalized nodes.
+type Formula struct {
+	Op   Op
+	Atom string
+	L, R *Formula
+	str  string // canonical form, used for identity
+}
+
+// Key returns the canonical string form of the formula.
+func (f *Formula) Key() string { return f.str }
+
+// String renders the formula using Spin-style syntax.
+func (f *Formula) String() string { return f.str }
+
+func mk(op Op, atom string, l, r *Formula) *Formula {
+	f := &Formula{Op: op, Atom: atom, L: l, R: r}
+	switch op {
+	case OpTrue:
+		f.str = "true"
+	case OpFalse:
+		f.str = "false"
+	case OpAtom:
+		f.str = atom
+	case OpNot:
+		f.str = "!(" + l.str + ")"
+	case OpAnd:
+		f.str = "(" + l.str + " && " + r.str + ")"
+	case OpOr:
+		f.str = "(" + l.str + " || " + r.str + ")"
+	case OpNext:
+		f.str = "X(" + l.str + ")"
+	case OpUntil:
+		f.str = "(" + l.str + " U " + r.str + ")"
+	case OpRelease:
+		f.str = "(" + l.str + " V " + r.str + ")"
+	}
+	return f
+}
+
+// True is the constant true formula.
+func True() *Formula { return mk(OpTrue, "", nil, nil) }
+
+// False is the constant false formula.
+func False() *Formula { return mk(OpFalse, "", nil, nil) }
+
+// Atom references a named atomic proposition.
+func Atom(name string) *Formula { return mk(OpAtom, name, nil, nil) }
+
+// Not negates a formula.
+func Not(f *Formula) *Formula { return mk(OpNot, "", f, nil) }
+
+// And conjoins two formulas.
+func And(a, b *Formula) *Formula { return mk(OpAnd, "", a, b) }
+
+// Or disjoins two formulas.
+func Or(a, b *Formula) *Formula { return mk(OpOr, "", a, b) }
+
+// Next is the X operator.
+func Next(f *Formula) *Formula { return mk(OpNext, "", f, nil) }
+
+// Until is the (strong) U operator.
+func Until(a, b *Formula) *Formula { return mk(OpUntil, "", a, b) }
+
+// Release is the V (R) operator, the dual of Until.
+func Release(a, b *Formula) *Formula { return mk(OpRelease, "", a, b) }
+
+// Eventually is <>f, desugared to true U f.
+func Eventually(f *Formula) *Formula { return Until(True(), f) }
+
+// Always is []f, desugared to false V f.
+func Always(f *Formula) *Formula { return Release(False(), f) }
+
+// Implies desugars a -> b to !a || b.
+func Implies(a, b *Formula) *Formula { return Or(Not(a), b) }
+
+// Atoms returns the distinct atomic proposition names in the formula, in
+// first-appearance order.
+func (f *Formula) Atoms() []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(*Formula)
+	walk = func(g *Formula) {
+		if g == nil {
+			return
+		}
+		if g.Op == OpAtom && !seen[g.Atom] {
+			seen[g.Atom] = true
+			out = append(out, g.Atom)
+		}
+		walk(g.L)
+		walk(g.R)
+	}
+	walk(f)
+	return out
+}
+
+// NNF rewrites the formula into negation normal form: negations are pushed
+// inward until they apply only to atoms.
+func NNF(f *Formula) *Formula {
+	switch f.Op {
+	case OpTrue, OpFalse, OpAtom:
+		return f
+	case OpAnd:
+		return And(NNF(f.L), NNF(f.R))
+	case OpOr:
+		return Or(NNF(f.L), NNF(f.R))
+	case OpNext:
+		return Next(NNF(f.L))
+	case OpUntil:
+		return Until(NNF(f.L), NNF(f.R))
+	case OpRelease:
+		return Release(NNF(f.L), NNF(f.R))
+	case OpNot:
+		g := f.L
+		switch g.Op {
+		case OpTrue:
+			return False()
+		case OpFalse:
+			return True()
+		case OpAtom:
+			return f // negation of an atom is already NNF
+		case OpNot:
+			return NNF(g.L)
+		case OpAnd:
+			return Or(NNF(Not(g.L)), NNF(Not(g.R)))
+		case OpOr:
+			return And(NNF(Not(g.L)), NNF(Not(g.R)))
+		case OpNext:
+			return Next(NNF(Not(g.L)))
+		case OpUntil:
+			return Release(NNF(Not(g.L)), NNF(Not(g.R)))
+		case OpRelease:
+			return Until(NNF(Not(g.L)), NNF(Not(g.R)))
+		}
+	}
+	return f
+}
+
+// --- Parser ---
+//
+// Grammar (Spin-compatible):
+//   f := g | g "->" f | g "<->" f
+//   g := h { ("&&" | "||") h }          (&& binds tighter than ||)
+//   h := "!" h | "[]" h | "<>" h | "X" h
+//      | i [ ("U" | "V" | "R") h ]
+//   i := "true" | "false" | ident | "(" f ")"
+
+type ltlParser struct {
+	toks []string
+	pos  int
+}
+
+// ParseError reports a malformed LTL formula.
+type ParseError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return "ltl: " + e.Msg }
+
+// Parse parses a Spin-style LTL formula. Atomic propositions are bare
+// identifiers; the caller maps them to state predicates.
+func Parse(src string) (*Formula, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &ltlParser{toks: toks}
+	f, err := p.implies()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, &ParseError{Msg: fmt.Sprintf("unexpected %q after formula", p.toks[p.pos])}
+	}
+	return f, nil
+}
+
+func tokenize(src string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case strings.HasPrefix(src[i:], "[]"), strings.HasPrefix(src[i:], "<>"),
+			strings.HasPrefix(src[i:], "&&"), strings.HasPrefix(src[i:], "||"),
+			strings.HasPrefix(src[i:], "->"):
+			out = append(out, src[i:i+2])
+			i += 2
+		case strings.HasPrefix(src[i:], "<->"):
+			out = append(out, "<->")
+			i += 3
+		case c == '!' || c == '(' || c == ')':
+			out = append(out, string(c))
+			i++
+		case isLtlIdentStart(c):
+			j := i
+			for j < len(src) && isLtlIdentCont(src[j]) {
+				j++
+			}
+			out = append(out, src[i:j])
+			i = j
+		default:
+			return nil, &ParseError{Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	return out, nil
+}
+
+func isLtlIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isLtlIdentCont(c byte) bool {
+	return isLtlIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (p *ltlParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *ltlParser) accept(tok string) bool {
+	if p.peek() == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *ltlParser) implies() (*Formula, error) {
+	l, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("->") {
+		r, err := p.implies() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return Implies(l, r), nil
+	}
+	if p.accept("<->") {
+		r, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		return And(Implies(l, r), Implies(r, l)), nil
+	}
+	return l, nil
+}
+
+func (p *ltlParser) orExpr() (*Formula, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *ltlParser) andExpr() (*Formula, error) {
+	l, err := p.untilExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		r, err := p.untilExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+func (p *ltlParser) untilExpr() (*Formula, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("U"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Until(l, r)
+		case p.accept("V"), p.accept("R"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Release(l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *ltlParser) unaryExpr() (*Formula, error) {
+	switch {
+	case p.accept("!"):
+		f, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case p.accept("[]"):
+		f, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Always(f), nil
+	case p.accept("<>"):
+		f, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Eventually(f), nil
+	case p.accept("X"):
+		f, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Next(f), nil
+	case p.accept("("):
+		f, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, &ParseError{Msg: "missing )"}
+		}
+		return f, nil
+	case p.accept("true"):
+		return True(), nil
+	case p.accept("false"):
+		return False(), nil
+	default:
+		tok := p.peek()
+		if tok == "" {
+			return nil, &ParseError{Msg: "unexpected end of formula"}
+		}
+		if !isLtlIdentStart(tok[0]) || tok == "U" || tok == "V" || tok == "R" || tok == "X" {
+			return nil, &ParseError{Msg: fmt.Sprintf("unexpected %q", tok)}
+		}
+		p.pos++
+		return Atom(tok), nil
+	}
+}

@@ -1,0 +1,298 @@
+package ltl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustParseLTL(t *testing.T, src string) *Formula {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return f
+}
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"p", "p"},
+		{"!p", "!(p)"},
+		{"p && q", "(p && q)"},
+		{"p || q", "(p || q)"},
+		{"p -> q", "(!(p) || q)"},
+		{"[] p", "(false V p)"},
+		{"<> p", "(true U p)"},
+		{"X p", "X(p)"},
+		{"p U q", "(p U q)"},
+		{"p V q", "(p V q)"},
+		{"p R q", "(p V q)"},
+		{"[] (p -> <> q)", "(false V (!(p) || (true U q)))"},
+		{"true && false", "(true && false)"},
+	}
+	for _, tt := range tests {
+		f := mustParseLTL(t, tt.src)
+		if f.String() != tt.want {
+			t.Errorf("Parse(%q) = %s, want %s", tt.src, f, tt.want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// && binds tighter than ||; -> is weakest and right-associative.
+	f := mustParseLTL(t, "a || b && c")
+	if f.Op != OpOr {
+		t.Errorf("a || b && c parsed as %s", f)
+	}
+	g := mustParseLTL(t, "a -> b -> c")
+	// a -> (b -> c) = !a || (!b || c)
+	if !strings.Contains(g.String(), "!(b)") {
+		t.Errorf("-> not right-associative: %s", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "(p", "p &&", "[]", "p q", "&& p", "p U"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestNNF(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"!(p && q)", "(!(p) || !(q))"},
+		{"!(p || q)", "(!(p) && !(q))"},
+		{"!!p", "p"},
+		{"!X p", "X(!(p))"},
+		{"!(p U q)", "(!(p) V !(q))"},
+		{"!(p V q)", "(!(p) U !(q))"},
+		{"![] p", "(true U !(p))"},
+		{"!<> p", "(false V !(p))"},
+		{"!true", "false"},
+	}
+	for _, tt := range tests {
+		f := NNF(mustParseLTL(t, tt.src))
+		if f.String() != tt.want {
+			t.Errorf("NNF(%q) = %s, want %s", tt.src, f, tt.want)
+		}
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	f := mustParseLTL(t, "[] (p -> <> (q && p))")
+	atoms := f.Atoms()
+	if len(atoms) != 2 || atoms[0] != "p" || atoms[1] != "q" {
+		t.Errorf("Atoms = %v", atoms)
+	}
+}
+
+// wordOf builds a Word over the given atoms from rows of valuations.
+func wordOf(atoms []string, prefix, cycle [][]bool) *Word {
+	return &Word{Atoms: atoms, Prefix: prefix, Cycle: cycle}
+}
+
+func TestEvalWordBasics(t *testing.T) {
+	atoms := []string{"p", "q"}
+	// Word: p at position 0 only, q at position 2 onwards (cycle).
+	w := wordOf(atoms,
+		[][]bool{{true, false}, {false, false}},
+		[][]bool{{false, true}},
+	)
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{"p", true},
+		{"q", false},
+		{"X q", false},
+		{"X X q", true},
+		{"<> q", true},
+		{"[] q", false},
+		{"<> [] q", true},
+		{"[] <> q", true},
+		{"p U q", false}, // p fails at position 1 before q holds
+		{"(p || q) U q", false},
+		{"true U q", true},
+		{"[] (q -> X q)", true},
+		{"<> p", true},
+		{"[] <> p", false},
+		{"<> [] !p", true},
+	}
+	for _, tt := range tests {
+		f := mustParseLTL(t, tt.src)
+		if got := EvalWord(f, w); got != tt.want {
+			t.Errorf("EvalWord(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestTranslateSmokeAlwaysP(t *testing.T) {
+	a, err := Translate(mustParseLTL(t, "[] p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds := wordOf([]string{"p"}, nil, [][]bool{{true}})
+	fails := wordOf([]string{"p"}, [][]bool{{true}}, [][]bool{{false}})
+	if !a.Accepts(holds) {
+		t.Error("automaton for []p rejects p^omega")
+	}
+	if a.Accepts(fails) {
+		t.Error("automaton for []p accepts a word where p eventually fails")
+	}
+}
+
+func TestTranslateSmokeEventuallyP(t *testing.T) {
+	a, err := Translate(mustParseLTL(t, "<> p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds := wordOf([]string{"p"}, [][]bool{{false}, {false}}, [][]bool{{true}})
+	fails := wordOf([]string{"p"}, nil, [][]bool{{false}})
+	if !a.Accepts(holds) {
+		t.Error("automaton for <>p rejects a word with p at position 2")
+	}
+	if a.Accepts(fails) {
+		t.Error("automaton for <>p accepts (!p)^omega")
+	}
+}
+
+func TestTranslateResponse(t *testing.T) {
+	a, err := Translate(mustParseLTL(t, "[] (p -> <> q)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p then q, forever alternating: satisfies response.
+	good := wordOf([]string{"p", "q"}, nil, [][]bool{{true, false}, {false, true}})
+	// p once, q never.
+	bad := wordOf([]string{"p", "q"}, [][]bool{{true, false}}, [][]bool{{false, false}})
+	if !a.Accepts(good) {
+		t.Error("response automaton rejects alternating p/q")
+	}
+	if a.Accepts(bad) {
+		t.Error("response automaton accepts unanswered p")
+	}
+}
+
+// randomFormula generates a random LTL formula over the atoms.
+func randomFormula(r *rand.Rand, atoms []string, depth int) *Formula {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return True()
+		case 1:
+			return False()
+		default:
+			return Atom(atoms[r.Intn(len(atoms))])
+		}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return Not(randomFormula(r, atoms, depth-1))
+	case 1:
+		return And(randomFormula(r, atoms, depth-1), randomFormula(r, atoms, depth-1))
+	case 2:
+		return Or(randomFormula(r, atoms, depth-1), randomFormula(r, atoms, depth-1))
+	case 3:
+		return Next(randomFormula(r, atoms, depth-1))
+	case 4:
+		return Until(randomFormula(r, atoms, depth-1), randomFormula(r, atoms, depth-1))
+	case 5:
+		return Release(randomFormula(r, atoms, depth-1), randomFormula(r, atoms, depth-1))
+	default:
+		return Eventually(randomFormula(r, atoms, depth-1))
+	}
+}
+
+func randomWord(r *rand.Rand, atoms []string) *Word {
+	row := func() []bool {
+		out := make([]bool, len(atoms))
+		for i := range out {
+			out[i] = r.Intn(2) == 0
+		}
+		return out
+	}
+	p := r.Intn(4)
+	c := 1 + r.Intn(4)
+	w := &Word{Atoms: atoms}
+	for i := 0; i < p; i++ {
+		w.Prefix = append(w.Prefix, row())
+	}
+	for i := 0; i < c; i++ {
+		w.Cycle = append(w.Cycle, row())
+	}
+	return w
+}
+
+// TestTranslationMatchesSemantics is the central correctness property of
+// the LTL pipeline: for random formulas and random lasso words, the GPVW
+// automaton accepts exactly the words that satisfy the formula.
+func TestTranslationMatchesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(20260706))
+	atoms := []string{"p", "q"}
+	for i := 0; i < 400; i++ {
+		f := randomFormula(r, atoms, 3)
+		a, err := Translate(f)
+		if err != nil {
+			t.Fatalf("Translate(%s): %v", f, err)
+		}
+		for j := 0; j < 8; j++ {
+			w := randomWord(r, atoms)
+			want := EvalWord(f, w)
+			got := a.Accepts(w)
+			if got != want {
+				t.Fatalf("formula %s, word prefix=%v cycle=%v: automaton=%v semantics=%v",
+					f, w.Prefix, w.Cycle, got, want)
+			}
+		}
+	}
+}
+
+// TestNNFPreservesSemantics checks NNF against direct evaluation.
+func TestNNFPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	atoms := []string{"p", "q", "r"}
+	for i := 0; i < 300; i++ {
+		f := randomFormula(r, atoms, 4)
+		g := NNF(f)
+		for j := 0; j < 5; j++ {
+			w := randomWord(r, atoms)
+			if EvalWord(f, w) != EvalWord(g, w) {
+				t.Fatalf("NNF changed semantics: %s vs %s", f, g)
+			}
+		}
+	}
+}
+
+// TestNegationComplement: a word satisfies f xor it satisfies !f, and the
+// automata for f and !f never both accept or both reject.
+func TestNegationComplement(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	atoms := []string{"p", "q"}
+	for i := 0; i < 150; i++ {
+		f := randomFormula(r, atoms, 3)
+		af, err := Translate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := Translate(Not(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 5; j++ {
+			w := randomWord(r, atoms)
+			pos := af.Accepts(w)
+			neg := an.Accepts(w)
+			if pos == neg {
+				t.Fatalf("formula %s: automaton(f)=%v automaton(!f)=%v for the same word", f, pos, neg)
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package ltl
+
+// Word is an ultimately periodic infinite word: Prefix followed by Cycle
+// repeated forever. Each letter is a valuation of Atoms.
+type Word struct {
+	Atoms  []string
+	Prefix [][]bool
+	Cycle  [][]bool // must be non-empty
+}
+
+func (w *Word) length() int { return len(w.Prefix) + len(w.Cycle) }
+
+// letter returns the valuation at unrolled position i (0 <= i < length).
+func (w *Word) letter(i int) []bool {
+	if i < len(w.Prefix) {
+		return w.Prefix[i]
+	}
+	return w.Cycle[i-len(w.Prefix)]
+}
+
+// succ returns the successor position, wrapping the cycle.
+func (w *Word) succ(i int) int {
+	if i == w.length()-1 {
+		return len(w.Prefix)
+	}
+	return i + 1
+}
+
+// EvalWord decides w ⊨ f directly from LTL semantics, computing truth
+// values at every position of the lasso with fixpoint iteration for the
+// Until (least) and Release (greatest) operators. It is the reference
+// implementation used to validate the Büchi translation.
+func EvalWord(f *Formula, w *Word) bool {
+	if len(w.Cycle) == 0 {
+		panic("ltl: word cycle must be non-empty")
+	}
+	g := NNF(f)
+	n := w.length()
+	atomIdx := make(map[string]int, len(w.Atoms))
+	for i, a := range w.Atoms {
+		atomIdx[a] = i
+	}
+	memo := map[string][]bool{}
+
+	var eval func(*Formula) []bool
+	eval = func(h *Formula) []bool {
+		if v, ok := memo[h.Key()]; ok {
+			return v
+		}
+		out := make([]bool, n)
+		switch h.Op {
+		case OpTrue:
+			for i := range out {
+				out[i] = true
+			}
+		case OpFalse:
+			// all false
+		case OpAtom:
+			if ai, ok := atomIdx[h.Atom]; ok {
+				for i := 0; i < n; i++ {
+					out[i] = w.letter(i)[ai]
+				}
+			}
+		case OpNot:
+			sub := eval(h.L)
+			for i := range out {
+				out[i] = !sub[i]
+			}
+		case OpAnd:
+			a, b := eval(h.L), eval(h.R)
+			for i := range out {
+				out[i] = a[i] && b[i]
+			}
+		case OpOr:
+			a, b := eval(h.L), eval(h.R)
+			for i := range out {
+				out[i] = a[i] || b[i]
+			}
+		case OpNext:
+			sub := eval(h.L)
+			for i := 0; i < n; i++ {
+				out[i] = sub[w.succ(i)]
+			}
+		case OpUntil:
+			a, b := eval(h.L), eval(h.R)
+			// Least fixpoint: start all-false, iterate to stability.
+			for it := 0; it <= n; it++ {
+				changed := false
+				for i := n - 1; i >= 0; i-- {
+					v := b[i] || (a[i] && out[w.succ(i)])
+					if v != out[i] {
+						out[i] = v
+						changed = true
+					}
+				}
+				if !changed {
+					break
+				}
+			}
+		case OpRelease:
+			a, b := eval(h.L), eval(h.R)
+			// Greatest fixpoint: start all-true, iterate to stability.
+			for i := range out {
+				out[i] = true
+			}
+			for it := 0; it <= n; it++ {
+				changed := false
+				for i := n - 1; i >= 0; i-- {
+					v := b[i] && (a[i] || out[w.succ(i)])
+					if v != out[i] {
+						out[i] = v
+						changed = true
+					}
+				}
+				if !changed {
+					break
+				}
+			}
+		}
+		memo[h.Key()] = out
+		return out
+	}
+	return eval(g)[0]
+}
+
+// Accepts reports whether the automaton accepts the lasso word, by
+// searching for a reachable accepting node on a cycle of the
+// (state, position) product graph.
+func (a *Automaton) Accepts(w *Word) bool {
+	if len(w.Cycle) == 0 {
+		panic("ltl: word cycle must be non-empty")
+	}
+	valAt := func(i int) func(int) bool {
+		letter := w.letter(i)
+		atomIdx := make(map[string]int, len(w.Atoms))
+		for j, at := range w.Atoms {
+			atomIdx[at] = j
+		}
+		return func(ai int) bool {
+			name := a.Atoms[ai]
+			j, ok := atomIdx[name]
+			return ok && letter[j]
+		}
+	}
+
+	type node struct{ q, i int }
+	succ := func(v node) []node {
+		var out []node
+		j := w.succ(v.i)
+		val := valAt(j)
+		for _, t := range a.States[v.q].Trans {
+			if t.Sat(val) {
+				out = append(out, node{t.Dst, j})
+			}
+		}
+		return out
+	}
+
+	// Reachable set from initial transitions.
+	var stack []node
+	reach := map[node]bool{}
+	val0 := valAt(0)
+	for _, t := range a.InitTrans {
+		if t.Sat(val0) {
+			v := node{t.Dst, 0}
+			if !reach[v] {
+				reach[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range succ(v) {
+			if !reach[u] {
+				reach[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+
+	// An accepting node on a cycle: v reaches itself via >= 1 edge.
+	for v := range reach {
+		if !a.States[v.q].Accepting {
+			continue
+		}
+		seen := map[node]bool{}
+		frontier := succ(v)
+		var st2 []node
+		for _, u := range frontier {
+			if u == v {
+				return true
+			}
+			if !seen[u] {
+				seen[u] = true
+				st2 = append(st2, u)
+			}
+		}
+		for len(st2) > 0 {
+			u := st2[len(st2)-1]
+			st2 = st2[:len(st2)-1]
+			for _, x := range succ(u) {
+				if x == v {
+					return true
+				}
+				if !seen[x] {
+					seen[x] = true
+					st2 = append(st2, x)
+				}
+			}
+		}
+	}
+	return false
+}

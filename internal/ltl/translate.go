@@ -1,0 +1,380 @@
+package ltl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Trans is one automaton transition. It is taken on a system state in
+// which every atom in Pos holds and no atom in Neg holds (indexes into
+// Automaton.Atoms).
+type Trans struct {
+	Dst int
+	Pos []int
+	Neg []int
+}
+
+// AState is one Büchi automaton state.
+type AState struct {
+	Accepting bool
+	Trans     []Trans
+}
+
+// Automaton is a (nondeterministic) Büchi automaton over sets of atomic
+// propositions. InitTrans are the transitions out of the implicit initial
+// state; acceptance is on states.
+type Automaton struct {
+	Atoms     []string
+	States    []AState
+	InitTrans []Trans
+}
+
+// maxTableauNodes bounds the GPVW expansion as a safety net against
+// pathological formulas.
+const maxTableauNodes = 1 << 16
+
+// gNode is a node of the GPVW tableau under construction.
+type gNode struct {
+	id       int
+	incoming map[int]bool // -1 denotes the virtual initial state
+	new      map[string]*Formula
+	old      map[string]*Formula
+	next     map[string]*Formula
+}
+
+func copySet(m map[string]*Formula) map[string]*Formula {
+	out := make(map[string]*Formula, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sameSet(a, b map[string]*Formula) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type tableau struct {
+	nodes []*gNode
+	count int
+}
+
+// Translate builds a Büchi automaton accepting exactly the infinite words
+// satisfying f, using the GPVW tableau construction followed by
+// degeneralization of the generalized acceptance condition.
+func Translate(f *Formula) (*Automaton, error) {
+	g := NNF(f)
+	tb := &tableau{}
+	start := &gNode{
+		id:       tb.fresh(),
+		incoming: map[int]bool{-1: true},
+		new:      map[string]*Formula{g.Key(): g},
+		old:      map[string]*Formula{},
+		next:     map[string]*Formula{},
+	}
+	if err := tb.expand(start); err != nil {
+		return nil, err
+	}
+
+	atoms := g.Atoms()
+	atomIdx := make(map[string]int, len(atoms))
+	for i, a := range atoms {
+		atomIdx[a] = i
+	}
+
+	// Generalized acceptance: one set per Until subformula.
+	untils := untilSubformulas(g)
+	inF := func(n *gNode, u *Formula) bool {
+		if _, holds := n.old[u.Key()]; !holds {
+			return true
+		}
+		_, psiHolds := n.old[u.R.Key()]
+		return psiHolds
+	}
+
+	// Map tableau node ids to dense indexes.
+	idx := make(map[int]int, len(tb.nodes))
+	for i, n := range tb.nodes {
+		idx[n.id] = i
+	}
+
+	// Label of a node: the condition on transitions entering it.
+	label := func(n *gNode) (pos, neg []int) {
+		for _, of := range n.old {
+			switch {
+			case of.Op == OpAtom:
+				pos = append(pos, atomIdx[of.Atom])
+			case of.Op == OpNot && of.L.Op == OpAtom:
+				neg = append(neg, atomIdx[of.L.Atom])
+			}
+		}
+		sort.Ints(pos)
+		sort.Ints(neg)
+		return pos, neg
+	}
+
+	k := len(untils)
+	// Degeneralized states: (node, counter) with counter in 0..k.
+	// counter == k is accepting; from there the counter restarts.
+	type dkey struct{ node, counter int }
+	dIdx := map[dkey]int{}
+	var dStates []dkey
+	stateOf := func(nd, counter int) int {
+		key := dkey{nd, counter}
+		if i, ok := dIdx[key]; ok {
+			return i
+		}
+		dIdx[key] = len(dStates)
+		dStates = append(dStates, key)
+		return len(dStates) - 1
+	}
+	advance := func(c int, target *gNode) int {
+		if c == k {
+			c = 0
+		}
+		for c < k && inF(target, untils[c]) {
+			c++
+		}
+		return c
+	}
+
+	// Build transitions. Every tableau edge p->q (p in incoming(q)) becomes
+	// (p,c) -> (q, advance(c,q)) for every counter value c in use; we build
+	// lazily from reachable degeneralized states.
+	out := &Automaton{Atoms: atoms}
+
+	// successors of tableau node p: all q with p in incoming(q).
+	succOf := make(map[int][]*gNode)
+	var initSucc []*gNode
+	for _, q := range tb.nodes {
+		for p := range q.incoming {
+			if p == -1 {
+				initSucc = append(initSucc, q)
+			} else {
+				succOf[p] = append(succOf[p], q)
+			}
+		}
+	}
+
+	var work []int
+	for _, q := range initSucc {
+		c := advance(0, q)
+		si := stateOf(q.id, c)
+		pos, neg := label(q)
+		out.InitTrans = append(out.InitTrans, Trans{Dst: si, Pos: pos, Neg: neg})
+	}
+	for i := 0; i < len(dStates); i++ {
+		work = append(work, i)
+	}
+	for len(work) > 0 {
+		si := work[0]
+		work = work[1:]
+		for len(out.States) <= si {
+			out.States = append(out.States, AState{})
+		}
+		key := dStates[si]
+		nd := tb.nodes[idx[key.node]]
+		for _, q := range succOf[nd.id] {
+			before := len(dStates)
+			c := advance(key.counter, q)
+			ti := stateOf(q.id, c)
+			if len(dStates) > before {
+				work = append(work, ti)
+			}
+			pos, neg := label(q)
+			out.States[si].Trans = append(out.States[si].Trans, Trans{Dst: ti, Pos: pos, Neg: neg})
+		}
+	}
+	for len(out.States) < len(dStates) {
+		out.States = append(out.States, AState{})
+	}
+	for i, key := range dStates {
+		out.States[i].Accepting = key.counter == k
+	}
+	return out, nil
+}
+
+func (tb *tableau) fresh() int {
+	tb.count++
+	return tb.count
+}
+
+// expand is the GPVW node expansion.
+func (tb *tableau) expand(n *gNode) error {
+	if tb.count > maxTableauNodes {
+		return fmt.Errorf("ltl: formula too large (tableau exceeded %d nodes)", maxTableauNodes)
+	}
+	if len(n.new) == 0 {
+		for _, nd := range tb.nodes {
+			if sameSet(nd.old, n.old) && sameSet(nd.next, n.next) {
+				for in := range n.incoming {
+					nd.incoming[in] = true
+				}
+				return nil
+			}
+		}
+		tb.nodes = append(tb.nodes, n)
+		succ := &gNode{
+			id:       tb.fresh(),
+			incoming: map[int]bool{n.id: true},
+			new:      copySet(n.next),
+			old:      map[string]*Formula{},
+			next:     map[string]*Formula{},
+		}
+		return tb.expand(succ)
+	}
+
+	// Pick any formula from New.
+	var key string
+	var eta *Formula
+	for k, v := range n.new {
+		key, eta = k, v
+		break
+	}
+	delete(n.new, key)
+
+	switch eta.Op {
+	case OpFalse:
+		return nil // contradiction: discard node
+	case OpTrue:
+		n.old[key] = eta
+		return tb.expand(n)
+	case OpAtom, OpNot:
+		if contradicts(n.old, eta) {
+			return nil
+		}
+		n.old[key] = eta
+		return tb.expand(n)
+	case OpAnd:
+		n.old[key] = eta
+		addNew(n, eta.L)
+		addNew(n, eta.R)
+		return tb.expand(n)
+	case OpNext:
+		n.old[key] = eta
+		n.next[eta.L.Key()] = eta.L
+		return tb.expand(n)
+	case OpOr:
+		n1 := splitNode(tb, n)
+		addNew(n1, eta.L)
+		n1.old[key] = eta
+		n2 := n
+		addNew(n2, eta.R)
+		n2.old[key] = eta
+		if err := tb.expand(n1); err != nil {
+			return err
+		}
+		return tb.expand(n2)
+	case OpUntil:
+		// mu U psi = psi | (mu & X(mu U psi))
+		n1 := splitNode(tb, n)
+		addNew(n1, eta.L)
+		n1.next[key] = eta
+		n1.old[key] = eta
+		n2 := n
+		addNew(n2, eta.R)
+		n2.old[key] = eta
+		if err := tb.expand(n1); err != nil {
+			return err
+		}
+		return tb.expand(n2)
+	case OpRelease:
+		// mu V psi = (psi & mu) | (psi & X(mu V psi))
+		n1 := splitNode(tb, n)
+		addNew(n1, eta.R)
+		n1.next[key] = eta
+		n1.old[key] = eta
+		n2 := n
+		addNew(n2, eta.L)
+		addNew(n2, eta.R)
+		n2.old[key] = eta
+		if err := tb.expand(n1); err != nil {
+			return err
+		}
+		return tb.expand(n2)
+	default:
+		return fmt.Errorf("ltl: unexpected operator in NNF formula %s", eta)
+	}
+}
+
+// addNew queues a subformula for processing unless it is already in Old.
+func addNew(n *gNode, f *Formula) {
+	if _, done := n.old[f.Key()]; done {
+		return
+	}
+	n.new[f.Key()] = f
+}
+
+// splitNode clones the node for the first branch of a disjunctive rule.
+// The incoming set is copied: stored nodes mutate their incoming sets when
+// later nodes merge into them, so sharing would corrupt the sibling.
+func splitNode(tb *tableau, n *gNode) *gNode {
+	in := make(map[int]bool, len(n.incoming))
+	for k, v := range n.incoming {
+		in[k] = v
+	}
+	return &gNode{
+		id:       tb.fresh(),
+		incoming: in,
+		new:      copySet(n.new),
+		old:      copySet(n.old),
+		next:     copySet(n.next),
+	}
+}
+
+// contradicts reports whether adding literal eta to old creates an
+// immediate contradiction.
+func contradicts(old map[string]*Formula, eta *Formula) bool {
+	if eta.Op == OpAtom {
+		_, clash := old[Not(eta).Key()]
+		return clash
+	}
+	// eta is !atom
+	_, clash := old[eta.L.Key()]
+	return clash
+}
+
+// untilSubformulas collects the distinct Until subformulas of an NNF
+// formula, in deterministic order.
+func untilSubformulas(f *Formula) []*Formula {
+	var out []*Formula
+	seen := map[string]bool{}
+	var walk func(*Formula)
+	walk = func(g *Formula) {
+		if g == nil {
+			return
+		}
+		if g.Op == OpUntil && !seen[g.Key()] {
+			seen[g.Key()] = true
+			out = append(out, g)
+		}
+		walk(g.L)
+		walk(g.R)
+	}
+	walk(f)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Sat reports whether a transition's condition holds for a valuation.
+func (t Trans) Sat(val func(atom int) bool) bool {
+	for _, a := range t.Pos {
+		if !val(a) {
+			return false
+		}
+	}
+	for _, a := range t.Neg {
+		if val(a) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pnp/internal/pml"
+)
+
+// TestQuickSortedInsertMatchesStableSort: inserting messages one at a
+// time with sortedInsert yields the same buffer as a stable sort of the
+// whole batch — Spin's sorted-send semantics.
+func TestQuickSortedInsertMatchesStableSort(t *testing.T) {
+	f := func(raw []uint8) bool {
+		const w = 2
+		// Build messages (key, seq) so stability is observable.
+		var msgs [][]int64
+		for i, v := range raw {
+			msgs = append(msgs, []int64{int64(v % 5), int64(i)})
+		}
+		var buf []int64
+		for _, m := range msgs {
+			buf = sortedInsert(buf, m, w)
+		}
+		ref := make([][]int64, len(msgs))
+		copy(ref, msgs)
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i][0] < ref[j][0] })
+		for i, m := range ref {
+			if buf[i*w] != m[0] || buf[i*w+1] != m[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickChannelOpsMatchReference drives a random sequence of sends and
+// receives through a compiled pml program and checks the channel contents
+// against a plain Go queue after every step.
+func TestQuickChannelOpsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(20260706))
+	for iter := 0; iter < 60; iter++ {
+		nOps := 1 + r.Intn(12)
+		type op struct {
+			send bool
+			val  int
+		}
+		var ops []op
+		depth := 0
+		for i := 0; i < nOps; i++ {
+			if depth == 0 || (depth < 6 && r.Intn(2) == 0) {
+				ops = append(ops, op{send: true, val: r.Intn(200)})
+				depth++
+			} else {
+				ops = append(ops, op{send: false})
+				depth--
+			}
+		}
+		// Generate the straight-line pml program.
+		src := "chan c = [6] of { byte };\nactive proctype P() {\n\tbyte x;\n"
+		for _, o := range ops {
+			if o.send {
+				src += fmt.Sprintf("\tc!%d;\n", o.val)
+			} else {
+				src += "\tc?x;\n"
+			}
+		}
+		src += "}\n"
+		prog, err := pml.CompileSource(src)
+		if err != nil {
+			t.Fatalf("iter %d: compile: %v\n%s", iter, err, src)
+		}
+		sys := New(prog)
+		if err := sys.SpawnActive(); err != nil {
+			t.Fatal(err)
+		}
+		id, _ := sys.ChannelByName("c")
+		st := sys.InitialState()
+		var ref []int64
+		for step, o := range ops {
+			trs := sys.Successors(st)
+			if len(trs) != 1 {
+				t.Fatalf("iter %d step %d: %d transitions", iter, step, len(trs))
+			}
+			st = trs[0].Next
+			if o.send {
+				ref = append(ref, int64(o.val))
+			} else {
+				ref = ref[1:]
+			}
+			got := st.Chans[id]
+			if len(got) != len(ref) {
+				t.Fatalf("iter %d step %d: contents %v, want %v", iter, step, got, ref)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("iter %d step %d: contents %v, want %v", iter, step, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickStateKeyInjective: distinct states (different PCs, globals, or
+// channel contents) must have distinct keys; clones must agree.
+func TestQuickStateKeyInjective(t *testing.T) {
+	mk := func(pcs []int32, globals []int64, ch []int64, atomic int32) *State {
+		return &State{
+			PCs:     pcs,
+			Locals:  [][]int64{{}},
+			Globals: globals,
+			Chans:   [][]int64{ch},
+			Atomic:  atomic,
+		}
+	}
+	f := func(pc1, pc2 int32, g1, g2 int64, c1, c2 []int64, a1, a2 int32) bool {
+		s1 := mk([]int32{pc1}, []int64{g1}, c1, a1)
+		s2 := mk([]int32{pc2}, []int64{g2}, c2, a2)
+		same := pc1 == pc2 && g1 == g2 && a1 == a2 && len(c1) == len(c2)
+		if same {
+			for i := range c1 {
+				if c1[i] != c2[i] {
+					same = false
+					break
+				}
+			}
+		}
+		return (s1.Key() == s2.Key()) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKeyDistinguishesBoundaries: moving a value across a slice
+// boundary (e.g. from one channel to the next) must change the key — the
+// encoding is length-prefixed.
+func TestQuickKeyDistinguishesBoundaries(t *testing.T) {
+	s1 := &State{
+		PCs:     []int32{0},
+		Locals:  [][]int64{{}},
+		Globals: nil,
+		Chans:   [][]int64{{1, 2}, {}},
+		Atomic:  -1,
+	}
+	s2 := &State{
+		PCs:     []int32{0},
+		Locals:  [][]int64{{}},
+		Globals: nil,
+		Chans:   [][]int64{{1}, {2}},
+		Atomic:  -1,
+	}
+	if s1.Key() == s2.Key() {
+		t.Error("keys collide across channel boundaries")
+	}
+}
+
+// TestQuickSuccessorsDoNotMutateSource: successor generation must never
+// modify the source state (states are immutable).
+func TestQuickSuccessorsDoNotMutateSource(t *testing.T) {
+	prog, err := pml.CompileSource(`
+chan c = [2] of { byte };
+byte g;
+active proctype A() {
+	do
+	:: c!1
+	:: g = g + 1
+	od
+}
+active proctype B() {
+	byte x;
+	do
+	:: c?x
+	:: x = 0
+	od
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(prog)
+	if err := sys.SpawnActive(); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	st := sys.InitialState()
+	for step := 0; step < 200; step++ {
+		before := st.Key()
+		trs := sys.Successors(st)
+		if st.Key() != before {
+			t.Fatalf("step %d: Successors mutated the source state", step)
+		}
+		if len(trs) == 0 {
+			break
+		}
+		st = trs[r.Intn(len(trs))].Next
+	}
+}

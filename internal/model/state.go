@@ -1,0 +1,79 @@
+package model
+
+import "encoding/binary"
+
+// State is one global state of the system: program counters and local
+// stores of every process, global variables, channel contents, and the
+// identity of the process holding atomic control (-1 for none).
+//
+// States are treated as immutable once created; successor generation
+// always works on copies.
+type State struct {
+	PCs     []int32
+	Locals  [][]int64
+	Globals []int64
+	Chans   [][]int64 // flattened messages, width = len(channel fields)
+	Atomic  int32
+
+	// key memoizes the canonical encoding; states are immutable after
+	// creation and the exploration is single-threaded, so computing it
+	// once is safe and saves the dominant cost of repeated lookups.
+	key string
+}
+
+// clone deep-copies the state (without the memoized key: the copy is
+// about to be mutated).
+func (st *State) clone() *State {
+	n := &State{
+		PCs:     append([]int32(nil), st.PCs...),
+		Locals:  make([][]int64, len(st.Locals)),
+		Globals: append([]int64(nil), st.Globals...),
+		Chans:   make([][]int64, len(st.Chans)),
+		Atomic:  st.Atomic,
+	}
+	for i, l := range st.Locals {
+		n.Locals[i] = append([]int64(nil), l...)
+	}
+	for i, c := range st.Chans {
+		n.Chans[i] = append([]int64(nil), c...)
+	}
+	return n
+}
+
+// Key serializes the state into a compact byte string usable as a map key.
+// The encoding is injective: slice boundaries are length-prefixed.
+func (st *State) Key() string {
+	if st.key == "" {
+		st.key = st.computeKey()
+	}
+	return st.key
+}
+
+func (st *State) computeKey() string {
+	buf := make([]byte, 0, 16+8*len(st.PCs)+8*len(st.Globals))
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(int64(st.Atomic))
+	for _, pc := range st.PCs {
+		put(int64(pc))
+	}
+	for _, g := range st.Globals {
+		put(g)
+	}
+	for _, l := range st.Locals {
+		put(int64(len(l)))
+		for _, v := range l {
+			put(v)
+		}
+	}
+	for _, c := range st.Chans {
+		put(int64(len(c)))
+		for _, v := range c {
+			put(v)
+		}
+	}
+	return string(buf)
+}

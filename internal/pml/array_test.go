@@ -1,0 +1,83 @@
+package pml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArrayDeclarationAndAccess(t *testing.T) {
+	c := mustCompile(t, `
+byte board[4];
+proctype P() {
+	byte row[2];
+	board[0] = 1;
+	board[1] = board[0] + 1;
+	row[1] = board[1]
+}`)
+	if len(c.GlobalVars) != 4 {
+		t.Fatalf("GlobalVars = %d, want 4 slots", len(c.GlobalVars))
+	}
+	if c.GlobalVars[0].Name != "board[0]" || c.GlobalVars[3].Name != "board[3]" {
+		t.Errorf("slot names = %v, %v", c.GlobalVars[0].Name, c.GlobalVars[3].Name)
+	}
+	p := c.Proc("P")
+	if len(p.IntVars) != 2 {
+		t.Errorf("local slots = %d, want 2", len(p.IntVars))
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	tests := []struct {
+		src     string
+		wantSub string
+	}{
+		{"byte a[4]; proctype P() { a = 1 }", "used without index"},
+		{"byte a[4]; proctype P() { byte x; x = a }", "used without index"},
+		{"byte x; proctype P() { x[0] = 1 }", "is not an array"},
+		{"byte a[0];", "invalid array length"},
+		{"byte a[2] = 3;", "array initializers"},
+	}
+	for _, tt := range tests {
+		_, err := CompileSource(tt.src)
+		if err == nil || !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("CompileSource(%q) error = %v, want %q", tt.src, err, tt.wantSub)
+		}
+	}
+}
+
+func TestArrayIndexInGuard(t *testing.T) {
+	mustCompile(t, `
+byte a[3];
+proctype P() {
+	a[0] == 0 -> a[1] = 1;
+	a[a[1]] = 2
+}`)
+}
+
+func TestForLoopDesugars(t *testing.T) {
+	c := mustCompile(t, `
+byte a[4];
+byte i;
+proctype P() {
+	for (i : 0 .. 3) {
+		a[i] = i
+	}
+}`)
+	if c.Proc("P") == nil {
+		t.Fatal("P missing")
+	}
+}
+
+func TestForLoopErrors(t *testing.T) {
+	tests := []string{
+		"proctype P() { byte i; for i : 0 .. 3) { skip } }",
+		"proctype P() { byte i; for (i = 0 .. 3) { skip } }",
+		"proctype P() { byte i; for (i : 0 3) { skip } }",
+		"proctype P() { for (j : 0 .. 3) { skip } }", // undeclared loop var
+	}
+	for _, src := range tests {
+		if _, err := CompileSource(src); err == nil {
+			t.Errorf("CompileSource(%q): expected error", src)
+		}
+	}
+}

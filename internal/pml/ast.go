@@ -1,0 +1,349 @@
+package pml
+
+// Type is the declared type of a variable, parameter, or channel field.
+type Type int
+
+// Variable and field types. Integer types wrap on assignment exactly like
+// Spin truncates stores, which keeps the reachable data space bounded.
+const (
+	TypeBit Type = iota + 1
+	TypeBool
+	TypeByte
+	TypeShort
+	TypeInt
+	TypeMtype
+	TypeChan
+)
+
+var typeNames = map[Type]string{
+	TypeBit:   "bit",
+	TypeBool:  "bool",
+	TypeByte:  "byte",
+	TypeShort: "short",
+	TypeInt:   "int",
+	TypeMtype: "mtype",
+	TypeChan:  "chan",
+}
+
+// String returns the pml spelling of the type.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return "type(?)"
+}
+
+// Truncate wraps v to the value range of the type, mirroring Spin's
+// store-truncation semantics.
+func (t Type) Truncate(v int64) int64 {
+	switch t {
+	case TypeBit, TypeBool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case TypeByte, TypeMtype:
+		return v & 0xff
+	case TypeShort:
+		return int64(int16(v))
+	case TypeInt:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+// Program is a parsed pml compilation unit.
+type Program struct {
+	Mtypes  []string // declaration order; value of Mtypes[i] is i+1
+	Chans   []ChanDecl
+	Globals []VarDecl
+	Procs   []*ProcDecl
+}
+
+// ChanDecl declares a channel: `chan name = [cap] of {t1, t2, ...}`.
+type ChanDecl struct {
+	Name   string
+	Cap    int
+	Fields []Type
+	Pos    Pos
+}
+
+// VarDecl declares an integer-family variable, optionally initialized.
+// ArrayLen > 0 declares an array of that length (arrays cannot have
+// initializers and cannot be parameters).
+type VarDecl struct {
+	Name     string
+	Type     Type
+	ArrayLen int
+	Init     Expr // nil means zero
+	Pos      Pos
+}
+
+// ProcDecl is a proctype definition.
+type ProcDecl struct {
+	Name   string
+	Active int // instance count from `active [n] proctype`; 0 if not active
+	Params []VarDecl
+	Body   *Block
+	Pos    Pos
+}
+
+// Stmt is implemented by every pml statement node.
+type Stmt interface{ stmt() }
+
+// Block is a statement sequence.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Var VarDecl
+}
+
+// ChanDeclStmt is a local channel declaration. Local channels are hoisted
+// to instantiation time: each process instance gets a fresh channel.
+type ChanDeclStmt struct {
+	Decl ChanDecl
+}
+
+// AssignStmt is `name = expr` or `name[idx] = expr`.
+type AssignStmt struct {
+	Name string
+	Idx  Expr // nil for scalar targets
+	RHS  Expr
+	Pos  Pos
+}
+
+// SendStmt is `ch!e1,e2` or sorted-send `ch!!e1,e2`.
+type SendStmt struct {
+	Ch     string
+	Sorted bool
+	Args   []Expr
+	Pos    Pos
+}
+
+// RecvArgKind classifies a receive argument.
+type RecvArgKind int
+
+// Receive argument kinds. ArgIdent is disambiguated during resolution into
+// a variable binding or an mtype-constant match.
+const (
+	ArgIdent RecvArgKind = iota + 1 // bare identifier: bind or mtype match
+	ArgWild                         // _
+	ArgMatch                        // eval(expr) or numeric literal
+)
+
+// RecvArg is one argument position of a receive statement.
+type RecvArg struct {
+	Kind RecvArgKind
+	Name string // for ArgIdent
+	X    Expr   // for ArgMatch
+	Pos  Pos
+}
+
+// RecvStmt is `ch?a,b` or random-receive `ch??a,b`.
+type RecvStmt struct {
+	Ch     string
+	Random bool
+	Args   []RecvArg
+	Pos    Pos
+}
+
+// IfStmt is `if :: opt ... fi`.
+type IfStmt struct {
+	Options []*Block
+	Pos     Pos
+}
+
+// DoStmt is `do :: opt ... od`.
+type DoStmt struct {
+	Options []*Block
+	Pos     Pos
+}
+
+// AtomicStmt is `atomic { ... }` or `d_step { ... }` (treated alike).
+type AtomicStmt struct {
+	Body *Block
+	Pos  Pos
+}
+
+// BreakStmt exits the innermost do loop.
+type BreakStmt struct{ Pos Pos }
+
+// SkipStmt is the always-executable no-op.
+type SkipStmt struct{ Pos Pos }
+
+// ElseStmt is executable only when no sibling option is executable.
+type ElseStmt struct{ Pos Pos }
+
+// GotoStmt transfers control to a label.
+type GotoStmt struct {
+	Label string
+	Pos   Pos
+}
+
+// LabeledStmt attaches a label to a statement. Labels with the prefix
+// "end" mark valid end states for deadlock detection, as in Spin.
+type LabeledStmt struct {
+	Label string
+	Stmt  Stmt
+	Pos   Pos
+}
+
+// AssertStmt is `assert(expr)`.
+type AssertStmt struct {
+	Cond Expr
+	Pos  Pos
+}
+
+// PrintfStmt is parsed for compatibility and compiled to a no-op edge
+// carrying the format string (used by trace rendering).
+type PrintfStmt struct {
+	Format string
+	Args   []Expr
+	Pos    Pos
+}
+
+// ExprStmt is an expression used as a guard statement.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*Block) stmt()        {}
+func (*DeclStmt) stmt()     {}
+func (*ChanDeclStmt) stmt() {}
+func (*AssignStmt) stmt()   {}
+func (*SendStmt) stmt()     {}
+func (*RecvStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*DoStmt) stmt()       {}
+func (*AtomicStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*SkipStmt) stmt()     {}
+func (*ElseStmt) stmt()     {}
+func (*GotoStmt) stmt()     {}
+func (*LabeledStmt) stmt()  {}
+func (*AssertStmt) stmt()   {}
+func (*PrintfStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is implemented by every pml expression node.
+type Expr interface{ expr() }
+
+// Ident references a variable, parameter, or mtype constant by name.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// Index is an array element access `name[idx]`.
+type Index struct {
+	Name string
+	Idx  Expr
+	Pos  Pos
+}
+
+// Num is an integer literal (true/false lex to 1/0).
+type Num struct {
+	Val int64
+	Pos Pos
+}
+
+// UnaryOp is the operator of a Unary expression.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNeg UnaryOp = iota + 1 // -x
+	OpNot                    // !x
+)
+
+// Unary is a unary expression.
+type Unary struct {
+	Op  UnaryOp
+	X   Expr
+	Pos Pos
+}
+
+// BinaryOp is the operator of a Binary expression.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAdd BinaryOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binopNames = map[BinaryOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNeq: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||",
+}
+
+// String returns the pml spelling of the operator.
+func (op BinaryOp) String() string { return binopNames[op] }
+
+// Binary is a binary expression.
+type Binary struct {
+	Op   BinaryOp
+	X, Y Expr
+	Pos  Pos
+}
+
+// ChanPredOp identifies a channel predicate.
+type ChanPredOp int
+
+// Channel predicates.
+const (
+	PredLen ChanPredOp = iota + 1
+	PredFull
+	PredEmpty
+	PredNfull
+	PredNempty
+)
+
+var chanPredNames = map[ChanPredOp]string{
+	PredLen: "len", PredFull: "full", PredEmpty: "empty",
+	PredNfull: "nfull", PredNempty: "nempty",
+}
+
+// String returns the pml spelling of the predicate.
+func (op ChanPredOp) String() string { return chanPredNames[op] }
+
+// ChanPred is `len(ch)`, `full(ch)`, etc.
+type ChanPred struct {
+	Op  ChanPredOp
+	Ch  string
+	Pos Pos
+}
+
+// PidExpr is the `_pid` builtin: the instance id of the executing process.
+type PidExpr struct{ Pos Pos }
+
+// TimeoutExpr is Spin's `timeout` builtin: true exactly when no process
+// in the system has any other executable transition — the standard escape
+// hatch for modeling timers and recovery from global blocking.
+type TimeoutExpr struct{ Pos Pos }
+
+func (*Ident) expr()       {}
+func (*Index) expr()       {}
+func (*Num) expr()         {}
+func (*Unary) expr()       {}
+func (*Binary) expr()      {}
+func (*ChanPred) expr()    {}
+func (*PidExpr) expr()     {}
+func (*TimeoutExpr) expr() {}

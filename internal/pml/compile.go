@@ -1,0 +1,792 @@
+package pml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseExpr parses a standalone pml expression, as used for invariants and
+// LTL atomic propositions.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(EOF) {
+		return nil, p.errf("unexpected %s after expression", p.describe(p.cur()))
+	}
+	return e, nil
+}
+
+// ResolveGlobalExpr resolves an expression against the program's global
+// scope only (global variables, global channels, mtype constants). It is
+// used for state properties: invariants and LTL atomic propositions, which
+// may not reference process-local state.
+func (c *Compiled) ResolveGlobalExpr(e Expr) (RExpr, error) {
+	gc := newGlobalContext(c)
+	for i, v := range c.GlobalVars {
+		gc.varIdx[v.Name] = i
+	}
+	for i, ch := range c.GlobalChans {
+		gc.chanIdx[ch.Name] = i
+	}
+	return gc.resolveExpr(e, nil)
+}
+
+// CompileGlobalExpr parses and resolves a global-scope expression.
+func (c *Compiled) CompileGlobalExpr(src string) (RExpr, error) {
+	e, err := ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.ResolveGlobalExpr(e)
+}
+
+// CompileError reports a semantic error found while compiling a program.
+type CompileError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("pml: %s: %s", e.Pos, e.Msg)
+}
+
+// CompileSource parses and compiles pml source in one step.
+func CompileSource(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog)
+}
+
+// CompileProgram resolves names and lowers every proctype body to an
+// explicit transition graph.
+func CompileProgram(prog *Program) (*Compiled, error) {
+	c := &Compiled{
+		byName:   make(map[string]*Proc, len(prog.Procs)),
+		mtypeVal: make(map[string]int64, len(prog.Mtypes)),
+	}
+	seen := make(map[string]Pos)
+	declare := func(name string, p Pos) error {
+		if prev, dup := seen[name]; dup {
+			return &CompileError{Pos: p, Msg: fmt.Sprintf("%q already declared at %s", name, prev)}
+		}
+		seen[name] = p
+		return nil
+	}
+
+	c.Mtypes = append(c.Mtypes, prog.Mtypes...)
+	for i, m := range prog.Mtypes {
+		if err := declare(m, Pos{}); err != nil {
+			return nil, err
+		}
+		c.mtypeVal[m] = int64(i + 1)
+	}
+
+	gc := newGlobalContext(c)
+	for _, cd := range prog.Chans {
+		if err := declare(cd.Name, cd.Pos); err != nil {
+			return nil, err
+		}
+		gc.chanIdx[cd.Name] = len(c.GlobalChans)
+		c.GlobalChans = append(c.GlobalChans, ChanInfo{Name: cd.Name, Cap: cd.Cap, Fields: cd.Fields})
+	}
+	for _, vd := range prog.Globals {
+		if err := declare(vd.Name, vd.Pos); err != nil {
+			return nil, err
+		}
+		if vd.ArrayLen > 0 {
+			gc.varIdx[vd.Name] = len(c.GlobalVars)
+			gc.arrLen[vd.Name] = vd.ArrayLen
+			for i := 0; i < vd.ArrayLen; i++ {
+				c.GlobalVars = append(c.GlobalVars, VarInfo{
+					Name: fmt.Sprintf("%s[%d]", vd.Name, i), Type: vd.Type,
+				})
+			}
+			continue
+		}
+		info := VarInfo{Name: vd.Name, Type: vd.Type}
+		if vd.Init != nil {
+			re, err := gc.resolveExpr(vd.Init, nil)
+			if err != nil {
+				return nil, err
+			}
+			v, ok := ConstEval(re)
+			if !ok || !isConstExpr(re) {
+				return nil, &CompileError{Pos: vd.Pos, Msg: "global initializer must be constant"}
+			}
+			info.Init = vd.Type.Truncate(v)
+		}
+		gc.varIdx[vd.Name] = len(c.GlobalVars)
+		c.GlobalVars = append(c.GlobalVars, info)
+	}
+
+	for _, pd := range prog.Procs {
+		if err := declare(pd.Name, pd.Pos); err != nil {
+			return nil, err
+		}
+		proc, err := gc.compileProc(pd)
+		if err != nil {
+			return nil, err
+		}
+		c.Procs = append(c.Procs, proc)
+		c.byName[proc.Name] = proc
+	}
+	return c, nil
+}
+
+// globalContext resolves names visible everywhere.
+type globalContext struct {
+	c       *Compiled
+	varIdx  map[string]int
+	arrLen  map[string]int // array name -> declared length
+	chanIdx map[string]int
+}
+
+func newGlobalContext(c *Compiled) *globalContext {
+	return &globalContext{
+		c:       c,
+		varIdx:  make(map[string]int),
+		arrLen:  make(map[string]int),
+		chanIdx: make(map[string]int),
+	}
+}
+
+// procContext resolves proctype-local names and accumulates the graph.
+type procContext struct {
+	gc       *globalContext
+	proc     *Proc
+	intIdx   map[string]int
+	arrLen   map[string]int
+	chanSlot map[string]int
+	labels   map[string]int
+	gotos    []gotoFixup
+	breaks   []int
+	atomic   int
+}
+
+type gotoFixup struct {
+	label string
+	node  int
+	edge  int
+	pos   Pos
+}
+
+func (gc *globalContext) compileProc(pd *ProcDecl) (*Proc, error) {
+	pc := &procContext{
+		gc:       gc,
+		proc:     &Proc{Name: pd.Name, Active: pd.Active},
+		intIdx:   make(map[string]int),
+		arrLen:   make(map[string]int),
+		chanSlot: make(map[string]int),
+		labels:   make(map[string]int),
+	}
+	for _, prm := range pd.Params {
+		if _, dup := pc.intIdx[prm.Name]; dup {
+			return nil, &CompileError{Pos: prm.Pos, Msg: fmt.Sprintf("duplicate parameter %q", prm.Name)}
+		}
+		if _, dup := pc.chanSlot[prm.Name]; dup {
+			return nil, &CompileError{Pos: prm.Pos, Msg: fmt.Sprintf("duplicate parameter %q", prm.Name)}
+		}
+		if prm.Type == TypeChan {
+			pc.proc.Params = append(pc.proc.Params, ParamInfo{
+				Name: prm.Name, IsChan: true, Slot: len(pc.proc.ChanSlots), Type: TypeChan,
+			})
+			pc.chanSlot[prm.Name] = len(pc.proc.ChanSlots)
+			pc.proc.ChanSlots = append(pc.proc.ChanSlots, ChanSlotInfo{Name: prm.Name, IsParam: true})
+		} else {
+			pc.proc.Params = append(pc.proc.Params, ParamInfo{
+				Name: prm.Name, IsChan: false, Slot: len(pc.proc.IntVars), Type: prm.Type,
+			})
+			pc.intIdx[prm.Name] = len(pc.proc.IntVars)
+			pc.proc.IntVars = append(pc.proc.IntVars, VarInfo{Name: prm.Name, Type: prm.Type})
+		}
+	}
+
+	entry := pc.newNode()
+	exit := pc.newNode()
+	pc.proc.Entry = entry
+	if err := pc.compileBlock(pd.Body, entry, exit); err != nil {
+		return nil, err
+	}
+	pc.proc.Nodes[exit].Final = true
+
+	for _, fx := range pc.gotos {
+		dst, ok := pc.labels[fx.label]
+		if !ok {
+			return nil, &CompileError{Pos: fx.pos, Msg: fmt.Sprintf("undefined label %q", fx.label)}
+		}
+		pc.proc.Nodes[fx.node].Edges[fx.edge].Dst = dst
+	}
+
+	if err := pc.proc.finish(); err != nil {
+		return nil, err
+	}
+	return pc.proc, nil
+}
+
+func (pc *procContext) newNode() int {
+	pc.proc.Nodes = append(pc.proc.Nodes, Node{Atomic: pc.atomic > 0})
+	return len(pc.proc.Nodes) - 1
+}
+
+func (pc *procContext) addEdge(from int, e Edge) {
+	pc.proc.Nodes[from].Edges = append(pc.proc.Nodes[from].Edges, e)
+}
+
+func (pc *procContext) eps(from, to int) {
+	pc.addEdge(from, Edge{Kind: EdgeEps, Dst: to})
+}
+
+func (pc *procContext) compileBlock(b *Block, from, to int) error {
+	if len(b.Stmts) == 0 {
+		pc.eps(from, to)
+		return nil
+	}
+	cur := from
+	for i, s := range b.Stmts {
+		tgt := to
+		if i < len(b.Stmts)-1 {
+			tgt = pc.newNode()
+		}
+		if err := pc.compileStmt(s, cur, tgt); err != nil {
+			return err
+		}
+		cur = tgt
+	}
+	return nil
+}
+
+func (pc *procContext) compileStmt(s Stmt, from, to int) error {
+	switch st := s.(type) {
+	case *Block:
+		return pc.compileBlock(st, from, to)
+	case *DeclStmt:
+		return pc.declStmt(st, from, to)
+	case *ChanDeclStmt:
+		return pc.chanDeclStmt(st, from, to)
+	case *AssignStmt:
+		return pc.assignStmt(st, from, to)
+	case *SendStmt:
+		return pc.sendStmt(st, from, to)
+	case *RecvStmt:
+		return pc.recvStmt(st, from, to)
+	case *IfStmt:
+		for _, opt := range st.Options {
+			if err := pc.compileBlock(opt, from, to); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DoStmt:
+		h := pc.newNode()
+		pc.eps(from, h)
+		pc.breaks = append(pc.breaks, to)
+		for _, opt := range st.Options {
+			if err := pc.compileBlock(opt, h, h); err != nil {
+				return err
+			}
+		}
+		pc.breaks = pc.breaks[:len(pc.breaks)-1]
+		return nil
+	case *AtomicStmt:
+		pc.atomic++
+		err := pc.compileBlock(st.Body, from, to)
+		pc.atomic--
+		return err
+	case *BreakStmt:
+		if len(pc.breaks) == 0 {
+			return &CompileError{Pos: st.Pos, Msg: "break outside of do loop"}
+		}
+		pc.eps(from, pc.breaks[len(pc.breaks)-1])
+		return nil
+	case *SkipStmt:
+		pc.addEdge(from, Edge{Kind: EdgeSkip, Dst: to, Pos: st.Pos, Label: "skip"})
+		return nil
+	case *PrintfStmt:
+		pc.addEdge(from, Edge{Kind: EdgeSkip, Dst: to, Pos: st.Pos, Label: "printf " + st.Format})
+		return nil
+	case *ElseStmt:
+		pc.addEdge(from, Edge{Kind: EdgeElse, Dst: to, Pos: st.Pos, Label: "else"})
+		return nil
+	case *GotoStmt:
+		pc.addEdge(from, Edge{Kind: EdgeEps, Dst: -1, Pos: st.Pos})
+		pc.gotos = append(pc.gotos, gotoFixup{
+			label: st.Label,
+			node:  from,
+			edge:  len(pc.proc.Nodes[from].Edges) - 1,
+			pos:   st.Pos,
+		})
+		return nil
+	case *LabeledStmt:
+		if _, dup := pc.labels[st.Label]; dup {
+			return &CompileError{Pos: st.Pos, Msg: fmt.Sprintf("duplicate label %q", st.Label)}
+		}
+		pc.labels[st.Label] = from
+		pc.proc.Nodes[from].Labels = append(pc.proc.Nodes[from].Labels, st.Label)
+		if strings.HasPrefix(st.Label, "end") {
+			pc.proc.Nodes[from].EndLabel = true
+		}
+		return pc.compileStmt(st.Stmt, from, to)
+	case *AssertStmt:
+		cond, err := pc.resolveExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		pc.addEdge(from, Edge{Kind: EdgeAssert, Dst: to, Pos: st.Pos, Cond: cond, Label: "assert"})
+		return nil
+	case *ExprStmt:
+		cond, err := pc.resolveExpr(st.X)
+		if err != nil {
+			return err
+		}
+		pc.addEdge(from, Edge{Kind: EdgeGuard, Dst: to, Pos: st.Pos, Cond: cond, Label: "guard"})
+		return nil
+	default:
+		return &CompileError{Msg: fmt.Sprintf("unsupported statement %T", s)}
+	}
+}
+
+func (pc *procContext) declStmt(st *DeclStmt, from, to int) error {
+	vd := st.Var
+	if err := pc.checkFresh(vd.Name, vd.Pos); err != nil {
+		return err
+	}
+	if vd.ArrayLen > 0 {
+		pc.intIdx[vd.Name] = len(pc.proc.IntVars)
+		pc.arrLen[vd.Name] = vd.ArrayLen
+		for i := 0; i < vd.ArrayLen; i++ {
+			pc.proc.IntVars = append(pc.proc.IntVars, VarInfo{
+				Name: fmt.Sprintf("%s[%d]", vd.Name, i), Type: vd.Type,
+			})
+		}
+		pc.eps(from, to)
+		return nil
+	}
+	slot := len(pc.proc.IntVars)
+	info := VarInfo{Name: vd.Name, Type: vd.Type}
+	var initEdge *Edge
+	if vd.Init != nil {
+		re, err := pc.resolveExpr(vd.Init)
+		if err != nil {
+			return err
+		}
+		if isConstExpr(re) {
+			v, _ := ConstEval(re)
+			info.Init = vd.Type.Truncate(v)
+		} else {
+			initEdge = &Edge{
+				Kind: EdgeAssign, Dst: to, Pos: vd.Pos,
+				Var: VarRef{Idx: slot, Type: vd.Type, Name: vd.Name},
+				RHS: re, Label: vd.Name + " = <init>",
+			}
+		}
+	}
+	pc.intIdx[vd.Name] = slot
+	pc.proc.IntVars = append(pc.proc.IntVars, info)
+	if initEdge != nil {
+		pc.addEdge(from, *initEdge)
+	} else {
+		pc.eps(from, to)
+	}
+	return nil
+}
+
+func (pc *procContext) chanDeclStmt(st *ChanDeclStmt, from, to int) error {
+	cd := st.Decl
+	if err := pc.checkFresh(cd.Name, cd.Pos); err != nil {
+		return err
+	}
+	pc.chanSlot[cd.Name] = len(pc.proc.ChanSlots)
+	pc.proc.ChanSlots = append(pc.proc.ChanSlots, ChanSlotInfo{
+		Name: cd.Name,
+		Decl: ChanInfo{Name: cd.Name, Cap: cd.Cap, Fields: cd.Fields},
+	})
+	pc.eps(from, to)
+	return nil
+}
+
+func (pc *procContext) checkFresh(name string, pos Pos) error {
+	if _, dup := pc.intIdx[name]; dup {
+		return &CompileError{Pos: pos, Msg: fmt.Sprintf("%q already declared in proctype %s", name, pc.proc.Name)}
+	}
+	if _, dup := pc.chanSlot[name]; dup {
+		return &CompileError{Pos: pos, Msg: fmt.Sprintf("%q already declared in proctype %s", name, pc.proc.Name)}
+	}
+	return nil
+}
+
+func (pc *procContext) assignStmt(st *AssignStmt, from, to int) error {
+	rhs, err := pc.resolveExpr(st.RHS)
+	if err != nil {
+		return err
+	}
+	if st.Idx != nil {
+		base, n, err := pc.gc.resolveArray(st.Name, st.Pos, pc)
+		if err != nil {
+			return err
+		}
+		idx, err := pc.resolveExpr(st.Idx)
+		if err != nil {
+			return err
+		}
+		pc.addEdge(from, Edge{
+			Kind: EdgeAssign, Dst: to, Pos: st.Pos,
+			Var: base, VarIdx: idx, VarLen: n, RHS: rhs,
+			Label: st.Name + "[...] = ...",
+		})
+		return nil
+	}
+	ref, err := pc.resolveVar(st.Name, st.Pos)
+	if err != nil {
+		return err
+	}
+	pc.addEdge(from, Edge{
+		Kind: EdgeAssign, Dst: to, Pos: st.Pos,
+		Var: ref, RHS: rhs, Label: st.Name + " = ...",
+	})
+	return nil
+}
+
+func (pc *procContext) sendStmt(st *SendStmt, from, to int) error {
+	ch, fields, err := pc.resolveChan(st.Ch, st.Pos)
+	if err != nil {
+		return err
+	}
+	if fields != nil && len(st.Args) != len(fields) {
+		return &CompileError{Pos: st.Pos, Msg: fmt.Sprintf(
+			"channel %s carries %d fields, send has %d", st.Ch, len(fields), len(st.Args))}
+	}
+	args := make([]RExpr, 0, len(st.Args))
+	for _, a := range st.Args {
+		re, err := pc.resolveExpr(a)
+		if err != nil {
+			return err
+		}
+		args = append(args, re)
+	}
+	op := "!"
+	if st.Sorted {
+		op = "!!"
+	}
+	pc.addEdge(from, Edge{
+		Kind: EdgeSend, Dst: to, Pos: st.Pos,
+		Ch: ch, Sorted: st.Sorted, SendArgs: args, Label: st.Ch + op,
+	})
+	return nil
+}
+
+func (pc *procContext) recvStmt(st *RecvStmt, from, to int) error {
+	ch, fields, err := pc.resolveChan(st.Ch, st.Pos)
+	if err != nil {
+		return err
+	}
+	if fields != nil && len(st.Args) != len(fields) {
+		return &CompileError{Pos: st.Pos, Msg: fmt.Sprintf(
+			"channel %s carries %d fields, receive has %d", st.Ch, len(fields), len(st.Args))}
+	}
+	args := make([]RRecvArg, 0, len(st.Args))
+	for _, a := range st.Args {
+		ra, err := pc.resolveRecvArg(a)
+		if err != nil {
+			return err
+		}
+		args = append(args, ra)
+	}
+	op := "?"
+	if st.Random {
+		op = "??"
+	}
+	pc.addEdge(from, Edge{
+		Kind: EdgeRecv, Dst: to, Pos: st.Pos,
+		Ch: ch, Random: st.Random, RecvArgs: args, Label: st.Ch + op,
+	})
+	return nil
+}
+
+func (pc *procContext) resolveRecvArg(a RecvArg) (RRecvArg, error) {
+	switch a.Kind {
+	case ArgWild:
+		return RRecvArg{Kind: RArgWild}, nil
+	case ArgMatch:
+		x, err := pc.resolveExpr(a.X)
+		if err != nil {
+			return RRecvArg{}, err
+		}
+		return RRecvArg{Kind: RArgMatch, X: x}, nil
+	default: // ArgIdent
+		if slot, ok := pc.intIdx[a.Name]; ok {
+			return RRecvArg{Kind: RArgBind, Var: VarRef{
+				Idx: slot, Type: pc.proc.IntVars[slot].Type, Name: a.Name,
+			}}, nil
+		}
+		if idx, ok := pc.gc.varIdx[a.Name]; ok {
+			return RRecvArg{Kind: RArgBind, Var: VarRef{
+				Global: true, Idx: idx, Type: pc.gc.c.GlobalVars[idx].Type, Name: a.Name,
+			}}, nil
+		}
+		if v, ok := pc.gc.c.mtypeVal[a.Name]; ok {
+			return RRecvArg{Kind: RArgMatch, X: &RConst{V: v}}, nil
+		}
+		return RRecvArg{}, &CompileError{Pos: a.Pos, Msg: fmt.Sprintf("undefined name %q in receive", a.Name)}
+	}
+}
+
+// resolveVar resolves an assignment target or receive binding.
+func (pc *procContext) resolveVar(name string, pos Pos) (VarRef, error) {
+	if slot, ok := pc.intIdx[name]; ok {
+		if _, isArr := pc.arrLen[name]; isArr {
+			return VarRef{}, &CompileError{Pos: pos, Msg: fmt.Sprintf("array %q used without index", name)}
+		}
+		return VarRef{Idx: slot, Type: pc.proc.IntVars[slot].Type, Name: name}, nil
+	}
+	if idx, ok := pc.gc.varIdx[name]; ok {
+		if _, isArr := pc.gc.arrLen[name]; isArr {
+			return VarRef{}, &CompileError{Pos: pos, Msg: fmt.Sprintf("array %q used without index", name)}
+		}
+		return VarRef{Global: true, Idx: idx, Type: pc.gc.c.GlobalVars[idx].Type, Name: name}, nil
+	}
+	return VarRef{}, &CompileError{Pos: pos, Msg: fmt.Sprintf("undefined variable %q", name)}
+}
+
+// resolveArray resolves an array base reference and its length. pc may be
+// nil in global scope.
+func (gc *globalContext) resolveArray(name string, pos Pos, pc *procContext) (VarRef, int, error) {
+	if pc != nil {
+		if slot, ok := pc.intIdx[name]; ok {
+			n, isArr := pc.arrLen[name]
+			if !isArr {
+				return VarRef{}, 0, &CompileError{Pos: pos, Msg: fmt.Sprintf("%q is not an array", name)}
+			}
+			return VarRef{Idx: slot, Type: pc.proc.IntVars[slot].Type, Name: name}, n, nil
+		}
+	}
+	if idx, ok := gc.varIdx[name]; ok {
+		n, isArr := gc.arrLen[name]
+		if !isArr {
+			return VarRef{}, 0, &CompileError{Pos: pos, Msg: fmt.Sprintf("%q is not an array", name)}
+		}
+		return VarRef{Global: true, Idx: idx, Type: gc.c.GlobalVars[idx].Type, Name: name}, n, nil
+	}
+	return VarRef{}, 0, &CompileError{Pos: pos, Msg: fmt.Sprintf("undefined array %q", name)}
+}
+
+// resolveChan resolves a channel name. The returned field list is nil when
+// the channel is a parameter (its shape is known only at instantiation).
+func (pc *procContext) resolveChan(name string, pos Pos) (ChanRef, []Type, error) {
+	if slot, ok := pc.chanSlot[name]; ok {
+		info := pc.proc.ChanSlots[slot]
+		if info.IsParam {
+			return ChanRef{Idx: slot, Name: name}, nil, nil
+		}
+		return ChanRef{Idx: slot, Name: name}, info.Decl.Fields, nil
+	}
+	if idx, ok := pc.gc.chanIdx[name]; ok {
+		return ChanRef{Global: true, Idx: idx, Name: name}, pc.gc.c.GlobalChans[idx].Fields, nil
+	}
+	return ChanRef{}, nil, &CompileError{Pos: pos, Msg: fmt.Sprintf("undefined channel %q", name)}
+}
+
+func (pc *procContext) resolveExpr(e Expr) (RExpr, error) {
+	return pc.gc.resolveExpr(e, pc)
+}
+
+// resolveExpr resolves an expression. pc may be nil when resolving in
+// global scope (initializers).
+func (gc *globalContext) resolveExpr(e Expr, pc *procContext) (RExpr, error) {
+	switch x := e.(type) {
+	case *Num:
+		return &RConst{V: x.Val}, nil
+	case *PidExpr:
+		if pc == nil {
+			return nil, &CompileError{Pos: x.Pos, Msg: "_pid outside proctype"}
+		}
+		return &RPid{}, nil
+	case *TimeoutExpr:
+		if pc == nil {
+			return nil, &CompileError{Pos: x.Pos, Msg: "timeout outside proctype"}
+		}
+		return &RTimeout{}, nil
+	case *Index:
+		base, n, err := gc.resolveArray(x.Name, x.Pos, pc)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := gc.resolveExpr(x.Idx, pc)
+		if err != nil {
+			return nil, err
+		}
+		return &RIndex{Base: base, Len: n, Idx: idx}, nil
+	case *Ident:
+		if pc != nil {
+			if slot, ok := pc.intIdx[x.Name]; ok {
+				if _, isArr := pc.arrLen[x.Name]; isArr {
+					return nil, &CompileError{Pos: x.Pos, Msg: fmt.Sprintf("array %q used without index", x.Name)}
+				}
+				return &RVar{Ref: VarRef{Idx: slot, Type: pc.proc.IntVars[slot].Type, Name: x.Name}}, nil
+			}
+			if _, ok := pc.chanSlot[x.Name]; ok {
+				return nil, &CompileError{Pos: x.Pos, Msg: fmt.Sprintf("channel %q used as value", x.Name)}
+			}
+		}
+		if idx, ok := gc.varIdx[x.Name]; ok {
+			if _, isArr := gc.arrLen[x.Name]; isArr {
+				return nil, &CompileError{Pos: x.Pos, Msg: fmt.Sprintf("array %q used without index", x.Name)}
+			}
+			return &RVar{Ref: VarRef{Global: true, Idx: idx, Type: gc.c.GlobalVars[idx].Type, Name: x.Name}}, nil
+		}
+		if v, ok := gc.c.mtypeVal[x.Name]; ok {
+			return &RConst{V: v}, nil
+		}
+		if _, ok := gc.chanIdx[x.Name]; ok {
+			return nil, &CompileError{Pos: x.Pos, Msg: fmt.Sprintf("channel %q used as value", x.Name)}
+		}
+		return nil, &CompileError{Pos: x.Pos, Msg: fmt.Sprintf("undefined name %q", x.Name)}
+	case *Unary:
+		in, err := gc.resolveExpr(x.X, pc)
+		if err != nil {
+			return nil, err
+		}
+		return &RUnary{Op: x.Op, X: in}, nil
+	case *Binary:
+		a, err := gc.resolveExpr(x.X, pc)
+		if err != nil {
+			return nil, err
+		}
+		b, err := gc.resolveExpr(x.Y, pc)
+		if err != nil {
+			return nil, err
+		}
+		return &RBinary{Op: x.Op, X: a, Y: b}, nil
+	case *ChanPred:
+		if pc != nil {
+			ref, _, err := pc.resolveChan(x.Ch, x.Pos)
+			if err != nil {
+				return nil, err
+			}
+			return &RChanPred{Op: x.Op, Ch: ref}, nil
+		}
+		idx, ok := gc.chanIdx[x.Ch]
+		if !ok {
+			return nil, &CompileError{Pos: x.Pos, Msg: fmt.Sprintf("undefined channel %q", x.Ch)}
+		}
+		return &RChanPred{Op: x.Op, Ch: ChanRef{Global: true, Idx: idx, Name: x.Ch}}, nil
+	default:
+		return nil, &CompileError{Msg: fmt.Sprintf("unsupported expression %T", e)}
+	}
+}
+
+// finish removes epsilon edges (first merging pure-forwarding nodes, then
+// replacing remaining epsilon edges by their closure of real edges) and
+// computes the Local flag of every surviving edge.
+func (p *Proc) finish() error {
+	p.mergeForwarders()
+	if err := p.closeEpsilons(); err != nil {
+		return err
+	}
+	for ni := range p.Nodes {
+		for ei := range p.Nodes[ni].Edges {
+			p.Nodes[ni].Edges[ei].computeLocal()
+		}
+	}
+	return nil
+}
+
+// mergeForwarders collapses nodes whose only edge is a single epsilon to a
+// node with the same atomicity, unioning end-state flags, which keeps
+// do-loop heads and labeled locations as single control states (as Spin's
+// control-flow graph does).
+func (p *Proc) mergeForwarders() {
+	alias := make([]int, len(p.Nodes))
+	for i := range alias {
+		alias[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if alias[i] != i {
+			alias[i] = find(alias[i])
+		}
+		return alias[i]
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := range p.Nodes {
+			if find(i) != i {
+				continue
+			}
+			n := &p.Nodes[i]
+			if len(n.Edges) != 1 || n.Edges[0].Kind != EdgeEps {
+				continue
+			}
+			j := find(n.Edges[0].Dst)
+			if j == i || p.Nodes[j].Atomic != n.Atomic {
+				continue
+			}
+			// Union flags into the survivor.
+			p.Nodes[j].EndLabel = p.Nodes[j].EndLabel || n.EndLabel
+			p.Nodes[j].Final = p.Nodes[j].Final || n.Final
+			p.Nodes[j].Labels = append(p.Nodes[j].Labels, n.Labels...)
+			alias[i] = j
+			changed = true
+		}
+	}
+	for i := range p.Nodes {
+		for e := range p.Nodes[i].Edges {
+			p.Nodes[i].Edges[e].Dst = find(p.Nodes[i].Edges[e].Dst)
+		}
+	}
+	p.Entry = find(p.Entry)
+}
+
+// closeEpsilons replaces each node's epsilon edges with the set of real
+// edges reachable through epsilon paths. Epsilon cycles (such as a goto
+// loop with no executable statement) are compile errors.
+func (p *Proc) closeEpsilons() error {
+	for i := range p.Nodes {
+		hasEps := false
+		for _, e := range p.Nodes[i].Edges {
+			if e.Kind == EdgeEps {
+				hasEps = true
+				break
+			}
+		}
+		if !hasEps {
+			continue
+		}
+		var out []Edge
+		onPath := make(map[int]bool)
+		var walk func(node int) error
+		walk = func(node int) error {
+			if onPath[node] {
+				return &CompileError{Msg: fmt.Sprintf(
+					"proctype %s: control cycle with no executable statement", p.Name)}
+			}
+			onPath[node] = true
+			defer delete(onPath, node)
+			for _, e := range p.Nodes[node].Edges {
+				if e.Kind == EdgeEps {
+					if err := walk(e.Dst); err != nil {
+						return err
+					}
+					continue
+				}
+				out = append(out, e)
+			}
+			return nil
+		}
+		if err := walk(i); err != nil {
+			return err
+		}
+		p.Nodes[i].Edges = out
+	}
+	return nil
+}

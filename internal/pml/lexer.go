@@ -1,0 +1,256 @@
+package pml
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SyntaxError reports a lexical or parse error with its source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pml: %s: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	toks []Token
+}
+
+// Lex tokenizes pml source. It returns the token stream, terminated by an
+// EOF token, or a *SyntaxError for malformed input.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.toks, nil
+}
+
+func (lx *lexer) errf(p Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) emit(k Kind, text string, p Pos) {
+	lx.toks = append(lx.toks, Token{Kind: k, Text: text, Pos: p})
+}
+
+func (lx *lexer) run() error {
+	for lx.off < len(lx.src) {
+		p := lx.pos()
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '*':
+			if err := lx.blockComment(p); err != nil {
+				return err
+			}
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case isIdentStart(c):
+			lx.ident(p)
+		case c >= '0' && c <= '9':
+			lx.number(p)
+		case c == '"':
+			if err := lx.str(p); err != nil {
+				return err
+			}
+		default:
+			if err := lx.operator(p); err != nil {
+				return err
+			}
+		}
+	}
+	lx.emit(EOF, "", lx.pos())
+	return nil
+}
+
+func (lx *lexer) blockComment(p Pos) error {
+	lx.advance() // '/'
+	lx.advance() // '*'
+	for lx.off < len(lx.src) {
+		if lx.peek() == '*' && lx.peek2() == '/' {
+			lx.advance()
+			lx.advance()
+			return nil
+		}
+		lx.advance()
+	}
+	return lx.errf(p, "unterminated block comment")
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (lx *lexer) ident(p Pos) {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if text == "_" {
+		lx.emit(UNDERSCORE, text, p)
+		return
+	}
+	if k, ok := keywords[text]; ok {
+		lx.emit(k, text, p)
+		return
+	}
+	lx.emit(IDENT, text, p)
+}
+
+func (lx *lexer) number(p Pos) {
+	start := lx.off
+	for lx.off < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+		lx.advance()
+	}
+	lx.emit(NUMBER, lx.src[start:lx.off], p)
+}
+
+func (lx *lexer) str(p Pos) error {
+	lx.advance() // opening quote
+	start := lx.off
+	for lx.off < len(lx.src) {
+		if lx.peek() == '"' {
+			text := lx.src[start:lx.off]
+			lx.advance()
+			lx.emit(STRING, text, p)
+			return nil
+		}
+		if lx.peek() == '\n' {
+			break
+		}
+		lx.advance()
+	}
+	return lx.errf(p, "unterminated string literal")
+}
+
+func (lx *lexer) operator(p Pos) error {
+	c := lx.advance()
+	two := func(next byte, withKind, aloneKind Kind) {
+		if lx.peek() == next {
+			lx.advance()
+			lx.emit(withKind, "", p)
+		} else {
+			lx.emit(aloneKind, "", p)
+		}
+	}
+	switch c {
+	case '{':
+		lx.emit(LBRACE, "", p)
+	case '}':
+		lx.emit(RBRACE, "", p)
+	case '(':
+		lx.emit(LPAREN, "", p)
+	case ')':
+		lx.emit(RPAREN, "", p)
+	case '[':
+		lx.emit(LBRACK, "", p)
+	case ']':
+		lx.emit(RBRACK, "", p)
+	case ';':
+		lx.emit(SEMI, "", p)
+	case ',':
+		lx.emit(COMMA, "", p)
+	case '.':
+		if lx.peek() != '.' {
+			return lx.errf(p, "unexpected character %q (struct fields are not in the subset)", c)
+		}
+		lx.advance()
+		lx.emit(DOTDOT, "", p)
+	case '+':
+		lx.emit(PLUS, "", p)
+	case '*':
+		lx.emit(STAR, "", p)
+	case '/':
+		lx.emit(SLASH, "", p)
+	case '%':
+		lx.emit(PERCENT, "", p)
+	case '-':
+		two('>', ARROW, MINUS)
+	case ':':
+		two(':', DCOLON, COLON)
+	case '=':
+		two('=', EQ, ASSIGN)
+	case '!':
+		switch lx.peek() {
+		case '=':
+			lx.advance()
+			lx.emit(NEQ, "", p)
+		case '!':
+			lx.advance()
+			lx.emit(DBANG, "", p)
+		default:
+			lx.emit(BANG, "", p)
+		}
+	case '?':
+		two('?', DQUERY, QUERY)
+	case '<':
+		two('=', LE, LT)
+	case '>':
+		two('=', GE, GT)
+	case '&':
+		if lx.peek() != '&' {
+			return lx.errf(p, "unexpected character %q (bitwise & is not in the subset)", c)
+		}
+		lx.advance()
+		lx.emit(AND, "", p)
+	case '|':
+		if lx.peek() != '|' {
+			return lx.errf(p, "unexpected character %q (bitwise | is not in the subset)", c)
+		}
+		lx.advance()
+		lx.emit(OR, "", p)
+	default:
+		r, _ := utf8.DecodeRuneInString(string(c))
+		if unicode.IsPrint(r) {
+			return lx.errf(p, "unexpected character %q", c)
+		}
+		return lx.errf(p, "unexpected byte 0x%02x", c)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package pml
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, 0, len(toks))
+	for _, t := range toks {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestLexOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []Kind
+	}{
+		{"! !! ? ??", []Kind{BANG, DBANG, QUERY, DQUERY, EOF}},
+		{"-> - :: :", []Kind{ARROW, MINUS, DCOLON, COLON, EOF}},
+		{"= == != < <= > >=", []Kind{ASSIGN, EQ, NEQ, LT, LE, GT, GE, EOF}},
+		{"&& ||", []Kind{AND, OR, EOF}},
+		{"+ * / %", []Kind{PLUS, STAR, SLASH, PERCENT, EOF}},
+		{"{ } ( ) [ ] ; ,", []Kind{LBRACE, RBRACE, LPAREN, RPAREN, LBRACK, RBRACK, SEMI, COMMA, EOF}},
+	}
+	for _, tt := range tests {
+		toks, err := Lex(tt.src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", tt.src, err)
+		}
+		got := kinds(toks)
+		if len(got) != len(tt.want) {
+			t.Fatalf("Lex(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Lex(%q)[%d] = %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestLexKeywordsAndIdents(t *testing.T) {
+	toks, err := Lex("proctype foo _pid _ bar_9 mtype")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwProctype, IDENT, KwPid, UNDERSCORE, IDENT, KwMtype, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[1].Text != "foo" || toks[4].Text != "bar_9" {
+		t.Errorf("identifier texts = %q, %q", toks[1].Text, toks[4].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a /* block\ncomment */ b // line\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens, want 4: %v", len(toks), toks)
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("token c line = %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := Lex(`printf("hello %d")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != STRING || toks[2].Text != "hello %d" {
+		t.Errorf("string token = %+v", toks[2])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	tests := []struct {
+		src     string
+		wantSub string
+	}{
+		{"/* never closed", "unterminated block comment"},
+		{`"never closed`, "unterminated string"},
+		{"a & b", "unexpected character"},
+		{"a | b", "unexpected character"},
+		{"a @ b", "unexpected character"},
+	}
+	for _, tt := range tests {
+		_, err := Lex(tt.src)
+		if err == nil {
+			t.Errorf("Lex(%q): expected error", tt.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("Lex(%q) error = %v, want substring %q", tt.src, err, tt.wantSub)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("first token pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("second token pos = %v", toks[1].Pos)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("0 42 255")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTexts := []string{"0", "42", "255"}
+	for i, w := range wantTexts {
+		if toks[i].Kind != NUMBER || toks[i].Text != w {
+			t.Errorf("token %d = %+v, want NUMBER %q", i, toks[i], w)
+		}
+	}
+}

@@ -1,0 +1,796 @@
+package pml
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a pml compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf("expected %s, found %s", k, p.describe(p.cur()))
+	}
+	return p.next(), nil
+}
+
+func (p *parser) describe(t Token) string {
+	if t.Kind == IDENT || t.Kind == NUMBER {
+		return strconv.Quote(t.Text)
+	}
+	return t.Kind.String()
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		switch p.cur().Kind {
+		case KwMtype:
+			if err := p.mtypeDecl(prog); err != nil {
+				return nil, err
+			}
+		case KwChan:
+			cd, err := p.chanDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Chans = append(prog.Chans, cd)
+		case KwBit, KwBool, KwByte, KwShort, KwInt:
+			vds, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, vds...)
+		case KwActive, KwProctype:
+			pd, err := p.proctype()
+			if err != nil {
+				return nil, err
+			}
+			prog.Procs = append(prog.Procs, pd)
+		case SEMI:
+			p.next()
+		default:
+			return nil, p.errf("expected declaration, found %s", p.describe(p.cur()))
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) mtypeDecl(prog *Program) error {
+	p.next() // mtype
+	// Accept both `mtype = { ... }` and `mtype { ... }`.
+	p.accept(ASSIGN)
+	if _, err := p.expect(LBRACE); err != nil {
+		return err
+	}
+	for {
+		t, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		prog.Mtypes = append(prog.Mtypes, t.Text)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return err
+	}
+	p.accept(SEMI)
+	return nil
+}
+
+func (p *parser) chanDecl() (ChanDecl, error) {
+	pos := p.cur().Pos
+	p.next() // chan
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return ChanDecl{}, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return ChanDecl{}, err
+	}
+	if _, err := p.expect(LBRACK); err != nil {
+		return ChanDecl{}, err
+	}
+	capTok, err := p.expect(NUMBER)
+	if err != nil {
+		return ChanDecl{}, err
+	}
+	capN, err := strconv.Atoi(capTok.Text)
+	if err != nil || capN < 0 {
+		return ChanDecl{}, &SyntaxError{Pos: capTok.Pos, Msg: "invalid channel capacity"}
+	}
+	if _, err := p.expect(RBRACK); err != nil {
+		return ChanDecl{}, err
+	}
+	if _, err := p.expect(KwOf); err != nil {
+		return ChanDecl{}, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return ChanDecl{}, err
+	}
+	var fields []Type
+	for {
+		t, err := p.typeName()
+		if err != nil {
+			return ChanDecl{}, err
+		}
+		if t == TypeChan {
+			return ChanDecl{}, p.errf("chan-typed channel fields are not in the subset")
+		}
+		fields = append(fields, t)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return ChanDecl{}, err
+	}
+	p.accept(SEMI)
+	return ChanDecl{Name: name.Text, Cap: capN, Fields: fields, Pos: pos}, nil
+}
+
+func (p *parser) typeName() (Type, error) {
+	switch p.cur().Kind {
+	case KwBit:
+		p.next()
+		return TypeBit, nil
+	case KwBool:
+		p.next()
+		return TypeBool, nil
+	case KwByte:
+		p.next()
+		return TypeByte, nil
+	case KwShort:
+		p.next()
+		return TypeShort, nil
+	case KwInt:
+		p.next()
+		return TypeInt, nil
+	case KwMtype:
+		p.next()
+		return TypeMtype, nil
+	case KwChan:
+		p.next()
+		return TypeChan, nil
+	default:
+		return 0, p.errf("expected type name, found %s", p.describe(p.cur()))
+	}
+}
+
+func (p *parser) varDecl() ([]VarDecl, error) {
+	t, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	var out []VarDecl
+	for {
+		pos := p.cur().Pos
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		vd := VarDecl{Name: name.Text, Type: t, Pos: pos}
+		if p.accept(LBRACK) {
+			n, err := p.expect(NUMBER)
+			if err != nil {
+				return nil, err
+			}
+			v, convErr := strconv.Atoi(n.Text)
+			if convErr != nil || v < 1 {
+				return nil, &SyntaxError{Pos: n.Pos, Msg: "invalid array length"}
+			}
+			vd.ArrayLen = v
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept(ASSIGN) {
+			if vd.ArrayLen > 0 {
+				return nil, &SyntaxError{Pos: pos, Msg: "array initializers are not in the subset"}
+			}
+			vd.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, vd)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	p.accept(SEMI)
+	return out, nil
+}
+
+func (p *parser) proctype() (*ProcDecl, error) {
+	pos := p.cur().Pos
+	active := 0
+	if p.accept(KwActive) {
+		active = 1
+		if p.accept(LBRACK) {
+			n, err := p.expect(NUMBER)
+			if err != nil {
+				return nil, err
+			}
+			v, convErr := strconv.Atoi(n.Text)
+			if convErr != nil || v < 1 {
+				return nil, &SyntaxError{Pos: n.Pos, Msg: "invalid active instance count"}
+			}
+			active = v
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(KwProctype); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var params []VarDecl
+	if !p.at(RPAREN) {
+		for {
+			t, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				pn, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				params = append(params, VarDecl{Name: pn.Text, Type: t, Pos: pn.Pos})
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if !p.accept(SEMI) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.braceBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ProcDecl{Name: name.Text, Active: active, Params: params, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) braceBlock() (*Block, error) {
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	b, err := p.stmtSeq(RBRACE)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// stmtSeq parses statements until one of the terminator kinds (which it
+// does not consume). Statement separators `;` and `->` are interchangeable
+// and redundant separators are tolerated.
+func (p *parser) stmtSeq(terms ...Kind) (*Block, error) {
+	isTerm := func(k Kind) bool {
+		if k == DCOLON {
+			return true
+		}
+		for _, t := range terms {
+			if k == t {
+				return true
+			}
+		}
+		return false
+	}
+	b := &Block{}
+	for {
+		for p.accept(SEMI) || p.accept(ARROW) {
+		}
+		if isTerm(p.cur().Kind) || p.at(EOF) {
+			return b, nil
+		}
+		s, err := p.stmt(terms)
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+}
+
+func (p *parser) stmt(terms []Kind) (Stmt, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case KwIf:
+		p.next()
+		opts, err := p.options(KwFi)
+		if err != nil {
+			return nil, err
+		}
+		return &IfStmt{Options: opts, Pos: pos}, nil
+	case KwDo:
+		p.next()
+		opts, err := p.options(KwOd)
+		if err != nil {
+			return nil, err
+		}
+		return &DoStmt{Options: opts, Pos: pos}, nil
+	case KwAtomic, KwDstep:
+		p.next()
+		body, err := p.braceBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &AtomicStmt{Body: body, Pos: pos}, nil
+	case KwFor:
+		return p.forStmt(pos)
+	case KwBreak:
+		p.next()
+		return &BreakStmt{Pos: pos}, nil
+	case KwSkip:
+		p.next()
+		return &SkipStmt{Pos: pos}, nil
+	case KwElse:
+		p.next()
+		return &ElseStmt{Pos: pos}, nil
+	case KwGoto:
+		p.next()
+		l, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &GotoStmt{Label: l.Text, Pos: pos}, nil
+	case KwAssert:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return &AssertStmt{Cond: cond, Pos: pos}, nil
+	case KwPrintf:
+		return p.printfStmt(pos)
+	case KwChan:
+		cd, err := p.chanDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &ChanDeclStmt{Decl: cd}, nil
+	case KwBit, KwBool, KwByte, KwShort, KwInt, KwMtype:
+		// `mtype` here is a local var of type mtype: `mtype x;`.
+		vds, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if len(vds) == 1 {
+			return &DeclStmt{Var: vds[0]}, nil
+		}
+		blk := &Block{}
+		for _, vd := range vds {
+			blk.Stmts = append(blk.Stmts, &DeclStmt{Var: vd})
+		}
+		return blk, nil
+	case IDENT:
+		return p.identStmt(pos)
+	default:
+		// Expression guard, e.g. `(x > 0)`.
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Pos: pos}, nil
+	}
+}
+
+// forStmt parses Spin 6's `for (i : lo .. hi) { body }` and desugars it to
+//
+//	i = lo;
+//	do
+//	:: i <= hi -> body; i = i + 1
+//	:: else -> break
+//	od
+//
+// The loop variable must already be declared; hi is re-evaluated per
+// iteration.
+func (p *parser) forStmt(pos Pos) (Stmt, error) {
+	p.next() // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(DOTDOT); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.braceBlock()
+	if err != nil {
+		return nil, err
+	}
+
+	loopBody := &Block{Stmts: []Stmt{
+		&ExprStmt{X: &Binary{Op: OpLe, X: &Ident{Name: v.Text, Pos: pos}, Y: hi, Pos: pos}, Pos: pos},
+		body,
+		&AssignStmt{
+			Name: v.Text,
+			RHS:  &Binary{Op: OpAdd, X: &Ident{Name: v.Text, Pos: pos}, Y: &Num{Val: 1, Pos: pos}, Pos: pos},
+			Pos:  pos,
+		},
+	}}
+	exitBody := &Block{Stmts: []Stmt{&ElseStmt{Pos: pos}, &BreakStmt{Pos: pos}}}
+	return &Block{Stmts: []Stmt{
+		&AssignStmt{Name: v.Text, RHS: lo, Pos: pos},
+		&DoStmt{Options: []*Block{loopBody, exitBody}, Pos: pos},
+	}}, nil
+}
+
+func (p *parser) printfStmt(pos Pos) (Stmt, error) {
+	p.next() // printf
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	f, err := p.expect(STRING)
+	if err != nil {
+		return nil, err
+	}
+	st := &PrintfStmt{Format: f.Text, Pos: pos}
+	for p.accept(COMMA) {
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Args = append(st.Args, x)
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) identStmt(pos Pos) (Stmt, error) {
+	name := p.next().Text
+	switch p.cur().Kind {
+	case COLON:
+		p.next()
+		inner, err := p.stmt(nil)
+		if err != nil {
+			return nil, err
+		}
+		return &LabeledStmt{Label: name, Stmt: inner, Pos: pos}, nil
+	case ASSIGN:
+		p.next()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name, RHS: rhs, Pos: pos}, nil
+	case LBRACK:
+		// Either an indexed assignment `a[i] = e` or a guard expression
+		// beginning with an array access.
+		p.next()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+		if p.accept(ASSIGN) {
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name, Idx: idx, RHS: rhs, Pos: pos}, nil
+		}
+		x, err := p.binExprRHS(&Index{Name: name, Idx: idx, Pos: pos}, 1)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Pos: pos}, nil
+	case BANG, DBANG:
+		sorted := p.next().Kind == DBANG
+		args, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		return &SendStmt{Ch: name, Sorted: sorted, Args: args, Pos: pos}, nil
+	case QUERY, DQUERY:
+		random := p.next().Kind == DQUERY
+		args, err := p.recvArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &RecvStmt{Ch: name, Random: random, Args: args, Pos: pos}, nil
+	default:
+		// The identifier begins a guard expression, e.g. `x > 0` or
+		// `buffer_empty`.
+		x, err := p.exprAfterIdent(name, pos)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Pos: pos}, nil
+	}
+}
+
+func (p *parser) exprList() ([]Expr, error) {
+	var out []Expr
+	for {
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) recvArgs() ([]RecvArg, error) {
+	var out []RecvArg
+	for {
+		pos := p.cur().Pos
+		switch p.cur().Kind {
+		case UNDERSCORE:
+			p.next()
+			out = append(out, RecvArg{Kind: ArgWild, Pos: pos})
+		case KwEval:
+			p.next()
+			if _, err := p.expect(LPAREN); err != nil {
+				return nil, err
+			}
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			out = append(out, RecvArg{Kind: ArgMatch, X: x, Pos: pos})
+		case NUMBER, MINUS, KwTrue, KwFalse:
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RecvArg{Kind: ArgMatch, X: x, Pos: pos})
+		case IDENT:
+			t := p.next()
+			out = append(out, RecvArg{Kind: ArgIdent, Name: t.Text, Pos: pos})
+		default:
+			return nil, p.errf("expected receive argument, found %s", p.describe(p.cur()))
+		}
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	return out, nil
+}
+
+// options parses `:: seq :: seq ... end` for if/do statements.
+func (p *parser) options(end Kind) ([]*Block, error) {
+	var opts []*Block
+	if !p.at(DCOLON) {
+		return nil, p.errf("expected ::, found %s", p.describe(p.cur()))
+	}
+	for p.accept(DCOLON) {
+		pos := p.cur().Pos
+		b, err := p.stmtSeq(end)
+		if err != nil {
+			return nil, err
+		}
+		if len(b.Stmts) == 0 {
+			return nil, &SyntaxError{Pos: pos, Msg: "empty option in if/do"}
+		}
+		opts = append(opts, b)
+	}
+	if _, err := p.expect(end); err != nil {
+		return nil, err
+	}
+	return opts, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[Kind]int{
+	OR:  1,
+	AND: 2,
+	EQ:  3, NEQ: 3,
+	LT: 4, LE: 4, GT: 4, GE: 4,
+	PLUS: 5, MINUS: 5,
+	STAR: 6, SLASH: 6, PERCENT: 6,
+}
+
+var binOps = map[Kind]BinaryOp{
+	OR: OpOr, AND: OpAnd,
+	EQ: OpEq, NEQ: OpNeq,
+	LT: OpLt, LE: OpLe, GT: OpGt, GE: OpGe,
+	PLUS: OpAdd, MINUS: OpSub,
+	STAR: OpMul, SLASH: OpDiv, PERCENT: OpMod,
+}
+
+func (p *parser) expr() (Expr, error) {
+	return p.binExpr(1)
+}
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	return p.binExprRHS(lhs, minPrec)
+}
+
+func (p *parser) binExprRHS(lhs Expr, minPrec int) (Expr, error) {
+	for {
+		k := p.cur().Kind
+		prec, ok := binPrec[k]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		pos := p.cur().Pos
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: binOps[k], X: lhs, Y: rhs, Pos: pos}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case MINUS:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNeg, X: x, Pos: pos}, nil
+	case BANG:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, X: x, Pos: pos}, nil
+	default:
+		return p.primary()
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case NUMBER:
+		t := p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: t.Pos, Msg: "invalid number literal"}
+		}
+		return &Num{Val: v, Pos: pos}, nil
+	case KwTrue:
+		p.next()
+		return &Num{Val: 1, Pos: pos}, nil
+	case KwFalse:
+		p.next()
+		return &Num{Val: 0, Pos: pos}, nil
+	case KwPid:
+		p.next()
+		return &PidExpr{Pos: pos}, nil
+	case KwTimeout:
+		p.next()
+		return &TimeoutExpr{Pos: pos}, nil
+	case LPAREN:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case KwLen, KwFull, KwEmpty, KwNfull, KwNempty:
+		op := map[Kind]ChanPredOp{
+			KwLen: PredLen, KwFull: PredFull, KwEmpty: PredEmpty,
+			KwNfull: PredNfull, KwNempty: PredNempty,
+		}[p.next().Kind]
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		ch, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return &ChanPred{Op: op, Ch: ch.Text, Pos: pos}, nil
+	case IDENT:
+		t := p.next()
+		if p.accept(LBRACK) {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			return &Index{Name: t.Text, Idx: idx, Pos: pos}, nil
+		}
+		return &Ident{Name: t.Text, Pos: pos}, nil
+	default:
+		return nil, p.errf("expected expression, found %s", p.describe(p.cur()))
+	}
+}
+
+// exprAfterIdent continues parsing an expression whose first token, an
+// identifier, has already been consumed by the statement dispatcher.
+func (p *parser) exprAfterIdent(name string, pos Pos) (Expr, error) {
+	var lhs Expr = &Ident{Name: name, Pos: pos}
+	return p.binExprRHS(lhs, 1)
+}

@@ -1,0 +1,274 @@
+package pml
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return prog
+}
+
+func TestParseMtype(t *testing.T) {
+	prog := mustParse(t, "mtype = { A, B, C };")
+	if len(prog.Mtypes) != 3 || prog.Mtypes[0] != "A" || prog.Mtypes[2] != "C" {
+		t.Errorf("Mtypes = %v", prog.Mtypes)
+	}
+}
+
+func TestParseChanDecl(t *testing.T) {
+	prog := mustParse(t, "chan c = [3] of { mtype, byte };")
+	if len(prog.Chans) != 1 {
+		t.Fatalf("Chans = %v", prog.Chans)
+	}
+	cd := prog.Chans[0]
+	if cd.Name != "c" || cd.Cap != 3 || len(cd.Fields) != 2 ||
+		cd.Fields[0] != TypeMtype || cd.Fields[1] != TypeByte {
+		t.Errorf("chan decl = %+v", cd)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog := mustParse(t, "byte x = 3, y; bool flag = true;")
+	if len(prog.Globals) != 3 {
+		t.Fatalf("Globals = %+v", prog.Globals)
+	}
+	if prog.Globals[0].Name != "x" || prog.Globals[0].Init == nil {
+		t.Errorf("x = %+v", prog.Globals[0])
+	}
+	if prog.Globals[1].Name != "y" || prog.Globals[1].Init != nil {
+		t.Errorf("y = %+v", prog.Globals[1])
+	}
+	if prog.Globals[2].Type != TypeBool {
+		t.Errorf("flag type = %v", prog.Globals[2].Type)
+	}
+}
+
+func TestParseProctypeParams(t *testing.T) {
+	prog := mustParse(t, `proctype P(chan a, b; byte n) { skip }`)
+	if len(prog.Procs) != 1 {
+		t.Fatal("no proc")
+	}
+	p := prog.Procs[0]
+	if len(p.Params) != 3 {
+		t.Fatalf("params = %+v", p.Params)
+	}
+	if p.Params[0].Type != TypeChan || p.Params[1].Type != TypeChan || p.Params[2].Type != TypeByte {
+		t.Errorf("param types = %+v", p.Params)
+	}
+}
+
+func TestParseActiveProctype(t *testing.T) {
+	prog := mustParse(t, `active [4] proctype W() { skip }`)
+	if prog.Procs[0].Active != 4 {
+		t.Errorf("Active = %d, want 4", prog.Procs[0].Active)
+	}
+	prog = mustParse(t, `active proctype V() { skip }`)
+	if prog.Procs[0].Active != 1 {
+		t.Errorf("Active = %d, want 1", prog.Procs[0].Active)
+	}
+}
+
+func TestParseSendRecv(t *testing.T) {
+	prog := mustParse(t, `
+chan c = [1] of { mtype, byte };
+proctype P() {
+	c!1,2;
+	c!!3,4;
+	c?x,_;
+	c??eval(x),5
+}`)
+	body := prog.Procs[0].Body.Stmts
+	if len(body) != 4 {
+		t.Fatalf("body = %d stmts", len(body))
+	}
+	s0 := body[0].(*SendStmt)
+	if s0.Sorted || len(s0.Args) != 2 {
+		t.Errorf("plain send = %+v", s0)
+	}
+	s1 := body[1].(*SendStmt)
+	if !s1.Sorted {
+		t.Errorf("sorted send = %+v", s1)
+	}
+	r0 := body[2].(*RecvStmt)
+	if r0.Random || len(r0.Args) != 2 || r0.Args[0].Kind != ArgIdent || r0.Args[1].Kind != ArgWild {
+		t.Errorf("recv = %+v", r0)
+	}
+	r1 := body[3].(*RecvStmt)
+	if !r1.Random || r1.Args[0].Kind != ArgMatch || r1.Args[1].Kind != ArgMatch {
+		t.Errorf("random recv = %+v", r1)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	prog := mustParse(t, `
+proctype P() {
+	byte x;
+	do
+	:: x < 3 -> x = x + 1
+	:: else -> break
+	od;
+	if
+	:: x == 3 -> skip
+	:: x != 3 -> assert(false)
+	fi
+}`)
+	body := prog.Procs[0].Body.Stmts
+	if len(body) != 3 {
+		t.Fatalf("body = %d stmts", len(body))
+	}
+	d := body[1].(*DoStmt)
+	if len(d.Options) != 2 {
+		t.Fatalf("do options = %d", len(d.Options))
+	}
+	if _, ok := d.Options[1].Stmts[0].(*ElseStmt); !ok {
+		t.Errorf("second option should start with else, got %T", d.Options[1].Stmts[0])
+	}
+	f := body[2].(*IfStmt)
+	if len(f.Options) != 2 {
+		t.Fatalf("if options = %d", len(f.Options))
+	}
+}
+
+func TestParseLabelsAndGoto(t *testing.T) {
+	prog := mustParse(t, `
+proctype P() {
+	start: skip;
+	goto start
+}`)
+	body := prog.Procs[0].Body.Stmts
+	l, ok := body[0].(*LabeledStmt)
+	if !ok || l.Label != "start" {
+		t.Fatalf("labeled stmt = %+v", body[0])
+	}
+	g, ok := body[1].(*GotoStmt)
+	if !ok || g.Label != "start" {
+		t.Fatalf("goto = %+v", body[1])
+	}
+}
+
+func TestParseAtomic(t *testing.T) {
+	prog := mustParse(t, `
+byte g;
+proctype P() {
+	atomic { g = 1; g = 2 };
+	d_step { g = 3 }
+}`)
+	body := prog.Procs[0].Body.Stmts
+	a, ok := body[0].(*AtomicStmt)
+	if !ok || len(a.Body.Stmts) != 2 {
+		t.Fatalf("atomic = %+v", body[0])
+	}
+	if _, ok := body[1].(*AtomicStmt); !ok {
+		t.Fatalf("d_step = %T", body[1])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := mustParse(t, "byte x = 1 + 2 * 3;")
+	bin := prog.Globals[0].Init.(*Binary)
+	if bin.Op != OpAdd {
+		t.Fatalf("top op = %v, want +", bin.Op)
+	}
+	rhs := bin.Y.(*Binary)
+	if rhs.Op != OpMul {
+		t.Errorf("rhs op = %v, want *", rhs.Op)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	prog := mustParse(t, "bool b = 1 == 2 && 3 < 4 || 0;")
+	or := prog.Globals[0].Init.(*Binary)
+	if or.Op != OpOr {
+		t.Fatalf("top op = %v, want ||", or.Op)
+	}
+	and := or.X.(*Binary)
+	if and.Op != OpAnd {
+		t.Fatalf("lhs op = %v, want &&", and.Op)
+	}
+}
+
+func TestParseChanPreds(t *testing.T) {
+	prog := mustParse(t, `
+chan c = [2] of { byte };
+proctype P() {
+	(len(c) < 2);
+	full(c);
+	nempty(c)
+}`)
+	body := prog.Procs[0].Body.Stmts
+	if len(body) != 3 {
+		t.Fatalf("body = %d stmts", len(body))
+	}
+	g := body[1].(*ExprStmt)
+	cp, ok := g.X.(*ChanPred)
+	if !ok || cp.Op != PredFull || cp.Ch != "c" {
+		t.Errorf("full(c) = %+v", g.X)
+	}
+}
+
+func TestParseGuardStartingWithIdent(t *testing.T) {
+	prog := mustParse(t, `
+byte x;
+proctype P() {
+	x > 2 -> x = 0
+}`)
+	body := prog.Procs[0].Body.Stmts
+	if len(body) != 2 {
+		t.Fatalf("body = %d stmts, want guard+assign", len(body))
+	}
+	g, ok := body[0].(*ExprStmt)
+	if !ok {
+		t.Fatalf("first stmt = %T", body[0])
+	}
+	if b, ok := g.X.(*Binary); !ok || b.Op != OpGt {
+		t.Errorf("guard = %+v", g.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		src     string
+		wantSub string
+	}{
+		{"proctype P() { if fi }", "expected ::"},
+		{"proctype P() { do :: od }", "empty option"},
+		{"chan c = [x] of {byte};", "expected number"},
+		{"proctype P(", "expected type name"},
+		{"banana", "expected declaration"},
+		{"active [0] proctype P() { skip }", "invalid active instance count"},
+		{"chan c = [1] of {chan};", "chan-typed channel fields"},
+	}
+	for _, tt := range tests {
+		_, err := Parse(tt.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", tt.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("Parse(%q) error = %v, want substring %q", tt.src, err, tt.wantSub)
+		}
+	}
+}
+
+func TestParseSeparatorsInterchangeable(t *testing.T) {
+	a := mustParse(t, "proctype P() { skip; skip; skip }")
+	b := mustParse(t, "proctype P() { skip -> skip -> skip }")
+	if len(a.Procs[0].Body.Stmts) != len(b.Procs[0].Body.Stmts) {
+		t.Errorf("separator styles differ: %d vs %d stmts",
+			len(a.Procs[0].Body.Stmts), len(b.Procs[0].Body.Stmts))
+	}
+}
+
+func TestParsePrintf(t *testing.T) {
+	prog := mustParse(t, `proctype P() { printf("x=%d", 1+2) }`)
+	pf := prog.Procs[0].Body.Stmts[0].(*PrintfStmt)
+	if pf.Format != "x=%d" || len(pf.Args) != 1 {
+		t.Errorf("printf = %+v", pf)
+	}
+}

@@ -1,0 +1,168 @@
+package pml
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickTruncateIdempotent(t *testing.T) {
+	types := []Type{TypeBit, TypeBool, TypeByte, TypeShort, TypeInt, TypeMtype}
+	f := func(v int64, typIdx uint8) bool {
+		typ := types[int(typIdx)%len(types)]
+		once := typ.Truncate(v)
+		return typ.Truncate(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTruncateInRange(t *testing.T) {
+	f := func(v int64) bool {
+		b := TypeByte.Truncate(v)
+		s := TypeShort.Truncate(v)
+		bit := TypeBit.Truncate(v)
+		return b >= 0 && b <= 255 &&
+			s >= -32768 && s <= 32767 &&
+			(bit == 0 || bit == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// exprString renders an expression back to pml syntax, fully
+// parenthesized.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case *Num:
+		if x.Val < 0 {
+			return fmt.Sprintf("(0 - %d)", -x.Val)
+		}
+		return fmt.Sprintf("%d", x.Val)
+	case *Ident:
+		return x.Name
+	case *Unary:
+		op := "-"
+		if x.Op == OpNot {
+			op = "!"
+		}
+		return "(" + op + exprString(x.X) + ")"
+	case *Binary:
+		return "(" + exprString(x.X) + " " + x.Op.String() + " " + exprString(x.Y) + ")"
+	case *PidExpr:
+		return "_pid"
+	case *ChanPred:
+		return x.Op.String() + "(" + x.Ch + ")"
+	default:
+		return "?"
+	}
+}
+
+// randomExprAST builds a random expression over the globals a, b, c.
+func randomExprAST(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return &Num{Val: int64(r.Intn(21) - 10)}
+		default:
+			return &Ident{Name: string(rune('a' + r.Intn(3)))}
+		}
+	}
+	switch r.Intn(9) {
+	case 0:
+		return &Unary{Op: OpNeg, X: randomExprAST(r, depth-1)}
+	case 1:
+		return &Unary{Op: OpNot, X: randomExprAST(r, depth-1)}
+	default:
+		ops := []BinaryOp{OpAdd, OpSub, OpMul, OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr}
+		return &Binary{
+			Op: ops[r.Intn(len(ops))],
+			X:  randomExprAST(r, depth-1),
+			Y:  randomExprAST(r, depth-1),
+		}
+	}
+}
+
+type quickEnv struct{ a, b, c int64 }
+
+func (e quickEnv) Global(i int) int64 { return [3]int64{e.a, e.b, e.c}[i] }
+func (quickEnv) Local(int) int64      { return 0 }
+func (quickEnv) Pid() int64           { return 0 }
+func (quickEnv) ChanLen(ChanRef) int  { return 0 }
+func (quickEnv) ChanCap(ChanRef) int  { return 0 }
+func (quickEnv) Timeout() bool        { return false }
+
+// TestQuickParseRoundTrip: rendering a random expression and re-parsing
+// it yields the same evaluation under random environments — exercising
+// parser precedence and associativity.
+func TestQuickParseRoundTrip(t *testing.T) {
+	prog, err := CompileSource("byte a, b, c;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		ast := randomExprAST(r, 4)
+		src := exprString(ast)
+		reparsed, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		orig, err := prog.ResolveGlobalExpr(ast)
+		if err != nil {
+			t.Fatalf("resolve original %q: %v", src, err)
+		}
+		back, err := prog.ResolveGlobalExpr(reparsed)
+		if err != nil {
+			t.Fatalf("resolve reparsed %q: %v", src, err)
+		}
+		for j := 0; j < 5; j++ {
+			env := quickEnv{int64(r.Intn(11) - 5), int64(r.Intn(11) - 5), int64(r.Intn(11) - 5)}
+			v1, err1 := Eval(orig, env)
+			v2, err2 := Eval(back, env)
+			if (err1 == nil) != (err2 == nil) || (err1 == nil && v1 != v2) {
+				t.Fatalf("round trip diverged for %q with %+v: (%v,%v) vs (%v,%v)",
+					src, env, v1, err1, v2, err2)
+			}
+		}
+	}
+}
+
+// TestQuickLexNeverPanics: the lexer returns tokens or an error for any
+// input, never panicking, and every returned token stream ends with EOF.
+func TestQuickLexNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		toks, err := Lex(src)
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParseNeverPanics: arbitrary identifier soup must produce an
+// error or a program, never a panic.
+func TestQuickParseNeverPanics(t *testing.T) {
+	words := []string{
+		"proctype", "if", "fi", "do", "od", "::", ";", "->", "{", "}",
+		"(", ")", "byte", "chan", "x", "c", "!", "?", "=", "1", "skip",
+		"break", "else", "goto", "atomic", "mtype", "of", "[", "]",
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(30)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(words[r.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String()) // must not panic
+	}
+}

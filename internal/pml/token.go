@@ -1,0 +1,235 @@
+// Package pml implements a faithful subset of the Promela modeling
+// language: the lexer, parser, static resolver, and a compiler that lowers
+// process bodies to explicit transition graphs suitable for state-space
+// exploration by internal/model and internal/checker.
+//
+// The subset covers everything the Plug-and-Play building-block models in
+// the paper use: mtype declarations, global and proctype-local channels,
+// integer-typed variables, proctype parameters (including channel
+// parameters), do/if selection with :: options and else, break, goto and
+// labels, atomic sections, assert, skip, send (! and sorted !!), receive
+// (? and random ??) with eval()/constant matching and wildcard _, and the
+// channel predicates len/full/empty/nfull/nempty.
+package pml
+
+import "strconv"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds follow the operator kinds.
+const (
+	EOF Kind = iota + 1
+	IDENT
+	NUMBER
+	STRING
+
+	LBRACE  // {
+	RBRACE  // }
+	LPAREN  // (
+	RPAREN  // )
+	LBRACK  // [
+	RBRACK  // ]
+	SEMI    // ;
+	ARROW   // ->
+	COMMA   // ,
+	COLON   // :
+	DCOLON  // ::
+	ASSIGN  // =
+	BANG    // !
+	DBANG   // !!
+	QUERY   // ?
+	DQUERY  // ??
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	EQ      // ==
+	NEQ     // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	AND     // &&
+	OR      // ||
+	NOT     // ! in expression position (lexed as BANG; parser disambiguates)
+	UNDERSCORE
+
+	KwMtype
+	KwChan
+	KwOf
+	KwProctype
+	KwActive
+	KwIf
+	KwFi
+	KwDo
+	KwOd
+	KwAtomic
+	KwDstep
+	KwBreak
+	KwSkip
+	KwElse
+	KwGoto
+	KwAssert
+	KwPrintf
+	KwEval
+	KwLen
+	KwFull
+	KwEmpty
+	KwNfull
+	KwNempty
+	KwTrue
+	KwFalse
+	KwBit
+	KwBool
+	KwByte
+	KwShort
+	KwInt
+	KwPid
+	KwTypedef
+	KwInit
+	KwRun
+	KwTimeout
+	KwFor
+	DOTDOT // ..
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "end of file",
+	IDENT:      "identifier",
+	NUMBER:     "number",
+	STRING:     "string",
+	LBRACE:     "{",
+	RBRACE:     "}",
+	LPAREN:     "(",
+	RPAREN:     ")",
+	LBRACK:     "[",
+	RBRACK:     "]",
+	SEMI:       ";",
+	ARROW:      "->",
+	COMMA:      ",",
+	COLON:      ":",
+	DCOLON:     "::",
+	ASSIGN:     "=",
+	BANG:       "!",
+	DBANG:      "!!",
+	QUERY:      "?",
+	DQUERY:     "??",
+	PLUS:       "+",
+	MINUS:      "-",
+	STAR:       "*",
+	SLASH:      "/",
+	PERCENT:    "%",
+	EQ:         "==",
+	NEQ:        "!=",
+	LT:         "<",
+	LE:         "<=",
+	GT:         ">",
+	GE:         ">=",
+	AND:        "&&",
+	OR:         "||",
+	UNDERSCORE: "_",
+	KwMtype:    "mtype",
+	KwChan:     "chan",
+	KwOf:       "of",
+	KwProctype: "proctype",
+	KwActive:   "active",
+	KwIf:       "if",
+	KwFi:       "fi",
+	KwDo:       "do",
+	KwOd:       "od",
+	KwAtomic:   "atomic",
+	KwDstep:    "d_step",
+	KwBreak:    "break",
+	KwSkip:     "skip",
+	KwElse:     "else",
+	KwGoto:     "goto",
+	KwAssert:   "assert",
+	KwPrintf:   "printf",
+	KwEval:     "eval",
+	KwLen:      "len",
+	KwFull:     "full",
+	KwEmpty:    "empty",
+	KwNfull:    "nfull",
+	KwNempty:   "nempty",
+	KwTrue:     "true",
+	KwFalse:    "false",
+	KwBit:      "bit",
+	KwBool:     "bool",
+	KwByte:     "byte",
+	KwShort:    "short",
+	KwInt:      "int",
+	KwPid:      "_pid",
+	KwTypedef:  "typedef",
+	KwInit:     "init",
+	KwRun:      "run",
+	KwTimeout:  "timeout",
+	KwFor:      "for",
+	DOTDOT:     "..",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+var keywords = map[string]Kind{
+	"mtype":    KwMtype,
+	"chan":     KwChan,
+	"of":       KwOf,
+	"proctype": KwProctype,
+	"active":   KwActive,
+	"if":       KwIf,
+	"fi":       KwFi,
+	"do":       KwDo,
+	"od":       KwOd,
+	"atomic":   KwAtomic,
+	"d_step":   KwDstep,
+	"break":    KwBreak,
+	"skip":     KwSkip,
+	"else":     KwElse,
+	"goto":     KwGoto,
+	"assert":   KwAssert,
+	"printf":   KwPrintf,
+	"eval":     KwEval,
+	"len":      KwLen,
+	"full":     KwFull,
+	"empty":    KwEmpty,
+	"nfull":    KwNfull,
+	"nempty":   KwNempty,
+	"true":     KwTrue,
+	"false":    KwFalse,
+	"bit":      KwBit,
+	"bool":     KwBool,
+	"byte":     KwByte,
+	"short":    KwShort,
+	"int":      KwInt,
+	"_pid":     KwPid,
+	"typedef":  KwTypedef,
+	"init":     KwInit,
+	"run":      KwRun,
+	"timeout":  KwTimeout,
+	"for":      KwFor,
+}
+
+// Pos is a source position within a pml compilation unit.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string {
+	return strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Col)
+}
+
+// Token is a single lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT, NUMBER, STRING
+	Pos  Pos
+}

@@ -1,0 +1,198 @@
+package pnprt
+
+import (
+	"context"
+	"sync/atomic"
+
+	"pnp/internal/blocks"
+)
+
+// Stats are cumulative counters of one connector's channel process. They
+// are updated atomically and may be read at any time.
+type Stats struct {
+	// Accepted counts messages stored in the buffer (IN_OK with storage).
+	Accepted int64
+	// Rejected counts IN_FAIL replies (checking sends on a full buffer).
+	Rejected int64
+	// Dropped counts messages silently discarded by a dropping buffer.
+	Dropped int64
+	// Delivered counts successful deliveries to receive ports.
+	Delivered int64
+	// Failed counts OUT_FAIL replies (nonblocking receives on empty).
+	Failed int64
+}
+
+// entry is one buffered message plus its delivery notification.
+type entry struct {
+	msg       Message
+	delivered chan struct{}
+	notified  bool
+}
+
+// chanProc is the channel (storage medium) process of a connector. All
+// buffer state is confined to its goroutine; ports talk to it through the
+// in and out channels.
+type chanProc struct {
+	conn *Connector
+	kind blocks.ChannelKind
+	size int
+	in   chan inMsg
+	out  chan outReq
+
+	buf       []entry
+	waitSends []inMsg
+	waitRecvs []outReq
+
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	dropped   atomic.Int64
+	delivered atomic.Int64
+	failed    atomic.Int64
+}
+
+func newChanProc(c *Connector, spec Spec) *chanProc {
+	size := spec.Size
+	if spec.Channel == blocks.SingleSlot {
+		size = 1
+	}
+	return &chanProc{
+		conn: c,
+		kind: spec.Channel,
+		size: size,
+		in:   make(chan inMsg),
+		out:  make(chan outReq),
+	}
+}
+
+func (p *chanProc) run(ctx context.Context) {
+	for {
+		select {
+		case m := <-p.in:
+			p.handleIn(m)
+		case r := <-p.out:
+			p.handleOut(r)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (p *chanProc) emit(signal string, port int, m Message) {
+	p.conn.emit(Event{Source: "channel", Port: port, Signal: signal, Msg: m})
+}
+
+func (p *chanProc) handleIn(m inMsg) {
+	switch {
+	case len(p.buf) < p.size:
+		p.insert(m)
+		p.accepted.Add(1)
+		p.emit("IN_OK", m.msg.Sender, m.msg)
+		m.reply <- inOK
+		p.rebalance()
+	case p.kind == blocks.DroppingBuffer:
+		// Accept and silently discard, confirming IN_OK — the paper's
+		// drop-when-full buffer. A tracked delivery never happens.
+		p.dropped.Add(1)
+		p.emit("IN_OK", m.msg.Sender, m.msg)
+		p.emit("DROPPED", m.msg.Sender, m.msg)
+		m.reply <- inOK
+	case m.wait:
+		p.waitSends = append(p.waitSends, m)
+	default:
+		p.rejected.Add(1)
+		p.emit("IN_FAIL", m.msg.Sender, m.msg)
+		m.reply <- inFail
+	}
+}
+
+// insert stores the message respecting the channel kind's order.
+func (p *chanProc) insert(m inMsg) {
+	e := entry{msg: m.msg, delivered: m.delivered}
+	if p.kind == blocks.PriorityQueue {
+		pos := len(p.buf)
+		for i := range p.buf {
+			if m.msg.Tag < p.buf[i].msg.Tag {
+				pos = i
+				break
+			}
+		}
+		p.buf = append(p.buf, entry{})
+		copy(p.buf[pos+1:], p.buf[pos:])
+		p.buf[pos] = e
+		return
+	}
+	p.buf = append(p.buf, e)
+}
+
+// findMatch locates the first message satisfying the request.
+func (p *chanProc) findMatch(req RecvRequest) int {
+	for i := range p.buf {
+		if !req.Selective || p.buf[i].msg.Tag == req.Tag {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *chanProc) handleOut(r outReq) {
+	i := p.findMatch(r.req)
+	if i < 0 {
+		if r.wait {
+			p.waitRecvs = append(p.waitRecvs, r)
+			return
+		}
+		p.failed.Add(1)
+		p.emit("OUT_FAIL", -1, Message{})
+		r.reply <- recvReply{status: RecvFail}
+		return
+	}
+	p.deliver(i, r)
+	p.rebalance()
+}
+
+func (p *chanProc) deliver(i int, r outReq) {
+	e := &p.buf[i]
+	p.delivered.Add(1)
+	p.emit("OUT_OK", e.msg.Sender, e.msg)
+	r.reply <- recvReply{status: RecvSucc, msg: e.msg}
+	if e.delivered != nil && !e.notified {
+		close(e.delivered)
+		e.notified = true
+	}
+	p.emit("RECV_OK", e.msg.Sender, e.msg)
+	if !r.req.Copy {
+		p.buf = append(p.buf[:i], p.buf[i+1:]...)
+	}
+}
+
+// rebalance serves parked receivers and admits parked senders until no
+// further progress is possible. Each iteration consumes a parked request
+// or fills a buffer slot, so it terminates.
+func (p *chanProc) rebalance() {
+	for {
+		progress := false
+		for i := 0; i < len(p.waitRecvs); i++ {
+			r := p.waitRecvs[i]
+			j := p.findMatch(r.req)
+			if j < 0 {
+				continue
+			}
+			p.waitRecvs = append(p.waitRecvs[:i], p.waitRecvs[i+1:]...)
+			p.deliver(j, r)
+			progress = true
+			break
+		}
+		if len(p.waitSends) > 0 && len(p.buf) < p.size {
+			m := p.waitSends[0]
+			p.waitSends = p.waitSends[1:]
+			p.insert(m)
+			p.accepted.Add(1)
+			p.emit("IN_OK", m.msg.Sender, m.msg)
+			m.reply <- inOK
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package pnprt is the executable runtime of the Plug-and-Play building
+// blocks: every port and channel of the library (blocks package) is
+// implemented as a goroutine speaking the same two-phase protocols as the
+// formal models, so a design that was verified with the checker can be run
+// directly.
+//
+// Components interact only through the standard interfaces of the paper's
+// Figure 3: a Sender sends a message and waits for its SendStatus; a
+// Receiver issues a receive request, waits for the RecvStatus, and then
+// takes the (possibly empty) message. Because these interfaces never
+// change, ports and channels can be swapped without touching component
+// code — the same plug-and-play property the models have.
+//
+// One deliberate runtime refinement: where the models implement blocking
+// via busy retry loops (IN_FAIL then resend), the runtime parks blocked
+// requests inside the channel process and wakes them when space or
+// messages become available. The observable protocol (statuses, orderings,
+// loss behavior) is identical; the CPU is just not burned.
+package pnprt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"pnp/internal/blocks"
+)
+
+// Status is a SendStatus or RecvStatus delivered to a component through
+// the standard interface.
+type Status int
+
+// Statuses.
+const (
+	SendSucc Status = iota + 1
+	SendFail
+	RecvSucc
+	RecvFail
+)
+
+var statusNames = map[Status]string{
+	SendSucc: "SEND_SUCC",
+	SendFail: "SEND_FAIL",
+	RecvSucc: "RECV_SUCC",
+	RecvFail: "RECV_FAIL",
+}
+
+// String returns the paper's signal name for the status.
+func (s Status) String() string { return statusNames[s] }
+
+// Message is an application message. Tag doubles as the selective-receive
+// key and, for priority channels, the priority (lower is more urgent),
+// matching the models' selectiveData field.
+type Message struct {
+	Data   any
+	Tag    int
+	Sender int // filled in by the send port
+}
+
+// RecvRequest is the receive-side request of the standard interface.
+type RecvRequest struct {
+	Selective bool
+	Tag       int
+	Copy      bool // leave the message in the buffer (copy receive)
+}
+
+// Sender is the component-side sending interface (paper Fig. 3a).
+type Sender interface {
+	Send(ctx context.Context, m Message) (Status, error)
+}
+
+// Receiver is the component-side receiving interface (paper Fig. 3b).
+type Receiver interface {
+	Receive(ctx context.Context, req RecvRequest) (Status, Message, error)
+}
+
+// ErrStopped is returned when an endpoint is used after its connector
+// stopped.
+var ErrStopped = errors.New("pnprt: connector stopped")
+
+// Event is one protocol-level occurrence, reported to the connector's
+// trace function. Signal uses the models' alphabet (IN_OK, OUT_FAIL,
+// RECV_OK, SEND_SUCC, ...).
+type Event struct {
+	Connector string
+	Source    string // "send-port", "recv-port", "channel"
+	Port      int
+	Signal    string
+	Msg       Message
+}
+
+// TraceFunc observes protocol events. It is called from port and channel
+// goroutines; implementations must be safe for concurrent use.
+type TraceFunc func(Event)
+
+// Spec aliases the block library's connector specification; the runtime
+// implements the same catalog.
+type Spec = blocks.ConnectorSpec
+
+// validateSpec checks a spec for the runtime, which does not share the
+// models' static buffer-size ceiling.
+func validateSpec(spec Spec) error {
+	base := spec
+	if base.Size > blocks.MaxBufSize {
+		base.Size = blocks.MaxBufSize // size ceiling applies to models only
+	}
+	if err := base.Validate(); err != nil {
+		return err
+	}
+	if spec.Channel != blocks.SingleSlot && spec.Size < 1 {
+		return fmt.Errorf("pnprt: channel size %d must be >= 1", spec.Size)
+	}
+	return nil
+}
+
+// --- internal protocol messages ---
+
+type sendCall struct {
+	msg   Message
+	reply chan Status
+}
+
+type inStatus int
+
+const (
+	inOK inStatus = iota + 1
+	inFail
+)
+
+type inMsg struct {
+	msg       Message
+	wait      bool          // park until space rather than failing
+	reply     chan inStatus // IN_OK / IN_FAIL
+	delivered chan struct{} // closed on first delivery; nil if not tracked
+}
+
+type recvReply struct {
+	status Status
+	msg    Message
+}
+
+type recvCall struct {
+	req   RecvRequest
+	reply chan recvReply
+}
+
+type outReq struct {
+	req   RecvRequest
+	wait  bool
+	sub   int // subscriber index for event pools; unused otherwise
+	reply chan recvReply
+}
+
+// Connector assembles a channel process with send and receive ports and
+// manages their goroutines' lifecycle.
+type Connector struct {
+	name  string
+	spec  Spec
+	trace TraceFunc
+
+	ch        *chanProc
+	senders   []*sendPort
+	receivers []*recvPort
+
+	mu      sync.Mutex
+	started bool
+	cancel  context.CancelFunc
+	done    chan struct{} // closed when Stop completes
+	stopCh  chan struct{} // closed at cancel time; unblocks endpoints
+	wg      sync.WaitGroup
+}
+
+// Option configures a Connector.
+type Option func(*Connector)
+
+// WithTrace installs a protocol-event observer.
+func WithTrace(fn TraceFunc) Option {
+	return func(c *Connector) { c.trace = fn }
+}
+
+// NewConnector builds a connector from a spec. Endpoints must be created
+// before Start.
+func NewConnector(name string, spec Spec, opts ...Option) (*Connector, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	c := &Connector{
+		name:   name,
+		spec:   spec,
+		done:   make(chan struct{}),
+		stopCh: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.ch = newChanProc(c, spec)
+	return c, nil
+}
+
+// Name returns the connector's name.
+func (c *Connector) Name() string { return c.name }
+
+// Spec returns the connector's specification.
+func (c *Connector) Spec() Spec { return c.spec }
+
+// Stats returns a snapshot of the connector's channel counters.
+func (c *Connector) Stats() Stats {
+	return Stats{
+		Accepted:  c.ch.accepted.Load(),
+		Rejected:  c.ch.rejected.Load(),
+		Dropped:   c.ch.dropped.Load(),
+		Delivered: c.ch.delivered.Load(),
+		Failed:    c.ch.failed.Load(),
+	}
+}
+
+func (c *Connector) emit(e Event) {
+	if c.trace != nil {
+		e.Connector = c.name
+		c.trace(e)
+	}
+}
+
+// NewSender attaches a sending endpoint (and its send port). Must be
+// called before Start.
+func (c *Connector) NewSender() (*SenderEndpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return nil, errors.New("pnprt: NewSender after Start")
+	}
+	p := &sendPort{
+		id:    len(c.senders),
+		kind:  c.spec.Send,
+		conn:  c,
+		calls: make(chan sendCall),
+	}
+	c.senders = append(c.senders, p)
+	return &SenderEndpoint{port: p, conn: c}, nil
+}
+
+// NewReceiver attaches a receiving endpoint (and its receive port). Must
+// be called before Start.
+func (c *Connector) NewReceiver() (*ReceiverEndpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return nil, errors.New("pnprt: NewReceiver after Start")
+	}
+	p := &recvPort{
+		id:    len(c.receivers),
+		kind:  c.spec.Recv,
+		conn:  c,
+		calls: make(chan recvCall),
+	}
+	c.receivers = append(c.receivers, p)
+	return &ReceiverEndpoint{port: p, conn: c}, nil
+}
+
+// Start launches the channel process and all port goroutines. The
+// connector runs until Stop is called or ctx is cancelled.
+func (c *Connector) Start(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("pnprt: connector already started")
+	}
+	c.started = true
+	ctx, cancel := context.WithCancel(ctx)
+	c.cancel = cancel
+
+	// Unblock endpoint callers the moment the connector is cancelled; this
+	// goroutine exits right after cancellation.
+	go func() {
+		<-ctx.Done()
+		close(c.stopCh)
+	}()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.ch.run(ctx)
+	}()
+	for _, p := range c.senders {
+		p := p
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			p.run(ctx)
+		}()
+	}
+	for _, p := range c.receivers {
+		p := p
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			p.run(ctx)
+		}()
+	}
+	go func() {
+		c.wg.Wait()
+		close(c.done)
+	}()
+	return nil
+}
+
+// Stop cancels the connector and waits for every goroutine to exit. It is
+// safe to call multiple times.
+func (c *Connector) Stop() {
+	c.mu.Lock()
+	cancel := c.cancel
+	started := c.started
+	c.mu.Unlock()
+	if !started {
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+	<-c.done
+}

@@ -1,0 +1,515 @@
+package pnprt
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pnp/internal/blocks"
+)
+
+func startConnector(t *testing.T, spec Spec, nSend, nRecv int, opts ...Option) (*Connector, []*SenderEndpoint, []*ReceiverEndpoint) {
+	t.Helper()
+	c, err := NewConnector("test", spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := make([]*SenderEndpoint, nSend)
+	for i := range senders {
+		s, err := c.NewSender()
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders[i] = s
+	}
+	receivers := make([]*ReceiverEndpoint, nRecv)
+	for i := range receivers {
+		r, err := c.NewReceiver()
+		if err != nil {
+			t.Fatal(err)
+		}
+		receivers[i] = r
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c, senders, receivers
+}
+
+func ctxShort(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestBasicSendReceive(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+
+	st, err := snd[0].Send(ctx, Message{Data: "hello"})
+	if err != nil || st != SendSucc {
+		t.Fatalf("Send = %v, %v", st, err)
+	}
+	st, m, err := rcv[0].Receive(ctx, RecvRequest{})
+	if err != nil || st != RecvSucc {
+		t.Fatalf("Receive = %v, %v", st, err)
+	}
+	if m.Data != "hello" {
+		t.Errorf("Data = %v", m.Data)
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 8, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	for i := 0; i < 8; i++ {
+		if st, err := snd[0].Send(ctx, Message{Data: i}); err != nil || st != SendSucc {
+			t.Fatalf("send %d: %v %v", i, st, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		_, m, err := rcv[0].Receive(ctx, RecvRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Data != i {
+			t.Errorf("message %d = %v, want %d", i, m.Data, i)
+		}
+	}
+}
+
+func TestSynBlockingSendWaitsForDelivery(t *testing.T) {
+	spec := Spec{Send: blocks.SynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+
+	sent := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if st, err := snd[0].Send(ctx, Message{Data: 1}); err != nil || st != SendSucc {
+			t.Errorf("Send = %v, %v", st, err)
+		}
+		close(sent)
+	}()
+
+	// The sync sender must not complete before the receiver takes the
+	// message.
+	select {
+	case <-sent:
+		t.Fatal("sync send completed before delivery")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if st, _, err := rcv[0].Receive(ctx, RecvRequest{}); err != nil || st != RecvSucc {
+		t.Fatalf("Receive = %v, %v", st, err)
+	}
+	select {
+	case <-sent:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sync send did not complete after delivery")
+	}
+	wg.Wait()
+}
+
+func TestAsynBlockingSendCompletesWithoutReceiver(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	_, snd, _ := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	// Async send completes once stored, with nobody receiving.
+	if st, err := snd[0].Send(ctx, Message{Data: 1}); err != nil || st != SendSucc {
+		t.Fatalf("Send = %v, %v", st, err)
+	}
+}
+
+func TestAsynBlockingSendBlocksWhenFull(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	if _, err := snd[0].Send(ctx, Message{Data: 1}); err != nil {
+		t.Fatal(err)
+	}
+	second := make(chan struct{})
+	go func() {
+		if st, err := snd[0].Send(ctx, Message{Data: 2}); err != nil || st != SendSucc {
+			t.Errorf("second send = %v, %v", st, err)
+		}
+		close(second)
+	}()
+	select {
+	case <-second:
+		t.Fatal("send into full single-slot buffer did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, _, err := rcv[0].Receive(ctx, RecvRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-second:
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked send was not woken by the freed slot")
+	}
+}
+
+func TestCheckingSendReportsFull(t *testing.T) {
+	spec := Spec{Send: blocks.AsynCheckingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	_, snd, _ := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	if st, err := snd[0].Send(ctx, Message{Data: 1}); err != nil || st != SendSucc {
+		t.Fatalf("first send = %v, %v", st, err)
+	}
+	st, err := snd[0].Send(ctx, Message{Data: 2})
+	if err != nil || st != SendFail {
+		t.Fatalf("second send = %v, %v; want SEND_FAIL", st, err)
+	}
+}
+
+func TestNonblockingReceiveFailsWhenEmpty(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.NonblockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	st, _, err := rcv[0].Receive(ctx, RecvRequest{})
+	if err != nil || st != RecvFail {
+		t.Fatalf("Receive on empty = %v, %v; want RECV_FAIL", st, err)
+	}
+	if _, err := snd[0].Send(ctx, Message{Data: 9}); err != nil {
+		t.Fatal(err)
+	}
+	st, m, err := rcv[0].Receive(ctx, RecvRequest{})
+	if err != nil || st != RecvSucc || m.Data != 9 {
+		t.Fatalf("Receive = %v, %v, %v", st, m, err)
+	}
+}
+
+func TestDroppingChannelDropsWhenFull(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.DroppingBuffer, Size: 1, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	for i := 0; i < 3; i++ {
+		if st, err := snd[0].Send(ctx, Message{Data: i}); err != nil || st != SendSucc {
+			t.Fatalf("send %d = %v, %v", i, st, err)
+		}
+	}
+	// Only the first message survived.
+	_, m, err := rcv[0].Receive(ctx, RecvRequest{})
+	if err != nil || m.Data != 0 {
+		t.Fatalf("Receive = %v, %v", m, err)
+	}
+	// The dropped messages never arrive: a blocking receive parks until
+	// its (short) deadline.
+	shortCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if st, _, err := rcv[0].Receive(shortCtx, RecvRequest{}); err == nil {
+		t.Errorf("dropped message was delivered with status %v", st)
+	}
+}
+
+func TestDroppingReceiveIsNonblockingViaPortKind(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.DroppingBuffer, Size: 1, Recv: blocks.NonblockingRecv}
+	_, _, rcv := startConnector(t, spec, 1, 1)
+	st, _, err := rcv[0].Receive(ctxShort(t), RecvRequest{})
+	if err != nil || st != RecvFail {
+		t.Fatalf("empty dropping buffer receive = %v, %v", st, err)
+	}
+}
+
+func TestPriorityChannelDeliversUrgentFirst(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.PriorityQueue, Size: 4, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	for _, prio := range []int{3, 1, 2} {
+		if _, err := snd[0].Send(ctx, Message{Data: prio, Tag: prio}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []int{1, 2, 3} {
+		_, m, err := rcv[0].Receive(ctx, RecvRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Data != want {
+			t.Errorf("delivery = %v, want %d", m.Data, want)
+		}
+	}
+}
+
+func TestSelectiveReceive(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 4, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	if _, err := snd[0].Send(ctx, Message{Data: "a", Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snd[0].Send(ctx, Message{Data: "b", Tag: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, m, err := rcv[0].Receive(ctx, RecvRequest{Selective: true, Tag: 2})
+	if err != nil || m.Data != "b" {
+		t.Fatalf("selective receive = %v, %v", m, err)
+	}
+	_, m, err = rcv[0].Receive(ctx, RecvRequest{})
+	if err != nil || m.Data != "a" {
+		t.Fatalf("remaining receive = %v, %v", m, err)
+	}
+}
+
+func TestCopyReceiveLeavesMessage(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	if _, err := snd[0].Send(ctx, Message{Data: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, m, err := rcv[0].Receive(ctx, RecvRequest{Copy: true})
+		if err != nil || m.Data != 7 {
+			t.Fatalf("copy receive %d = %v, %v", i, m, err)
+		}
+	}
+	_, m, err := rcv[0].Receive(ctx, RecvRequest{})
+	if err != nil || m.Data != 7 {
+		t.Fatalf("remove receive = %v, %v", m, err)
+	}
+	// After the remove-receive the buffer is empty again.
+	shortCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := rcv[0].Receive(shortCtx, RecvRequest{Copy: true}); err == nil {
+		t.Error("buffer should be empty after the remove receive")
+	}
+}
+
+func TestConnectorStats(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.DroppingBuffer, Size: 1, Recv: blocks.BlockingRecv}
+	conn, snd, rcv := func() (*Connector, *SenderEndpoint, *ReceiverEndpoint) {
+		c, s, r := startConnector(t, spec, 1, 1)
+		return c, s[0], r[0]
+	}()
+	ctx := ctxShort(t)
+	for i := 0; i < 3; i++ {
+		if _, err := snd.Send(ctx, Message{Data: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := rcv.Receive(ctx, RecvRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	st := conn.Stats()
+	if st.Accepted != 1 || st.Dropped != 2 || st.Delivered != 1 {
+		t.Errorf("stats = %+v; want 1 accepted, 2 dropped, 1 delivered", st)
+	}
+	// A checking send on the (now empty, then full) buffer adds counters.
+	spec2 := Spec{Send: blocks.AsynCheckingSend, Channel: blocks.SingleSlot, Recv: blocks.NonblockingRecv}
+	conn2, snd2, rcv2 := func() (*Connector, *SenderEndpoint, *ReceiverEndpoint) {
+		c, s, r := startConnector(t, spec2, 1, 1)
+		return c, s[0], r[0]
+	}()
+	if _, err := snd2.Send(ctx, Message{Data: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := snd2.Send(ctx, Message{Data: 1}); err != nil || st != SendFail {
+		t.Fatalf("second send = %v %v", st, err)
+	}
+	if _, _, err := rcv2.Receive(ctx, RecvRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _, err := rcv2.Receive(ctx, RecvRequest{}); err != nil || st != RecvFail {
+		t.Fatalf("empty receive = %v %v", st, err)
+	}
+	s2 := conn2.Stats()
+	if s2.Rejected != 1 || s2.Failed != 1 {
+		t.Errorf("stats = %+v; want 1 rejected, 1 failed", s2)
+	}
+}
+
+func TestManySendersManyReceivers(t *testing.T) {
+	const nSenders, nReceivers, perSender = 4, 4, 25
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 8, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, nSenders, nReceivers)
+	ctx := ctxShort(t)
+
+	var wg sync.WaitGroup
+	for i, s := range snd {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				if _, err := s.Send(ctx, Message{Data: i*1000 + j}); err != nil {
+					t.Errorf("sender %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	got := make(chan int, nSenders*perSender)
+	for _, r := range rcv {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case got <- 0:
+				default:
+					return
+				}
+				if _, _, err := r.Receive(ctx, RecvRequest{}); err != nil {
+					t.Errorf("receive: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStopUnblocksEndpoints(t *testing.T) {
+	spec := Spec{Send: blocks.SynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	c, snd, rcv := startConnector(t, spec, 1, 1)
+	errs := make(chan error, 2)
+	go func() {
+		_, err := snd[0].Send(context.Background(), Message{Data: 1})
+		errs <- err
+	}()
+	go func() {
+		_, _, err := rcv[0].Receive(context.Background(), RecvRequest{Selective: true, Tag: 99})
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Stop()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				// The send may legitimately succeed if delivery won the race;
+				// only a hang is a failure.
+				continue
+			}
+			if err != ErrStopped && err != context.Canceled {
+				t.Errorf("unexpected error: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("endpoint did not unblock on Stop")
+		}
+	}
+}
+
+func TestContextCancelUnblocksSend(t *testing.T) {
+	spec := Spec{Send: blocks.SynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	_, snd, _ := startConnector(t, spec, 1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := snd[0].Send(ctx, Message{Data: 1})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("expected context error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send did not honor context cancellation")
+	}
+}
+
+func TestEndpointCreationAfterStartFails(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	c, _, _ := startConnector(t, spec, 1, 1)
+	if _, err := c.NewSender(); err == nil {
+		t.Error("NewSender after Start accepted")
+	}
+	if _, err := c.NewReceiver(); err == nil {
+		t.Error("NewReceiver after Start accepted")
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	if _, err := NewConnector("x", Spec{}); err == nil {
+		t.Error("zero spec accepted")
+	}
+	if _, err := NewConnector("x", Spec{
+		Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 0, Recv: blocks.BlockingRecv,
+	}); err == nil {
+		t.Error("sized channel with size 0 accepted")
+	}
+}
+
+func TestLargeBufferBeyondModelCeiling(t *testing.T) {
+	// The runtime is not bound by the models' static capacity of 8.
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 64, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1)
+	ctx := ctxShort(t)
+	for i := 0; i < 64; i++ {
+		if st, err := snd[0].Send(ctx, Message{Data: i}); err != nil || st != SendSucc {
+			t.Fatalf("send %d = %v %v", i, st, err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		_, m, err := rcv[0].Receive(ctx, RecvRequest{})
+		if err != nil || m.Data != i {
+			t.Fatalf("recv %d = %v %v", i, m, err)
+		}
+	}
+}
+
+// TestFig4RuntimeOrdering mirrors the model-level Figure 4 conformance on
+// the runtime: a synchronous send's SEND_SUCC must come after the
+// channel's RECV_OK for that message; an asynchronous send's SEND_SUCC
+// must come after IN_OK but may precede RECV_OK.
+func TestFig4RuntimeOrdering(t *testing.T) {
+	run := func(kind blocks.SendPortKind) []string {
+		var mu sync.Mutex
+		var events []string
+		spec := Spec{Send: kind, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+		_, snd, rcv := startConnector(t, spec, 1, 1, WithTrace(func(e Event) {
+			mu.Lock()
+			events = append(events, e.Signal)
+			mu.Unlock()
+		}))
+		ctx := ctxShort(t)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := snd[0].Send(ctx, Message{Data: 1}); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}()
+		if kind == blocks.AsynBlockingSend {
+			// Async: the send completes with no receiver involved.
+			<-done
+		}
+		if _, _, err := rcv[0].Receive(ctx, RecvRequest{}); err != nil {
+			t.Errorf("receive: %v", err)
+		}
+		<-done
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), events...)
+	}
+
+	indexOf := func(events []string, sig string) int {
+		for i, e := range events {
+			if e == sig {
+				return i
+			}
+		}
+		return -1
+	}
+
+	async := run(blocks.AsynBlockingSend)
+	if i, j := indexOf(async, "SEND_SUCC"), indexOf(async, "RECV_OK"); i < 0 || j >= 0 && i > j {
+		t.Errorf("async ordering: SEND_SUCC at %d, RECV_OK at %d in %v", i, j, async)
+	}
+	sync1 := run(blocks.SynBlockingSend)
+	if i, j := indexOf(sync1, "SEND_SUCC"), indexOf(sync1, "RECV_OK"); i < 0 || j < 0 || i < j {
+		t.Errorf("sync ordering violated: SEND_SUCC at %d, RECV_OK at %d in %v", i, j, sync1)
+	}
+}

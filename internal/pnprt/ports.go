@@ -1,0 +1,209 @@
+package pnprt
+
+import (
+	"context"
+
+	"pnp/internal/blocks"
+)
+
+// sendPort mediates between one sending component and the channel,
+// implementing one of the five send-port semantics.
+type sendPort struct {
+	id    int
+	kind  blocks.SendPortKind
+	conn  *Connector
+	calls chan sendCall
+}
+
+func (p *sendPort) emit(signal string, m Message) {
+	p.conn.emit(Event{Source: "send-port", Port: p.id, Signal: signal, Msg: m})
+}
+
+func (p *sendPort) run(ctx context.Context) {
+	for {
+		select {
+		case c := <-p.calls:
+			p.serve(ctx, c)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// forward hands the message to the channel process and returns its IN
+// status; ok=false means the context was cancelled.
+func (p *sendPort) forward(ctx context.Context, m inMsg) (inStatus, bool) {
+	select {
+	case p.conn.ch.in <- m:
+	case <-ctx.Done():
+		return 0, false
+	}
+	select {
+	case st := <-m.reply:
+		return st, true
+	case <-ctx.Done():
+		return 0, false
+	}
+}
+
+func (p *sendPort) serve(ctx context.Context, c sendCall) {
+	m := c.msg
+	m.Sender = p.id
+	switch p.kind {
+	case blocks.AsynNonblockingSend:
+		// Confirm first, then forward; a full non-dropping buffer loses
+		// the message silently (the model ignores IN_FAIL the same way).
+		p.emit("SEND_SUCC", m)
+		c.reply <- SendSucc
+		p.forward(ctx, inMsg{msg: m, reply: make(chan inStatus, 1)})
+	case blocks.AsynBlockingSend:
+		if _, ok := p.forward(ctx, inMsg{msg: m, wait: true, reply: make(chan inStatus, 1)}); !ok {
+			return
+		}
+		p.emit("SEND_SUCC", m)
+		c.reply <- SendSucc
+	case blocks.AsynCheckingSend:
+		st, ok := p.forward(ctx, inMsg{msg: m, reply: make(chan inStatus, 1)})
+		if !ok {
+			return
+		}
+		if st == inOK {
+			p.emit("SEND_SUCC", m)
+			c.reply <- SendSucc
+		} else {
+			p.emit("SEND_FAIL", m)
+			c.reply <- SendFail
+		}
+	case blocks.SynBlockingSend:
+		delivered := make(chan struct{})
+		if _, ok := p.forward(ctx, inMsg{msg: m, wait: true, delivered: delivered, reply: make(chan inStatus, 1)}); !ok {
+			return
+		}
+		select {
+		case <-delivered:
+		case <-ctx.Done():
+			return
+		}
+		p.emit("SEND_SUCC", m)
+		c.reply <- SendSucc
+	case blocks.SynCheckingSend:
+		delivered := make(chan struct{})
+		st, ok := p.forward(ctx, inMsg{msg: m, delivered: delivered, reply: make(chan inStatus, 1)})
+		if !ok {
+			return
+		}
+		if st == inFail {
+			p.emit("SEND_FAIL", m)
+			c.reply <- SendFail
+			return
+		}
+		select {
+		case <-delivered:
+		case <-ctx.Done():
+			return
+		}
+		p.emit("SEND_SUCC", m)
+		c.reply <- SendSucc
+	}
+}
+
+// recvPort mediates between one receiving component and the channel.
+type recvPort struct {
+	id    int
+	kind  blocks.RecvPortKind
+	conn  *Connector
+	calls chan recvCall
+}
+
+func (p *recvPort) emit(signal string, m Message) {
+	p.conn.emit(Event{Source: "recv-port", Port: p.id, Signal: signal, Msg: m})
+}
+
+func (p *recvPort) run(ctx context.Context) {
+	for {
+		select {
+		case c := <-p.calls:
+			p.serve(ctx, c)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (p *recvPort) serve(ctx context.Context, c recvCall) {
+	r := outReq{
+		req:   c.req,
+		wait:  p.kind == blocks.BlockingRecv,
+		sub:   p.id,
+		reply: make(chan recvReply, 1),
+	}
+	select {
+	case p.conn.ch.out <- r:
+	case <-ctx.Done():
+		return
+	}
+	select {
+	case rep := <-r.reply:
+		p.emit(rep.status.String(), rep.msg)
+		c.reply <- rep
+	case <-ctx.Done():
+	}
+}
+
+// SenderEndpoint is the component-side handle implementing Sender.
+type SenderEndpoint struct {
+	port *sendPort
+	conn *Connector
+}
+
+var _ Sender = (*SenderEndpoint)(nil)
+
+// Send implements the paper's sending interface: hand the message to the
+// port, then block until the SendStatus arrives.
+func (e *SenderEndpoint) Send(ctx context.Context, m Message) (Status, error) {
+	call := sendCall{msg: m, reply: make(chan Status, 1)}
+	select {
+	case e.port.calls <- call:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-e.conn.stopCh:
+		return 0, ErrStopped
+	}
+	select {
+	case st := <-call.reply:
+		return st, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-e.conn.stopCh:
+		return 0, ErrStopped
+	}
+}
+
+// ReceiverEndpoint is the component-side handle implementing Receiver.
+type ReceiverEndpoint struct {
+	port *recvPort
+	conn *Connector
+}
+
+var _ Receiver = (*ReceiverEndpoint)(nil)
+
+// Receive implements the paper's receiving interface: issue the request,
+// wait for the RecvStatus, and take the (possibly empty) message.
+func (e *ReceiverEndpoint) Receive(ctx context.Context, req RecvRequest) (Status, Message, error) {
+	call := recvCall{req: req, reply: make(chan recvReply, 1)}
+	select {
+	case e.port.calls <- call:
+	case <-ctx.Done():
+		return 0, Message{}, ctx.Err()
+	case <-e.conn.stopCh:
+		return 0, Message{}, ErrStopped
+	}
+	select {
+	case rep := <-call.reply:
+		return rep.status, rep.msg, nil
+	case <-ctx.Done():
+		return 0, Message{}, ctx.Err()
+	case <-e.conn.stopCh:
+		return 0, Message{}, ErrStopped
+	}
+}

@@ -1,0 +1,268 @@
+package pnprt
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// PubSub is a publish/subscribe connector (the paper's Section 6
+// extension): publishers push events into an event-pool channel, which
+// fans each event out to the private queue of every subscriber whose
+// subscription matches the event's tag. Publishing is nonblocking (the
+// asynchronous nonblocking send semantics); a full subscriber queue drops
+// the newest event for that subscriber only.
+type PubSub struct {
+	name  string
+	qsize int
+	trace TraceFunc
+
+	pub chan pubMsg
+	req chan outReq
+
+	subs []*subscription
+
+	mu      sync.Mutex
+	started bool
+	cancel  context.CancelFunc
+	done    chan struct{}
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+}
+
+type pubMsg struct {
+	msg Message
+	ack chan struct{}
+}
+
+type subscription struct {
+	id     int
+	tags   map[int]bool // nil = all events
+	queue  []Message
+	parked []outReq
+}
+
+// PubSubOption configures a PubSub connector.
+type PubSubOption func(*PubSub)
+
+// WithPubSubTrace installs a protocol-event observer.
+func WithPubSubTrace(fn TraceFunc) PubSubOption {
+	return func(p *PubSub) { p.trace = fn }
+}
+
+// NewPubSub creates a publish/subscribe connector whose subscriber queues
+// hold up to queueSize events each.
+func NewPubSub(name string, queueSize int, opts ...PubSubOption) (*PubSub, error) {
+	if queueSize < 1 {
+		return nil, errors.New("pnprt: pubsub queue size must be >= 1")
+	}
+	p := &PubSub{
+		name:   name,
+		qsize:  queueSize,
+		pub:    make(chan pubMsg),
+		req:    make(chan outReq),
+		done:   make(chan struct{}),
+		stopCh: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+func (p *PubSub) emit(e Event) {
+	if p.trace != nil {
+		e.Connector = p.name
+		p.trace(e)
+	}
+}
+
+// Publisher is the publishing endpoint.
+type Publisher struct{ ps *PubSub }
+
+// Subscriber is one subscriber's receiving endpoint.
+type Subscriber struct {
+	ps *PubSub
+	id int
+}
+
+// NewPublisher attaches a publishing endpoint. Must precede Start.
+func (p *PubSub) NewPublisher() (*Publisher, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return nil, errors.New("pnprt: NewPublisher after Start")
+	}
+	return &Publisher{ps: p}, nil
+}
+
+// NewSubscriber attaches a subscriber; it receives events whose Tag is in
+// tags, or every event when tags is empty. Must precede Start.
+func (p *PubSub) NewSubscriber(tags ...int) (*Subscriber, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return nil, errors.New("pnprt: NewSubscriber after Start")
+	}
+	s := &subscription{id: len(p.subs)}
+	if len(tags) > 0 {
+		s.tags = make(map[int]bool, len(tags))
+		for _, t := range tags {
+			s.tags[t] = true
+		}
+	}
+	p.subs = append(p.subs, s)
+	return &Subscriber{ps: p, id: s.id}, nil
+}
+
+// Start launches the event pool.
+func (p *PubSub) Start(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return errors.New("pnprt: pubsub already started")
+	}
+	p.started = true
+	ctx, cancel := context.WithCancel(ctx)
+	p.cancel = cancel
+	go func() {
+		<-ctx.Done()
+		close(p.stopCh)
+	}()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.run(ctx)
+	}()
+	go func() {
+		p.wg.Wait()
+		close(p.done)
+	}()
+	return nil
+}
+
+// Stop cancels the pool and waits for it to exit.
+func (p *PubSub) Stop() {
+	p.mu.Lock()
+	cancel := p.cancel
+	started := p.started
+	p.mu.Unlock()
+	if !started {
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+	<-p.done
+}
+
+func (p *PubSub) run(ctx context.Context) {
+	for {
+		select {
+		case m := <-p.pub:
+			p.fanout(m.msg)
+			close(m.ack)
+		case r := <-p.req:
+			p.serveSub(r)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *subscription) matches(m Message) bool {
+	return s.tags == nil || s.tags[m.Tag]
+}
+
+func (p *PubSub) fanout(m Message) {
+	p.emit(Event{Source: "event-pool", Signal: "PUBLISH", Msg: m})
+	for _, s := range p.subs {
+		if !s.matches(m) {
+			continue
+		}
+		// A parked receiver takes the event directly.
+		if len(s.parked) > 0 {
+			r := s.parked[0]
+			s.parked = s.parked[1:]
+			p.emit(Event{Source: "event-pool", Port: s.id, Signal: "NOTIFY", Msg: m})
+			r.reply <- recvReply{status: RecvSucc, msg: m}
+			continue
+		}
+		if len(s.queue) >= p.qsize {
+			p.emit(Event{Source: "event-pool", Port: s.id, Signal: "DROPPED", Msg: m})
+			continue
+		}
+		s.queue = append(s.queue, m)
+	}
+}
+
+func (p *PubSub) serveSub(r outReq) {
+	s := p.subs[r.sub]
+	if len(s.queue) > 0 {
+		m := s.queue[0]
+		s.queue = s.queue[1:]
+		p.emit(Event{Source: "event-pool", Port: s.id, Signal: "NOTIFY", Msg: m})
+		r.reply <- recvReply{status: RecvSucc, msg: m}
+		return
+	}
+	if r.wait {
+		s.parked = append(s.parked, r)
+		return
+	}
+	r.reply <- recvReply{status: RecvFail}
+}
+
+// Publish pushes an event to all matching subscribers. It returns once
+// the pool has accepted the event (nonblocking with respect to
+// subscribers).
+func (pub *Publisher) Publish(ctx context.Context, m Message) error {
+	pm := pubMsg{msg: m, ack: make(chan struct{})}
+	select {
+	case pub.ps.pub <- pm:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-pub.ps.stopCh:
+		return ErrStopped
+	}
+	select {
+	case <-pm.ack:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-pub.ps.stopCh:
+		return ErrStopped
+	}
+}
+
+// Next blocks until an event is available for this subscriber.
+func (s *Subscriber) Next(ctx context.Context) (Message, error) {
+	m, _, err := s.receive(ctx, true)
+	return m, err
+}
+
+// TryNext returns immediately: ok=false when no event is queued.
+func (s *Subscriber) TryNext(ctx context.Context) (Message, bool, error) {
+	return s.receive(ctx, false)
+}
+
+func (s *Subscriber) receive(ctx context.Context, wait bool) (Message, bool, error) {
+	r := outReq{wait: wait, sub: s.id, reply: make(chan recvReply, 1)}
+	select {
+	case s.ps.req <- r:
+	case <-ctx.Done():
+		return Message{}, false, ctx.Err()
+	case <-s.ps.stopCh:
+		return Message{}, false, ErrStopped
+	}
+	select {
+	case rep := <-r.reply:
+		if rep.status == RecvFail {
+			return Message{}, false, nil
+		}
+		return rep.msg, true, nil
+	case <-ctx.Done():
+		return Message{}, false, ctx.Err()
+	case <-s.ps.stopCh:
+		return Message{}, false, ErrStopped
+	}
+}

@@ -1,0 +1,286 @@
+package pnprt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPubSubFanout(t *testing.T) {
+	ps, err := NewPubSub("events", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ps.NewPublisher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	subA, err := ps.NewSubscriber()
+	if err != nil {
+		t.Fatal(err)
+	}
+	subB, err := ps.NewSubscriber()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ps.Stop)
+	ctx := ctxShort(t)
+
+	if err := pub.Publish(ctx, Message{Data: "boom", Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range []*Subscriber{subA, subB} {
+		m, err := sub.Next(ctx)
+		if err != nil || m.Data != "boom" {
+			t.Errorf("subscriber %d: %v, %v", i, m, err)
+		}
+	}
+}
+
+func TestPubSubSubscriptionFilter(t *testing.T) {
+	ps, err := NewPubSub("events", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, _ := ps.NewPublisher()
+	only2, err := ps.NewSubscriber(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ps.NewSubscriber()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ps.Stop)
+	ctx := ctxShort(t)
+
+	for tag := 1; tag <= 3; tag++ {
+		if err := pub.Publish(ctx, Message{Data: tag, Tag: tag}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := only2.Next(ctx)
+	if err != nil || m.Tag != 2 {
+		t.Errorf("filtered subscriber got %v, %v", m, err)
+	}
+	if _, ok, err := only2.TryNext(ctx); err != nil || ok {
+		t.Errorf("filtered subscriber has extra events (ok=%v, err=%v)", ok, err)
+	}
+	count := 0
+	for {
+		_, ok, err := all.TryNext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Errorf("unfiltered subscriber got %d events, want 3", count)
+	}
+}
+
+func TestPubSubQueueOverflowDropsForSlowSubscriberOnly(t *testing.T) {
+	ps, err := NewPubSub("events", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, _ := ps.NewPublisher()
+	slow, _ := ps.NewSubscriber()
+	if err := ps.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ps.Stop)
+	ctx := ctxShort(t)
+
+	for i := 0; i < 5; i++ {
+		if err := pub.Publish(ctx, Message{Data: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	for {
+		_, ok, err := slow.TryNext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != 2 {
+		t.Errorf("slow subscriber kept %d events, want queue size 2", got)
+	}
+}
+
+func TestPubSubBlockingNextWakesOnPublish(t *testing.T) {
+	ps, err := NewPubSub("events", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, _ := ps.NewPublisher()
+	sub, _ := ps.NewSubscriber()
+	if err := ps.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ps.Stop)
+	ctx := ctxShort(t)
+
+	got := make(chan Message, 1)
+	go func() {
+		m, err := sub.Next(ctx)
+		if err != nil {
+			t.Errorf("Next: %v", err)
+			return
+		}
+		got <- m
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := pub.Publish(ctx, Message{Data: 42}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Data != 42 {
+			t.Errorf("got %v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked subscriber never woke")
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	rpc, err := NewRPC("math", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := rpc.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := rpc.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := rpc.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rpc.Stop)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := server.Serve(ctx, func(in any) any {
+			return in.(int) * 2
+		}); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	for i := 1; i <= 5; i++ {
+		out, err := client.Call(ctxShort(t), i)
+		if err != nil {
+			t.Fatalf("Call(%d): %v", i, err)
+		}
+		if out != i*2 {
+			t.Errorf("Call(%d) = %v, want %d", i, out, i*2)
+		}
+	}
+	cancel()
+	rpc.Stop()
+	wg.Wait()
+}
+
+func TestRPCConcurrentClients(t *testing.T) {
+	rpc, err := NewRPC("math", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nClients = 4
+	clients := make([]*RPCClient, nClients)
+	for i := range clients {
+		c, err := rpc.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	server, err := rpc.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := rpc.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rpc.Stop)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = server.Serve(ctx, func(in any) any { return fmt.Sprintf("r:%v", in) })
+	}()
+
+	var cwg sync.WaitGroup
+	for i, c := range clients {
+		i, c := i, c
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for j := 0; j < 10; j++ {
+				arg := fmt.Sprintf("%d-%d", i, j)
+				out, err := c.Call(ctxShort(t), arg)
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				if out != "r:"+arg {
+					t.Errorf("client %d call %d: got %v", i, j, out)
+				}
+			}
+		}()
+	}
+	cwg.Wait()
+	cancel()
+	rpc.Stop()
+	wg.Wait()
+}
+
+func TestRPCAttachAfterStartFails(t *testing.T) {
+	rpc, err := NewRPC("x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rpc.NewClient(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rpc.NewServer(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rpc.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rpc.Stop)
+	if _, err := rpc.NewClient(); err == nil {
+		t.Error("NewClient after Start accepted")
+	}
+	if _, err := rpc.NewServer(); err == nil {
+		t.Error("NewServer after Start accepted")
+	}
+}

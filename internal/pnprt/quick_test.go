@@ -1,0 +1,176 @@
+package pnprt
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pnp/internal/blocks"
+)
+
+// TestQuickPerSenderFIFOOrder: for any batch of payloads, a single
+// sender's messages arrive in send order through a FIFO connector.
+func TestQuickPerSenderFIFOOrder(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 4, Recv: blocks.BlockingRecv}
+		conn, err := NewConnector("q", spec)
+		if err != nil {
+			return false
+		}
+		snd, err := conn.NewSender()
+		if err != nil {
+			return false
+		}
+		rcv, err := conn.NewReceiver()
+		if err != nil {
+			return false
+		}
+		if err := conn.Start(context.Background()); err != nil {
+			return false
+		}
+		defer conn.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+
+		go func() {
+			for _, v := range raw {
+				if _, err := snd.Send(ctx, Message{Data: int(v)}); err != nil {
+					return
+				}
+			}
+		}()
+		for i, want := range raw {
+			_, m, err := rcv.Receive(ctx, RecvRequest{})
+			if err != nil || m.Data != int(want) {
+				t.Logf("position %d: got %v want %d (err %v)", i, m.Data, want, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPriorityOrder: whatever the send order, with all messages
+// buffered before the first receive, deliveries come out in
+// nondecreasing tag order.
+func TestQuickPriorityOrder(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.PriorityQueue, Size: 16, Recv: blocks.BlockingRecv}
+		conn, err := NewConnector("pq", spec)
+		if err != nil {
+			return false
+		}
+		snd, err := conn.NewSender()
+		if err != nil {
+			return false
+		}
+		rcv, err := conn.NewReceiver()
+		if err != nil {
+			return false
+		}
+		if err := conn.Start(context.Background()); err != nil {
+			return false
+		}
+		defer conn.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+
+		// Buffer everything first (blocking sends, buffer big enough).
+		for _, v := range raw {
+			if _, err := snd.Send(ctx, Message{Data: int(v), Tag: int(v % 8)}); err != nil {
+				return false
+			}
+		}
+		prev := -1
+		for range raw {
+			_, m, err := rcv.Receive(ctx, RecvRequest{})
+			if err != nil {
+				return false
+			}
+			if m.Tag < prev {
+				t.Logf("priority inversion: %d after %d", m.Tag, prev)
+				return false
+			}
+			prev = m.Tag
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSelectiveNeverDeliversWrongTag: a selective receive only ever
+// yields messages with the requested tag.
+func TestQuickSelectiveNeverDeliversWrongTag(t *testing.T) {
+	f := func(raw []uint8, want uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 16, Recv: blocks.NonblockingRecv}
+		conn, err := NewConnector("sel", spec)
+		if err != nil {
+			return false
+		}
+		snd, err := conn.NewSender()
+		if err != nil {
+			return false
+		}
+		rcv, err := conn.NewReceiver()
+		if err != nil {
+			return false
+		}
+		if err := conn.Start(context.Background()); err != nil {
+			return false
+		}
+		defer conn.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+
+		tag := int(want % 4)
+		expect := 0
+		for _, v := range raw {
+			if _, err := snd.Send(ctx, Message{Data: int(v), Tag: int(v % 4)}); err != nil {
+				return false
+			}
+			if int(v%4) == tag {
+				expect++
+			}
+		}
+		got := 0
+		for {
+			st, m, err := rcv.Receive(ctx, RecvRequest{Selective: true, Tag: tag})
+			if err != nil {
+				return false
+			}
+			if st != RecvSucc {
+				break
+			}
+			if m.Tag != tag {
+				t.Logf("selective receive delivered tag %d, wanted %d", m.Tag, tag)
+				return false
+			}
+			got++
+		}
+		return got == expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package pnprt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pnp/internal/blocks"
+)
+
+// RPC is a remote-procedure-call connector composed, per the paper's
+// Section 6, from two message-passing connectors built out of the same
+// block library: a request connector (client -> server) and a reply
+// connector (server -> client). Replies are matched to calls with
+// selective receives on a per-call tag — no new interaction primitive is
+// needed.
+type RPC struct {
+	req *Connector
+	rep *Connector
+
+	nextCall atomic.Int64
+
+	mu      sync.Mutex
+	clients []rpcClientPorts
+	servers []rpcServerPorts
+	started bool
+}
+
+type rpcClientPorts struct {
+	send *SenderEndpoint
+	recv *ReceiverEndpoint
+}
+
+type rpcServerPorts struct {
+	recv *ReceiverEndpoint
+	send *SenderEndpoint
+}
+
+// NewRPC creates an RPC connector whose request and reply queues hold up
+// to queueSize in-flight messages each.
+func NewRPC(name string, queueSize int, opts ...Option) (*RPC, error) {
+	spec := Spec{
+		Send:    blocks.AsynBlockingSend,
+		Channel: blocks.FIFOQueue,
+		Size:    queueSize,
+		Recv:    blocks.BlockingRecv,
+	}
+	req, err := NewConnector(name+".request", spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := NewConnector(name+".reply", spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &RPC{req: req, rep: rep}, nil
+}
+
+// RPCClient issues calls.
+type RPCClient struct {
+	rpc   *RPC
+	ports rpcClientPorts
+}
+
+// RPCServer serves calls.
+type RPCServer struct {
+	rpc   *RPC
+	ports rpcServerPorts
+}
+
+// NewClient attaches a client. Must precede Start.
+func (r *RPC) NewClient() (*RPCClient, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return nil, fmt.Errorf("pnprt: NewClient after Start")
+	}
+	snd, err := r.req.NewSender()
+	if err != nil {
+		return nil, err
+	}
+	rcv, err := r.rep.NewReceiver()
+	if err != nil {
+		return nil, err
+	}
+	p := rpcClientPorts{send: snd, recv: rcv}
+	r.clients = append(r.clients, p)
+	return &RPCClient{rpc: r, ports: p}, nil
+}
+
+// NewServer attaches a server. Must precede Start.
+func (r *RPC) NewServer() (*RPCServer, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return nil, fmt.Errorf("pnprt: NewServer after Start")
+	}
+	rcv, err := r.req.NewReceiver()
+	if err != nil {
+		return nil, err
+	}
+	snd, err := r.rep.NewSender()
+	if err != nil {
+		return nil, err
+	}
+	p := rpcServerPorts{recv: rcv, send: snd}
+	r.servers = append(r.servers, p)
+	return &RPCServer{rpc: r, ports: p}, nil
+}
+
+// Start launches both underlying connectors.
+func (r *RPC) Start(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return fmt.Errorf("pnprt: rpc already started")
+	}
+	r.started = true
+	if err := r.req.Start(ctx); err != nil {
+		return err
+	}
+	if err := r.rep.Start(ctx); err != nil {
+		r.req.Stop()
+		return err
+	}
+	return nil
+}
+
+// Stop stops both underlying connectors.
+func (r *RPC) Stop() {
+	r.req.Stop()
+	r.rep.Stop()
+}
+
+// Call sends the argument to a server and blocks until the matching reply
+// arrives (selective receive on the call's tag).
+func (c *RPCClient) Call(ctx context.Context, arg any) (any, error) {
+	id := int(c.rpc.nextCall.Add(1))
+	st, err := c.ports.send.Send(ctx, Message{Data: arg, Tag: id})
+	if err != nil {
+		return nil, err
+	}
+	if st != SendSucc {
+		return nil, fmt.Errorf("pnprt: rpc request not accepted: %v", st)
+	}
+	st, reply, err := c.ports.recv.Receive(ctx, RecvRequest{Selective: true, Tag: id})
+	if err != nil {
+		return nil, err
+	}
+	if st != RecvSucc {
+		return nil, fmt.Errorf("pnprt: rpc reply failed: %v", st)
+	}
+	return reply.Data, nil
+}
+
+// Serve handles calls with the given handler until ctx is cancelled or
+// the connector stops. It returns nil on clean shutdown.
+func (s *RPCServer) Serve(ctx context.Context, handler func(any) any) error {
+	for {
+		st, req, err := s.ports.recv.Receive(ctx, RecvRequest{})
+		if err != nil {
+			if err == ErrStopped || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if st != RecvSucc {
+			continue
+		}
+		out := handler(req.Data)
+		if _, err := s.ports.send.Send(ctx, Message{Data: out, Tag: req.Tag}); err != nil {
+			if err == ErrStopped || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package pnprt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Part is anything with the connector lifecycle: plain connectors,
+// pub/sub pools, and RPC bundles all qualify.
+type Part interface {
+	Start(ctx context.Context) error
+	Stop()
+}
+
+var (
+	_ Part = (*Connector)(nil)
+	_ Part = (*PubSub)(nil)
+	_ Part = (*RPC)(nil)
+)
+
+// System groups the executable connectors of one application under a
+// single lifecycle: Start launches every part (rolling back on failure),
+// Stop shuts them down in reverse order and waits for every goroutine.
+type System struct {
+	name string
+
+	mu      sync.Mutex
+	parts   []Part
+	started bool
+	stopped bool
+}
+
+// NewSystem creates an empty runtime system.
+func NewSystem(name string) *System { return &System{name: name} }
+
+// Name returns the system's name.
+func (s *System) Name() string { return s.name }
+
+// Add registers parts; must be called before Start.
+func (s *System) Add(parts ...Part) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("pnprt: Add after Start")
+	}
+	s.parts = append(s.parts, parts...)
+	return nil
+}
+
+// AddConnector builds a connector from a spec, registers it, and returns
+// it for endpoint creation.
+func (s *System) AddConnector(name string, spec Spec, opts ...Option) (*Connector, error) {
+	c, err := NewConnector(name, spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Add(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Start launches every part. If any part fails to start, the already
+// started ones are stopped and the error returned.
+func (s *System) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("pnprt: system already started")
+	}
+	s.started = true
+	for i, p := range s.parts {
+		if err := p.Start(ctx); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				s.parts[j].Stop()
+			}
+			return fmt.Errorf("pnprt: system %s: part %d: %w", s.name, i, err)
+		}
+	}
+	return nil
+}
+
+// Stop shuts every part down in reverse registration order. Safe to call
+// multiple times.
+func (s *System) Stop() {
+	s.mu.Lock()
+	if !s.started || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	parts := append([]Part(nil), s.parts...)
+	s.mu.Unlock()
+	for i := len(parts) - 1; i >= 0; i-- {
+		parts[i].Stop()
+	}
+}

@@ -1,0 +1,104 @@
+package pnprt
+
+import (
+	"context"
+	"testing"
+
+	"pnp/internal/blocks"
+)
+
+func TestSystemLifecycle(t *testing.T) {
+	sys := NewSystem("app")
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 4, Recv: blocks.BlockingRecv}
+	front, err := sys.AddConnector("front", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sys.AddConnector("back", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPubSub("events", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Add(ps); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := front.NewSender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := front.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := back.NewSender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := back.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ps.NewPublisher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ps.NewSubscriber()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxShort(t)
+
+	// A two-hop relay plus an event notification, all under one system.
+	if _, err := fs.Send(ctx, Message{Data: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	_, m, err := fr.Receive(ctx, RecvRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bs.Send(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, m, err = br.Receive(ctx, RecvRequest{}); err != nil || m.Data != "x" {
+		t.Fatalf("relay failed: %v %v", m, err)
+	}
+	if err := pub.Publish(ctx, Message{Data: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := sub.Next(ctx); err != nil || ev.Data != "done" {
+		t.Fatalf("event failed: %v %v", ev, err)
+	}
+
+	sys.Stop()
+	sys.Stop() // idempotent
+	if _, err := fs.Send(context.Background(), Message{Data: "y"}); err != ErrStopped {
+		t.Errorf("post-stop send error = %v, want ErrStopped", err)
+	}
+}
+
+func TestSystemAddAfterStartRejected(t *testing.T) {
+	sys := NewSystem("app")
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Stop)
+	if err := sys.Add(nil); err == nil {
+		t.Error("Add after Start accepted")
+	}
+	if _, err := sys.AddConnector("late", Spec{
+		Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv,
+	}); err == nil {
+		t.Error("AddConnector after Start accepted")
+	}
+	if err := sys.Start(context.Background()); err == nil {
+		t.Error("double Start accepted")
+	}
+}

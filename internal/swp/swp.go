@@ -1,0 +1,198 @@
+// Package swp implements a go-back-N sliding window protocol over
+// Plug-and-Play connectors, generalizing the alternating bit protocol
+// (internal/abp) to windows larger than one frame in flight. Data and
+// acknowledgements both cross *dropping* channels; retransmission is
+// triggered by failed ack polls (the nonblocking-receive rendering of a
+// retransmission timer).
+//
+// Verified properties:
+//   - frames are delivered in order, exactly once (safety invariant);
+//   - completing the transfer always remains possible (AG EF), because
+//     the receiver keeps re-acknowledging duplicates forever.
+package swp
+
+import (
+	"fmt"
+
+	"pnp/internal/blocks"
+	"pnp/internal/checker"
+	"pnp/internal/model"
+)
+
+// Source is the pml model. Sequence numbers are 1..k (no wraparound for
+// the verified configurations); the cumulative ack carries the highest
+// in-order sequence delivered.
+const Source = `
+byte delivered;
+byte badDelivery;
+
+/* Go-back-N sender: keep up to w unacknowledged frames in flight; a
+ * failed ack poll plays the role of the retransmission timer and rewinds
+ * next to base. */
+proctype SwpSender(chan dsig; chan ddat; chan asig; chan adat; byte k; byte w) {
+	byte base, next;
+	mtype st;
+	byte d, sid, sd;
+	bit sel, rem;
+	base = 1;
+	next = 1;
+	do
+	:: base > k -> break
+	:: next < base + w && next <= k ->
+	   ddat!next,0,next,0,1;
+	   dsig?st,_;
+	   next = next + 1
+	:: else ->
+	   adat!0,0,0,0,1;
+	   asig?st,_;
+	   adat?d,sid,sd,sel,rem;
+	   if
+	   :: st == RECV_SUCC && d >= base ->
+	      base = d + 1
+	   :: st == RECV_SUCC ->
+	      skip        /* stale cumulative ack */
+	   :: else ->
+	      next = base /* timer expiry: go back N */
+	   fi
+	od
+}
+
+/* Receiver: deliver the expected frame and cumulatively acknowledge;
+ * anything else re-triggers the last ack. It serves forever (end state)
+ * so late retransmissions are always answered. */
+proctype SwpReceiver(chan dsig; chan ddat; chan asig; chan adat; byte k) {
+	byte e;
+	mtype st;
+	byte d, sid, sd;
+	bit sel, rem;
+	e = 1;
+	end: do
+	:: ddat!0,0,0,0,1;
+	   dsig?st,_;
+	   ddat?d,sid,sd,sel,rem;
+	   if
+	   :: st == RECV_SUCC && d == e ->
+	      if
+	      :: d == delivered + 1 -> skip
+	      :: else -> badDelivery = 1
+	      fi;
+	      delivered = delivered + 1;
+	      e = e + 1;
+	      adat!delivered,0,0,0,1;
+	      asig?st,_
+	   :: st == RECV_SUCC ->
+	      adat!delivered,0,0,0,1;
+	      asig?st,_
+	   :: else
+	   fi
+	od
+}
+`
+
+// Config sizes the protocol run.
+type Config struct {
+	Frames int // frames to transfer (default 3)
+	Window int // go-back-N window (default 2)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Frames == 0 {
+		c.Frames = 3
+	}
+	if c.Window == 0 {
+		c.Window = 2
+	}
+	return c
+}
+
+// Build composes sender and receiver over two lossy connectors. The data
+// channel holds up to the window size; the ack channel one ack.
+func Build(cfg Config, cache *blocks.Cache) (*blocks.Builder, error) {
+	cfg = cfg.withDefaults()
+	b, err := blocks.NewBuilder(Source, cache)
+	if err != nil {
+		return nil, err
+	}
+	dataSpec := blocks.ConnectorSpec{
+		Send:    blocks.AsynBlockingSend,
+		Channel: blocks.DroppingBuffer, Size: cfg.Window,
+		Recv: blocks.NonblockingRecv,
+	}
+	ackSpec := blocks.ConnectorSpec{
+		Send:    blocks.AsynBlockingSend,
+		Channel: blocks.DroppingBuffer, Size: 1,
+		Recv: blocks.NonblockingRecv,
+	}
+	data, err := b.NewConnector("Data", dataSpec)
+	if err != nil {
+		return nil, err
+	}
+	ack, err := b.NewConnector("Ack", ackSpec)
+	if err != nil {
+		return nil, err
+	}
+	sData, err := data.AddSender("Sender")
+	if err != nil {
+		return nil, err
+	}
+	rData, err := data.AddReceiver("Receiver")
+	if err != nil {
+		return nil, err
+	}
+	sAck, err := ack.AddSender("ReceiverAck")
+	if err != nil {
+		return nil, err
+	}
+	rAck, err := ack.AddReceiver("SenderAck")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := b.Spawn("SwpSender",
+		model.Chan(sData.Sig), model.Chan(sData.Dat),
+		model.Chan(rAck.Sig), model.Chan(rAck.Dat),
+		model.Int(int64(cfg.Frames)), model.Int(int64(cfg.Window))); err != nil {
+		return nil, err
+	}
+	if _, err := b.Spawn("SwpReceiver",
+		model.Chan(rData.Sig), model.Chan(rData.Dat),
+		model.Chan(sAck.Sig), model.Chan(sAck.Dat),
+		model.Int(int64(cfg.Frames))); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Results holds the verdicts.
+type Results struct {
+	Safety   *checker.Result
+	Delivery *checker.Result // AG EF (delivered == frames)
+	Complete *checker.Result // AG EF (sender finished too)
+}
+
+// Verify builds and checks the protocol.
+func Verify(cfg Config, cache *blocks.Cache, opts checker.Options) (*Results, error) {
+	cfg = cfg.withDefaults()
+	b, err := Build(cfg, cache)
+	if err != nil {
+		return nil, err
+	}
+	inOrder, err := checker.InvariantFromSource(b.Program(), "in-order", "badDelivery == 0")
+	if err != nil {
+		return nil, err
+	}
+	once, err := checker.InvariantFromSource(b.Program(), "exactly-once",
+		fmt.Sprintf("delivered <= %d", cfg.Frames))
+	if err != nil {
+		return nil, err
+	}
+	safetyOpts := opts
+	safetyOpts.Invariants = append(safetyOpts.Invariants, inOrder, once)
+	safety := checker.New(b.System(), safetyOpts).CheckSafety()
+
+	target, err := b.Program().CompileGlobalExpr(fmt.Sprintf("delivered == %d", cfg.Frames))
+	if err != nil {
+		return nil, err
+	}
+	delivery := checker.New(b.System(), opts).CheckEventuallyReachable(target)
+	return &Results{Safety: safety, Delivery: delivery}, nil
+}

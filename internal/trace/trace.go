@@ -1,0 +1,159 @@
+// Package trace represents counterexample traces produced by the checker
+// and renders them as readable listings and ASCII message sequence charts
+// (the notation the paper uses in its Figure 4 scenarios).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one step of a trace. Proc is the acting process; for message
+// operations Ch and Msg describe the payload, and Partner names the
+// rendezvous peer (empty otherwise).
+type Event struct {
+	Proc    string
+	Action  string // e.g. "enter!", "sig?", "guard", "assign", "assert"
+	Ch      string
+	Msg     string
+	Partner string
+	Note    string // violation text or other annotation
+}
+
+// Trace is a counterexample: a prefix of events, and for liveness
+// violations a cycle that repeats forever (nil for safety violations).
+type Trace struct {
+	Prefix []Event
+	Cycle  []Event
+	// Final describes why the trace ends: the violation message.
+	Final string
+}
+
+// String renders the trace as a numbered listing.
+func (t *Trace) String() string {
+	var b strings.Builder
+	n := 1
+	for _, e := range t.Prefix {
+		writeEvent(&b, n, e)
+		n++
+	}
+	if len(t.Cycle) > 0 {
+		b.WriteString("  -- cycle repeats forever --\n")
+		for _, e := range t.Cycle {
+			writeEvent(&b, n, e)
+			n++
+		}
+	}
+	if t.Final != "" {
+		fmt.Fprintf(&b, "  => %s\n", t.Final)
+	}
+	return b.String()
+}
+
+func writeEvent(b *strings.Builder, n int, e Event) {
+	fmt.Fprintf(b, "%4d. %-16s %s", n, e.Proc, e.Action)
+	if e.Msg != "" {
+		fmt.Fprintf(b, " %s", e.Msg)
+	}
+	if e.Partner != "" {
+		fmt.Fprintf(b, " -> %s", e.Partner)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(b, "   [%s]", e.Note)
+	}
+	b.WriteByte('\n')
+}
+
+// Len returns the total number of events.
+func (t *Trace) Len() int { return len(t.Prefix) + len(t.Cycle) }
+
+// MSC renders the trace as an ASCII message sequence chart with one
+// lifeline per process, in the style of the paper's Figure 4. Only events
+// involving the listed processes are drawn; a nil procs slice draws every
+// process that appears in the trace.
+func (t *Trace) MSC(procs []string) string {
+	if procs == nil {
+		seen := map[string]bool{}
+		for _, e := range append(append([]Event{}, t.Prefix...), t.Cycle...) {
+			for _, p := range []string{e.Proc, e.Partner} {
+				if p != "" && !seen[p] {
+					seen[p] = true
+					procs = append(procs, p)
+				}
+			}
+		}
+	}
+	col := make(map[string]int, len(procs))
+	const width = 18
+	for i, p := range procs {
+		col[p] = i
+	}
+	var b strings.Builder
+	for _, p := range procs {
+		fmt.Fprintf(&b, "%-*s", width, p)
+	}
+	b.WriteByte('\n')
+	line := func(e Event) {
+		cells := make([]string, len(procs))
+		for i := range cells {
+			cells[i] = "|"
+		}
+		from, okF := col[e.Proc]
+		to, okT := col[e.Partner]
+		switch {
+		case okF && okT && e.Partner != "":
+			// Draw an arrow between the two lifelines.
+			lo, hi := from, to
+			dir := ">"
+			if from > to {
+				lo, hi = to, from
+				dir = "<"
+			}
+			label := e.Action
+			if e.Msg != "" {
+				label += " " + e.Msg
+			}
+			for i := range cells {
+				switch {
+				case i == from:
+					cells[i] = "*"
+				case i == to:
+					cells[i] = dir
+				case i > lo && i < hi:
+					cells[i] = "-"
+				}
+			}
+			writeMSCRow(&b, cells, width, label)
+		case okF:
+			label := e.Action
+			if e.Msg != "" {
+				label += " " + e.Msg
+			}
+			if e.Note != "" {
+				label += " [" + e.Note + "]"
+			}
+			cells[from] = "#"
+			writeMSCRow(&b, cells, width, label)
+		}
+	}
+	for _, e := range t.Prefix {
+		line(e)
+	}
+	if len(t.Cycle) > 0 {
+		b.WriteString(strings.Repeat("=", width*len(procs)))
+		b.WriteString(" cycle\n")
+		for _, e := range t.Cycle {
+			line(e)
+		}
+	}
+	return b.String()
+}
+
+func writeMSCRow(b *strings.Builder, cells []string, width int, label string) {
+	for _, c := range cells {
+		fmt.Fprintf(b, "%-*s", width, c)
+	}
+	b.WriteString("  ")
+	b.WriteString(label)
+	b.WriteByte('\n')
+}

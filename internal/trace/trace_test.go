@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Prefix: []Event{
+			{Proc: "Car[0]", Action: "enter!", Ch: "BlueEnter", Msg: "1", Partner: "Port[1]"},
+			{Proc: "Port[1]", Action: "chDat!", Msg: "1,1", Partner: "Chan[2]"},
+			{Proc: "Car[0]", Action: "guard"},
+		},
+		Final: "invariant bridge-safety violated",
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"1.", "2.", "3.", "Car[0]", "enter!", "-> Port[1]", "=> invariant"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace listing missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTraceStringWithCycle(t *testing.T) {
+	tr := sample()
+	tr.Cycle = []Event{{Proc: "Loop", Action: "spin"}}
+	s := tr.String()
+	if !strings.Contains(s, "cycle repeats forever") {
+		t.Errorf("cycle marker missing:\n%s", s)
+	}
+	if !strings.Contains(s, "4. Loop") && !strings.Contains(s, "   4. Loop") {
+		t.Errorf("cycle events not numbered continuously:\n%s", s)
+	}
+}
+
+func TestTraceLen(t *testing.T) {
+	tr := sample()
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	tr.Cycle = []Event{{}, {}}
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d, want 5", tr.Len())
+	}
+}
+
+func TestMSCAutoLifelines(t *testing.T) {
+	msc := sample().MSC(nil)
+	lines := strings.Split(msc, "\n")
+	if len(lines) < 2 {
+		t.Fatalf("MSC too short:\n%s", msc)
+	}
+	header := lines[0]
+	for _, p := range []string{"Car[0]", "Port[1]", "Chan[2]"} {
+		if !strings.Contains(header, p) {
+			t.Errorf("header missing lifeline %q: %q", p, header)
+		}
+	}
+	if !strings.Contains(msc, "enter! 1") {
+		t.Errorf("MSC missing arrow label:\n%s", msc)
+	}
+}
+
+func TestMSCExplicitProcs(t *testing.T) {
+	msc := sample().MSC([]string{"Car[0]", "Port[1]"})
+	if strings.Contains(strings.Split(msc, "\n")[0], "Chan[2]") {
+		t.Errorf("explicit lifeline list ignored:\n%s", msc)
+	}
+}
+
+func TestMSCArrowDirection(t *testing.T) {
+	tr := &Trace{Prefix: []Event{
+		{Proc: "B", Action: "reply!", Partner: "A"},
+	}}
+	msc := tr.MSC([]string{"A", "B"})
+	// B is to the right of A, so the arrow must point left: "<".
+	if !strings.Contains(msc, "<") {
+		t.Errorf("leftward arrow missing:\n%s", msc)
+	}
+}
+
+func TestMSCLocalEvent(t *testing.T) {
+	tr := &Trace{Prefix: []Event{
+		{Proc: "A", Action: "assert", Note: "assertion violated"},
+	}}
+	msc := tr.MSC([]string{"A"})
+	if !strings.Contains(msc, "#") || !strings.Contains(msc, "assertion violated") {
+		t.Errorf("local event rendering wrong:\n%s", msc)
+	}
+}
+
+func TestMSCCycleMarker(t *testing.T) {
+	tr := &Trace{
+		Prefix: []Event{{Proc: "A", Action: "a"}},
+		Cycle:  []Event{{Proc: "A", Action: "b"}},
+	}
+	msc := tr.MSC([]string{"A"})
+	if !strings.Contains(msc, "cycle") {
+		t.Errorf("cycle marker missing:\n%s", msc)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	if tr.String() != "" {
+		t.Errorf("empty trace renders %q", tr.String())
+	}
+	if tr.Len() != 0 {
+		t.Errorf("empty Len = %d", tr.Len())
+	}
+}

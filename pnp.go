@@ -1,0 +1,182 @@
+// Package pnp is a Go implementation of the Plug-and-Play architectural
+// design and verification approach (Wang, Avrunin, Clarke — "Plug-and-Play
+// Architectural Design and Verification").
+//
+// Connectors between components are composed from a library of reusable
+// building blocks — send ports, receive ports, and channels — and can be
+// swapped without touching component code, because components speak only
+// the standard interfaces (send a message, await its SendStatus; request a
+// message, await its RecvStatus). Every block ships with a pre-built
+// formal model, so a composed design is immediately verifiable with the
+// bundled explicit-state model checker (safety invariants, deadlocks,
+// assertions, and LTL), and the same composition runs on goroutines via
+// the runtime.
+//
+// Typical flow:
+//
+//	d := pnp.NewDesign("pipeline", componentModels)
+//	d.AddConnector("Wire", pnp.ConnectorSpec{
+//	    Send:    pnp.AsynBlockingSend,
+//	    Channel: pnp.FIFOQueue, Size: 4,
+//	    Recv:    pnp.BlockingRecv,
+//	})
+//	d.AddInstance("prod", "Producer", 1, pnp.SendTo("Wire"), pnp.IntArg(3))
+//	d.AddInstance("cons", "Consumer", 1, pnp.RecvFrom("Wire"), pnp.IntArg(3))
+//	d.AddInvariant("nothing-lost", "got <= sent")
+//	results, err := d.Verify(nil, pnp.CheckOptions{})
+//	// a violation? plug a different block and re-verify:
+//	d2, _ := d.WithSendPort("Wire", pnp.SynBlockingSend)
+//
+// The subpackages can also be used directly: internal/pml (the Promela
+// subset), internal/model (formal semantics), internal/checker (the
+// verifier), internal/ltl (LTL-to-Büchi), internal/blocks (the block
+// library and model composition), internal/pnprt (the executable runtime),
+// internal/adl (the textual architecture description language), and
+// internal/bridge (the paper's single-lane bridge case study).
+package pnp
+
+import (
+	"pnp/internal/adl"
+	"pnp/internal/blocks"
+	"pnp/internal/checker"
+	"pnp/internal/core"
+	"pnp/internal/pnprt"
+)
+
+// Design-level API.
+type (
+	// Design is a declarative Plug-and-Play system design.
+	Design = core.Design
+	// ConnectorSpec composes a connector from a send port, a channel, and
+	// a receive port.
+	ConnectorSpec = blocks.ConnectorSpec
+	// SendPortKind selects a send-port building block.
+	SendPortKind = blocks.SendPortKind
+	// RecvPortKind selects a receive-port building block.
+	RecvPortKind = blocks.RecvPortKind
+	// ChannelKind selects a channel building block.
+	ChannelKind = blocks.ChannelKind
+	// InstanceArg is an argument of a component instance.
+	InstanceArg = core.InstanceArg
+	// BlockInfo describes one catalog entry.
+	BlockInfo = core.BlockInfo
+	// ModelCache memoizes compiled block and component models across
+	// verification runs.
+	ModelCache = blocks.Cache
+)
+
+// Send port kinds (the paper's Figure 1 catalog).
+const (
+	AsynNonblockingSend = blocks.AsynNonblockingSend
+	AsynBlockingSend    = blocks.AsynBlockingSend
+	AsynCheckingSend    = blocks.AsynCheckingSend
+	SynBlockingSend     = blocks.SynBlockingSend
+	SynCheckingSend     = blocks.SynCheckingSend
+)
+
+// Receive port kinds.
+const (
+	BlockingRecv    = blocks.BlockingRecv
+	NonblockingRecv = blocks.NonblockingRecv
+)
+
+// Channel kinds.
+const (
+	SingleSlot     = blocks.SingleSlot
+	FIFOQueue      = blocks.FIFOQueue
+	PriorityQueue  = blocks.PriorityQueue
+	DroppingBuffer = blocks.DroppingBuffer
+)
+
+// NewDesign creates an empty design over pml component models.
+func NewDesign(name, componentSource string) *Design {
+	return core.NewDesign(name, componentSource)
+}
+
+// NewCache creates a model cache for reuse across verification runs.
+func NewCache() *ModelCache { return blocks.NewCache() }
+
+// Catalog lists the building-block library.
+func Catalog() []BlockInfo { return core.Catalog() }
+
+// IntArg passes an integer parameter to a component instance.
+func IntArg(v int64) InstanceArg { return core.IntArg(v) }
+
+// SendTo attaches an instance as a sender on a connector.
+func SendTo(conn string) InstanceArg { return core.SendTo(conn) }
+
+// RecvFrom attaches an instance as a receiver on a connector.
+func RecvFrom(conn string) InstanceArg { return core.RecvFrom(conn) }
+
+// Verification API.
+type (
+	// CheckOptions configures verification runs.
+	CheckOptions = checker.Options
+	// CheckResult is a verification outcome with statistics and, on
+	// failure, a counterexample trace.
+	CheckResult = checker.Result
+	// VerifyResults maps property names to outcomes.
+	VerifyResults = core.VerifyResults
+)
+
+// Runtime API: the same blocks as executable goroutine assemblies.
+type (
+	// Connector is an executable connector.
+	Connector = pnprt.Connector
+	// Message is an application message.
+	Message = pnprt.Message
+	// RecvRequest is a receive request (selective / copy flags).
+	RecvRequest = pnprt.RecvRequest
+	// Status is a SendStatus or RecvStatus.
+	Status = pnprt.Status
+	// Sender is the component-side sending interface.
+	Sender = pnprt.Sender
+	// Receiver is the component-side receiving interface.
+	Receiver = pnprt.Receiver
+	// PubSub is the publish/subscribe connector extension.
+	PubSub = pnprt.PubSub
+	// RPC is the remote-procedure-call connector extension.
+	RPC = pnprt.RPC
+	// RuntimeSystem groups executable connectors under one lifecycle.
+	RuntimeSystem = pnprt.System
+)
+
+// Statuses.
+const (
+	SendSucc = pnprt.SendSucc
+	SendFail = pnprt.SendFail
+	RecvSucc = pnprt.RecvSucc
+	RecvFail = pnprt.RecvFail
+)
+
+// NewConnector builds an executable connector from a spec.
+func NewConnector(name string, spec ConnectorSpec, opts ...pnprt.Option) (*Connector, error) {
+	return pnprt.NewConnector(name, spec, opts...)
+}
+
+// NewPubSub builds a publish/subscribe connector.
+func NewPubSub(name string, queueSize int, opts ...pnprt.PubSubOption) (*PubSub, error) {
+	return pnprt.NewPubSub(name, queueSize, opts...)
+}
+
+// NewRPC builds an RPC connector from two message-passing connectors.
+func NewRPC(name string, queueSize int, opts ...pnprt.Option) (*RPC, error) {
+	return pnprt.NewRPC(name, queueSize, opts...)
+}
+
+// NewRuntimeSystem creates an empty runtime system.
+func NewRuntimeSystem(name string) *RuntimeSystem { return pnprt.NewSystem(name) }
+
+// ADL API.
+type (
+	// ADLSystem is a system loaded from the textual architecture
+	// description language.
+	ADLSystem = adl.System
+	// ADLResolver loads component files referenced by an ADL source.
+	ADLResolver = adl.Resolver
+)
+
+// LoadADL parses an architecture description and composes the system.
+func LoadADL(src string, resolve ADLResolver, cache *ModelCache) (*ADLSystem, error) {
+	return adl.Load(src, resolve, cache)
+}
