@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments matrix verify-examples clean
+.PHONY: all build test test-short race bench bench-json experiments matrix verify-examples clean
 
 all: build test
 
@@ -21,6 +21,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable benchmark records (name, ns/op, states/s) for the
+# experiment benchmarks E8-E17.
+bench-json:
+	$(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR' -benchtime 1x . \
+		| $(GO) run ./internal/tools/benchjson > BENCH_PR1.json
+	@echo wrote BENCH_PR1.json
 
 # Regenerate every EXPERIMENTS.md table.
 experiments:

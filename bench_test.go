@@ -301,6 +301,39 @@ func BenchmarkE15Scaling(b *testing.B) {
 	}
 }
 
+// BenchmarkE8ObservabilityOverhead re-runs the E8 search with the
+// observability hooks disabled (the default: nil registry, no progress
+// callback) and enabled. Disabled must track BenchmarkE8BridgeViolation
+// within noise — the hot path pays only nil checks — while Enabled
+// shows the true cost of live metrics collection.
+func BenchmarkE8ObservabilityOverhead(b *testing.B) {
+	run := func(b *testing.B, opts checker.Options) {
+		cache := blocks.NewCache()
+		var last *checker.Result
+		for i := 0; i < b.N; i++ {
+			res, err := bridge.Verify(bridge.Config{
+				Variant: bridge.ExactlyN, EnterSend: blocks.AsynBlockingSend,
+			}, cache, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.OK {
+				b.Fatal("expected violation")
+			}
+			last = res
+		}
+		reportStates(b, last)
+	}
+	b.Run("Disabled", func(b *testing.B) { run(b, checker.Options{}) })
+	b.Run("Enabled", func(b *testing.B) {
+		run(b, checker.Options{
+			Metrics:          pnp.NewMetricsRegistry(),
+			ProgressInterval: 100 * time.Millisecond,
+			Progress:         func(pnp.CheckProgress) {},
+		})
+	})
+}
+
 // BenchmarkRuntimeThroughput measures messages/second through executable
 // connectors of different compositions.
 func BenchmarkRuntimeThroughput(b *testing.B) {

@@ -8,7 +8,7 @@
 //	E13 paper-literal vs optimized block models (state explosion)
 //	E15 state-space scaling with buffer size
 //
-// Usage: pnpbridge [-quick] [-trace]
+// Usage: pnpbridge [-quick] [-trace] [-metrics]
 package main
 
 import (
@@ -21,24 +21,61 @@ import (
 	"pnp/internal/bridge"
 	"pnp/internal/checker"
 	"pnp/internal/model"
+	"pnp/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps (skips the slowest rows)")
 	showTrace := flag.Bool("trace", false, "print the E8 counterexample trace and MSC")
+	metrics := flag.Bool("metrics", false, "collect checker metrics and print a table per experiment")
 	flag.Parse()
-	if err := run(*quick, *showTrace); err != nil {
+	if err := run(*quick, *showTrace, *metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpbridge: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick, showTrace bool) error {
+// newRegistry returns a fresh registry when metrics are requested, nil
+// otherwise (a nil registry disables all instrumentation).
+func newRegistry(metrics bool) *obs.Registry {
+	if !metrics {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// dumpMetrics prints one experiment's collected metrics table.
+func dumpMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Println("-- metrics --")
+	reg.Dump(os.Stdout)
+}
+
+// rate renders states per second of one verification run.
+func rate(states int, d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	r := float64(states) / d.Seconds()
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.3gM/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.3gk/s", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", r)
+	}
+}
+
+func run(quick, showTrace, metrics bool) error {
 	cache := blocks.NewCache()
 
 	fmt.Println("== E8/E9/E10: bridge safety across connector choices ==")
-	fmt.Printf("%-28s %-20s %-12s %10s %12s %8s %10s\n",
-		"design", "enter send port", "verdict", "states", "transitions", "depth", "time")
+	fmt.Printf("%-28s %-20s %-12s %10s %12s %8s %12s %10s\n",
+		"design", "enter send port", "verdict", "states", "transitions", "depth", "states/s", "time")
+	regSafety := newRegistry(metrics)
 
 	type row struct {
 		label string
@@ -58,6 +95,7 @@ func run(quick, showTrace bool) error {
 	}
 	var e8 *checker.Result
 	for _, r := range rows {
+		r.opts.Metrics = regSafety
 		res, err := bridge.Verify(r.cfg, cache, r.opts)
 		if err != nil {
 			return err
@@ -66,14 +104,16 @@ func run(quick, showTrace bool) error {
 		if !res.OK {
 			verdict = res.Kind.String()
 		}
-		fmt.Printf("%-28s %-20s %-12s %10d %12d %8d %10s\n",
+		fmt.Printf("%-28s %-20s %-12s %10d %12d %8d %12s %10s\n",
 			r.label, r.cfg.EnterSend, verdict,
 			res.Stats.StatesStored, res.Stats.Transitions, res.Stats.MaxDepth,
+			rate(res.Stats.StatesStored, res.Stats.Elapsed),
 			res.Stats.Elapsed.Round(time.Millisecond))
 		if e8 == nil && !res.OK {
 			e8 = res
 		}
 	}
+	dumpMetrics(regSafety)
 
 	if showTrace && e8 != nil && e8.Trace != nil {
 		fmt.Println("\n-- E8 counterexample (shortest, BFS re-run) --")
@@ -93,12 +133,13 @@ func run(quick, showTrace bool) error {
 	}
 
 	fmt.Println("\n== E13: paper-literal vs optimized block models ==")
-	if err := ablationExperiment(quick); err != nil {
+	if err := ablationExperiment(quick, metrics); err != nil {
 		return err
 	}
 
 	fmt.Println("\n== E17: partial-order reduction on the E9 verification ==")
-	fmt.Printf("%-28s %10s %12s %10s\n", "search", "states", "transitions", "time")
+	fmt.Printf("%-28s %10s %12s %12s %10s\n", "search", "states", "transitions", "states/s", "time")
+	regPOR := newRegistry(metrics)
 	for _, por := range []bool{false, true} {
 		label := "full"
 		if por {
@@ -106,17 +147,20 @@ func run(quick, showTrace bool) error {
 		}
 		res, err := bridge.Verify(bridge.Config{
 			Variant: bridge.ExactlyN, EnterSend: blocks.SynBlockingSend,
-		}, cache, checker.Options{PartialOrder: por})
+		}, cache, checker.Options{PartialOrder: por, Metrics: regPOR})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-28s %10d %12d %10s\n",
+		fmt.Printf("%-28s %10d %12d %12s %10s\n",
 			label, res.Stats.StatesStored, res.Stats.Transitions,
+			rate(res.Stats.StatesStored, res.Stats.Elapsed),
 			res.Stats.Elapsed.Round(time.Millisecond))
 	}
+	dumpMetrics(regPOR)
 
 	fmt.Println("\n== E15: state-space scaling with the per-turn quota N ==")
-	fmt.Printf("%-12s %10s %12s %10s\n", "quota N", "states", "transitions", "time")
+	fmt.Printf("%-12s %10s %12s %12s %10s\n", "quota N", "states", "transitions", "states/s", "time")
+	regScale := newRegistry(metrics)
 	maxN := 4
 	if quick {
 		maxN = 2
@@ -124,14 +168,16 @@ func run(quick, showTrace bool) error {
 	for n := 1; n <= maxN; n++ {
 		res, err := bridge.Verify(bridge.Config{
 			Variant: bridge.ExactlyN, EnterSend: blocks.SynBlockingSend, N: n,
-		}, cache, checker.Options{})
+		}, cache, checker.Options{Metrics: regScale})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("N=%-10d %10d %12d %10s\n",
+		fmt.Printf("N=%-10d %10d %12d %12s %10s\n",
 			n, res.Stats.StatesStored, res.Stats.Transitions,
+			rate(res.Stats.StatesStored, res.Stats.Elapsed),
 			res.Stats.Elapsed.Round(time.Millisecond))
 	}
+	dumpMetrics(regScale)
 	return nil
 }
 
@@ -182,11 +228,12 @@ func reuseExperiment() error {
 // ablationExperiment compares the paper-literal block models (every
 // protocol step its own interleaving point) against the optimized ones on
 // the same producer/consumer system.
-func ablationExperiment(quick bool) error {
+func ablationExperiment(quick, metrics bool) error {
 	const comp = `
 byte done;
 proctype Done() { done = 1 }
 `
+	reg := newRegistry(metrics)
 	build := func(library string, msgs int) (*checker.Result, error) {
 		b, err := blocks.NewBuilderWithLibrary(library, comp, nil)
 		if err != nil {
@@ -213,14 +260,14 @@ proctype Done() { done = 1 }
 		if _, err := b.Spawn("PnPReceiver", model.Chan(rcv.Sig), model.Chan(rcv.Dat), model.Int(int64(msgs))); err != nil {
 			return nil, err
 		}
-		return checker.New(b.System(), checker.Options{}).CheckSafety(), nil
+		return checker.New(b.System(), checker.Options{Metrics: reg}).CheckSafety(), nil
 	}
 
 	msgs := 3
 	if quick {
 		msgs = 2
 	}
-	fmt.Printf("%-28s %10s %12s %10s\n", "library", "states", "transitions", "time")
+	fmt.Printf("%-28s %10s %12s %12s %10s\n", "library", "states", "transitions", "states/s", "time")
 	for _, lib := range []struct {
 		name string
 		src  string
@@ -232,9 +279,11 @@ proctype Done() { done = 1 }
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-28s %10d %12d %10s\n",
+		fmt.Printf("%-28s %10d %12d %12s %10s\n",
 			lib.name, res.Stats.StatesStored, res.Stats.Transitions,
+			rate(res.Stats.StatesStored, res.Stats.Elapsed),
 			res.Stats.Elapsed.Round(time.Millisecond))
 	}
+	dumpMetrics(reg)
 	return nil
 }

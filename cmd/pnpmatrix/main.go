@@ -6,7 +6,7 @@
 // demonstrating the paper's claim that the small block library spans a
 // wide range of observable interaction semantics.
 //
-// Usage: pnpmatrix [-msgs N] [-bufsize N]
+// Usage: pnpmatrix [-msgs N] [-bufsize N] [-metrics]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"pnp/internal/blocks"
 	"pnp/internal/checker"
 	"pnp/internal/model"
+	"pnp/internal/obs"
 )
 
 // matrixComponents counts deliveries so message loss is observable.
@@ -62,14 +63,15 @@ type cellResult struct {
 func main() {
 	msgs := flag.Int("msgs", 3, "messages the producer sends")
 	bufsize := flag.Int("bufsize", 1, "size of sized channels")
+	metrics := flag.Bool("metrics", false, "collect checker metrics across the sweep and print the table")
 	flag.Parse()
-	if err := run(*msgs, *bufsize); err != nil {
+	if err := run(*msgs, *bufsize, *metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpmatrix: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(msgs, bufsize int) error {
+func run(msgs, bufsize int, metrics bool) error {
 	sends := []blocks.SendPortKind{
 		blocks.AsynNonblockingSend, blocks.AsynBlockingSend, blocks.AsynCheckingSend,
 		blocks.SynBlockingSend, blocks.SynCheckingSend,
@@ -80,8 +82,12 @@ func run(msgs, bufsize int) error {
 	recvs := []blocks.RecvPortKind{blocks.BlockingRecv, blocks.NonblockingRecv}
 
 	cache := blocks.NewCache()
+	var reg *obs.Registry
+	if metrics {
+		reg = obs.NewRegistry()
+	}
 	fmt.Printf("producer sends %d message(s); sized channels hold %d\n\n", msgs, bufsize)
-	fmt.Printf("%-52s %-22s %8s %10s\n", "connector", "verdict", "states", "time")
+	fmt.Printf("%-52s %-22s %8s %10s %10s\n", "connector", "verdict", "states", "states/s", "time")
 
 	var cells []cellResult
 	for _, s := range sends {
@@ -91,13 +97,17 @@ func run(msgs, bufsize int) error {
 				if ch == blocks.SingleSlot {
 					spec.Size = 0
 				}
-				cell, err := evaluate(spec, msgs, cache)
+				cell, err := evaluate(spec, msgs, cache, reg)
 				if err != nil {
 					return err
 				}
 				cells = append(cells, cell)
-				fmt.Printf("%-52s %-22s %8d %10s\n",
-					cell.spec, cell.verdict, cell.states, cell.elapsed.Round(time.Millisecond))
+				rate := "-"
+				if cell.elapsed > 0 {
+					rate = fmt.Sprintf("%.3gk/s", float64(cell.states)/cell.elapsed.Seconds()/1e3)
+				}
+				fmt.Printf("%-52s %-22s %8d %10s %10s\n",
+					cell.spec, cell.verdict, cell.states, rate, cell.elapsed.Round(time.Millisecond))
 			}
 		}
 	}
@@ -113,11 +123,15 @@ func run(msgs, bufsize int) error {
 		}
 	}
 	fmt.Println()
+	if reg != nil {
+		fmt.Println("-- checker metrics across the sweep --")
+		reg.Dump(os.Stdout)
+	}
 	return nil
 }
 
 // evaluate composes and verifies one matrix cell.
-func evaluate(spec blocks.ConnectorSpec, msgs int, cache *blocks.Cache) (cellResult, error) {
+func evaluate(spec blocks.ConnectorSpec, msgs int, cache *blocks.Cache, reg *obs.Registry) (cellResult, error) {
 	b, err := blocks.NewBuilder(matrixComponents, cache)
 	if err != nil {
 		return cellResult{}, err
@@ -142,7 +156,7 @@ func evaluate(spec blocks.ConnectorSpec, msgs int, cache *blocks.Cache) (cellRes
 	}
 
 	t0 := time.Now()
-	safety := checker.New(b.System(), checker.Options{}).CheckSafety()
+	safety := checker.New(b.System(), checker.Options{Metrics: reg}).CheckSafety()
 	verdict := "delivers-all"
 	switch {
 	case !safety.OK && safety.Kind == checker.Deadlock:
@@ -157,7 +171,7 @@ func evaluate(spec blocks.ConnectorSpec, msgs int, cache *blocks.Cache) (cellRes
 		if err != nil {
 			return cellResult{}, err
 		}
-		inev := checker.New(b.System(), checker.Options{}).CheckEventuallyReachable(target)
+		inev := checker.New(b.System(), checker.Options{Metrics: reg}).CheckEventuallyReachable(target)
 		if !inev.OK {
 			verdict = "may-lose-messages"
 		}

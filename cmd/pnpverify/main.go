@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pnpverify [-bfs] [-max-states N] [-msc] system.pnp
+//	pnpverify [-bfs] [-max-states N] [-msc] [-progress] [-metrics-addr :8080] system.pnp
 package main
 
 import (
@@ -14,9 +14,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"pnp/internal/adl"
 	"pnp/internal/checker"
+	"pnp/internal/obs"
 )
 
 func main() {
@@ -35,6 +37,9 @@ func run() int {
 	dotFile := flag.String("dot", "", "write the state graph (<=500 states) to this DOT file")
 	simulate := flag.Int("simulate", 0, "random-walk simulate N steps instead of verifying")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	progress := flag.Bool("progress", false, "print periodic search progress lines and a final stats table")
+	progressInterval := flag.Duration("progress-interval", 200*time.Millisecond, "interval between progress lines")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address while verifying")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: pnpverify [flags] system.pnp\n")
 		flag.PrintDefaults()
@@ -90,7 +95,7 @@ func run() int {
 		return 0
 	}
 
-	results := sys.VerifyAll(checker.Options{
+	opts := checker.Options{
 		BFS:             *bfs,
 		MaxStates:       *maxStates,
 		Bitstate:        *bitstate,
@@ -98,7 +103,34 @@ func run() int {
 		StrongFairness:  *strongFair,
 		PartialOrder:    *por,
 		ReportUnreached: *unreached,
-	})
+	}
+	// VerifyAll runs properties sequentially, so the callback needs no lock.
+	var finals []checker.Progress
+	if *progress {
+		opts.ProgressInterval = *progressInterval
+		opts.Progress = func(p checker.Progress) {
+			if p.Final {
+				finals = append(finals, p)
+				return
+			}
+			fmt.Printf("  progress [%s] states %d (%d matched) trans %d depth %d %s heap %.1fMB\n",
+				p.Phase, p.StatesStored, p.StatesMatched, p.Transitions, p.Depth,
+				fmtRate(p.StatesPerSec), float64(p.HeapAlloc)/(1<<20))
+		}
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		opts.Metrics = reg
+		srv, err := obs.Serve(reg, *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
+	}
+
+	results := sys.VerifyAll(opts)
 	names := make([]string, 0, len(results))
 	for name := range results {
 		names = append(names, name)
@@ -126,10 +158,32 @@ func run() int {
 			}
 		}
 	}
+	if *progress && len(finals) > 0 {
+		fmt.Println("search statistics:")
+		fmt.Printf("  %-22s %10s %10s %12s %6s %12s %10s\n",
+			"phase", "states", "matched", "transitions", "depth", "states/s", "elapsed")
+		for _, p := range finals {
+			fmt.Printf("  %-22s %10d %10d %12d %6d %12s %10s\n",
+				p.Phase, p.StatesStored, p.StatesMatched, p.Transitions, p.Depth,
+				fmtRate(p.StatesPerSec), p.Elapsed.Round(time.Millisecond))
+		}
+	}
 	if failed > 0 {
 		fmt.Printf("%d propert(y/ies) FAILED\n", failed)
 		return 1
 	}
 	fmt.Println("all properties verified")
 	return 0
+}
+
+// fmtRate renders a states/second rate compactly (12345678 -> "12.3M/s").
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.3gM/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.3gk/s", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", r)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pnp/internal/model"
+	"pnp/internal/obs"
 	"pnp/internal/pml"
 	"pnp/internal/trace"
 )
@@ -90,6 +91,18 @@ type Options struct {
 	// partial.
 	Bitstate     bool
 	BitstateBits uint
+	// Progress, when non-nil, receives a periodic exploration snapshot
+	// every ProgressInterval plus one final snapshot — Spin-style
+	// progress lines for long searches.
+	Progress func(Progress)
+	// ProgressInterval is the minimum time between Progress snapshots
+	// (default 1s).
+	ProgressInterval time.Duration
+	// Metrics, when non-nil, receives checker counters and gauges
+	// (states stored/matched, transitions, depth, heap) labeled by
+	// exploration phase. Updates happen at snapshot granularity, so the
+	// exploration hot path is unaffected.
+	Metrics *obs.Registry
 }
 
 // Stats summarizes the exploration.
@@ -121,11 +134,29 @@ type Result struct {
 
 // Summary renders a one-line verdict.
 func (r *Result) Summary() string {
+	var s string
 	if r.OK {
-		return fmt.Sprintf("verified: %d states, %d transitions, depth %d",
+		s = fmt.Sprintf("verified: %d states, %d transitions, depth %d",
 			r.Stats.StatesStored, r.Stats.Transitions, r.Stats.MaxDepth)
+		if r.Stats.Reduced > 0 {
+			s += fmt.Sprintf(", %d reduced", r.Stats.Reduced)
+		}
+	} else {
+		s = fmt.Sprintf("%s: %s (%d states explored)", r.Kind, r.Message, r.Stats.StatesStored)
 	}
-	return fmt.Sprintf("%s: %s (%d states explored)", r.Kind, r.Message, r.Stats.StatesStored)
+	if r.Stats.Elapsed > 0 {
+		s += fmt.Sprintf(" in %s", fmtElapsed(r.Stats.Elapsed))
+	}
+	return s
+}
+
+// fmtElapsed rounds a duration for display without collapsing sub-ms
+// runs to "0s".
+func fmtElapsed(d time.Duration) time.Duration {
+	if r := d.Round(time.Millisecond); r > 0 {
+		return r
+	}
+	return d.Round(time.Microsecond)
 }
 
 // Checker verifies one instantiated system.

@@ -63,15 +63,21 @@ const (
 // Options.StrongFairness it dispatches to the fair-SCC search.
 func (c *Checker) CheckLTLFormula(f *ltl.Formula, props map[string]pml.RExpr) *Result {
 	if c.opts.StrongFairness {
-		return c.CheckLTLFormulaStrongFair(f, props)
+		var res *Result
+		withPhaseLabel("liveness-strongfair", func() { res = c.CheckLTLFormulaStrongFair(f, props) })
+		return res
 	}
-	return c.checkLTLNestedDFS(f, props)
+	var res *Result
+	withPhaseLabel("liveness-ndfs", func() { res = c.checkLTLNestedDFS(f, props) })
+	return res
 }
 
 func (c *Checker) checkLTLNestedDFS(f *ltl.Formula, props map[string]pml.RExpr) *Result {
 	start := time.Now()
 	res := &Result{OK: true}
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
+	m := c.newMeter("liveness-ndfs")
+	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	aut, err := ltl.Translate(ltl.Not(f))
 	if err != nil {
@@ -136,6 +142,7 @@ func (c *Checker) checkLTLNestedDFS(f *ltl.Formula, props map[string]pml.RExpr) 
 		arena = append(arena, pnode{st: st, q: q, copy: copy})
 		flags = append(flags, 0)
 		res.Stats.StatesStored++
+		m.tick(&res.Stats, res.Stats.MaxDepth)
 		return len(arena) - 1
 	}
 

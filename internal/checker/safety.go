@@ -14,10 +14,17 @@ import (
 // assertion violation, runtime error, invariant violation, or invalid end
 // state (deadlock). With Options.BFS the counterexample is shortest.
 func (c *Checker) CheckSafety() *Result {
+	var res *Result
 	if c.opts.BFS {
-		return c.checkSafetyBFS()
+		withPhaseLabel("safety-bfs", func() { res = c.checkSafetyBFS() })
+	} else {
+		phase := "safety-dfs"
+		if c.opts.PartialOrder {
+			phase = "safety-dfs-por"
+		}
+		withPhaseLabel(phase, func() { res = c.checkSafetyDFS() })
 	}
-	return c.checkSafetyDFS()
+	return res
 }
 
 // stateProblem checks invariants and deadlock for a state; it returns a
@@ -89,6 +96,12 @@ func (c *Checker) checkSafetyDFS() *Result {
 	visited := c.newVisited()
 	res := &Result{OK: true}
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
+	phase := "safety-dfs"
+	if c.opts.PartialOrder {
+		phase = "safety-dfs-por"
+	}
+	m := c.newMeter(phase)
+	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	var executed map[*pml.Edge]bool
 	if c.opts.ReportUnreached && !c.opts.PartialOrder {
@@ -188,6 +201,7 @@ func (c *Checker) checkSafetyDFS() *Result {
 			continue
 		}
 		res.Stats.StatesStored++
+		m.tick(&res.Stats, len(stack))
 		if c.opts.MaxStates > 0 && res.Stats.StatesStored > c.opts.MaxStates {
 			res.Stats.Truncated = true
 			res.OK = false
@@ -224,10 +238,18 @@ func (c *Checker) checkSafetyDFS() *Result {
 // witness in Result.Trace. Assertion violations and deadlocks encountered
 // along the way are not reported; only reachability is decided.
 func (c *Checker) CheckReachable(target pml.RExpr) *Result {
+	var res *Result
+	withPhaseLabel("reachability", func() { res = c.checkReachable(target) })
+	return res
+}
+
+func (c *Checker) checkReachable(target pml.RExpr) *Result {
 	start := time.Now()
 	visited := c.newVisited()
 	res := &Result{}
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
+	m := c.newMeter("reachability")
+	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	sat := func(st *model.State) (bool, string) {
 		v, err := c.sys.EvalGlobal(st, target)
@@ -278,6 +300,7 @@ func (c *Checker) CheckReachable(target pml.RExpr) *Result {
 				continue
 			}
 			res.Stats.StatesStored++
+			m.tick(&res.Stats, res.Stats.MaxDepth)
 			if c.opts.MaxStates > 0 && res.Stats.StatesStored > c.opts.MaxStates {
 				res.Stats.Truncated = true
 				res.Kind = SearchLimit
@@ -299,9 +322,17 @@ func (c *Checker) CheckReachable(target pml.RExpr) *Result {
 // irrecoverably lost). This is the fairness-independent way to check
 // "nothing is ever permanently lost".
 func (c *Checker) CheckEventuallyReachable(target pml.RExpr) *Result {
+	var res *Result
+	withPhaseLabel("ag-ef", func() { res = c.checkEventuallyReachable(target) })
+	return res
+}
+
+func (c *Checker) checkEventuallyReachable(target pml.RExpr) *Result {
 	start := time.Now()
 	res := &Result{}
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
+	m := c.newMeter("ag-ef")
+	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	// Forward pass: build the full reachable graph.
 	index := map[string]int{}
@@ -317,6 +348,7 @@ func (c *Checker) CheckEventuallyReachable(target pml.RExpr) *Result {
 		arena = append(arena, bfsNode{st: st, parent: parent, in: in})
 		succs = append(succs, nil)
 		res.Stats.StatesStored++
+		m.tick(&res.Stats, 0)
 		return len(arena) - 1
 	}
 	add(c.sys.InitialState(), -1, model.Transition{})
@@ -399,6 +431,8 @@ func (c *Checker) checkSafetyBFS() *Result {
 	visited := c.newVisited()
 	res := &Result{OK: true}
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
+	m := c.newMeter("safety-bfs")
+	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	buildTrace := func(arena []bfsNode, i int, extra *model.Transition) *trace.Trace {
 		var rev []trace.Event
@@ -450,6 +484,7 @@ func (c *Checker) checkSafetyBFS() *Result {
 				continue
 			}
 			res.Stats.StatesStored++
+			m.tick(&res.Stats, res.Stats.MaxDepth)
 			if c.opts.MaxStates > 0 && res.Stats.StatesStored > c.opts.MaxStates {
 				res.Stats.Truncated = true
 				res.OK = false

@@ -57,6 +57,8 @@ func (c *Checker) CheckLTLFormulaStrongFair(f *ltl.Formula, props map[string]pml
 	start := time.Now()
 	res := &Result{OK: true}
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
+	m := c.newMeter("liveness-strongfair")
+	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	aut, err := ltl.Translate(ltl.Not(f))
 	if err != nil {
@@ -109,6 +111,7 @@ func (c *Checker) CheckLTLFormulaStrongFair(f *ltl.Formula, props map[string]pml
 			enabled: en, parent: -1, parentEdge: -1,
 		})
 		res.Stats.StatesStored++
+		m.tick(&res.Stats, res.Stats.MaxDepth)
 		return len(nodes) - 1
 	}
 

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"text/tabwriter"
+)
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4). Labeled instruments share one
+// TYPE line per base name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var counters, gauges, hists []string
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.hists {
+		hists = append(hists, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+
+	typed := map[string]bool{}
+	emitType := func(name, kind string) {
+		base, _ := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, n := range counters {
+		emitType(n, "counter")
+		fmt.Fprintf(w, "%s %d\n", n, r.Counter(n).Value())
+	}
+	for _, n := range gauges {
+		emitType(n, "gauge")
+		fmt.Fprintf(w, "%s %d\n", n, r.Gauge(n).Value())
+	}
+	for _, n := range hists {
+		emitType(n, "histogram")
+		h := r.Histogram(n, nil)
+		base, labels := splitName(n)
+		bounds, counts := h.buckets()
+		for i := range bounds {
+			le := "+Inf"
+			if !math.IsInf(bounds[i], 1) {
+				le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+			}
+			lb := `le="` + le + `"`
+			if labels != "" {
+				lb = labels + "," + lb
+			}
+			fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, lb, counts[i])
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(w, "%s_sum%s %g\n", base, suffix, h.Sum())
+		fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.Count())
+	}
+	return nil
+}
+
+// jsonHistogram is the JSON shape of one histogram.
+type jsonHistogram struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// WriteJSON renders every instrument as one JSON object with
+// "counters", "gauges", and "histograms" sections.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}")
+		return err
+	}
+	out := struct {
+		Counters   map[string]int64         `json:"counters"`
+		Gauges     map[string]int64         `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]jsonHistogram{},
+	}
+	r.mu.Lock()
+	for n, c := range r.counters {
+		out.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		bounds, counts := h.buckets()
+		jb := map[string]int64{}
+		for i := range bounds {
+			le := "+Inf"
+			if !math.IsInf(bounds[i], 1) {
+				le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+			}
+			jb[le] = counts[i]
+		}
+		out.Histograms[n] = jsonHistogram{Count: h.Count(), Sum: h.Sum(), Buckets: jb}
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Dump writes a human-readable aligned table of every instrument,
+// sorted by name — the per-experiment metrics table of the CLIs.
+func (r *Registry) Dump(w io.Writer) {
+	if r == nil {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	type row struct{ name, value string }
+	var rows []row
+	r.mu.Lock()
+	for n, c := range r.counters {
+		rows = append(rows, row{n, strconv.FormatInt(c.Value(), 10)})
+	}
+	for n, g := range r.gauges {
+		rows = append(rows, row{n, strconv.FormatInt(g.Value(), 10)})
+	}
+	for n, h := range r.hists {
+		rows = append(rows, row{n, fmt.Sprintf("count=%d sum=%.6g", h.Count(), h.Sum())})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, rw := range rows {
+		fmt.Fprintf(tw, "  %s\t%s\n", rw.name, rw.value)
+	}
+	tw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry: /metrics
+// (Prometheus text), /metrics.json (JSON), and /healthz.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve exposes the registry over HTTP on addr (host:port; port 0
+// picks a free one). It returns as soon as the listener is bound; the
+// server runs until Close.
+func Serve(r *Registry, addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(l)
+	return &Server{l: l, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// expvar names may be published only once per process; remember ours.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar publishes the registry's JSON snapshot under the given
+// expvar name (on /debug/vars of the default mux). The first call wins:
+// later calls with the same name are no-ops, never panics.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	reg := r
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any {
+		snap := struct {
+			Counters map[string]int64 `json:"counters"`
+			Gauges   map[string]int64 `json:"gauges"`
+		}{map[string]int64{}, map[string]int64{}}
+		reg.mu.Lock()
+		for n, c := range reg.counters {
+			snap.Counters[n] = c.Value()
+		}
+		for n, g := range reg.gauges {
+			snap.Gauges[n] = g.Value()
+		}
+		reg.mu.Unlock()
+		return snap
+	}))
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs_total") != c {
+		t.Error("same name should return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read as zero")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	r.Dump(io.Discard)
+	r.PublishExpvar("nil-reg")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	bounds, counts := h.buckets()
+	// Cumulative: <=0.01 has 2 (0.005 and the inclusive 0.01), <=0.1 has
+	// 3, <=1 has 4, +Inf has all 5.
+	want := []int64{2, 3, 4, 5}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket le=%g cumulative = %d, want %d", bounds[i], counts[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{1}).Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if got, want := Labels("x_total", "conn", "pipe", "port", "send0"), `x_total{conn="pipe",port="send0"}`; got != want {
+		t.Errorf("Labels = %q, want %q", got, want)
+	}
+	if got := Labels("bare"); got != "bare" {
+		t.Errorf("Labels no-kv = %q", got)
+	}
+	base, lb := splitName(`x_total{conn="pipe"}`)
+	if base != "x_total" || lb != `conn="pipe"` {
+		t.Errorf("splitName = %q, %q", base, lb)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labels("sends_total", "conn", "a")).Add(3)
+	r.Counter(Labels("sends_total", "conn", "b")).Add(4)
+	r.Gauge("depth").Set(2)
+	r.Histogram("lat", []float64{0.5}).Observe(0.25)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sends_total counter",
+		`sends_total{conn="a"} 3`,
+		`sends_total{conn="b"} 4`,
+		"# TYPE depth gauge",
+		"depth 2",
+		"# TYPE lat histogram",
+		`lat_bucket{le="0.5"} 1`,
+		`lat_bucket{le="+Inf"} 1`,
+		"lat_sum 0.25",
+		"lat_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE line for the shared base name.
+	if strings.Count(out, "# TYPE sends_total") != 1 {
+		t.Errorf("want exactly one TYPE line for sends_total:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h", []float64{1}).Observe(2)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64            `json:"count"`
+			Sum     float64          `json:"sum"`
+			Buckets map[string]int64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if got.Counters["c"] != 2 || got.Gauges["g"] != -1 {
+		t.Errorf("bad scalar values: %+v", got)
+	}
+	h := got.Histograms["h"]
+	if h.Count != 1 || h.Sum != 2 || h.Buckets["+Inf"] != 1 || h.Buckets["1"] != 0 {
+		t.Errorf("bad histogram: %+v", h)
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(1)
+	r.Counter("a_total").Add(2)
+	var b bytes.Buffer
+	r.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "a_total") || !strings.Contains(out, "b_total") {
+		t.Errorf("dump missing metrics:\n%s", out)
+	}
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Errorf("dump not sorted:\n%s", out)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Add(9)
+	srv, err := Serve(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics":      "served_total 9",
+		"/metrics.json": `"served_total": 9`,
+		"/healthz":      "ok",
+	} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body missing %q:\n%s", path, want, body)
+		}
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ev_total").Add(3)
+	r.PublishExpvar("pnp-test")
+	r.PublishExpvar("pnp-test") // idempotent, must not panic
+	v := expvar.Get("pnp-test")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	if !strings.Contains(v.String(), "ev_total") {
+		t.Errorf("expvar snapshot missing counter: %s", v.String())
+	}
+}

@@ -3,8 +3,10 @@ package pnprt
 import (
 	"context"
 	"sync/atomic"
+	"time"
 
 	"pnp/internal/blocks"
+	"pnp/internal/obs"
 )
 
 // Stats are cumulative counters of one connector's channel process. They
@@ -27,6 +29,9 @@ type entry struct {
 	msg       Message
 	delivered chan struct{}
 	notified  bool
+	// at is the admission time, stamped only when latency metrics are
+	// enabled (zero otherwise).
+	at time.Time
 }
 
 // chanProc is the channel (storage medium) process of a connector. All
@@ -48,6 +53,13 @@ type chanProc struct {
 	dropped   atomic.Int64
 	delivered atomic.Int64
 	failed    atomic.Int64
+
+	// Registry instruments; nil (no-op) unless WithMetrics was given.
+	mAccepted, mRejected, mDropped *obs.Counter
+	mDelivered, mFailed            *obs.Counter
+	mBlockedSends, mBlockedRecvs   *obs.Counter
+	mDepth                         *obs.Gauge
+	mLatency                       *obs.Histogram
 }
 
 func newChanProc(c *Connector, spec Spec) *chanProc {
@@ -86,6 +98,7 @@ func (p *chanProc) handleIn(m inMsg) {
 	case len(p.buf) < p.size:
 		p.insert(m)
 		p.accepted.Add(1)
+		p.mAccepted.Inc()
 		p.emit("IN_OK", m.msg.Sender, m.msg)
 		m.reply <- inOK
 		p.rebalance()
@@ -93,13 +106,16 @@ func (p *chanProc) handleIn(m inMsg) {
 		// Accept and silently discard, confirming IN_OK — the paper's
 		// drop-when-full buffer. A tracked delivery never happens.
 		p.dropped.Add(1)
+		p.mDropped.Inc()
 		p.emit("IN_OK", m.msg.Sender, m.msg)
 		p.emit("DROPPED", m.msg.Sender, m.msg)
 		m.reply <- inOK
 	case m.wait:
+		p.mBlockedSends.Inc()
 		p.waitSends = append(p.waitSends, m)
 	default:
 		p.rejected.Add(1)
+		p.mRejected.Inc()
 		p.emit("IN_FAIL", m.msg.Sender, m.msg)
 		m.reply <- inFail
 	}
@@ -108,6 +124,10 @@ func (p *chanProc) handleIn(m inMsg) {
 // insert stores the message respecting the channel kind's order.
 func (p *chanProc) insert(m inMsg) {
 	e := entry{msg: m.msg, delivered: m.delivered}
+	if p.mLatency != nil {
+		e.at = time.Now()
+	}
+	p.mDepth.Set(int64(len(p.buf) + 1)) // depth once this insert lands
 	if p.kind == blocks.PriorityQueue {
 		pos := len(p.buf)
 		for i := range p.buf {
@@ -138,10 +158,12 @@ func (p *chanProc) handleOut(r outReq) {
 	i := p.findMatch(r.req)
 	if i < 0 {
 		if r.wait {
+			p.mBlockedRecvs.Inc()
 			p.waitRecvs = append(p.waitRecvs, r)
 			return
 		}
 		p.failed.Add(1)
+		p.mFailed.Inc()
 		p.emit("OUT_FAIL", -1, Message{})
 		r.reply <- recvReply{status: RecvFail}
 		return
@@ -153,6 +175,10 @@ func (p *chanProc) handleOut(r outReq) {
 func (p *chanProc) deliver(i int, r outReq) {
 	e := &p.buf[i]
 	p.delivered.Add(1)
+	p.mDelivered.Inc()
+	if p.mLatency != nil && !e.at.IsZero() {
+		p.mLatency.Observe(time.Since(e.at).Seconds())
+	}
 	p.emit("OUT_OK", e.msg.Sender, e.msg)
 	r.reply <- recvReply{status: RecvSucc, msg: e.msg}
 	if e.delivered != nil && !e.notified {
@@ -162,6 +188,7 @@ func (p *chanProc) deliver(i int, r outReq) {
 	p.emit("RECV_OK", e.msg.Sender, e.msg)
 	if !r.req.Copy {
 		p.buf = append(p.buf[:i], p.buf[i+1:]...)
+		p.mDepth.Set(int64(len(p.buf)))
 	}
 }
 
@@ -187,6 +214,7 @@ func (p *chanProc) rebalance() {
 			p.waitSends = p.waitSends[1:]
 			p.insert(m)
 			p.accepted.Add(1)
+			p.mAccepted.Inc()
 			p.emit("IN_OK", m.msg.Sender, m.msg)
 			m.reply <- inOK
 			progress = true

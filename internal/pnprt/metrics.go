@@ -1,0 +1,98 @@
+package pnprt
+
+import (
+	"fmt"
+
+	"pnp/internal/obs"
+	"pnp/internal/trace"
+)
+
+// WithMetrics instruments the connector's blocks against the registry.
+// Every port and channel block gets its own counters (sends, receives,
+// parked requests, drops, full-buffer rejections), the channel gets a
+// queue-depth gauge, and every delivery is timed from buffer admission
+// to receipt into a latency histogram.
+//
+// All instruments are nil-safe no-ops when this option is absent, so
+// the uninstrumented hot path pays only nil checks.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *Connector) { c.metrics = reg }
+}
+
+// portLabel names one port block instance, e.g. "send0" or "recv2".
+func portLabel(kind string, id int) string {
+	return fmt.Sprintf("%s%d", kind, id)
+}
+
+// instrumentSendPort attaches the per-block counters of one send port.
+func (c *Connector) instrumentSendPort(p *sendPort) {
+	if c.metrics == nil {
+		return
+	}
+	lbl := portLabel("send", p.id)
+	p.mSends = c.metrics.Counter(obs.Labels("pnprt_port_sends_total", "connector", c.name, "port", lbl))
+	p.mFails = c.metrics.Counter(obs.Labels("pnprt_port_send_fails_total", "connector", c.name, "port", lbl))
+}
+
+// instrumentRecvPort attaches the per-block counters of one receive port.
+func (c *Connector) instrumentRecvPort(p *recvPort) {
+	if c.metrics == nil {
+		return
+	}
+	lbl := portLabel("recv", p.id)
+	p.mRecvs = c.metrics.Counter(obs.Labels("pnprt_port_receives_total", "connector", c.name, "port", lbl))
+	p.mFails = c.metrics.Counter(obs.Labels("pnprt_port_recv_fails_total", "connector", c.name, "port", lbl))
+}
+
+// instrumentChan attaches the channel block's counters, queue-depth
+// gauge, and admission-to-delivery latency histogram.
+func (c *Connector) instrumentChan(p *chanProc) {
+	if c.metrics == nil {
+		return
+	}
+	kv := []string{"connector", c.name}
+	p.mAccepted = c.metrics.Counter(obs.Labels("pnprt_channel_accepted_total", kv...))
+	p.mRejected = c.metrics.Counter(obs.Labels("pnprt_channel_rejected_total", kv...))
+	p.mDropped = c.metrics.Counter(obs.Labels("pnprt_channel_dropped_total", kv...))
+	p.mDelivered = c.metrics.Counter(obs.Labels("pnprt_channel_delivered_total", kv...))
+	p.mFailed = c.metrics.Counter(obs.Labels("pnprt_channel_recv_fails_total", kv...))
+	p.mBlockedSends = c.metrics.Counter(obs.Labels("pnprt_channel_blocked_sends_total", kv...))
+	p.mBlockedRecvs = c.metrics.Counter(obs.Labels("pnprt_channel_blocked_recvs_total", kv...))
+	p.mDepth = c.metrics.Gauge(obs.Labels("pnprt_channel_queue_depth", kv...))
+	p.mLatency = c.metrics.Histogram(obs.Labels("pnprt_channel_wait_seconds", kv...), obs.LatencyBuckets)
+}
+
+// MSCTap adapts a live trace window into a TraceFunc: every protocol
+// event (IN_OK, SEND_SUCC, ...) becomes an MSC row with the emitting
+// block as its lifeline, so a running system renders the same message
+// sequence charts the checker produces for counterexamples.
+//
+//	live := trace.NewLive(0)
+//	conn, _ := NewConnector("pipe", spec, WithTrace(MSCTap(live)))
+//	...
+//	fmt.Println(live.MSC(nil))
+func MSCTap(live *trace.Live) TraceFunc {
+	return func(e Event) { live.Append(tapEvent(e)) }
+}
+
+// tapEvent maps one runtime protocol event onto a trace event. Channel
+// events that carry a message draw an arrow to the sending port's
+// lifeline, mirroring the port<->channel signal flow of the models.
+func tapEvent(e Event) trace.Event {
+	te := trace.Event{Action: e.Signal}
+	if e.Msg.Data != nil {
+		te.Msg = fmt.Sprint(e.Msg.Data)
+	}
+	switch e.Source {
+	case "send-port":
+		te.Proc = fmt.Sprintf("%s.%s", e.Connector, portLabel("send", e.Port))
+	case "recv-port":
+		te.Proc = fmt.Sprintf("%s.%s", e.Connector, portLabel("recv", e.Port))
+	default: // channel
+		te.Proc = e.Connector + ".chan"
+		if e.Port >= 0 {
+			te.Partner = fmt.Sprintf("%s.%s", e.Connector, portLabel("send", e.Port))
+		}
+	}
+	return te
+}

@@ -1,0 +1,138 @@
+package pnprt
+
+import (
+	"strings"
+	"testing"
+
+	"pnp/internal/blocks"
+	"pnp/internal/obs"
+	"pnp/internal/trace"
+)
+
+func TestConnectorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 4, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1, WithMetrics(reg))
+	ctx := ctxShort(t)
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if st, err := snd[0].Send(ctx, Message{Data: i}); err != nil || st != SendSucc {
+			t.Fatalf("Send %d = %v, %v", i, st, err)
+		}
+		if st, _, err := rcv[0].Receive(ctx, RecvRequest{}); err != nil || st != RecvSucc {
+			t.Fatalf("Receive %d = %v, %v", i, st, err)
+		}
+	}
+
+	get := func(name string) int64 {
+		t.Helper()
+		return reg.Counter(name).Value()
+	}
+	sends := get(obs.Labels("pnprt_port_sends_total", "connector", "test", "port", "send0"))
+	recvs := get(obs.Labels("pnprt_port_receives_total", "connector", "test", "port", "recv0"))
+	accepted := get(obs.Labels("pnprt_channel_accepted_total", "connector", "test"))
+	delivered := get(obs.Labels("pnprt_channel_delivered_total", "connector", "test"))
+	if sends != n || recvs != n || accepted != n || delivered != n {
+		t.Fatalf("sends=%d recvs=%d accepted=%d delivered=%d, want all %d",
+			sends, recvs, accepted, delivered, n)
+	}
+	if depth := reg.Gauge(obs.Labels("pnprt_channel_queue_depth", "connector", "test")).Value(); depth != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", depth)
+	}
+	// Every delivery was timed from admission to receipt.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `pnprt_channel_wait_seconds_count{connector="test"} 5`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestConnectorMetricsRejectedSend(t *testing.T) {
+	reg := obs.NewRegistry()
+	spec := Spec{Send: blocks.AsynCheckingSend, Channel: blocks.FIFOQueue, Size: 1, Recv: blocks.NonblockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1, WithMetrics(reg))
+	ctx := ctxShort(t)
+
+	if st, _ := snd[0].Send(ctx, Message{Data: "a"}); st != SendSucc {
+		t.Fatalf("first send = %v, want SEND_SUCC", st)
+	}
+	if st, _ := snd[0].Send(ctx, Message{Data: "b"}); st != SendFail {
+		t.Fatalf("second send = %v, want SEND_FAIL", st)
+	}
+	// Drain, then a nonblocking receive on empty fails.
+	if st, _, _ := rcv[0].Receive(ctx, RecvRequest{}); st != RecvSucc {
+		t.Fatalf("drain receive = %v", st)
+	}
+	if st, _, _ := rcv[0].Receive(ctx, RecvRequest{}); st != RecvFail {
+		t.Fatalf("empty receive = %v, want RECV_FAIL", st)
+	}
+
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{obs.Labels("pnprt_port_send_fails_total", "connector", "test", "port", "send0"), 1},
+		{obs.Labels("pnprt_channel_rejected_total", "connector", "test"), 1},
+		{obs.Labels("pnprt_port_recv_fails_total", "connector", "test", "port", "recv0"), 1},
+		{obs.Labels("pnprt_channel_recv_fails_total", "connector", "test"), 1},
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestConnectorMetricsDropped(t *testing.T) {
+	reg := obs.NewRegistry()
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.DroppingBuffer, Size: 1, Recv: blocks.BlockingRecv}
+	_, snd, _ := startConnector(t, spec, 1, 1, WithMetrics(reg))
+	ctx := ctxShort(t)
+
+	for i := 0; i < 3; i++ {
+		if st, err := snd[0].Send(ctx, Message{Data: i}); err != nil || st != SendSucc {
+			t.Fatalf("Send %d = %v, %v", i, st, err)
+		}
+	}
+	if got := reg.Counter(obs.Labels("pnprt_channel_dropped_total", "connector", "test")).Value(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+func TestMSCTapLive(t *testing.T) {
+	live := trace.NewLive(64)
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	_, snd, rcv := startConnector(t, spec, 1, 1, WithTrace(MSCTap(live)))
+	ctx := ctxShort(t)
+
+	if st, err := snd[0].Send(ctx, Message{Data: "ping"}); err != nil || st != SendSucc {
+		t.Fatalf("Send = %v, %v", st, err)
+	}
+	if st, _, err := rcv[0].Receive(ctx, RecvRequest{}); err != nil || st != RecvSucc {
+		t.Fatalf("Receive = %v, %v", st, err)
+	}
+
+	if live.Len() == 0 {
+		t.Fatal("live window recorded no events")
+	}
+	msc := live.MSC(nil)
+	for _, want := range []string{"test.send0", "test.chan", "test.recv0", "IN_OK", "SEND_SUCC", "RECV_SUCC", "ping"} {
+		if !strings.Contains(msc, want) {
+			t.Errorf("MSC missing %q:\n%s", want, msc)
+		}
+	}
+	// Channel events carrying a message arrow back to the send port.
+	var sawArrow bool
+	for _, e := range live.Events() {
+		if e.Proc == "test.chan" && e.Partner == "test.send0" {
+			sawArrow = true
+		}
+	}
+	if !sawArrow {
+		t.Error("no channel event drew an arrow to the send port lifeline")
+	}
+}

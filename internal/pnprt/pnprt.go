@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"pnp/internal/blocks"
+	"pnp/internal/obs"
 )
 
 // Status is a SendStatus or RecvStatus delivered to a component through
@@ -155,9 +156,10 @@ type outReq struct {
 // Connector assembles a channel process with send and receive ports and
 // manages their goroutines' lifecycle.
 type Connector struct {
-	name  string
-	spec  Spec
-	trace TraceFunc
+	name    string
+	spec    Spec
+	trace   TraceFunc
+	metrics *obs.Registry
 
 	ch        *chanProc
 	senders   []*sendPort
@@ -195,6 +197,7 @@ func NewConnector(name string, spec Spec, opts ...Option) (*Connector, error) {
 		o(c)
 	}
 	c.ch = newChanProc(c, spec)
+	c.instrumentChan(c.ch)
 	return c, nil
 }
 
@@ -236,6 +239,7 @@ func (c *Connector) NewSender() (*SenderEndpoint, error) {
 		conn:  c,
 		calls: make(chan sendCall),
 	}
+	c.instrumentSendPort(p)
 	c.senders = append(c.senders, p)
 	return &SenderEndpoint{port: p, conn: c}, nil
 }
@@ -254,6 +258,7 @@ func (c *Connector) NewReceiver() (*ReceiverEndpoint, error) {
 		conn:  c,
 		calls: make(chan recvCall),
 	}
+	c.instrumentRecvPort(p)
 	c.receivers = append(c.receivers, p)
 	return &ReceiverEndpoint{port: p, conn: c}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"pnp/internal/blocks"
+	"pnp/internal/obs"
 )
 
 // sendPort mediates between one sending component and the channel,
@@ -13,6 +14,9 @@ type sendPort struct {
 	kind  blocks.SendPortKind
 	conn  *Connector
 	calls chan sendCall
+
+	// Registry instruments; nil (no-op) unless WithMetrics was given.
+	mSends, mFails *obs.Counter
 }
 
 func (p *sendPort) emit(signal string, m Message) {
@@ -49,6 +53,7 @@ func (p *sendPort) forward(ctx context.Context, m inMsg) (inStatus, bool) {
 func (p *sendPort) serve(ctx context.Context, c sendCall) {
 	m := c.msg
 	m.Sender = p.id
+	p.mSends.Inc()
 	switch p.kind {
 	case blocks.AsynNonblockingSend:
 		// Confirm first, then forward; a full non-dropping buffer loses
@@ -71,6 +76,7 @@ func (p *sendPort) serve(ctx context.Context, c sendCall) {
 			p.emit("SEND_SUCC", m)
 			c.reply <- SendSucc
 		} else {
+			p.mFails.Inc()
 			p.emit("SEND_FAIL", m)
 			c.reply <- SendFail
 		}
@@ -93,6 +99,7 @@ func (p *sendPort) serve(ctx context.Context, c sendCall) {
 			return
 		}
 		if st == inFail {
+			p.mFails.Inc()
 			p.emit("SEND_FAIL", m)
 			c.reply <- SendFail
 			return
@@ -113,6 +120,9 @@ type recvPort struct {
 	kind  blocks.RecvPortKind
 	conn  *Connector
 	calls chan recvCall
+
+	// Registry instruments; nil (no-op) unless WithMetrics was given.
+	mRecvs, mFails *obs.Counter
 }
 
 func (p *recvPort) emit(signal string, m Message) {
@@ -131,6 +141,7 @@ func (p *recvPort) run(ctx context.Context) {
 }
 
 func (p *recvPort) serve(ctx context.Context, c recvCall) {
+	p.mRecvs.Inc()
 	r := outReq{
 		req:   c.req,
 		wait:  p.kind == blocks.BlockingRecv,
@@ -144,6 +155,9 @@ func (p *recvPort) serve(ctx context.Context, c recvCall) {
 	}
 	select {
 	case rep := <-r.reply:
+		if rep.status == RecvFail {
+			p.mFails.Inc()
+		}
 		p.emit(rep.status.String(), rep.msg)
 		c.reply <- rep
 	case <-ctx.Done():

@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON array on stdout: one record per benchmark with
+// its name, iteration count, ns/op, states/s, and any other custom
+// metrics the benchmark reported.
+//
+// Usage:
+//
+//	go test -bench 'E8|E9' -run '^$' . | go run ./internal/tools/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name         string             `json:"name"`
+	Iterations   int64              `json:"iterations"`
+	NsPerOp      float64            `json:"ns_per_op"`
+	StatesPerSec float64            `json:"states_per_sec,omitempty"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	recs := []record{} // empty input encodes as [], not null
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parse(sc.Text()); ok {
+			recs = append(recs, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads one result line, e.g.
+//
+//	BenchmarkE8BridgeViolation-8  12  98765432 ns/op  6657 states  67400 states/s
+func parse(line string) (record, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return record{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return record{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix, which is absent on single-proc runs.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "states/s":
+			r.StatesPerSec = v
+		default:
+			r.Metrics[unit] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}

@@ -1,0 +1,83 @@
+package trace
+
+import "sync"
+
+// Live is a concurrency-safe, bounded event sink for observing a
+// running system: runtime event taps append protocol events from port
+// and channel goroutines, and readers render the current window as a
+// listing or an ASCII MSC at any time — the same Figure 4 orderings the
+// checker shows for the models, but observed on the real execution.
+//
+// When the buffer is full the oldest events are discarded, so the view
+// is always the most recent window; Dropped reports how many fell off.
+type Live struct {
+	mu      sync.Mutex
+	buf     []Event // ring storage, len == capacity once full
+	head    int     // index of the oldest event
+	n       int     // events currently held
+	dropped int
+}
+
+// DefaultLiveCapacity is the window size when NewLive is given a
+// non-positive capacity.
+const DefaultLiveCapacity = 1024
+
+// NewLive creates a live event window holding up to capacity events.
+func NewLive(capacity int) *Live {
+	if capacity <= 0 {
+		capacity = DefaultLiveCapacity
+	}
+	return &Live{buf: make([]Event, capacity)}
+}
+
+// Append records one event, evicting the oldest when full. Safe for
+// concurrent use.
+func (l *Live) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == len(l.buf) {
+		l.buf[l.head] = e
+		l.head = (l.head + 1) % len(l.buf)
+		l.dropped++
+		return
+	}
+	l.buf[(l.head+l.n)%len(l.buf)] = e
+	l.n++
+}
+
+// Len returns the number of events currently held.
+func (l *Live) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Dropped returns how many events have been evicted so far.
+func (l *Live) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Events returns a copy of the current window, oldest first.
+func (l *Live) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.buf[(l.head+i)%len(l.buf)]
+	}
+	return out
+}
+
+// Snapshot freezes the current window as a Trace, so every trace
+// renderer (listing, MSC) applies to the live system.
+func (l *Live) Snapshot() *Trace {
+	return &Trace{Prefix: l.Events()}
+}
+
+// MSC renders the current window as an ASCII message sequence chart;
+// see Trace.MSC for the procs parameter.
+func (l *Live) MSC(procs []string) string {
+	return l.Snapshot().MSC(procs)
+}

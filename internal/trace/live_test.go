@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLiveAppendAndEvents(t *testing.T) {
+	l := NewLive(4)
+	for i, a := range []string{"a", "b", "c"} {
+		l.Append(Event{Proc: "p", Action: a})
+		if l.Len() != i+1 {
+			t.Fatalf("Len after %d appends = %d", i+1, l.Len())
+		}
+	}
+	evs := l.Events()
+	if len(evs) != 3 || evs[0].Action != "a" || evs[2].Action != "c" {
+		t.Fatalf("Events = %+v", evs)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", l.Dropped())
+	}
+}
+
+func TestLiveEviction(t *testing.T) {
+	l := NewLive(2)
+	for _, a := range []string{"a", "b", "c", "d", "e"} {
+		l.Append(Event{Proc: "p", Action: a})
+	}
+	if l.Len() != 2 || l.Dropped() != 3 {
+		t.Fatalf("Len=%d Dropped=%d, want 2 and 3", l.Len(), l.Dropped())
+	}
+	evs := l.Events()
+	if evs[0].Action != "d" || evs[1].Action != "e" {
+		t.Fatalf("window = %+v, want the two newest", evs)
+	}
+}
+
+func TestLiveDefaultCapacity(t *testing.T) {
+	l := NewLive(0)
+	for i := 0; i < DefaultLiveCapacity+5; i++ {
+		l.Append(Event{Proc: "p", Action: "x"})
+	}
+	if l.Len() != DefaultLiveCapacity || l.Dropped() != 5 {
+		t.Fatalf("Len=%d Dropped=%d", l.Len(), l.Dropped())
+	}
+}
+
+func TestLiveConcurrentAppend(t *testing.T) {
+	l := NewLive(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append(Event{Proc: "p", Action: "x"})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len()+l.Dropped() != 800 {
+		t.Fatalf("held %d + dropped %d != 800", l.Len(), l.Dropped())
+	}
+}
+
+func TestLiveSnapshotMSC(t *testing.T) {
+	l := NewLive(8)
+	l.Append(Event{Proc: "a", Action: "sig!", Partner: "b", Msg: "m"})
+	msc := l.MSC(nil)
+	if !strings.Contains(msc, "sig! m") {
+		t.Fatalf("MSC missing arrow label:\n%s", msc)
+	}
+	if got := l.Snapshot(); len(got.Prefix) != 1 || got.Cycle != nil {
+		t.Fatalf("Snapshot = %+v", got)
+	}
+}
+
+// --- MSC edge cases ---
+
+func TestMSCEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	if got := tr.MSC(nil); got != "\n" {
+		t.Fatalf("empty MSC = %q, want header-only newline", got)
+	}
+	if got := tr.MSC([]string{"a", "b"}); !strings.Contains(got, "a") || !strings.Contains(got, "b") {
+		t.Fatalf("empty MSC with procs should still print the header: %q", got)
+	}
+}
+
+func TestMSCCycleOnlyTrace(t *testing.T) {
+	tr := &Trace{Cycle: []Event{
+		{Proc: "p", Action: "loop"},
+		{Proc: "p", Action: "again"},
+	}}
+	msc := tr.MSC(nil)
+	if !strings.Contains(msc, "cycle") {
+		t.Fatalf("cycle-only MSC missing cycle marker:\n%s", msc)
+	}
+	for _, want := range []string{"loop", "again"} {
+		if !strings.Contains(msc, want) {
+			t.Fatalf("cycle-only MSC missing %q:\n%s", want, msc)
+		}
+	}
+}
+
+func TestMSCLongProcNames(t *testing.T) {
+	long := "a-very-long-process-name-beyond-columns"
+	tr := &Trace{Prefix: []Event{
+		{Proc: long, Action: "sig!", Partner: "peer", Msg: "m"},
+	}}
+	msc := tr.MSC(nil)
+	lines := strings.Split(strings.TrimRight(msc, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("MSC lines = %d:\n%s", len(lines), msc)
+	}
+	// Columns widen to the longest name: the long lifeline's marker and
+	// the peer's arrowhead stay aligned under their headers.
+	if idx := strings.Index(lines[0], "peer"); lines[1][idx] != '>' {
+		t.Fatalf("arrowhead misaligned under peer column:\n%s", msc)
+	}
+	if lines[1][0] != '*' {
+		t.Fatalf("source marker missing at long lifeline:\n%s", msc)
+	}
+}
+
+func TestMSCUnknownProcSkipped(t *testing.T) {
+	tr := &Trace{Prefix: []Event{
+		{Proc: "known", Action: "ok"},
+		{Proc: "ghost", Action: "hidden", Partner: "phantom"},
+	}}
+	msc := tr.MSC([]string{"known"})
+	if !strings.Contains(msc, "ok") {
+		t.Fatalf("listed proc's event missing:\n%s", msc)
+	}
+	for _, banned := range []string{"hidden", "ghost", "phantom"} {
+		if strings.Contains(msc, banned) {
+			t.Fatalf("event from unlisted proc leaked %q:\n%s", banned, msc)
+		}
+	}
+}

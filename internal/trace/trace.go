@@ -84,7 +84,14 @@ func (t *Trace) MSC(procs []string) string {
 		}
 	}
 	col := make(map[string]int, len(procs))
-	const width = 18
+	// Columns widen to fit the longest lifeline name so long process
+	// names never shear the chart out of alignment.
+	width := 18
+	for _, p := range procs {
+		if len(p)+2 > width {
+			width = len(p) + 2
+		}
+	}
 	for i, p := range procs {
 		col[p] = i
 	}

@@ -40,7 +40,9 @@ import (
 	"pnp/internal/blocks"
 	"pnp/internal/checker"
 	"pnp/internal/core"
+	"pnp/internal/obs"
 	"pnp/internal/pnprt"
+	"pnp/internal/trace"
 )
 
 // Design-level API.
@@ -166,6 +168,58 @@ func NewRPC(name string, queueSize int, opts ...pnprt.Option) (*RPC, error) {
 
 // NewRuntimeSystem creates an empty runtime system.
 func NewRuntimeSystem(name string) *RuntimeSystem { return pnprt.NewSystem(name) }
+
+// Observability API: metrics, live verification progress, and runtime
+// event taps.
+type (
+	// MetricsRegistry collects counters, gauges, and histograms from
+	// verification runs (CheckOptions.Metrics) and running connectors
+	// (WithMetrics); expose it as Prometheus text, JSON, expvar, or over
+	// HTTP with ServeMetrics.
+	MetricsRegistry = obs.Registry
+	// MetricsServer is a running HTTP exposition endpoint.
+	MetricsServer = obs.Server
+	// CheckProgress is one live snapshot of a running verification,
+	// delivered to CheckOptions.Progress.
+	CheckProgress = checker.Progress
+	// LiveTrace is a bounded window of runtime protocol events,
+	// renderable at any time as a listing or an ASCII MSC.
+	LiveTrace = trace.Live
+	// RuntimeEvent is one protocol-level occurrence in a running
+	// connector (IN_OK, SEND_SUCC, ...).
+	RuntimeEvent = pnprt.Event
+	// TraceFunc observes runtime protocol events.
+	TraceFunc = pnprt.TraceFunc
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics exposes the registry on addr (/metrics, /metrics.json,
+// /healthz) until the returned server is closed.
+func ServeMetrics(r *MetricsRegistry, addr string) (*MetricsServer, error) {
+	return obs.Serve(r, addr)
+}
+
+// MetricLabels builds a labeled metric name: MetricLabels("x_total",
+// "conn", "pipe") -> `x_total{conn="pipe"}`.
+func MetricLabels(name string, kv ...string) string { return obs.Labels(name, kv...) }
+
+// WithMetrics instruments an executable connector's ports and channel
+// against the registry.
+func WithMetrics(reg *MetricsRegistry) pnprt.Option { return pnprt.WithMetrics(reg) }
+
+// WithTrace installs a protocol-event observer on an executable
+// connector.
+func WithTrace(fn TraceFunc) pnprt.Option { return pnprt.WithTrace(fn) }
+
+// NewLiveTrace creates a live event window (capacity <= 0 selects the
+// default).
+func NewLiveTrace(capacity int) *LiveTrace { return trace.NewLive(capacity) }
+
+// MSCTap streams a connector's protocol events into a live trace
+// window, for rendering running systems as message sequence charts.
+func MSCTap(live *LiveTrace) TraceFunc { return pnprt.MSCTap(live) }
 
 // ADL API.
 type (

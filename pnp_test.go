@@ -250,3 +250,83 @@ proctype Worker(chan rsig; chan rdat) {
 		}
 	}
 }
+
+func TestFacadeObservability(t *testing.T) {
+	// Verification side: progress snapshots and checker metrics.
+	reg := pnp.NewMetricsRegistry()
+	var finals int
+	opts := pnp.CheckOptions{
+		Metrics:          reg,
+		ProgressInterval: time.Millisecond,
+		Progress: func(p pnp.CheckProgress) {
+			if p.Final {
+				finals++
+			}
+		},
+	}
+	results, err := facadeDesign().Verify(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range results {
+		if !r.OK {
+			t.Fatalf("%s: %s", name, r.Summary())
+		}
+	}
+	if finals == 0 {
+		t.Fatal("no final progress snapshot delivered")
+	}
+	if v := reg.Counter(pnp.MetricLabels("checker_states_stored_total", "phase", "safety-dfs")).Value(); v == 0 {
+		t.Fatal("checker metrics not collected")
+	}
+
+	// Runtime side: instrumented connector plus a live MSC tap.
+	live := pnp.NewLiveTrace(0)
+	conn, err := pnp.NewConnector("wire", pnp.ConnectorSpec{
+		Send: pnp.AsynBlockingSend, Channel: pnp.FIFOQueue, Size: 2, Recv: pnp.BlockingRecv,
+	}, pnp.WithMetrics(reg), pnp.WithTrace(pnp.MSCTap(live)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := conn.NewSender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := conn.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(conn.Stop)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := snd.Send(ctx, pnp.Message{Data: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _, err := rcv.Receive(ctx, pnp.RecvRequest{}); err != nil || st != pnp.RecvSucc {
+		t.Fatalf("receive = %v, %v", st, err)
+	}
+	if v := reg.Counter(pnp.MetricLabels("pnprt_port_sends_total", "connector", "wire", "port", "send0")).Value(); v != 1 {
+		t.Fatalf("port sends = %d, want 1", v)
+	}
+	msc := live.MSC(nil)
+	for _, want := range []string{"wire.send0", "SEND_SUCC", "ping"} {
+		if !strings.Contains(msc, want) {
+			t.Fatalf("live MSC missing %q:\n%s", want, msc)
+		}
+	}
+
+	// Exposition carries both sides of the story.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"checker_states_stored_total", "pnprt_channel_delivered_total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
