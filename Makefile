@@ -18,16 +18,17 @@ test-short:
 
 race:
 	$(GO) test -race ./internal/pnprt/ ./internal/bridge/ -run Runtime
+	$(GO) test -race ./internal/blocks/ ./internal/verifyd/ -run 'Concurrent|Cache'
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable benchmark records (name, ns/op, states/s) for the
-# experiment benchmarks E8-E17.
+# experiment benchmarks E8-E17 plus the verification-service cache.
 bench-json:
-	$(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR' -benchtime 1x . \
-		| $(GO) run ./internal/tools/benchjson > BENCH_PR1.json
-	@echo wrote BENCH_PR1.json
+	$(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR|VerifydCache' -benchtime 1x . \
+		| $(GO) run ./internal/tools/benchjson > BENCH_PR2.json
+	@echo wrote BENCH_PR2.json
 
 # Regenerate every EXPERIMENTS.md table.
 experiments:

@@ -13,6 +13,7 @@ package pnp_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -476,4 +477,61 @@ func BenchmarkStateKey(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = st.Key()
 	}
+}
+
+// BenchmarkVerifydCache measures the verification service's
+// content-addressed result cache. Miss is the full first-contact cost of
+// a submission (compose the model, hash it, run every property); Hit
+// re-submits the byte-identical design to a warm server and is answered
+// from the cache without running the checker. The Hit/Miss gap is the
+// E11 reuse claim promoted to the service layer.
+func BenchmarkVerifydCache(b *testing.B) {
+	src, err := os.ReadFile("examples/adl/pingpong.pnp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := os.ReadFile("examples/adl/pingpong.pml")
+	if err != nil {
+		b.Fatal(err)
+	}
+	comps := map[string]string{"pingpong.pml": string(comp)}
+	submit := func(b *testing.B, s *pnp.VerifyServer) *pnp.VerifyJob {
+		b.Helper()
+		job, err := s.Submit(string(src), comps, pnp.CheckOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Wait(context.Background(), job); err != nil {
+			b.Fatal(err)
+		}
+		if job.Report == nil || !job.Report.OK {
+			b.Fatal("pingpong must verify")
+		}
+		return job
+	}
+
+	b.Run("Miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := pnp.NewVerifyServer(pnp.VerifyServerConfig{Workers: 1})
+			job := submit(b, s)
+			if job.CacheHits != 0 {
+				b.Fatal("cold server cannot serve from cache")
+			}
+			if err := s.Shutdown(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Hit", func(b *testing.B) {
+		s := pnp.NewVerifyServer(pnp.VerifyServerConfig{Workers: 1})
+		defer s.Shutdown(context.Background())
+		submit(b, s) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			job := submit(b, s)
+			if job.CacheMisses != 0 {
+				b.Fatal("warm re-submission must not run the checker")
+			}
+		}
+	})
 }

@@ -1,0 +1,128 @@
+// Command pnpd is the Plug-and-Play verification daemon: it accepts
+// architecture descriptions over HTTP, verifies them on a bounded worker
+// pool, and serves verdicts — reusing content-addressed cached results
+// for unchanged (model, property, options) combinations, so iterating on
+// one connector port re-verifies in microseconds.
+//
+// Usage:
+//
+//	pnpd [--addr :7447] [--workers N] [--cache-entries N]
+//	     [--job-timeout 30s] [--metrics-addr :8080] [--root DIR]
+//
+// Submit a design and wait for its verdict:
+//
+//	curl -s --data-binary @examples/adl/bridge.pnp localhost:7447/v1/jobs
+//	curl -s localhost:7447/v1/jobs/job-1/wait
+//
+// A SIGINT/SIGTERM drains the queue: running jobs finish, new
+// submissions get 503, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"pnp/internal/obs"
+	"pnp/internal/verifyd"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":7447", "HTTP listen address for the job API")
+	workers := flag.Int("workers", 0, "concurrent checker runs (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 1024, "result cache capacity (verdicts)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-property search timeout (0 = unlimited)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on a separate address (default: on --addr)")
+	root := flag.String("root", "", "directory for resolving component references in raw ADL submissions")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pnpd [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	cfg := verifyd.Config{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		JobTimeout:   *jobTimeout,
+		Registry:     reg,
+	}
+	if *root != "" {
+		dir := *root
+		cfg.Resolver = func(ref string) (string, error) {
+			b, err := os.ReadFile(filepath.Join(dir, filepath.Clean(ref)))
+			return string(b), err
+		}
+	}
+	srv := verifyd.NewServer(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("pnpd: listening on http://%s (workers=%d, cache=%d, timeout=%s)\n",
+		ln.Addr(), cfgWorkers(cfg), *cacheEntries, *jobTimeout)
+
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(reg, *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnpd: metrics: %v\n", err)
+			return 1
+		}
+		defer msrv.Close()
+		fmt.Printf("pnpd: metrics on http://%s/metrics\n", msrv.Addr())
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("pnpd: %s received, draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pnpd: %v\n", err)
+		return 1
+	}
+
+	// Drain: stop accepting HTTP first, then let queued jobs finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: drain: %v\n", err)
+		return 1
+	}
+	st := srv.Cache().Stats()
+	fmt.Printf("pnpd: drained (cache: %d entries, %d hits, %d misses, %d evictions)\n",
+		st.Entries, st.Hits, st.Misses, st.Evictions)
+	return 0
+}
+
+// cfgWorkers mirrors the server's worker-count default for the banner.
+func cfgWorkers(cfg verifyd.Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	pnpverify [-bfs] [-max-states N] [-msc] [-progress] [-metrics-addr :8080] system.pnp
+//	pnpverify [-bfs] [-max-states N] [-msc] [-json] [-timeout 30s]
+//	          [-progress] [-metrics-addr :8080] system.pnp
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +22,7 @@ import (
 	"pnp/internal/adl"
 	"pnp/internal/checker"
 	"pnp/internal/obs"
+	"pnp/internal/verifyd"
 )
 
 func main() {
@@ -37,6 +41,8 @@ func run() int {
 	dotFile := flag.String("dot", "", "write the state graph (<=500 states) to this DOT file")
 	simulate := flag.Int("simulate", 0, "random-walk simulate N steps instead of verifying")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	jsonOut := flag.Bool("json", false, "emit the verdict report as JSON (same document the pnpd service serves)")
+	timeout := flag.Duration("timeout", 0, "abort each property search after this long with a canceled verdict (0 = no limit)")
 	progress := flag.Bool("progress", false, "print periodic search progress lines and a final stats table")
 	progressInterval := flag.Duration("progress-interval", 200*time.Millisecond, "interval between progress lines")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address while verifying")
@@ -65,8 +71,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
 		return 1
 	}
-	fmt.Printf("system %s: %d processes, %d channels\n",
-		sys.Name, sys.Builder.System().NumInstances(), sys.Builder.System().NumChannels())
+	if !*jsonOut {
+		fmt.Printf("system %s: %d processes, %d channels\n",
+			sys.Name, sys.Builder.System().NumInstances(), sys.Builder.System().NumChannels())
+	}
 
 	if *dotFile != "" {
 		f, err := os.Create(*dotFile)
@@ -104,6 +112,11 @@ func run() int {
 		PartialOrder:    *por,
 		ReportUnreached: *unreached,
 	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
 	// VerifyAll runs properties sequentially, so the callback needs no lock.
 	var finals []checker.Progress
 	if *progress {
@@ -131,6 +144,19 @@ func run() int {
 	}
 
 	results := sys.VerifyAll(opts)
+	if *jsonOut {
+		rep := verifyd.NewReport(sys, results)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+			return 1
+		}
+		if rep.OK {
+			return 0
+		}
+		return 1
+	}
 	names := make([]string, 0, len(results))
 	for name := range results {
 		names = append(names, name)

@@ -26,6 +26,7 @@ package adl
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"pnp/internal/blocks"
@@ -48,6 +49,15 @@ type Goal struct {
 	Expr pml.RExpr
 }
 
+// PropertySource records the declared source form of one property. The
+// verification service hashes it (together with the composed model and
+// the canonicalized checker options) to content-address cached results.
+type PropertySource struct {
+	Kind string // "invariant", "goal", or "ltl"
+	Name string // result key: "safety" for invariants, else the property name
+	Text string // canonical source text of the property
+}
+
 // System is a loaded, fully composed architecture ready for verification.
 type System struct {
 	Name       string
@@ -56,20 +66,29 @@ type System struct {
 	Invariants []checker.Invariant
 	Goals      []Goal
 	LTL        []LTLProperty
+	// Sources lists every declared property in canonical source form, in
+	// the order VerifyAll keys them ("safety" first when any invariant is
+	// declared).
+	Sources []PropertySource
 }
 
 // Resolver loads referenced component files; path is the string given in
 // the ADL `components` clause.
 type Resolver func(path string) (string, error)
 
-// Error reports an ADL syntax or composition error.
+// Error reports an ADL syntax or composition error with its source
+// position (Col is 1-based; 0 when only the line is known).
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("adl: line %d, col %d: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("adl: line %d: %s", e.Line, e.Msg)
 }
 
@@ -106,6 +125,7 @@ type parsedConnector struct {
 	name string
 	spec blocks.ConnectorSpec
 	line int
+	col  int
 }
 
 type parsedArg struct {
@@ -113,6 +133,7 @@ type parsedArg struct {
 	conn string
 	n    int64
 	line int
+	col  int
 }
 
 type parsedInstance struct {
@@ -121,6 +142,7 @@ type parsedInstance struct {
 	proc  string
 	args  []parsedArg
 	line  int
+	col   int
 }
 
 type parsedFile struct {
@@ -169,11 +191,11 @@ func Load(src string, resolve Resolver, cache *blocks.Cache) (*System, error) {
 	}
 	for _, pc := range pf.connectors {
 		if _, dup := sys.Connectors[pc.name]; dup {
-			return nil, &Error{Line: pc.line, Msg: fmt.Sprintf("duplicate connector %q", pc.name)}
+			return nil, &Error{Line: pc.line, Col: pc.col, Msg: fmt.Sprintf("duplicate connector %q", pc.name)}
 		}
 		conn, err := b.NewConnector(pc.name, pc.spec)
 		if err != nil {
-			return nil, &Error{Line: pc.line, Msg: err.Error()}
+			return nil, &Error{Line: pc.line, Col: pc.col, Msg: err.Error()}
 		}
 		sys.Connectors[pc.name] = conn
 	}
@@ -191,7 +213,7 @@ func Load(src string, resolve Resolver, cache *blocks.Cache) (*System, error) {
 				case "send", "recv":
 					conn, ok := sys.Connectors[pa.conn]
 					if !ok {
-						return nil, &Error{Line: pa.line, Msg: fmt.Sprintf("unknown connector %q", pa.conn)}
+						return nil, &Error{Line: pa.line, Col: pa.col, Msg: fmt.Sprintf("unknown connector %q", pa.conn)}
 					}
 					var ep blocks.Endpoint
 					var err error
@@ -202,13 +224,13 @@ func Load(src string, resolve Resolver, cache *blocks.Cache) (*System, error) {
 						ep, err = conn.AddReceiver(epName)
 					}
 					if err != nil {
-						return nil, &Error{Line: pa.line, Msg: err.Error()}
+						return nil, &Error{Line: pa.line, Col: pa.col, Msg: err.Error()}
 					}
 					args = append(args, model.Chan(ep.Sig), model.Chan(ep.Dat))
 				}
 			}
 			if _, err := b.Spawn(pi.proc, args...); err != nil {
-				return nil, &Error{Line: pi.line, Msg: err.Error()}
+				return nil, &Error{Line: pi.line, Col: pi.col, Msg: err.Error()}
 			}
 		}
 	}
@@ -233,7 +255,40 @@ func Load(src string, resolve Resolver, cache *blocks.Cache) (*System, error) {
 		}
 		sys.LTL = append(sys.LTL, LTLProperty{Name: pl.name, Formula: pl.formula, Props: props})
 	}
+	sys.Sources = propertySources(pf)
 	return sys, nil
+}
+
+// propertySources derives the canonical source record of every property,
+// keyed the way VerifyAll keys its results. The safety entry concatenates
+// all invariants sorted by name, so declaration order does not affect the
+// content address; LTL proposition definitions are likewise sorted.
+func propertySources(pf *parsedFile) []PropertySource {
+	invs := append([][2]string(nil), pf.invariants...)
+	sort.Slice(invs, func(i, j int) bool { return invs[i][0] < invs[j][0] })
+	var b strings.Builder
+	for _, inv := range invs {
+		fmt.Fprintf(&b, "%s=%q;", inv[0], inv[1])
+	}
+	out := []PropertySource{{Kind: "invariant", Name: "safety", Text: b.String()}}
+	for _, g := range pf.goals {
+		out = append(out, PropertySource{Kind: "goal", Name: g[0], Text: fmt.Sprintf("%q", g[1])})
+	}
+	for _, pl := range pf.ltl {
+		names := make([]string, 0, len(pl.props))
+		for n := range pl.props {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var lb strings.Builder
+		fmt.Fprintf(&lb, "%q{", pl.formula)
+		for _, n := range names {
+			fmt.Fprintf(&lb, "%s=%q;", n, pl.props[n])
+		}
+		lb.WriteByte('}')
+		out = append(out, PropertySource{Kind: "ltl", Name: pl.name, Text: lb.String()})
+	}
+	return out
 }
 
 // VerifyAll checks every declared property: the safety search with all

@@ -10,13 +10,18 @@ type adlToken struct {
 	kind string // "ident", "string", "number", or the punctuation itself
 	text string
 	line int
+	col  int // 1-based column of the token's first character
 }
 
 type adlLexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first character
 }
+
+// col returns the 1-based column of byte offset pos on the current line.
+func (lx *adlLexer) col(pos int) int { return pos - lx.lineStart + 1 }
 
 func lexADL(src string) ([]adlToken, error) {
 	lx := &adlLexer{src: src, line: 1}
@@ -27,6 +32,7 @@ func lexADL(src string) ([]adlToken, error) {
 		case c == '\n':
 			lx.line++
 			lx.pos++
+			lx.lineStart = lx.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			lx.pos++
 		case c == '/' && lx.pos+1 < len(src) && src[lx.pos+1] == '/':
@@ -38,21 +44,21 @@ func lexADL(src string) ([]adlToken, error) {
 				lx.pos++
 			}
 		case strings.ContainsRune("{}()=*,;", rune(c)):
-			out = append(out, adlToken{kind: string(c), line: lx.line})
+			out = append(out, adlToken{kind: string(c), line: lx.line, col: lx.col(lx.pos)})
 			lx.pos++
 		case c == '"':
 			start := lx.pos + 1
 			j := start
 			for j < len(src) && src[j] != '"' {
 				if src[j] == '\n' {
-					return nil, &Error{Line: lx.line, Msg: "unterminated string"}
+					return nil, &Error{Line: lx.line, Col: lx.col(lx.pos), Msg: "unterminated string"}
 				}
 				j++
 			}
 			if j >= len(src) {
-				return nil, &Error{Line: lx.line, Msg: "unterminated string"}
+				return nil, &Error{Line: lx.line, Col: lx.col(lx.pos), Msg: "unterminated string"}
 			}
-			out = append(out, adlToken{kind: "string", text: src[start:j], line: lx.line})
+			out = append(out, adlToken{kind: "string", text: src[start:j], line: lx.line, col: lx.col(lx.pos)})
 			lx.pos = j + 1
 		case c == '-' || c >= '0' && c <= '9':
 			start := lx.pos
@@ -60,18 +66,18 @@ func lexADL(src string) ([]adlToken, error) {
 			for lx.pos < len(src) && src[lx.pos] >= '0' && src[lx.pos] <= '9' {
 				lx.pos++
 			}
-			out = append(out, adlToken{kind: "number", text: src[start:lx.pos], line: lx.line})
+			out = append(out, adlToken{kind: "number", text: src[start:lx.pos], line: lx.line, col: lx.col(start)})
 		case isADLIdent(c):
 			start := lx.pos
 			for lx.pos < len(src) && (isADLIdent(src[lx.pos]) || src[lx.pos] == '-') {
 				lx.pos++
 			}
-			out = append(out, adlToken{kind: "ident", text: src[start:lx.pos], line: lx.line})
+			out = append(out, adlToken{kind: "ident", text: src[start:lx.pos], line: lx.line, col: lx.col(start)})
 		default:
-			return nil, &Error{Line: lx.line, Msg: fmt.Sprintf("unexpected character %q", c)}
+			return nil, &Error{Line: lx.line, Col: lx.col(lx.pos), Msg: fmt.Sprintf("unexpected character %q", c)}
 		}
 	}
-	out = append(out, adlToken{kind: "eof", line: lx.line})
+	out = append(out, adlToken{kind: "eof", line: lx.line, col: lx.col(lx.pos)})
 	return out, nil
 }
 
@@ -105,7 +111,7 @@ func (p *adlParser) accept(kind string) bool {
 func (p *adlParser) expect(kind string) (adlToken, error) {
 	t := p.cur()
 	if t.kind != kind {
-		return t, &Error{Line: t.line, Msg: fmt.Sprintf("expected %s, found %s %q", kind, t.kind, t.text)}
+		return t, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected %s, found %s %q", kind, t.kind, t.text)}
 	}
 	return p.next(), nil
 }
@@ -113,7 +119,7 @@ func (p *adlParser) expect(kind string) (adlToken, error) {
 func (p *adlParser) expectIdent(word string) error {
 	t := p.cur()
 	if t.kind != "ident" || t.text != word {
-		return &Error{Line: t.line, Msg: fmt.Sprintf("expected %q, found %q", word, t.text)}
+		return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected %q, found %q", word, t.text)}
 	}
 	p.next()
 	return nil
@@ -139,10 +145,10 @@ func parse(src string) (*parsedFile, error) {
 	for !p.accept("}") {
 		t := p.cur()
 		if t.kind == "eof" {
-			return nil, &Error{Line: t.line, Msg: "unexpected end of file (missing })"}
+			return nil, &Error{Line: t.line, Col: t.col, Msg: "unexpected end of file (missing })"}
 		}
 		if t.kind != "ident" {
-			return nil, &Error{Line: t.line, Msg: fmt.Sprintf("expected declaration, found %q", t.text)}
+			return nil, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected declaration, found %q", t.text)}
 		}
 		switch t.text {
 		case "components":
@@ -193,7 +199,7 @@ func parse(src string) (*parsedFile, error) {
 			}
 			pf.ltl = append(pf.ltl, l)
 		default:
-			return nil, &Error{Line: t.line, Msg: fmt.Sprintf("unknown declaration %q", t.text)}
+			return nil, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("unknown declaration %q", t.text)}
 		}
 		p.accept(";")
 	}
@@ -201,7 +207,7 @@ func parse(src string) (*parsedFile, error) {
 }
 
 func (p *adlParser) connectorDecl() (parsedConnector, error) {
-	line := p.cur().line
+	kw := p.cur()
 	p.next() // connector
 	name, err := p.expect("ident")
 	if err != nil {
@@ -212,11 +218,12 @@ func (p *adlParser) connectorDecl() (parsedConnector, error) {
 	}
 	var pc parsedConnector
 	pc.name = name.text
-	pc.line = line
+	pc.line = kw.line
+	pc.col = kw.col
 	for !p.accept("}") {
 		t := p.cur()
 		if t.kind != "ident" {
-			return parsedConnector{}, &Error{Line: t.line, Msg: "expected send/channel/receive clause"}
+			return parsedConnector{}, &Error{Line: t.line, Col: t.col, Msg: "expected send/channel/receive clause"}
 		}
 		switch t.text {
 		case "send":
@@ -227,7 +234,7 @@ func (p *adlParser) connectorDecl() (parsedConnector, error) {
 			}
 			kind, ok := sendKinds[k.text]
 			if !ok {
-				return parsedConnector{}, &Error{Line: k.line, Msg: fmt.Sprintf("unknown send port kind %q", k.text)}
+				return parsedConnector{}, &Error{Line: k.line, Col: k.col, Msg: fmt.Sprintf("unknown send port kind %q", k.text)}
 			}
 			pc.spec.Send = kind
 		case "receive":
@@ -238,7 +245,7 @@ func (p *adlParser) connectorDecl() (parsedConnector, error) {
 			}
 			kind, ok := recvKinds[k.text]
 			if !ok {
-				return parsedConnector{}, &Error{Line: k.line, Msg: fmt.Sprintf("unknown receive port kind %q", k.text)}
+				return parsedConnector{}, &Error{Line: k.line, Col: k.col, Msg: fmt.Sprintf("unknown receive port kind %q", k.text)}
 			}
 			pc.spec.Recv = kind
 		case "channel":
@@ -249,7 +256,7 @@ func (p *adlParser) connectorDecl() (parsedConnector, error) {
 			}
 			kind, ok := chanKinds[k.text]
 			if !ok {
-				return parsedConnector{}, &Error{Line: k.line, Msg: fmt.Sprintf("unknown channel kind %q", k.text)}
+				return parsedConnector{}, &Error{Line: k.line, Col: k.col, Msg: fmt.Sprintf("unknown channel kind %q", k.text)}
 			}
 			pc.spec.Channel = kind
 			if p.accept("(") {
@@ -259,7 +266,7 @@ func (p *adlParser) connectorDecl() (parsedConnector, error) {
 				}
 				v, convErr := strconv.Atoi(n.text)
 				if convErr != nil {
-					return parsedConnector{}, &Error{Line: n.line, Msg: "bad channel size"}
+					return parsedConnector{}, &Error{Line: n.line, Col: n.col, Msg: "bad channel size"}
 				}
 				pc.spec.Size = v
 				if _, err := p.expect(")"); err != nil {
@@ -267,7 +274,7 @@ func (p *adlParser) connectorDecl() (parsedConnector, error) {
 				}
 			}
 		default:
-			return parsedConnector{}, &Error{Line: t.line, Msg: fmt.Sprintf("unknown connector clause %q", t.text)}
+			return parsedConnector{}, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("unknown connector clause %q", t.text)}
 		}
 		p.accept(";")
 	}
@@ -275,13 +282,13 @@ func (p *adlParser) connectorDecl() (parsedConnector, error) {
 }
 
 func (p *adlParser) instanceDecl() (parsedInstance, error) {
-	line := p.cur().line
+	kw := p.cur()
 	p.next() // instance
 	name, err := p.expect("ident")
 	if err != nil {
 		return parsedInstance{}, err
 	}
-	in := parsedInstance{name: name.text, count: 1, line: line}
+	in := parsedInstance{name: name.text, count: 1, line: kw.line, col: kw.col}
 	if p.accept("*") {
 		n, err := p.expect("number")
 		if err != nil {
@@ -289,7 +296,7 @@ func (p *adlParser) instanceDecl() (parsedInstance, error) {
 		}
 		v, convErr := strconv.Atoi(n.text)
 		if convErr != nil || v < 1 {
-			return parsedInstance{}, &Error{Line: n.line, Msg: "bad instance count"}
+			return parsedInstance{}, &Error{Line: n.line, Col: n.col, Msg: "bad instance count"}
 		}
 		in.count = v
 	}
@@ -329,18 +336,18 @@ func (p *adlParser) arg() (parsedArg, error) {
 		p.next()
 		v, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return parsedArg{}, &Error{Line: t.line, Msg: "bad number"}
+			return parsedArg{}, &Error{Line: t.line, Col: t.col, Msg: "bad number"}
 		}
-		return parsedArg{kind: "int", n: v, line: t.line}, nil
+		return parsedArg{kind: "int", n: v, line: t.line, col: t.col}, nil
 	case t.kind == "ident" && (t.text == "send" || t.text == "recv"):
 		p.next()
 		conn, err := p.expect("ident")
 		if err != nil {
 			return parsedArg{}, err
 		}
-		return parsedArg{kind: t.text, conn: conn.text, line: t.line}, nil
+		return parsedArg{kind: t.text, conn: conn.text, line: t.line, col: conn.col}, nil
 	default:
-		return parsedArg{}, &Error{Line: t.line, Msg: fmt.Sprintf("expected argument, found %q", t.text)}
+		return parsedArg{}, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected argument, found %q", t.text)}
 	}
 }
 

@@ -1,0 +1,176 @@
+package adl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// errResolver serves an empty component file for any path, so tests reach
+// composition-stage errors without touching the filesystem.
+func emptyResolver(string) (string, error) { return "", nil }
+
+// loadErr loads src expecting failure and returns the *Error, failing the
+// test when the error is missing or untyped.
+func loadErr(t *testing.T, src string) *Error {
+	t.Helper()
+	_, err := Load(src, emptyResolver, nil)
+	if err == nil {
+		t.Fatalf("Load succeeded, want error\nsource:\n%s", src)
+	}
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v (%T) is not an *adl.Error", err, err)
+	}
+	return ae
+}
+
+// TestErrorPositions drives the parser error paths that become HTTP 400
+// bodies in the verification service and pins down their line/column
+// positions exactly.
+func TestErrorPositions(t *testing.T) {
+	tests := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantCol  int
+		wantSub  string
+	}{
+		{
+			name:     "truncated after system header",
+			src:      "system s {\n    components \"c.pml\"\n",
+			wantLine: 3,
+			wantCol:  1,
+			wantSub:  "unexpected end of file",
+		},
+		{
+			name:     "truncated inside connector",
+			src:      "system s {\n    connector C {\n        send syn-blocking",
+			wantLine: 3,
+			wantCol:  26,
+			wantSub:  "expected",
+		},
+		{
+			name:     "unknown send port kind",
+			src:      "system s {\n    connector C {\n        send warp-drive\n    }\n}",
+			wantLine: 3,
+			wantCol:  14,
+			wantSub:  `unknown send port kind "warp-drive"`,
+		},
+		{
+			name:     "unknown receive port kind",
+			src:      "system s {\n    connector C {\n        send syn-blocking\n        receive psychic\n    }\n}",
+			wantLine: 4,
+			wantCol:  17,
+			wantSub:  `unknown receive port kind "psychic"`,
+		},
+		{
+			name:     "unknown channel kind",
+			src:      "system s {\n    connector C {\n        channel wormhole(2)\n    }\n}",
+			wantLine: 3,
+			wantCol:  17,
+			wantSub:  `unknown channel kind "wormhole"`,
+		},
+		{
+			name:     "unknown declaration",
+			src:      "system s {\n    blueprint C {}\n}",
+			wantLine: 2,
+			wantCol:  5,
+			wantSub:  `unknown declaration "blueprint"`,
+		},
+		{
+			name:     "unterminated string",
+			src:      "system s {\n    components \"c.pml\n}",
+			wantLine: 2,
+			wantCol:  16,
+			wantSub:  "unterminated string",
+		},
+		{
+			name: "duplicate connector",
+			src: "system s {\n" +
+				"    connector C { send syn-blocking; channel fifo(2); receive blocking }\n" +
+				"    connector C { send syn-blocking; channel fifo(2); receive blocking }\n}",
+			wantLine: 3,
+			wantCol:  5,
+			wantSub:  `duplicate connector "C"`,
+		},
+		{
+			name: "attachment to unknown connector",
+			src: "system s {\n" +
+				"    connector C { send syn-blocking; channel fifo(2); receive blocking }\n" +
+				"    instance p = PnPSender(send Ghost, 2, 0)\n}",
+			wantLine: 3,
+			wantCol:  33,
+			wantSub:  `unknown connector "Ghost"`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ae := loadErr(t, tt.src)
+			if ae.Line != tt.wantLine || ae.Col != tt.wantCol {
+				t.Errorf("position = line %d, col %d; want line %d, col %d (error: %v)",
+					ae.Line, ae.Col, tt.wantLine, tt.wantCol, ae)
+			}
+			if !strings.Contains(ae.Msg, tt.wantSub) {
+				t.Errorf("message %q does not contain %q", ae.Msg, tt.wantSub)
+			}
+			if !strings.Contains(ae.Error(), "col") {
+				t.Errorf("rendered error %q should include the column", ae.Error())
+			}
+		})
+	}
+}
+
+// TestPropertySources checks the canonical property records that the
+// verification service hashes: stable across invariant declaration order
+// and distinct across property edits.
+func TestPropertySources(t *testing.T) {
+	globals := func(string) (string, error) { return "byte x, y;", nil }
+	load := func(src string) *System {
+		t.Helper()
+		sys, err := Load(src, globals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	base := `system s {
+    components "g.pml"
+    invariant a "x > 0"
+    invariant b "y > 0"
+    goal g "x == 0"
+    ltl live "<> p" { p = "x > 1" }
+}`
+	reordered := `system s {
+    components "g.pml"
+    invariant b "y > 0"
+    invariant a "x > 0"
+    goal g "x == 0"
+    ltl live "<> p" { p = "x > 1" }
+}`
+	edited := strings.Replace(base, `"y > 0"`, `"y > 1"`, 1)
+
+	s1, s2, s3 := load(base), load(reordered), load(edited)
+	key := func(s *System) map[string]string {
+		m := map[string]string{}
+		for _, p := range s.Sources {
+			m[p.Name] = p.Kind + ":" + p.Text
+		}
+		return m
+	}
+	k1, k2, k3 := key(s1), key(s2), key(s3)
+	for _, name := range []string{"safety", "g", "live"} {
+		if k1[name] == "" {
+			t.Fatalf("missing property source %q", name)
+		}
+		if k1[name] != k2[name] {
+			t.Errorf("%s: declaration order changed the canonical text:\n%s\n%s", name, k1[name], k2[name])
+		}
+	}
+	if k1["safety"] == k3["safety"] {
+		t.Errorf("editing an invariant must change the safety source text")
+	}
+	if k1["live"] != k3["live"] {
+		t.Errorf("editing an invariant must not change the LTL source text")
+	}
+}

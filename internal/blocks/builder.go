@@ -181,6 +181,7 @@ type Endpoint struct {
 type Builder struct {
 	prog *pml.Compiled
 	sys  *model.System
+	src  string
 }
 
 // NewBuilder compiles the library together with the user's component
@@ -210,11 +211,17 @@ func NewBuilderWithLibrary(library, componentSource string, cache *Cache) (*Buil
 	if err != nil {
 		return nil, fmt.Errorf("blocks: %w", err)
 	}
-	return &Builder{prog: prog, sys: model.New(prog)}, nil
+	return &Builder{prog: prog, sys: model.New(prog), src: full}, nil
 }
 
 // Program exposes the combined compiled program (for property compilation).
 func (b *Builder) Program() *pml.Compiled { return b.prog }
+
+// Source returns the full pml source the program was compiled from
+// (library plus components). Because compilation is deterministic, the
+// source text is a faithful content address of the compiled program; the
+// verification service hashes it as part of its result-cache key.
+func (b *Builder) Source() string { return b.src }
 
 // System returns the composed system, ready for the checker.
 func (b *Builder) System() *model.System { return b.sys }

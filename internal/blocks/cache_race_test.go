@@ -1,0 +1,106 @@
+package blocks
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentCompile hammers one shared Cache from many
+// goroutines mixing repeat and distinct sources — the access pattern a
+// verification service produces, where every submission compiles its
+// component models through the same cache. Run with -race; correctness
+// here is "same source yields the same compiled program, and the
+// hit/miss accounting adds up".
+func TestCacheConcurrentCompile(t *testing.T) {
+	cache := NewCache()
+	// A handful of distinct component sources, each compiled by several
+	// goroutines at once.
+	const distinct = 4
+	srcs := make([]string, distinct)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("byte x%d;\nproctype P%d() { x%d = %d }\n", i, i, i, i)
+	}
+
+	const workers = 16
+	const rounds = 25
+	progs := make([][]any, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				src := srcs[(w+r)%distinct]
+				p, err := cache.Compile(src)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				progs[w] = append(progs[w], p)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every compile of the same source must have returned the identical
+	// *pml.Compiled (memoization, not recompilation).
+	canonical := make(map[string]any, distinct)
+	for _, src := range srcs {
+		p, err := cache.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canonical[src] = p
+	}
+	for w := 0; w < workers; w++ {
+		for r, p := range progs[w] {
+			if want := canonical[srcs[(w+r)%distinct]]; p != want {
+				t.Fatalf("worker %d round %d: got a different compilation of the same source", w, r)
+			}
+		}
+	}
+
+	hits, misses := cache.Stats()
+	if misses != distinct {
+		t.Errorf("misses = %d, want %d (one compile per distinct source)", misses, distinct)
+	}
+	if want := workers*rounds + distinct - misses; hits != want {
+		t.Errorf("hits = %d, want %d", hits, want)
+	}
+}
+
+// TestBuilderConcurrentConstruction composes independent builders in
+// parallel over one shared cache, the way concurrent service jobs do.
+func TestBuilderConcurrentConstruction(t *testing.T) {
+	cache := NewCache()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b, err := NewBuilder("", cache)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			spec := ConnectorSpec{Send: AsynBlockingSend, Channel: FIFOQueue, Size: 2, Recv: BlockingRecv}
+			conn, err := b.NewConnector("c", spec)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			if _, err := conn.AddSender("s"); err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+			if _, err := conn.AddReceiver("r"); err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if hits, misses := cache.Stats(); misses != 1 || hits != workers-1 {
+		t.Errorf("hits=%d misses=%d, want one compile shared by all %d builders", hits, misses, workers)
+	}
+}

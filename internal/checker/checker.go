@@ -10,6 +10,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,7 @@ const (
 	RuntimeError
 	AcceptanceCycle
 	SearchLimit
+	Canceled
 )
 
 var violationNames = map[ViolationKind]string{
@@ -41,6 +43,7 @@ var violationNames = map[ViolationKind]string{
 	RuntimeError:       "runtime error",
 	AcceptanceCycle:    "acceptance cycle (liveness violation)",
 	SearchLimit:        "search limit reached",
+	Canceled:           "search canceled",
 }
 
 // String names the violation kind.
@@ -103,6 +106,12 @@ type Options struct {
 	// exploration phase. Updates happen at snapshot granularity, so the
 	// exploration hot path is unaffected.
 	Metrics *obs.Registry
+	// Context, when non-nil, aborts the search when it is canceled or its
+	// deadline passes: the search stops with a Canceled verdict and
+	// Stats.Truncated set. The context is polled once per
+	// cancelPollEvery iterations, so cancellation latency is bounded but
+	// the hot path pays only a counter decrement.
+	Context context.Context
 }
 
 // Stats summarizes the exploration.
@@ -273,4 +282,56 @@ func (c *Checker) newVisited() visitedSet {
 		return newBitstateSet(bits)
 	}
 	return newMapSet()
+}
+
+// cancelPollEvery bounds how often search loops consult the context: once
+// per this many calls to canceler.hit.
+const cancelPollEvery = 2048
+
+// canceler polls Options.Context from the search hot loops. A nil
+// canceler (no context configured) makes hit a constant false.
+type canceler struct {
+	ctx       context.Context
+	countdown int
+	done      bool
+}
+
+// newCanceler arms a canceler, or returns nil when no context is set.
+func (c *Checker) newCanceler() *canceler {
+	if c.opts.Context == nil {
+		return nil
+	}
+	return &canceler{ctx: c.opts.Context, countdown: 1}
+}
+
+// hit reports whether the search should abort. Once true, always true.
+func (cc *canceler) hit() bool {
+	if cc == nil {
+		return false
+	}
+	if cc.done {
+		return true
+	}
+	cc.countdown--
+	if cc.countdown > 0 {
+		return false
+	}
+	cc.countdown = cancelPollEvery
+	if cc.ctx.Err() != nil {
+		cc.done = true
+	}
+	return cc.done
+}
+
+// cancelResult fills res with the Canceled verdict for the armed context.
+func (cc *canceler) cancelResult(res *Result) *Result {
+	res.OK = false
+	res.Kind = Canceled
+	res.Stats.Truncated = true
+	if err := cc.ctx.Err(); err != nil {
+		res.Message = err.Error()
+	} else {
+		res.Message = "context canceled"
+	}
+	return res
 }

@@ -78,6 +78,7 @@ func (c *Checker) checkLTLNestedDFS(f *ltl.Formula, props map[string]pml.RExpr) 
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
 	m := c.newMeter("liveness-ndfs")
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
+	cc := c.newCanceler()
 
 	aut, err := ltl.Translate(ltl.Not(f))
 	if err != nil {
@@ -299,6 +300,9 @@ func (c *Checker) checkLTLNestedDFS(f *ltl.Formula, props map[string]pml.RExpr) 
 		}
 		rstack := []rframe{{node: seed, succ: seedSucc}}
 		for len(rstack) > 0 {
+			if cc.hit() {
+				return nil, ""
+			}
 			top := &rstack[len(rstack)-1]
 			if top.idx >= len(top.succ) {
 				rstack = rstack[:len(rstack)-1]
@@ -366,6 +370,9 @@ func (c *Checker) checkLTLNestedDFS(f *ltl.Formula, props map[string]pml.RExpr) 
 		}
 		stack = append(stack[:0], frame{node: root, succ: rootSucc})
 		for len(stack) > 0 {
+			if cc.hit() {
+				return cc.cancelResult(res)
+			}
 			if len(stack) > res.Stats.MaxDepth {
 				res.Stats.MaxDepth = len(stack)
 			}

@@ -102,6 +102,7 @@ func (c *Checker) checkSafetyDFS() *Result {
 	}
 	m := c.newMeter(phase)
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
+	cc := c.newCanceler()
 
 	var executed map[*pml.Edge]bool
 	if c.opts.ReportUnreached && !c.opts.PartialOrder {
@@ -180,6 +181,9 @@ func (c *Checker) checkSafetyDFS() *Result {
 	}
 
 	for len(stack) > 0 {
+		if cc.hit() {
+			return cc.cancelResult(res)
+		}
 		if len(stack) > res.Stats.MaxDepth {
 			res.Stats.MaxDepth = len(stack)
 		}
@@ -250,6 +254,7 @@ func (c *Checker) checkReachable(target pml.RExpr) *Result {
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
 	m := c.newMeter("reachability")
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
+	cc := c.newCanceler()
 
 	sat := func(st *model.State) (bool, string) {
 		v, err := c.sys.EvalGlobal(st, target)
@@ -277,6 +282,9 @@ func (c *Checker) checkReachable(target pml.RExpr) *Result {
 	}
 
 	for head := 0; head < len(arena); head++ {
+		if cc.hit() {
+			return cc.cancelResult(res)
+		}
 		ok, errMsg := sat(arena[head].st)
 		if errMsg != "" {
 			res.Kind = RuntimeError
@@ -333,6 +341,7 @@ func (c *Checker) checkEventuallyReachable(target pml.RExpr) *Result {
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
 	m := c.newMeter("ag-ef")
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
+	cc := c.newCanceler()
 
 	// Forward pass: build the full reachable graph.
 	index := map[string]int{}
@@ -353,6 +362,9 @@ func (c *Checker) checkEventuallyReachable(target pml.RExpr) *Result {
 	}
 	add(c.sys.InitialState(), -1, model.Transition{})
 	for head := 0; head < len(arena); head++ {
+		if cc.hit() {
+			return cc.cancelResult(res)
+		}
 		if c.opts.MaxStates > 0 && len(arena) > c.opts.MaxStates {
 			res.Stats.Truncated = true
 			res.Kind = SearchLimit
@@ -433,6 +445,7 @@ func (c *Checker) checkSafetyBFS() *Result {
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
 	m := c.newMeter("safety-bfs")
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
+	cc := c.newCanceler()
 
 	buildTrace := func(arena []bfsNode, i int, extra *model.Transition) *trace.Trace {
 		var rev []trace.Event
@@ -465,6 +478,9 @@ func (c *Checker) checkSafetyBFS() *Result {
 	depth := map[int]int{0: 0}
 
 	for head := 0; head < len(arena); head++ {
+		if cc.hit() {
+			return cc.cancelResult(res)
+		}
 		st := arena[head].st
 		trs := c.sys.Successors(st)
 		res.Stats.Transitions += len(trs)

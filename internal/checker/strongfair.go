@@ -59,6 +59,7 @@ func (c *Checker) CheckLTLFormulaStrongFair(f *ltl.Formula, props map[string]pml
 	defer func() { res.Stats.Elapsed = time.Since(start) }()
 	m := c.newMeter("liveness-strongfair")
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
+	cc := c.newCanceler()
 
 	aut, err := ltl.Translate(ltl.Not(f))
 	if err != nil {
@@ -135,6 +136,9 @@ func (c *Checker) CheckLTLFormulaStrongFair(f *ltl.Formula, props map[string]pml
 		}
 	}
 	for head := 0; head < len(nodes); head++ {
+		if cc.hit() {
+			return cc.cancelResult(res)
+		}
 		if c.opts.MaxStates > 0 && len(nodes) > c.opts.MaxStates {
 			res.Stats.Truncated = true
 			return fail(SearchLimit, fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates))
@@ -190,6 +194,9 @@ func (c *Checker) CheckLTLFormulaStrongFair(f *ltl.Formula, props map[string]pml
 	}
 	stack := []sfTask{{members: all}}
 	for len(stack) > 0 {
+		if cc.hit() {
+			return cc.cancelResult(res)
+		}
 		t := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, i := range t.members {

@@ -6,6 +6,7 @@ package model
 
 import (
 	"fmt"
+	"io"
 
 	"pnp/internal/pml"
 )
@@ -235,4 +236,20 @@ func (s *System) EvalGlobal(st *State, e pml.RExpr) (int64, error) {
 func (s *System) AtEndState(st *State, i int) bool {
 	n := &s.insts[i].Proc.Nodes[st.PCs[i]]
 	return n.Final || n.EndLabel
+}
+
+// WriteFingerprint writes a canonical structural description of the
+// instantiated system — channel shapes, process instances, parameter
+// bindings — to w. Together with the compiled program's source text it
+// content-addresses the composed model: two systems with equal
+// fingerprints and equal program sources explore identical state spaces.
+func (s *System) WriteFingerprint(w io.Writer) {
+	fmt.Fprintf(w, "chans:%d;", len(s.shapes))
+	for _, sh := range s.shapes {
+		fmt.Fprintf(w, "%s cap=%d fields=%v;", sh.name, sh.cap, sh.fields)
+	}
+	fmt.Fprintf(w, "insts:%d;", len(s.insts))
+	for _, in := range s.insts {
+		fmt.Fprintf(w, "%s proc=%s bind=%v locals=%v;", in.Name, in.Proc.Name, in.ChanBind, in.initLocals)
+	}
 }

@@ -1,0 +1,112 @@
+package verifyd
+
+import (
+	"container/list"
+	"sync"
+
+	"pnp/internal/obs"
+)
+
+// ResultCache is a bounded LRU map from content-address keys to property
+// verdicts. It is safe for concurrent use by the service's workers.
+// Counters (hits, misses, evictions) and the current entry count are
+// mirrored into an obs registry when one is attached.
+type ResultCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[CacheKey]*list.Element
+
+	hits, misses, evictions int64
+
+	mHits, mMisses, mEvictions *obs.Counter
+	mEntries                   *obs.Gauge
+}
+
+type cacheEntry struct {
+	key     CacheKey
+	verdict PropertyVerdict
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// NewResultCache creates a cache bounded to maxEntries verdicts
+// (maxEntries <= 0 selects the default of 1024). A nil registry is
+// fine; counters then live only in the cache itself.
+func NewResultCache(maxEntries int, reg *obs.Registry) *ResultCache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	return &ResultCache{
+		max:        maxEntries,
+		ll:         list.New(),
+		entries:    make(map[CacheKey]*list.Element),
+		mHits:      reg.Counter("verifyd_cache_hits_total"),
+		mMisses:    reg.Counter("verifyd_cache_misses_total"),
+		mEvictions: reg.Counter("verifyd_cache_evictions_total"),
+		mEntries:   reg.Gauge("verifyd_cache_entries"),
+	}
+}
+
+// Get looks up a verdict, marking it most recently used on a hit.
+func (c *ResultCache) Get(k CacheKey) (PropertyVerdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		c.mMisses.Inc()
+		return PropertyVerdict{}, false
+	}
+	c.hits++
+	c.mHits.Inc()
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).verdict, true
+}
+
+// Put stores a verdict, evicting the least recently used entry when the
+// cache is full. Storing an existing key refreshes its verdict and
+// recency.
+func (c *ResultCache) Put(k CacheKey, v PropertyVerdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).verdict = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+		c.mEvictions.Inc()
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, verdict: v})
+	c.mEntries.Set(int64(c.ll.Len()))
+}
+
+// Len reports the current number of cached verdicts.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

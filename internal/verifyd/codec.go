@@ -1,0 +1,122 @@
+// Package verifyd implements verification as a service: a bounded worker
+// pool draining a job queue of composed Plug-and-Play systems, with a
+// content-addressed result cache so that re-verifying an unchanged
+// (model, property, options) triple is a lookup instead of a search.
+// This is the paper's E11 reuse claim promoted to a daemon: architects
+// iterate on one port kind at a time, so most of each re-submission's
+// properties hash to results the service has already computed.
+package verifyd
+
+import (
+	"sort"
+	"time"
+
+	"pnp/internal/adl"
+	"pnp/internal/checker"
+)
+
+// PropertyVerdict is the JSON verdict for one property of one system.
+// It is the unit stored in the result cache and the element of a
+// Report's properties array; pnpverify --json emits the same shape.
+type PropertyVerdict struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"` // "invariant", "goal", or "ltl"
+	OK      bool   `json:"ok"`
+	Verdict string `json:"verdict"` // "verified" or the violation kind
+	Message string `json:"message,omitempty"`
+	Summary string `json:"summary"`
+
+	States      int     `json:"states"`
+	Matched     int     `json:"matched"`
+	Transitions int     `json:"transitions"`
+	Depth       int     `json:"depth"`
+	Reduced     int     `json:"reduced,omitempty"`
+	Truncated   bool    `json:"truncated,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+
+	// Counterexample is the violating trace listing; MSC renders the
+	// same trace as a message sequence chart over the system's
+	// processes. Both are empty for verified properties.
+	Counterexample string   `json:"counterexample,omitempty"`
+	MSC            string   `json:"msc,omitempty"`
+	Unreached      []string `json:"unreached,omitempty"`
+
+	// Cached is true when this verdict was served from the result cache
+	// without running the checker.
+	Cached bool `json:"cached"`
+}
+
+// Report is the complete verdict document for one verified system.
+type Report struct {
+	System     string            `json:"system"`
+	Processes  int               `json:"processes"`
+	Channels   int               `json:"channels"`
+	OK         bool              `json:"ok"`
+	Failed     int               `json:"failed"`
+	Properties []PropertyVerdict `json:"properties"`
+}
+
+// NewPropertyVerdict converts one checker result into its JSON verdict.
+// procs supplies process names for the MSC rendering; nil suppresses the
+// per-process columns.
+func NewPropertyVerdict(name, kind string, res *checker.Result, procs []string) PropertyVerdict {
+	v := PropertyVerdict{
+		Name:        name,
+		Kind:        kind,
+		OK:          res.OK,
+		Verdict:     "verified",
+		Message:     res.Message,
+		Summary:     res.Summary(),
+		States:      res.Stats.StatesStored,
+		Matched:     res.Stats.StatesMatched,
+		Transitions: res.Stats.Transitions,
+		Depth:       res.Stats.MaxDepth,
+		Reduced:     res.Stats.Reduced,
+		Truncated:   res.Stats.Truncated,
+		ElapsedMS:   float64(res.Stats.Elapsed) / float64(time.Millisecond),
+		Unreached:   res.Unreached,
+	}
+	if !res.OK {
+		v.Verdict = res.Kind.String()
+	}
+	if res.Trace != nil {
+		v.Counterexample = res.Trace.String()
+		v.MSC = res.Trace.MSC(procs)
+	}
+	return v
+}
+
+// NewReport assembles the full verdict document for a system from the
+// VerifyAll result map, with properties sorted by name. This is the
+// codec behind both GET /v1/jobs/{id} and pnpverify --json.
+func NewReport(sys *adl.System, results map[string]*checker.Result) Report {
+	kinds := make(map[string]string, len(sys.Sources))
+	for _, ps := range sys.Sources {
+		kinds[ps.Name] = ps.Kind
+	}
+	m := sys.Builder.System()
+	procs := make([]string, 0, m.NumInstances())
+	for _, in := range m.Instances() {
+		procs = append(procs, in.Name)
+	}
+	rep := Report{
+		System:    sys.Name,
+		Processes: m.NumInstances(),
+		Channels:  m.NumChannels(),
+		OK:        true,
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := NewPropertyVerdict(name, kinds[name], results[name], procs)
+		rep.Properties = append(rep.Properties, v)
+		if !v.OK {
+			rep.OK = false
+			rep.Failed++
+		}
+	}
+	return rep
+}

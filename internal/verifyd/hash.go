@@ -1,0 +1,60 @@
+package verifyd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"pnp/internal/adl"
+	"pnp/internal/blocks"
+	"pnp/internal/checker"
+)
+
+// CacheKey content-addresses one (compiled model, property, options)
+// verification task: equal keys mean the checker would explore the same
+// state space for the same property under the same search options, so
+// the verdict can be reused.
+type CacheKey [sha256.Size]byte
+
+// String renders the key as hex (for logs and debug endpoints).
+func (k CacheKey) String() string { return hex.EncodeToString(k[:]) }
+
+// ModelHash digests the composed system: the full pml source the program
+// was compiled from (compilation is deterministic, so source text is a
+// faithful address of the compiled program) plus the structural
+// fingerprint of the instantiated model — channels, process instances,
+// and their bindings. Swapping a single port kind in the ADL changes the
+// spawned block proctypes and therefore the hash; re-submitting an
+// unchanged design does not.
+func ModelHash(b *blocks.Builder) [sha256.Size]byte {
+	h := sha256.New()
+	io.WriteString(h, b.Source())
+	h.Write([]byte{0})
+	b.System().WriteFingerprint(h)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// OptionsKey canonicalizes the verdict-relevant checker options into a
+// stable string. Callback and plumbing fields (Progress, Metrics,
+// Context) do not influence verdicts and are excluded; Invariants are
+// covered by the property's own source text.
+func OptionsKey(o checker.Options) string {
+	return fmt.Sprintf("ms=%d;md=%d;bfs=%t;id=%t;ru=%t;po=%t;wf=%t;sf=%t;bs=%t;bb=%d",
+		o.MaxStates, o.MaxDepth, o.BFS, o.IgnoreDeadlock, o.ReportUnreached,
+		o.PartialOrder, o.WeakFairness, o.StrongFairness, o.Bitstate, o.BitstateBits)
+}
+
+// Key combines a model hash, one property's canonical source, and the
+// canonicalized options into the result-cache key.
+func Key(model [sha256.Size]byte, prop adl.PropertySource, opts checker.Options) CacheKey {
+	h := sha256.New()
+	h.Write(model[:])
+	io.WriteString(h, "\x00"+prop.Kind+"\x00"+prop.Name+"\x00"+prop.Text+"\x00")
+	io.WriteString(h, OptionsKey(opts))
+	var out CacheKey
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,522 @@
+package verifyd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"pnp/internal/adl"
+	"pnp/internal/blocks"
+	"pnp/internal/checker"
+	"pnp/internal/obs"
+)
+
+// Config parameterizes a verification server.
+type Config struct {
+	// Workers is the number of concurrent checker runs (default
+	// GOMAXPROCS). Each worker runs at most one search at a time.
+	Workers int
+	// CacheEntries bounds the result cache (default 1024).
+	CacheEntries int
+	// JobTimeout bounds each property search; an expired job reports a
+	// Canceled verdict instead of hanging a worker forever. Zero means
+	// no timeout.
+	JobTimeout time.Duration
+	// Resolver loads component files referenced by raw ADL submissions.
+	// JSON submissions can inline components instead; inline components
+	// shadow the resolver.
+	Resolver adl.Resolver
+	// Registry receives service and cache metrics; nil disables them.
+	Registry *obs.Registry
+	// Options is the base checker configuration applied to every job;
+	// submissions may override the search-shape fields per job.
+	Options checker.Options
+}
+
+// JobState is the lifecycle phase of a submitted job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+)
+
+// Job is one submitted verification task and, eventually, its report.
+type Job struct {
+	ID        string    `json:"id"`
+	State     JobState  `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	// Report is present once State is "done".
+	Report *Report `json:"report,omitempty"`
+	// CacheHits counts properties of this job served from the result
+	// cache; CacheMisses counts properties actually searched.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+
+	sys  *adl.System
+	opts checker.Options
+	done chan struct{}
+}
+
+// jobRequest is the JSON submission envelope. Raw (non-JSON) bodies are
+// treated as bare ADL source with no overrides.
+type jobRequest struct {
+	ADL string `json:"adl"`
+	// Components maps referenced component paths to inline pml source.
+	Components map[string]string `json:"components,omitempty"`
+	// Search-shape overrides; nil fields keep the server's defaults.
+	MaxStates      *int  `json:"max_states,omitempty"`
+	MaxDepth       *int  `json:"max_depth,omitempty"`
+	BFS            *bool `json:"bfs,omitempty"`
+	IgnoreDeadlock *bool `json:"ignore_deadlock,omitempty"`
+	PartialOrder   *bool `json:"partial_order,omitempty"`
+	WeakFairness   *bool `json:"weak_fairness,omitempty"`
+	StrongFairness *bool `json:"strong_fairness,omitempty"`
+	// TimeoutMS overrides the server's per-job timeout (0 keeps it).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Server runs verification jobs on a bounded worker pool with a shared
+// compiled-model cache and a content-addressed result cache.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	cache  *ResultCache
+	models *blocks.Cache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID int
+	closed bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mSubmitted *obs.Counter
+	mCompleted *obs.Counter
+	mRejected  *obs.Counter
+	mRunning   *obs.Gauge
+	mQueued    *obs.Gauge
+}
+
+// NewServer builds a verification server and starts its workers.
+func NewServer(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		cache:      NewResultCache(cfg.CacheEntries, cfg.Registry),
+		models:     blocks.NewCache(),
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, 64),
+		mSubmitted: cfg.Registry.Counter("verifyd_jobs_submitted_total"),
+		mCompleted: cfg.Registry.Counter("verifyd_jobs_completed_total"),
+		mRejected:  cfg.Registry.Counter("verifyd_jobs_rejected_total"),
+		mRunning:   cfg.Registry.Gauge("verifyd_jobs_running"),
+		mQueued:    cfg.Registry.Gauge("verifyd_jobs_queued"),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the result cache (for stats endpoints and tests).
+func (s *Server) Cache() *ResultCache { return s.cache }
+
+// ModelCacheStats reports compiled-model reuse across jobs.
+func (s *Server) ModelCacheStats() (hits, misses int) { return s.models.Stats() }
+
+// Submit parses and composes src (resolving component references against
+// inline components first, then the configured resolver), queues the
+// verification, and returns the job. Composition errors surface
+// immediately — with ADL line/column positions — rather than from
+// inside the queue.
+func (s *Server) Submit(src string, components map[string]string, opts checker.Options) (*Job, error) {
+	resolve := func(path string) (string, error) {
+		if text, ok := components[path]; ok {
+			return text, nil
+		}
+		if s.cfg.Resolver != nil {
+			return s.cfg.Resolver(path)
+		}
+		return "", fmt.Errorf("unknown component %q (no resolver configured)", path)
+	}
+	sys, err := adl.Load(src, resolve, s.models)
+	if err != nil {
+		s.mRejected.Inc()
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		State:     JobQueued,
+		Submitted: time.Now(),
+		sys:       sys,
+		opts:      opts,
+		done:      make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	s.mSubmitted.Inc()
+	s.mQueued.Add(1)
+	s.queue <- job
+	return job, nil
+}
+
+// ErrDraining is returned for submissions after Shutdown has begun.
+var ErrDraining = errors.New("verifyd: server is draining")
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Wait blocks until the job finishes or ctx is done.
+func (s *Server) Wait(ctx context.Context, job *Job) error {
+	select {
+	case <-job.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shutdown drains the server: new submissions are rejected, queued and
+// running jobs finish (subject to ctx), and workers exit. It returns
+// ctx.Err() if the context expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mQueued.Add(-1)
+		s.mRunning.Add(1)
+		s.run(job)
+		s.mRunning.Add(-1)
+		s.mCompleted.Inc()
+	}
+}
+
+// run executes (or cache-serves) every property of one job.
+func (s *Server) run(job *Job) {
+	s.setState(job, JobRunning)
+	sys := job.sys
+	mh := ModelHash(sys.Builder)
+
+	opts := job.opts
+	opts.Metrics = s.reg
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	opts.Context = ctx
+
+	m := sys.Builder.System()
+	procs := make([]string, 0, m.NumInstances())
+	for _, in := range m.Instances() {
+		procs = append(procs, in.Name)
+	}
+
+	rep := &Report{
+		System:    sys.Name,
+		Processes: m.NumInstances(),
+		Channels:  m.NumChannels(),
+		OK:        true,
+	}
+	hits, misses := 0, 0
+	for _, ps := range sys.Sources {
+		key := Key(mh, ps, opts)
+		if v, ok := s.cache.Get(key); ok {
+			v.Cached = true
+			rep.Properties = append(rep.Properties, v)
+			hits++
+			if !v.OK {
+				rep.OK = false
+				rep.Failed++
+			}
+			continue
+		}
+		misses++
+		res := s.checkProperty(sys, ps, opts)
+		v := NewPropertyVerdict(ps.Name, ps.Kind, res, procs)
+		// Truncated searches (limits, timeouts, cancellation) are not
+		// verdicts about the model and must never be served as such.
+		if !res.Stats.Truncated && res.Kind != checker.Canceled {
+			s.cache.Put(key, v)
+		}
+		rep.Properties = append(rep.Properties, v)
+		if !v.OK {
+			rep.OK = false
+			rep.Failed++
+		}
+	}
+
+	s.mu.Lock()
+	job.Report = rep
+	job.CacheHits = hits
+	job.CacheMisses = misses
+	job.State = JobDone
+	s.mu.Unlock()
+	close(job.done)
+}
+
+// checkProperty runs the checker for one declared property, mirroring
+// System.VerifyAll's per-property semantics.
+func (s *Server) checkProperty(sys *adl.System, ps adl.PropertySource, opts checker.Options) *checker.Result {
+	switch ps.Kind {
+	case "invariant":
+		safetyOpts := opts
+		safetyOpts.Invariants = append(append([]checker.Invariant(nil), opts.Invariants...), sys.Invariants...)
+		return checker.New(sys.Builder.System(), safetyOpts).CheckSafety()
+	case "goal":
+		for _, g := range sys.Goals {
+			if g.Name == ps.Name {
+				return checker.New(sys.Builder.System(), opts).CheckEventuallyReachable(g.Expr)
+			}
+		}
+	case "ltl":
+		for _, p := range sys.LTL {
+			if p.Name == ps.Name {
+				return checker.New(sys.Builder.System(), opts).CheckLTL(p.Formula, p.Props)
+			}
+		}
+	}
+	return &checker.Result{OK: false, Kind: checker.RuntimeError,
+		Message: fmt.Sprintf("unknown property %s %q", ps.Kind, ps.Name)}
+}
+
+func (s *Server) setState(job *Job, st JobState) {
+	s.mu.Lock()
+	job.State = st
+	s.mu.Unlock()
+}
+
+// snapshotJob copies a job's externally visible fields under the lock so
+// handlers never race with run().
+func (s *Server) snapshotJob(job *Job) Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Job{
+		ID:          job.ID,
+		State:       job.State,
+		Submitted:   job.Submitted,
+		Report:      job.Report,
+		CacheHits:   job.CacheHits,
+		CacheMisses: job.CacheMisses,
+	}
+}
+
+// --- HTTP API ---
+
+// httpError is the JSON error body; ADL errors carry their position.
+type httpError struct {
+	Error string `json:"error"`
+	Line  int    `json:"line,omitempty"`
+	Col   int    `json:"col,omitempty"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs           submit ADL (raw text or JSON envelope) -> job
+//	GET  /v1/jobs/{id}      job status; report included when done
+//	GET  /v1/jobs/{id}/wait long-poll until done (or ?timeout=30s)
+//	GET  /v1/cache          result-cache statistics
+//	GET  /metrics           Prometheus exposition (plus /metrics.json, /healthz)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	if s.reg != nil {
+		mux.Handle("/metrics", s.reg.Handler())
+		mux.Handle("/metrics.json", s.reg.Handler())
+		mux.Handle("/healthz", s.reg.Handler())
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if err != nil {
+			break
+		}
+		if len(body) > 1<<20 {
+			writeJSON(w, http.StatusRequestEntityTooLarge, httpError{Error: "body exceeds 1MiB"})
+			return
+		}
+	}
+	var req jobRequest
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "{") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: "bad JSON envelope: " + err.Error()})
+			return
+		}
+	} else {
+		req.ADL = trimmed
+	}
+	if strings.TrimSpace(req.ADL) == "" {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "empty ADL source"})
+		return
+	}
+
+	opts := s.jobOptions(req)
+	job, err := s.Submit(req.ADL, req.Components, opts)
+	if err != nil {
+		var ae *adl.Error
+		switch {
+		case errors.As(err, &ae):
+			writeJSON(w, http.StatusBadRequest, httpError{Error: ae.Error(), Line: ae.Line, Col: ae.Col})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.snapshotJob(job))
+}
+
+// jobOptions overlays a submission's overrides onto the server defaults.
+func (s *Server) jobOptions(req jobRequest) checker.Options {
+	opts := s.cfg.Options
+	if req.MaxStates != nil {
+		opts.MaxStates = *req.MaxStates
+	}
+	if req.MaxDepth != nil {
+		opts.MaxDepth = *req.MaxDepth
+	}
+	if req.BFS != nil {
+		opts.BFS = *req.BFS
+	}
+	if req.IgnoreDeadlock != nil {
+		opts.IgnoreDeadlock = *req.IgnoreDeadlock
+	}
+	if req.PartialOrder != nil {
+		opts.PartialOrder = *req.PartialOrder
+	}
+	if req.WeakFairness != nil {
+		opts.WeakFairness = *req.WeakFairness
+	}
+	if req.StrongFairness != nil {
+		opts.StrongFairness = *req.StrongFairness
+	}
+	if req.TimeoutMS > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(req.TimeoutMS)*time.Millisecond)
+		// The job holds the context for its whole run; the deadline
+		// itself reclaims the timer, so releasing cancel here is safe.
+		_ = cancel
+		opts.Context = ctx
+	}
+	return opts
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshotJob(job))
+}
+
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{Error: "no such job"})
+		return
+	}
+	ctx := r.Context()
+	if tm := r.URL.Query().Get("timeout"); tm != "" {
+		d, err := time.ParseDuration(tm)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: "bad timeout: " + err.Error()})
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if err := s.Wait(ctx, job); err != nil {
+		// Long-poll expired: report current state so clients can retry.
+		writeJSON(w, http.StatusOK, s.snapshotJob(job))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshotJob(job))
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	mh, mm := s.models.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Results CacheStats `json:"results"`
+		Models  struct {
+			Hits   int `json:"hits"`
+			Misses int `json:"misses"`
+		} `json:"models"`
+	}{
+		Results: s.cache.Stats(),
+		Models: struct {
+			Hits   int `json:"hits"`
+			Misses int `json:"misses"`
+		}{mh, mm},
+	})
+}

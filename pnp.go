@@ -43,6 +43,7 @@ import (
 	"pnp/internal/obs"
 	"pnp/internal/pnprt"
 	"pnp/internal/trace"
+	"pnp/internal/verifyd"
 )
 
 // Design-level API.
@@ -233,4 +234,33 @@ type (
 // LoadADL parses an architecture description and composes the system.
 func LoadADL(src string, resolve ADLResolver, cache *ModelCache) (*ADLSystem, error) {
 	return adl.Load(src, resolve, cache)
+}
+
+// Verification-service API: verification as a daemon with a
+// content-addressed result cache (see cmd/pnpd for the CLI).
+type (
+	// VerifyServer runs verification jobs on a bounded worker pool,
+	// serving repeat (model, property, options) submissions from its
+	// result cache.
+	VerifyServer = verifyd.Server
+	// VerifyServerConfig parameterizes a VerifyServer.
+	VerifyServerConfig = verifyd.Config
+	// VerifyJob is one submitted verification task and its report.
+	VerifyJob = verifyd.Job
+	// VerifyReport is the complete verdict document for one system.
+	VerifyReport = verifyd.Report
+	// PropertyVerdict is the JSON verdict for one property.
+	PropertyVerdict = verifyd.PropertyVerdict
+	// ResultCache is a bounded LRU of content-addressed verdicts.
+	ResultCache = verifyd.ResultCache
+)
+
+// NewVerifyServer starts a verification service (workers begin draining
+// the queue immediately; use its Handler for the HTTP API and Shutdown
+// to drain).
+func NewVerifyServer(cfg VerifyServerConfig) *VerifyServer { return verifyd.NewServer(cfg) }
+
+// NewResultCache creates a standalone content-addressed verdict cache.
+func NewResultCache(maxEntries int, reg *MetricsRegistry) *ResultCache {
+	return verifyd.NewResultCache(maxEntries, reg)
 }
