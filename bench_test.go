@@ -497,7 +497,7 @@ func BenchmarkVerifydCache(b *testing.B) {
 	comps := map[string]string{"pingpong.pml": string(comp)}
 	submit := func(b *testing.B, s *pnp.VerifyServer) *pnp.VerifyJob {
 		b.Helper()
-		job, err := s.Submit(string(src), comps, pnp.CheckOptions{})
+		job, err := s.Submit(string(src), comps, pnp.CheckOptions{}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
@@ -24,6 +25,10 @@ type Config struct {
 	Workers int
 	// CacheEntries bounds the result cache (default 1024).
 	CacheEntries int
+	// RetainJobs bounds how many completed jobs stay queryable via
+	// Job/GET /v1/jobs/{id} (default 1024). Older completed jobs are
+	// evicted FIFO; queued and running jobs are never evicted.
+	RetainJobs int
 	// JobTimeout bounds each property search; an expired job reports a
 	// Canceled verdict instead of hanging a worker forever. Zero means
 	// no timeout.
@@ -61,9 +66,10 @@ type Job struct {
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
 
-	sys  *adl.System
-	opts checker.Options
-	done chan struct{}
+	sys     *adl.System
+	opts    checker.Options
+	timeout time.Duration
+	done    chan struct{}
 }
 
 // jobRequest is the JSON submission envelope. Raw (non-JSON) bodies are
@@ -92,13 +98,21 @@ type Server struct {
 	cache  *ResultCache
 	models *blocks.Cache
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	nextID int
-	closed bool
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	doneIDs []string // completed-job eviction order (FIFO)
+	nextID  int
+	closed  bool
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	// queue is never closed: workers exit via stop, which Shutdown
+	// closes only after every accepted job has run, so a Submit racing
+	// shutdown (or blocked on a full queue) can never panic on a closed
+	// channel.
+	queue    chan *Job
+	stop     chan struct{}
+	stopOnce sync.Once
+	jobsWG   sync.WaitGroup // accepted-but-unfinished jobs
+	wg       sync.WaitGroup // worker goroutines
 
 	mSubmitted *obs.Counter
 	mCompleted *obs.Counter
@@ -112,6 +126,9 @@ func NewServer(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 1024
+	}
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Registry,
@@ -119,6 +136,7 @@ func NewServer(cfg Config) *Server {
 		models:     blocks.NewCache(),
 		jobs:       make(map[string]*Job),
 		queue:      make(chan *Job, 64),
+		stop:       make(chan struct{}),
 		mSubmitted: cfg.Registry.Counter("verifyd_jobs_submitted_total"),
 		mCompleted: cfg.Registry.Counter("verifyd_jobs_completed_total"),
 		mRejected:  cfg.Registry.Counter("verifyd_jobs_rejected_total"),
@@ -142,8 +160,10 @@ func (s *Server) ModelCacheStats() (hits, misses int) { return s.models.Stats() 
 // inline components first, then the configured resolver), queues the
 // verification, and returns the job. Composition errors surface
 // immediately — with ADL line/column positions — rather than from
-// inside the queue.
-func (s *Server) Submit(src string, components map[string]string, opts checker.Options) (*Job, error) {
+// inside the queue. A positive timeout overrides the server's
+// JobTimeout for this job; the clock starts when a worker picks the
+// job up, not while it waits in the queue.
+func (s *Server) Submit(src string, components map[string]string, opts checker.Options, timeout time.Duration) (*Job, error) {
 	resolve := func(path string) (string, error) {
 		if text, ok := components[path]; ok {
 			return text, nil
@@ -172,9 +192,13 @@ func (s *Server) Submit(src string, components map[string]string, opts checker.O
 		Submitted: time.Now(),
 		sys:       sys,
 		opts:      opts,
+		timeout:   timeout,
 		done:      make(chan struct{}),
 	}
 	s.jobs[job.ID] = job
+	// Registered under the same lock as the closed check, so Shutdown's
+	// drain wait observes every accepted job.
+	s.jobsWG.Add(1)
 	s.mu.Unlock()
 
 	s.mSubmitted.Inc()
@@ -206,16 +230,19 @@ func (s *Server) Wait(ctx context.Context, job *Job) error {
 
 // Shutdown drains the server: new submissions are rejected, queued and
 // running jobs finish (subject to ctx), and workers exit. It returns
-// ctx.Err() if the context expires first.
+// ctx.Err() if the context expires first; the drain then continues in
+// the background.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
-	}
+	s.closed = true
 	s.mu.Unlock()
 	finished := make(chan struct{})
 	go func() {
+		// All accepted jobs first — including one whose Submit is still
+		// blocked on a full queue — then the workers, who only see stop
+		// once the queue is provably empty.
+		s.jobsWG.Wait()
+		s.stopOnce.Do(func() { close(s.stop) })
 		s.wg.Wait()
 		close(finished)
 	}()
@@ -229,12 +256,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
-		s.mQueued.Add(-1)
-		s.mRunning.Add(1)
-		s.run(job)
-		s.mRunning.Add(-1)
-		s.mCompleted.Inc()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case job := <-s.queue:
+			s.mQueued.Add(-1)
+			s.mRunning.Add(1)
+			s.run(job)
+			s.mRunning.Add(-1)
+			s.mCompleted.Inc()
+			s.jobsWG.Done()
+		}
 	}
 }
 
@@ -250,9 +283,16 @@ func (s *Server) run(job *Job) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var cancel context.CancelFunc
-	if s.cfg.JobTimeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	// The clock starts here, not at submission, so time spent queued
+	// never counts against the search budget. A per-job timeout
+	// overrides the server default.
+	timeout := s.cfg.JobTimeout
+	if job.timeout > 0 {
+		timeout = job.timeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	opts.Context = ctx
@@ -302,6 +342,16 @@ func (s *Server) run(job *Job) {
 	job.CacheHits = hits
 	job.CacheMisses = misses
 	job.State = JobDone
+	// The composed system (and any per-job options) are dead weight once
+	// the report is published; drop them so retained jobs cost only
+	// their report.
+	job.sys = nil
+	job.opts = checker.Options{}
+	s.doneIDs = append(s.doneIDs, job.ID)
+	for len(s.doneIDs) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneIDs[0])
+		s.doneIDs = s.doneIDs[1:]
+	}
 	s.mu.Unlock()
 	close(job.done)
 }
@@ -391,18 +441,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body := make([]byte, 0, 4096)
-	buf := make([]byte, 4096)
-	for {
-		n, err := r.Body.Read(buf)
-		body = append(body, buf[:n]...)
-		if err != nil {
-			break
-		}
-		if len(body) > 1<<20 {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, httpError{Error: "body exceeds 1MiB"})
 			return
 		}
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "reading body: " + err.Error()})
+		return
 	}
 	var req jobRequest
 	trimmed := strings.TrimSpace(string(body))
@@ -420,7 +467,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := s.jobOptions(req)
-	job, err := s.Submit(req.ADL, req.Components, opts)
+	job, err := s.Submit(req.ADL, req.Components, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
 	if err != nil {
 		var ae *adl.Error
 		switch {
@@ -459,13 +506,6 @@ func (s *Server) jobOptions(req jobRequest) checker.Options {
 	}
 	if req.StrongFairness != nil {
 		opts.StrongFairness = *req.StrongFairness
-	}
-	if req.TimeoutMS > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(req.TimeoutMS)*time.Millisecond)
-		// The job holds the context for its whole run; the deadline
-		// itself reclaims the timer, so releasing cancel here is safe.
-		_ = cancel
-		opts.Context = ctx
 	}
 	return opts
 }

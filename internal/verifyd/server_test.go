@@ -64,7 +64,7 @@ func TestServiceBridgeLifecycle(t *testing.T) {
 	comps := bridgeComponents(t)
 
 	// E8: the all-asynchronous bridge violates mutual exclusion.
-	broken, err := s.Submit(loadExample(t, "bridge-broken.pnp"), comps, checker.Options{})
+	broken, err := s.Submit(loadExample(t, "bridge-broken.pnp"), comps, checker.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestServiceBridgeLifecycle(t *testing.T) {
 	}
 
 	// E9: swapping the enter send ports to syn-blocking repairs it.
-	fixed, err := s.Submit(loadExample(t, "bridge.pnp"), comps, checker.Options{})
+	fixed, err := s.Submit(loadExample(t, "bridge.pnp"), comps, checker.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestServiceBridgeLifecycle(t *testing.T) {
 
 	// E11: the unchanged design re-verifies from the cache alone.
 	hitsBefore := reg.Counter("verifyd_cache_hits_total").Value()
-	again, err := s.Submit(loadExample(t, "bridge.pnp"), comps, checker.Options{})
+	again, err := s.Submit(loadExample(t, "bridge.pnp"), comps, checker.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestServiceConcurrentJobs(t *testing.T) {
 
 	// Prime the cache with one verdict per design.
 	for _, src := range []string{okSrc, brokenSrc} {
-		job, err := s.Submit(src, comps, checker.Options{})
+		job, err := s.Submit(src, comps, checker.Options{}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func TestServiceConcurrentJobs(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			job, err := s.Submit(src, comps, checker.Options{})
+			job, err := s.Submit(src, comps, checker.Options{}, 0)
 			if err != nil {
 				errs <- fmt.Errorf("job %d: %v", i, err)
 				return
@@ -343,7 +343,7 @@ proctype A() { do :: a < 254 -> a = a + 1 od }
 proctype B() { do :: b = b + 1 od }
 proctype C() { do :: c = c + 1 od }
 `}
-	job, err := s.Submit(src, comps, checker.Options{IgnoreDeadlock: true})
+	job, err := s.Submit(src, comps, checker.Options{IgnoreDeadlock: true}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ proctype C() { do :: c = c + 1 od }
 func TestServiceDrain(t *testing.T) {
 	s := NewServer(Config{Workers: 1})
 	comps := bridgeComponents(t)
-	job, err := s.Submit(loadExample(t, "bridge.pnp"), comps, checker.Options{})
+	job, err := s.Submit(loadExample(t, "bridge.pnp"), comps, checker.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,8 +378,117 @@ func TestServiceDrain(t *testing.T) {
 	if snap.State != JobDone || snap.Report == nil || !snap.Report.OK {
 		t.Fatalf("drain must finish the queued job: %+v", snap)
 	}
-	if _, err := s.Submit(loadExample(t, "bridge.pnp"), comps, checker.Options{}); err != ErrDraining {
+	if _, err := s.Submit(loadExample(t, "bridge.pnp"), comps, checker.Options{}, 0); err != ErrDraining {
 		t.Fatalf("submit after shutdown = %v, want ErrDraining", err)
+	}
+}
+
+// TestServiceDrainRace: submissions racing Shutdown must either be
+// accepted (and then finish) or get ErrDraining — never panic on a
+// closed channel.
+func TestServiceDrainRace(t *testing.T) {
+	src := loadExample(t, "bridge.pnp")
+	comps := bridgeComponents(t)
+	s := NewServer(Config{Workers: 2})
+	// Truncated searches keep each job cheap; drain semantics are the
+	// same either way.
+	opts := checker.Options{MaxStates: 500, IgnoreDeadlock: true}
+	accepted := make(chan *Job, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				job, err := s.Submit(src, comps, opts, 0)
+				if err != nil {
+					if err != ErrDraining {
+						t.Errorf("submit: %v", err)
+					}
+					return
+				}
+				accepted <- job
+			}
+		}()
+	}
+	// Guarantee the drain overlaps live submissions: at least one job is
+	// in flight when Shutdown begins.
+	first := <-accepted
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	close(accepted)
+	if snap := s.snapshotJob(first); snap.State != JobDone {
+		t.Fatalf("job accepted before drain not finished: %+v", snap)
+	}
+	for job := range accepted {
+		if snap := s.snapshotJob(job); snap.State != JobDone {
+			t.Fatalf("accepted job %s not finished after drain: %+v", job.ID, snap)
+		}
+	}
+}
+
+// TestServiceRetainJobs: completed jobs beyond RetainJobs are evicted
+// oldest-first from the lookup map, the evicted caller's own handle
+// keeps its report, and the composed system is released on completion.
+func TestServiceRetainJobs(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, RetainJobs: 2})
+	comps := bridgeComponents(t)
+	src := loadExample(t, "bridge.pnp")
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		job, err := s.Submit(src, comps, checker.Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, s, job)
+		jobs = append(jobs, job)
+	}
+	for i, job := range jobs {
+		_, ok := s.Job(job.ID)
+		if want := i >= 2; ok != want {
+			t.Errorf("job %s retained=%v, want %v", job.ID, ok, want)
+		}
+	}
+	if snap := s.snapshotJob(jobs[0]); snap.Report == nil {
+		t.Error("evicted job's own handle must keep its report")
+	}
+	if jobs[3].sys != nil {
+		t.Error("completed job must release its composed system")
+	}
+}
+
+// TestServicePerJobTimeout: a submission-supplied timeout overrides the
+// server default and is measured from worker pickup, reporting a
+// canceled verdict rather than hanging.
+func TestServicePerJobTimeout(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	src := `system huge {
+    components "counters.pml"
+    instance pa = A()
+    instance pb = B()
+    instance pc = C()
+    invariant bound "a < 255"
+}`
+	comps := map[string]string{"counters.pml": `
+byte a, b, c;
+proctype A() { do :: a < 254 -> a = a + 1 od }
+proctype B() { do :: b = b + 1 od }
+proctype C() { do :: c = c + 1 od }
+`}
+	job, err := s.Submit(src, comps, checker.Options{IgnoreDeadlock: true}, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitDone(t, s, job)
+	if j.Report == nil || j.Report.OK {
+		t.Fatalf("timed-out job must not verify: %+v", j.Report)
+	}
+	if v := j.Report.Properties[0]; v.Verdict != checker.Canceled.String() || !v.Truncated {
+		t.Fatalf("want canceled+truncated verdict, got %+v", v)
 	}
 }
 
@@ -391,7 +500,7 @@ func TestCacheKeySensitivity(t *testing.T) {
 	comps := bridgeComponents(t)
 	load := func(src string) *Job {
 		t.Helper()
-		job, err := s.Submit(src, comps, checker.Options{})
+		job, err := s.Submit(src, comps, checker.Options{}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
