@@ -17,18 +17,20 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/pnprt/ ./internal/bridge/ -run Runtime
+	$(GO) test -race ./internal/faults/... ./internal/pnprt/...
+	$(GO) test -race ./internal/bridge/ -run Runtime
 	$(GO) test -race ./internal/blocks/ ./internal/verifyd/ -run 'Concurrent|Cache'
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable benchmark records (name, ns/op, states/s) for the
-# experiment benchmarks E8-E17 plus the verification-service cache.
+# experiment benchmarks E8-E17, the verification-service cache, and the
+# fault-injection middleware overhead.
 bench-json:
-	$(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR|VerifydCache' -benchtime 1x . \
-		| $(GO) run ./internal/tools/benchjson > BENCH_PR2.json
-	@echo wrote BENCH_PR2.json
+	$(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR|VerifydCache|FaultMiddleware' -benchtime 1x . \
+		| $(GO) run ./internal/tools/benchjson > BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
 
 # Regenerate every EXPERIMENTS.md table.
 experiments:
@@ -42,6 +44,7 @@ verify-examples:
 	$(GO) run ./cmd/pnpverify examples/adl/pingpong.pnp
 	$(GO) run ./cmd/pnpverify examples/adl/bridge.pnp
 	-$(GO) run ./cmd/pnpverify -bfs examples/adl/bridge-broken.pnp
+	-$(GO) run ./cmd/pnpverify examples/adl/lossy.pnp
 
 clean:
 	$(GO) clean ./...

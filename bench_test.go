@@ -390,6 +390,74 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultMiddleware measures what the fault-injection middleware
+// costs a connector that isn't using it. NoPlan is the baseline;
+// EmptyPlan attaches a plan with no matching rules (the injector
+// collapses to nil, so the hot path pays one nil check); ZeroRateRule
+// attaches a matching rule that never fires, paying the full per-message
+// decision roll without altering delivery.
+func BenchmarkFaultMiddleware(b *testing.B) {
+	plans := []struct {
+		name string
+		plan *pnp.FaultPlan
+	}{
+		{"NoPlan", nil},
+		{"EmptyPlan", &pnp.FaultPlan{Seed: 1}},
+		{"ZeroRateRule", &pnp.FaultPlan{Seed: 1, Rules: []pnp.FaultRule{
+			{Kind: pnp.FaultDrop, Target: "bench", Rate: 0},
+		}}},
+	}
+	spec := pnp.ConnectorSpec{Send: pnp.AsynBlockingSend, Channel: pnp.FIFOQueue, Size: 64, Recv: pnp.BlockingRecv}
+	for _, p := range plans {
+		p := p
+		b.Run(p.name, func(b *testing.B) {
+			var opts []pnp.ConnectorOption
+			if p.plan != nil {
+				opts = append(opts, pnp.WithFaults(p.plan))
+			}
+			conn, err := pnp.NewConnector("bench", spec, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			snd, err := conn.NewSender()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rcv, err := conn.NewReceiver()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if err := conn.Start(ctx); err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Stop()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < b.N; i++ {
+					if _, err := snd.Send(ctx, pnp.Message{Data: i}); err != nil {
+						return
+					}
+				}
+			}()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rcv.Receive(ctx, pnp.RecvRequest{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			<-done
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "msgs/s")
+			}
+		})
+	}
+}
+
 // BenchmarkLTLTranslation: GPVW tableau construction for representative
 // formulas.
 func BenchmarkLTLTranslation(b *testing.B) {

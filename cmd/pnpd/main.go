@@ -15,7 +15,10 @@
 //	curl -s localhost:7447/v1/jobs/job-1/wait
 //
 // A SIGINT/SIGTERM drains the queue: running jobs finish, new
-// submissions get 503, then the process exits.
+// submissions get 503, then the process exits. GET /healthz is the
+// liveness probe (200 for the process lifetime) and GET /readyz the
+// readiness probe (503 from the first drain instant), so orchestrators
+// stop routing to a draining pod without killing its in-flight work.
 package main
 
 import (
@@ -103,15 +106,19 @@ func run() int {
 		return 1
 	}
 
-	// Drain: stop accepting HTTP first, then let queued jobs finish.
+	// Drain the service first, HTTP second: the moment srv.Shutdown
+	// begins, new submissions get 503 and /readyz reports draining —
+	// but the listener stays up, so orchestrators can watch the drain
+	// and clients can still collect verdicts for in-flight jobs. Only
+	// once every accepted job has finished does the HTTP server close.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "pnpd: http shutdown: %v\n", err)
-	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: drain: %v\n", err)
 		return 1
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: http shutdown: %v\n", err)
 	}
 	st := srv.Cache().Stats()
 	fmt.Printf("pnpd: drained (cache: %d entries, %d hits, %d misses, %d evictions)\n",

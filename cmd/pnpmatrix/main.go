@@ -6,6 +6,12 @@
 // demonstrating the paper's claim that the small block library spans a
 // wide range of observable interaction semantics.
 //
+// The under-lossy column re-verifies each cell under the standard fault
+// plan — the same composition with its channel swapped for a lossy
+// buffer that may drop or duplicate messages in transit. No plain
+// composition survives it (delivery degrades to may-lose-messages),
+// which is what motivates protocol blocks like internal/abp.
+//
 // Usage: pnpmatrix [-msgs N] [-bufsize N] [-metrics]
 package main
 
@@ -78,6 +84,7 @@ func run(msgs, bufsize int, metrics bool) error {
 	}
 	channels := []blocks.ChannelKind{
 		blocks.SingleSlot, blocks.FIFOQueue, blocks.PriorityQueue, blocks.DroppingBuffer,
+		blocks.LossyBuffer,
 	}
 	recvs := []blocks.RecvPortKind{blocks.BlockingRecv, blocks.NonblockingRecv}
 
@@ -87,9 +94,10 @@ func run(msgs, bufsize int, metrics bool) error {
 		reg = obs.NewRegistry()
 	}
 	fmt.Printf("producer sends %d message(s); sized channels hold %d\n\n", msgs, bufsize)
-	fmt.Printf("%-52s %-22s %8s %10s %10s\n", "connector", "verdict", "states", "states/s", "time")
+	fmt.Printf("%-52s %-22s %-18s %8s %10s %10s\n", "connector", "verdict", "under-lossy", "states", "states/s", "time")
 
 	var cells []cellResult
+	faultSurvivors := 0
 	for _, s := range sends {
 		for _, ch := range channels {
 			for _, r := range recvs {
@@ -101,13 +109,29 @@ func run(msgs, bufsize int, metrics bool) error {
 				if err != nil {
 					return err
 				}
+				// The fault column: the same composition with its channel
+				// swapped for the lossy adversary (already lossy = itself).
+				faultCell := cell
+				if ch != blocks.LossyBuffer {
+					fspec := spec
+					fspec.Channel = blocks.LossyBuffer
+					if fspec.Size == 0 {
+						fspec.Size = bufsize
+					}
+					if faultCell, err = evaluate(fspec, msgs, cache, reg); err != nil {
+						return err
+					}
+				}
+				if faultCell.verdict == "delivers-all" {
+					faultSurvivors++
+				}
 				cells = append(cells, cell)
 				rate := "-"
 				if cell.elapsed > 0 {
 					rate = fmt.Sprintf("%.3gk/s", float64(cell.states)/cell.elapsed.Seconds()/1e3)
 				}
-				fmt.Printf("%-52s %-22s %8d %10s %10s\n",
-					cell.spec, cell.verdict, cell.states, rate, cell.elapsed.Round(time.Millisecond))
+				fmt.Printf("%-52s %-22s %-18s %8d %10s %10s\n",
+					cell.spec, cell.verdict, faultCell.verdict, cell.states, rate, cell.elapsed.Round(time.Millisecond))
 			}
 		}
 	}
@@ -123,6 +147,7 @@ func run(msgs, bufsize int, metrics bool) error {
 		}
 	}
 	fmt.Println()
+	fmt.Printf("under lossy channels: %d of %d compositions still guarantee delivery\n", faultSurvivors, len(cells))
 	if reg != nil {
 		fmt.Println("-- checker metrics across the sweep --")
 		reg.Dump(os.Stdout)

@@ -74,6 +74,10 @@ func run() int {
 	if !*jsonOut {
 		fmt.Printf("system %s: %d processes, %d channels\n",
 			sys.Name, sys.Builder.System().NumInstances(), sys.Builder.System().NumChannels())
+		if sys.Faults != nil {
+			fmt.Printf("fault plan: %s (%d rule(s), applied at runtime; lossy channels model loss in the checker)\n",
+				sys.Faults.Canonical(), len(sys.Faults.Rules))
+		}
 	}
 
 	if *dotFile != "" {

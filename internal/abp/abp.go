@@ -1,7 +1,8 @@
 // Package abp implements the alternating bit protocol over Plug-and-Play
 // connectors as a second verification case study: both the data path and
-// the acknowledgement path run through *dropping* channels — the lossy
-// building block under which plain compositions fail the delivery goal
+// the acknowledgement path run through *lossy* channels — the unreliable
+// medium that may drop (and, given buffer room, duplicate) any message
+// in transit, under which plain compositions fail the delivery goal
 // (experiment E12) — and the protocol's retransmission discipline
 // restores reliable, in-order, exactly-once delivery, verified by the
 // checker and demonstrable at runtime.
@@ -87,9 +88,18 @@ proctype AbpReceiver(chan dsig; chan ddat; chan asig; chan adat; byte k) {
 // Config sizes the protocol run.
 type Config struct {
 	Payloads int // messages to transfer (default 2)
-	// Reliable replaces the dropping channels with sound single-slot
+	// Reliable replaces the lossy channels with sound single-slot
 	// buffers (a control configuration for comparisons).
 	Reliable bool
+	// Overflow replaces the lossy channels with overflow-dropping
+	// buffers: loss happens only when the buffer is full. This weaker
+	// adversary matters for liveness: under process-level strong
+	// fairness the full eventuality <>delivered holds here, whereas a
+	// lossy channel may drop every retransmission — fairness constrains
+	// the scheduler, not the channel's nondeterministic choice — so over
+	// lossy channels delivery is stated as the fairness-independent
+	// AG EF goal instead (see Verify).
+	Overflow bool
 }
 
 func (c Config) withDefaults() Config {
@@ -101,7 +111,10 @@ func (c Config) withDefaults() Config {
 
 // Build composes the protocol: sender and receiver joined by two lossy
 // connectors (data and ack), each an asynchronous blocking send into a
-// dropping buffer polled through a nonblocking receive.
+// lossy(1) buffer polled through a nonblocking receive. At size 1 the
+// lossy channel's duplication branch never has a spare slot, so the
+// adversary is pure in-transit loss; the protocol's own alternating bit
+// is what makes duplicates (from retransmission) harmless.
 func Build(cfg Config, cache *blocks.Cache) (*blocks.Builder, error) {
 	cfg = cfg.withDefaults()
 	b, err := blocks.NewBuilder(Source, cache)
@@ -110,8 +123,11 @@ func Build(cfg Config, cache *blocks.Cache) (*blocks.Builder, error) {
 	}
 	spec := blocks.ConnectorSpec{
 		Send:    blocks.AsynBlockingSend,
-		Channel: blocks.DroppingBuffer, Size: 1,
+		Channel: blocks.LossyBuffer, Size: 1,
 		Recv: blocks.NonblockingRecv,
+	}
+	if cfg.Overflow {
+		spec.Channel = blocks.DroppingBuffer
 	}
 	if cfg.Reliable {
 		spec.Channel = blocks.SingleSlot

@@ -21,7 +21,19 @@
 //
 //	    invariant safety "!(blueOn > 0 && redOn > 0)"
 //	    ltl eventually_crossed "<> crossed" { crossed = "done > 0" }
+//
+//	    faults {
+//	        seed 42
+//	        drop BlueEnter 30
+//	        duplicate * 10 count 2 after 3
+//	    }
 //	}
+//
+// The faults block declares a deterministic runtime fault plan (package
+// faults): each rule is kind, target connector (or * for all), a percent
+// rate, and optional count/after/delay clauses. The plan does not change
+// the formal model — use a `lossy(N)` channel for that — but it is part
+// of the system's verification cache identity.
 package adl
 
 import (
@@ -31,6 +43,7 @@ import (
 
 	"pnp/internal/blocks"
 	"pnp/internal/checker"
+	"pnp/internal/faults"
 	"pnp/internal/model"
 	"pnp/internal/pml"
 )
@@ -70,6 +83,11 @@ type System struct {
 	// the order VerifyAll keys them ("safety" first when any invariant is
 	// declared).
 	Sources []PropertySource
+	// Faults is the system's declared fault plan (nil when the file has no
+	// faults block). It drives runtime injection when the system is
+	// executed and joins the verification service's cache key, so the same
+	// design under a different plan is a different cache entry.
+	Faults *faults.Plan
 }
 
 // Resolver loads referenced component files; path is the string given in
@@ -117,6 +135,7 @@ var chanKinds = map[string]blocks.ChannelKind{
 	"fifo":        blocks.FIFOQueue,
 	"priority":    blocks.PriorityQueue,
 	"dropping":    blocks.DroppingBuffer,
+	"lossy":       blocks.LossyBuffer,
 }
 
 // --- parsed (pre-composition) form ---
@@ -145,6 +164,19 @@ type parsedInstance struct {
 	col   int
 }
 
+type parsedFaultRule struct {
+	rule faults.Rule
+	line int
+	col  int
+}
+
+type parsedFaults struct {
+	seed  uint64
+	rules []parsedFaultRule
+	line  int
+	col   int
+}
+
 type parsedFile struct {
 	name       string
 	components []string // paths
@@ -153,6 +185,7 @@ type parsedFile struct {
 	invariants [][2]string // name, expr
 	goals      [][2]string // name, expr
 	ltl        []parsedLTL
+	faults     *parsedFaults
 }
 
 type parsedLTL struct {
@@ -256,6 +289,24 @@ func Load(src string, resolve Resolver, cache *blocks.Cache) (*System, error) {
 		sys.LTL = append(sys.LTL, LTLProperty{Name: pl.name, Formula: pl.formula, Props: props})
 	}
 	sys.Sources = propertySources(pf)
+	if pf.faults != nil {
+		plan := &faults.Plan{Seed: pf.faults.seed}
+		for _, pr := range pf.faults.rules {
+			// Message-site rules must target a declared connector; crash
+			// rules name supervised runtime components the ADL cannot see.
+			if pr.rule.Kind != faults.Crash && pr.rule.Target != "*" && pr.rule.Target != "" {
+				if _, ok := sys.Connectors[pr.rule.Target]; !ok {
+					return nil, &Error{Line: pr.line, Col: pr.col,
+						Msg: fmt.Sprintf("fault rule targets unknown connector %q", pr.rule.Target)}
+				}
+			}
+			plan.Rules = append(plan.Rules, pr.rule)
+		}
+		if err := plan.Validate(); err != nil {
+			return nil, &Error{Line: pf.faults.line, Col: pf.faults.col, Msg: err.Error()}
+		}
+		sys.Faults = plan
+	}
 	return sys, nil
 }
 

@@ -1,0 +1,155 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pnp/internal/blocks"
+	"pnp/internal/faults"
+)
+
+const faultsSystem = `
+system faulty {
+    components "ping.pml"
+
+    connector Wire {
+        send    asyn-blocking
+        channel lossy(2)
+        receive blocking
+    }
+
+    instance p = Ping(send Wire)
+    instance q = Pong(recv Wire)
+
+    faults {
+        seed 42
+        drop Wire 30
+        duplicate * 10 count 2 after 3
+        stall Wire 100 delay 2
+        delay Wire 50 delay 1
+        crash worker 100 count 1
+    }
+}
+`
+
+func TestFaultsBlockParsed(t *testing.T) {
+	sys, err := Load(faultsSystem, resolver(map[string]string{"ping.pml": pingPml}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Connectors["Wire"].Spec().Channel != blocks.LossyBuffer {
+		t.Errorf("channel lossy(2) parsed as %v", sys.Connectors["Wire"].Spec().Channel)
+	}
+	p := sys.Faults
+	if p == nil {
+		t.Fatal("faults block not loaded")
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d, want 42", p.Seed)
+	}
+	want := []faults.Rule{
+		{Kind: faults.Drop, Target: "Wire", Rate: 0.3},
+		{Kind: faults.Duplicate, Target: "*", Rate: 0.1, Count: 2, After: 3},
+		{Kind: faults.Stall, Target: "Wire", Rate: 1, Delay: 2 * time.Millisecond},
+		{Kind: faults.Delay, Target: "Wire", Rate: 0.5, Delay: time.Millisecond},
+		{Kind: faults.Crash, Target: "worker", Rate: 1, Count: 1},
+	}
+	if len(p.Rules) != len(want) {
+		t.Fatalf("got %d rules, want %d: %s", len(p.Rules), len(want), p)
+	}
+	for i, w := range want {
+		if p.Rules[i] != w {
+			t.Errorf("rule %d = %+v, want %+v", i, p.Rules[i], w)
+		}
+	}
+}
+
+func TestSystemWithoutFaultsBlockHasNilPlan(t *testing.T) {
+	sys, err := Load(pingSystem, resolver(map[string]string{"ping.pml": pingPml}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Faults != nil {
+		t.Fatalf("Faults = %v, want nil", sys.Faults)
+	}
+	// A nil plan's canonical form is empty, so fault-free systems keep
+	// their pre-faults cache identity.
+	if sys.Faults.Canonical() != "" {
+		t.Fatal("nil plan should encode empty")
+	}
+}
+
+func TestFaultsBlockErrors(t *testing.T) {
+	wrap := func(body string) string {
+		return "system s {\n    connector C {\n        send asyn-blocking\n        channel fifo(2)\n        receive blocking\n    }\n" + body + "\n}"
+	}
+	tests := []struct {
+		name    string
+		src     string
+		wantSub string
+	}{
+		{
+			name:    "unknown fault kind",
+			src:     wrap("    faults { explode C 10 }"),
+			wantSub: `unknown fault kind "explode"`,
+		},
+		{
+			name:    "rate out of range",
+			src:     wrap("    faults { drop C 250 }"),
+			wantSub: "percent in 0..100",
+		},
+		{
+			name:    "missing target",
+			src:     wrap("    faults { drop 10 }"),
+			wantSub: "expected fault target",
+		},
+		{
+			name:    "unknown connector target",
+			src:     wrap("    faults { drop Ghost 10 }"),
+			wantSub: `unknown connector "Ghost"`,
+		},
+		{
+			name:    "duplicate faults block",
+			src:     wrap("    faults { seed 1 }\n    faults { seed 2 }"),
+			wantSub: "duplicate faults block",
+		},
+		{
+			name:    "bad seed",
+			src:     wrap("    faults { seed -3 }"),
+			wantSub: "bad seed",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			ae := loadErr(t, tc.src)
+			if !strings.Contains(ae.Msg, tc.wantSub) {
+				t.Errorf("error %q does not mention %q", ae.Msg, tc.wantSub)
+			}
+			if ae.Line <= 1 || ae.Col < 1 {
+				t.Errorf("error lacks a useful position: %+v", ae)
+			}
+		})
+	}
+}
+
+func TestCrashTargetNotConnectorChecked(t *testing.T) {
+	// Crash rules name supervised runtime components, which the ADL
+	// cannot resolve — any target must be accepted.
+	src := `
+system s {
+    connector C {
+        send asyn-blocking
+        channel fifo(2)
+        receive blocking
+    }
+    faults { crash anything 100 }
+}`
+	sys, err := Load(src, emptyResolver, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Faults.Rules) != 1 || sys.Faults.Rules[0].Kind != faults.Crash {
+		t.Fatalf("crash rule not loaded: %s", sys.Faults)
+	}
+}

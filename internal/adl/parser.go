@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
+
+	"pnp/internal/faults"
 )
 
 type adlToken struct {
@@ -198,6 +201,15 @@ func parse(src string) (*parsedFile, error) {
 				return nil, err
 			}
 			pf.ltl = append(pf.ltl, l)
+		case "faults":
+			if pf.faults != nil {
+				return nil, &Error{Line: t.line, Col: t.col, Msg: "duplicate faults block"}
+			}
+			f, err := p.faultsDecl()
+			if err != nil {
+				return nil, err
+			}
+			pf.faults = f
 		default:
 			return nil, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("unknown declaration %q", t.text)}
 		}
@@ -349,6 +361,106 @@ func (p *adlParser) arg() (parsedArg, error) {
 	default:
 		return parsedArg{}, &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected argument, found %q", t.text)}
 	}
+}
+
+// peek returns the token after the current one (eof-safe).
+func (p *adlParser) peek() adlToken {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+// faultsDecl parses `faults { seed N; <kind> <target|*> <percent>
+// [count N] [after N] [delay N] ... }`. Rates are integer percents;
+// delay is in milliseconds.
+func (p *adlParser) faultsDecl() (*parsedFaults, error) {
+	kw := p.next() // faults
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	f := &parsedFaults{line: kw.line, col: kw.col}
+	for !p.accept("}") {
+		t := p.cur()
+		if t.kind != "ident" {
+			return nil, &Error{Line: t.line, Col: t.col, Msg: "expected seed or fault rule"}
+		}
+		if t.text == "seed" {
+			p.next()
+			n, err := p.expect("number")
+			if err != nil {
+				return nil, err
+			}
+			v, convErr := strconv.ParseUint(n.text, 10, 64)
+			if convErr != nil {
+				return nil, &Error{Line: n.line, Col: n.col, Msg: "bad seed"}
+			}
+			f.seed = v
+			p.accept(";")
+			continue
+		}
+		kind, ok := faults.KindFromString(t.text)
+		if !ok {
+			return nil, &Error{Line: t.line, Col: t.col,
+				Msg: fmt.Sprintf("unknown fault kind %q (drop, duplicate, delay, stall, crash)", t.text)}
+		}
+		p.next()
+		var target string
+		switch tt := p.cur(); tt.kind {
+		case "ident":
+			target = tt.text
+			p.next()
+		case "*":
+			target = "*"
+			p.next()
+		default:
+			return nil, &Error{Line: tt.line, Col: tt.col, Msg: "expected fault target (connector name or *)"}
+		}
+		pct, err := p.expect("number")
+		if err != nil {
+			return nil, err
+		}
+		pv, convErr := strconv.Atoi(pct.text)
+		if convErr != nil || pv < 0 || pv > 100 {
+			return nil, &Error{Line: pct.line, Col: pct.col, Msg: "fault rate must be a percent in 0..100"}
+		}
+		r := faults.Rule{Kind: kind, Target: target, Rate: float64(pv) / 100}
+		// Optional clauses. `delay` doubles as a fault kind: a clause is
+		// `delay <number>`, a rule is `delay <target> <number>`, so one
+		// token of lookahead disambiguates.
+		for {
+			c := p.cur()
+			if c.kind != "ident" {
+				break
+			}
+			if c.text != "count" && c.text != "after" && c.text != "delay" {
+				break
+			}
+			if c.text == "delay" && p.peek().kind != "number" {
+				break // a new delay-kind rule, not a clause
+			}
+			p.next()
+			n, err := p.expect("number")
+			if err != nil {
+				return nil, err
+			}
+			v, convErr := strconv.Atoi(n.text)
+			if convErr != nil || v < 0 {
+				return nil, &Error{Line: n.line, Col: n.col, Msg: fmt.Sprintf("bad %s value", c.text)}
+			}
+			switch c.text {
+			case "count":
+				r.Count = v
+			case "after":
+				r.After = v
+			case "delay":
+				r.Delay = time.Duration(v) * time.Millisecond
+			}
+		}
+		f.rules = append(f.rules, parsedFaultRule{rule: r, line: t.line, col: t.col})
+		p.accept(";")
+	}
+	return f, nil
 }
 
 func (p *adlParser) ltlDecl() (parsedLTL, error) {

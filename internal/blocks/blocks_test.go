@@ -19,6 +19,7 @@ func TestLibraryCompiles(t *testing.T) {
 		"AsynCheckSendPort", "AsynNbSendPort",
 		"BlRecvPort", "NbRecvPort",
 		"SingleSlotChannel", "FifoChannel", "PriorityChannel", "DroppingChannel",
+		"LossyChannel",
 		"PnPSender", "PnPReceiver",
 	}
 	for _, name := range want {

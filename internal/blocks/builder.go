@@ -59,6 +59,11 @@ const (
 	FIFOQueue
 	PriorityQueue
 	DroppingBuffer
+	// LossyBuffer is an unreliable FIFO medium: messages are confirmed
+	// IN_OK and then nondeterministically delivered, dropped in transit,
+	// or duplicated — the formal counterpart of a runtime fault plan.
+	// DroppingBuffer, by contrast, loses messages only on overflow.
+	LossyBuffer
 )
 
 var channelProcs = map[ChannelKind]string{
@@ -66,6 +71,7 @@ var channelProcs = map[ChannelKind]string{
 	FIFOQueue:      "FifoChannel",
 	PriorityQueue:  "PriorityChannel",
 	DroppingBuffer: "DroppingChannel",
+	LossyBuffer:    "LossyChannel",
 }
 
 // String returns the proctype name of the channel model.

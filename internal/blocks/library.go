@@ -372,6 +372,62 @@ proctype DroppingChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byt
 	   fi
 	od
 }
+
+/* Lossy FIFO channel: an unreliable transmission medium. Every message
+ * is acknowledged IN_OK, then nondeterministically delivered faithfully,
+ * dropped in transit, or duplicated (when two slots are free) — the
+ * fault classes the runtime's fault plans inject. Distinct from
+ * DroppingChannel, which loses messages only on buffer overflow. */
+proctype LossyChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byte size) {
+	chan buf = [8] of { byte, byte, byte, bit, bit };
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   if
+	   :: rqsel ->
+	      if
+	      :: buf??bd,bsid,eval(rqsd),bsel,brem ->
+	         rcvSig!OUT_OK,rqpid;
+	         rcvDat!bd,rqpid,rqsd,bsel,brem;
+	         sndSig!RECV_OK,bsid;
+	         if
+	         :: !rqrem -> buf!bd,bsid,rqsd,bsel,brem
+	         :: else
+	         fi
+	      :: else ->
+	         rcvSig!OUT_FAIL,rqpid
+	      fi
+	   :: else ->
+	      if
+	      :: buf?bd,bsid,bsd,bsel,brem ->
+	         rcvSig!OUT_OK,rqpid;
+	         rcvDat!bd,rqpid,bsd,bsel,brem;
+	         sndSig!RECV_OK,bsid;
+	         if
+	         :: !rqrem -> buf!bd,bsid,bsd,bsel,brem
+	         :: else
+	         fi
+	      :: else ->
+	         rcvSig!OUT_FAIL,rqpid
+	      fi
+	   fi
+	:: sndDat?md,msid,msd,msel,mrem;
+	   sndSig!IN_OK,msid;
+	   if
+	   :: skip /* lost in transit */
+	   :: len(buf) < size ->
+	      buf!md,msid,msd,msel,mrem
+	   :: len(buf) + 1 < size ->
+	      buf!md,msid,msd,msel,mrem;
+	      buf!md,msid,msd,msel,mrem /* duplicated in transit */
+	   fi
+	od
+}
 `
 
 // componentTemplates holds generic sender/receiver component models using
@@ -622,6 +678,61 @@ proctype DroppingChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byt
 	        buf!md,msid,msd,msel,mrem
 	     :: else ->
 	        sndSig!IN_OK,msid
+	     fi
+	   }
+	od
+}
+
+proctype LossyChannel(chan sndSig; chan sndDat; chan rcvSig; chan rcvDat; byte size) {
+	chan buf = [8] of { byte, byte, byte, bit, bit };
+	byte rqd, rqpid, rqsd;
+	bit rqsel, rqrem;
+	byte md, msid, msd;
+	bit msel, mrem;
+	byte bd, bsid, bsd;
+	bit bsel, brem;
+	end: do
+	:: rcvDat?rqd,rqpid,rqsd,rqsel,rqrem;
+	   atomic {
+	     if
+	     :: rqsel ->
+	        if
+	        :: buf??bd,bsid,eval(rqsd),bsel,brem ->
+	           rcvSig!OUT_OK,rqpid;
+	           rcvDat!bd,rqpid,rqsd,bsel,brem;
+	           sndSig!RECV_OK,bsid;
+	           if
+	           :: !rqrem -> buf!bd,bsid,rqsd,bsel,brem
+	           :: else
+	           fi
+	        :: else ->
+	           rcvSig!OUT_FAIL,rqpid
+	        fi
+	     :: else ->
+	        if
+	        :: buf?bd,bsid,bsd,bsel,brem ->
+	           rcvSig!OUT_OK,rqpid;
+	           rcvDat!bd,rqpid,bsd,bsel,brem;
+	           sndSig!RECV_OK,bsid;
+	           if
+	           :: !rqrem -> buf!bd,bsid,bsd,bsel,brem
+	           :: else
+	           fi
+	        :: else ->
+	           rcvSig!OUT_FAIL,rqpid
+	        fi
+	     fi
+	   }
+	:: sndDat?md,msid,msd,msel,mrem;
+	   atomic {
+	     sndSig!IN_OK,msid;
+	     if
+	     :: skip
+	     :: len(buf) < size ->
+	        buf!md,msid,msd,msel,mrem
+	     :: len(buf) + 1 < size ->
+	        buf!md,msid,msd,msel,mrem;
+	        buf!md,msid,msd,msel,mrem
 	     fi
 	   }
 	od

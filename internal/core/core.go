@@ -38,6 +38,7 @@ func Catalog() []BlockInfo {
 		{Name: "FifoChannel", Kind: "channel", Description: "FIFO queue: a first-in-first-out queue of size N."},
 		{Name: "PriorityChannel", Kind: "channel", Description: "Priority queue: a priority queue of size N (lower tag = higher priority)."},
 		{Name: "DroppingChannel", Kind: "channel", Description: "Dropping buffer: silently drops messages that arrive while full."},
+		{Name: "LossyChannel", Kind: "channel", Description: "Lossy buffer: an unreliable medium that may drop or duplicate any message in transit (fault-injection block)."},
 	}
 }
 

@@ -28,8 +28,8 @@ func TestCatalogMatchesPaperFigure1(t *testing.T) {
 	if byKind["recv-port"] != 2 {
 		t.Errorf("recv ports = %d, want 2", byKind["recv-port"])
 	}
-	if byKind["channel"] != 4 {
-		t.Errorf("channels = %d, want 4 (1-slot, FIFO, priority + dropping)", byKind["channel"])
+	if byKind["channel"] != 5 {
+		t.Errorf("channels = %d, want 5 (1-slot, FIFO, priority, dropping + lossy)", byKind["channel"])
 	}
 	// Every cataloged block must exist as a compiled model in the library.
 	b, err := blocks.NewBuilder("", nil)

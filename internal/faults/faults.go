@@ -1,0 +1,309 @@
+// Package faults makes failure a first-class building block: a Plan is a
+// deterministic, seeded schedule of injectable faults — message drop,
+// duplication, delay/reorder, channel stall, and component crash — that
+// the pnprt runtime applies as middleware inside its channel processes
+// and supervisors. The same fault classes exist as nondeterministic
+// formal blocks (the lossy channel of package blocks), so a design is
+// verified and executed under one fault model.
+//
+// Determinism is the load-bearing property: whether message n at target
+// T is faulted is a pure function of (plan seed, target, rule, n), never
+// of wall-clock time or goroutine interleaving. Two runs of the same
+// system with the same plan therefore inject the same loss/duplication
+// sequence, which makes fault scenarios reproducible in tests and bug
+// reports.
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"pnp/internal/obs"
+)
+
+// Kind is one injectable fault class.
+type Kind uint8
+
+// Fault kinds. Drop, Duplicate, Delay, and Stall apply to messages
+// entering a connector's channel process; Crash applies to runs of a
+// supervised component.
+const (
+	Drop Kind = iota + 1
+	Duplicate
+	Delay
+	Stall
+	Crash
+)
+
+var kindNames = map[Kind]string{
+	Drop:      "drop",
+	Duplicate: "duplicate",
+	Delay:     "delay",
+	Stall:     "stall",
+	Crash:     "crash",
+}
+
+// String returns the kind's plan-syntax name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// KindFromString parses a plan-syntax kind name.
+func KindFromString(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// messageKind reports whether the kind applies at the channel-ingress
+// site (as opposed to the supervisor's run site).
+func (k Kind) messageKind() bool { return k != Crash }
+
+// Rule schedules one fault class against one target. Eligible events are
+// counted per target: messages arriving at a connector's channel for the
+// message kinds, run attempts of a supervised component for Crash.
+type Rule struct {
+	Kind Kind
+	// Target names the connector (message kinds) or supervised component
+	// (Crash) the rule applies to; "*" or "" matches every target.
+	Target string
+	// Rate is the fraction of eligible events faulted, in [0,1]. The
+	// decision for event n is deterministic in (seed, target, rule, n).
+	Rate float64
+	// After skips the first After eligible events.
+	After int
+	// Count bounds the total injections of this rule per target
+	// (0 = unlimited).
+	Count int
+	// Delay is the Stall pause or the grace before an injected Crash
+	// cancels the component's context (default: DefaultStall / none).
+	Delay time.Duration
+}
+
+// DefaultStall is the pause applied by a Stall rule with zero Delay.
+const DefaultStall = time.Millisecond
+
+// Plan is a seeded, deterministic fault schedule. The zero value (and a
+// nil *Plan) injects nothing. Plans are immutable once handed to the
+// runtime; Injector derives per-target injectors from them.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// Validate checks every rule for a known kind and sane parameters.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, r := range p.Rules {
+		if _, ok := kindNames[r.Kind]; !ok {
+			return fmt.Errorf("faults: rule %d: unknown kind %d", i, r.Kind)
+		}
+		if r.Rate < 0 || r.Rate > 1 {
+			return fmt.Errorf("faults: rule %d: rate %g out of range [0,1]", i, r.Rate)
+		}
+		if r.After < 0 {
+			return fmt.Errorf("faults: rule %d: negative after %d", i, r.After)
+		}
+		if r.Count < 0 {
+			return fmt.Errorf("faults: rule %d: negative count %d", i, r.Count)
+		}
+		if r.Delay < 0 {
+			return fmt.Errorf("faults: rule %d: negative delay %s", i, r.Delay)
+		}
+	}
+	return nil
+}
+
+// Canonical renders the plan as a stable text encoding: equal plans have
+// equal encodings and unequal plans differ. The verification service
+// hashes it into the content-addressed result-cache key, so a design
+// re-submitted under a different fault plan is never served a stale
+// verdict. A nil plan encodes as "".
+func (p *Plan) Canonical() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for _, r := range p.Rules {
+		fmt.Fprintf(&b, ";%s(%s,rate=%g,after=%d,count=%d,delay=%s)",
+			r.Kind, r.Target, r.Rate, r.After, r.Count, r.Delay)
+	}
+	return b.String()
+}
+
+// String is Canonical (for logs).
+func (p *Plan) String() string { return p.Canonical() }
+
+// Decision is one injected fault.
+type Decision struct {
+	Kind Kind
+	// Seq is the eligible-event index the decision fired on.
+	Seq int
+	// Delay carries the rule's Delay (Stall pause, Crash grace).
+	Delay time.Duration
+}
+
+// Injector applies a plan to one target. Methods on a nil *Injector
+// report no faults, so the uninstrumented hot path pays one nil check —
+// the same convention as package obs.
+type Injector struct {
+	seed   uint64
+	target string
+
+	mu    sync.Mutex
+	msg   []injRule // rules for the message site, in plan order
+	crash []injRule // rules for the run site
+	seq   int       // eligible messages seen so far
+
+	reg      *obs.Registry
+	mByKind  map[Kind]*obs.Counter
+	injected int64
+}
+
+type injRule struct {
+	rule Rule
+	idx  int // rule index in the plan (part of the decision hash)
+	used int // injections so far (Count bookkeeping)
+}
+
+// Injector derives the per-target injector, instrumented against reg
+// (nil disables metrics). It returns nil — a valid, no-op injector —
+// when the plan is nil or no rule matches the target.
+func (p *Plan) Injector(target string, reg *obs.Registry) *Injector {
+	if p == nil {
+		return nil
+	}
+	in := &Injector{seed: p.Seed, target: target, reg: reg, mByKind: make(map[Kind]*obs.Counter)}
+	for i, r := range p.Rules {
+		if r.Target != "" && r.Target != "*" && r.Target != target {
+			continue
+		}
+		ir := injRule{rule: r, idx: i}
+		if r.Kind.messageKind() {
+			in.msg = append(in.msg, ir)
+		} else {
+			in.crash = append(in.crash, ir)
+		}
+	}
+	if len(in.msg) == 0 && len(in.crash) == 0 {
+		return nil
+	}
+	return in
+}
+
+// OnMessage decides the fate of the next message entering the target's
+// channel process. The eligible-event counter advances on every call, so
+// the decision stream depends only on message arrival order at this
+// target — not on other connectors or goroutine scheduling.
+func (in *Injector) OnMessage() (Decision, bool) {
+	if in == nil {
+		return Decision{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.seq
+	in.seq++
+	return in.decide(in.msg, n)
+}
+
+// OnRun decides whether run attempt `run` of a supervised component is
+// crash-injected.
+func (in *Injector) OnRun(run int) (Decision, bool) {
+	if in == nil {
+		return Decision{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.decide(in.crash, run)
+}
+
+// decide evaluates the site's rules in plan order; the first rule that
+// fires wins. Each rule rolls independently (its index is part of the
+// hash), so reordering unrelated rules does not perturb decisions.
+func (in *Injector) decide(rules []injRule, n int) (Decision, bool) {
+	for i := range rules {
+		r := &rules[i]
+		if n < r.rule.After {
+			continue
+		}
+		if r.rule.Count > 0 && r.used >= r.rule.Count {
+			continue
+		}
+		if Uniform(in.seed, hashString(in.target), uint64(r.idx), uint64(n)) >= r.rule.Rate {
+			continue
+		}
+		r.used++
+		in.injected++
+		in.counter(r.rule.Kind).Inc()
+		return Decision{Kind: r.rule.Kind, Seq: n, Delay: r.rule.Delay}, true
+	}
+	return Decision{}, false
+}
+
+// counter returns the per-kind injection counter, creating it lazily.
+func (in *Injector) counter(k Kind) *obs.Counter {
+	c, ok := in.mByKind[k]
+	if !ok {
+		c = in.reg.Counter(obs.Labels("faults_injected_total", "kind", k.String(), "target", in.target))
+		in.mByKind[k] = c
+	}
+	return c
+}
+
+// Injected returns how many faults this injector has fired (0 for nil).
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// --- deterministic hashing ---
+
+// Uniform maps (seed, dims...) to a uniform float64 in [0,1) with a
+// splitmix64-style mix. It is the plan's only randomness source: pure,
+// platform-independent, and stable across runs, so every fault decision
+// (and the supervisor's backoff jitter) is reproducible from the seed.
+func Uniform(seed uint64, dims ...uint64) float64 {
+	h := mix(seed ^ 0x9e3779b97f4a7c15)
+	for _, d := range dims {
+		h = mix(h ^ d)
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash folds a string into a Uniform dimension; it is the same stable
+// hash the injector uses for targets, exported for callers that derive
+// their own deterministic draws (the supervisor's backoff jitter).
+func Hash(s string) uint64 { return hashString(s) }
+
+// hashString is FNV-1a, fixed here rather than imported so the decision
+// function can never drift with a library change.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,221 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pnp/internal/obs"
+)
+
+func TestNilPlanAndInjectorAreNoOps(t *testing.T) {
+	var p *Plan
+	if err := p.Validate(); err != nil {
+		t.Fatalf("nil plan Validate: %v", err)
+	}
+	if got := p.Canonical(); got != "" {
+		t.Fatalf("nil plan Canonical = %q, want empty", got)
+	}
+	in := p.Injector("X", nil)
+	if in != nil {
+		t.Fatalf("nil plan should yield nil injector")
+	}
+	if _, ok := in.OnMessage(); ok {
+		t.Fatal("nil injector injected a message fault")
+	}
+	if _, ok := in.OnRun(0); ok {
+		t.Fatal("nil injector injected a crash")
+	}
+	if in.Injected() != 0 {
+		t.Fatal("nil injector reported injections")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Kind: 99, Rate: 0.5}}},
+		{Rules: []Rule{{Kind: Drop, Rate: -0.1}}},
+		{Rules: []Rule{{Kind: Drop, Rate: 1.5}}},
+		{Rules: []Rule{{Kind: Drop, Rate: 0.5, After: -1}}},
+		{Rules: []Rule{{Kind: Drop, Rate: 0.5, Count: -2}}},
+		{Rules: []Rule{{Kind: Stall, Rate: 0.5, Delay: -time.Second}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("plan %d should fail validation", i)
+		}
+	}
+	ok := Plan{Seed: 7, Rules: []Rule{
+		{Kind: Drop, Target: "Data", Rate: 0.25},
+		{Kind: Crash, Target: "worker", Rate: 1, Count: 2},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestCanonicalDistinguishesPlans(t *testing.T) {
+	base := &Plan{Seed: 1, Rules: []Rule{{Kind: Drop, Target: "Data", Rate: 0.3}}}
+	same := &Plan{Seed: 1, Rules: []Rule{{Kind: Drop, Target: "Data", Rate: 0.3}}}
+	if base.Canonical() != same.Canonical() {
+		t.Fatal("equal plans must encode equally")
+	}
+	variants := []*Plan{
+		{Seed: 2, Rules: base.Rules},
+		{Seed: 1, Rules: []Rule{{Kind: Duplicate, Target: "Data", Rate: 0.3}}},
+		{Seed: 1, Rules: []Rule{{Kind: Drop, Target: "Ack", Rate: 0.3}}},
+		{Seed: 1, Rules: []Rule{{Kind: Drop, Target: "Data", Rate: 0.4}}},
+		{Seed: 1, Rules: []Rule{{Kind: Drop, Target: "Data", Rate: 0.3, Count: 1}}},
+		{Seed: 1},
+	}
+	for i, v := range variants {
+		if v.Canonical() == base.Canonical() {
+			t.Errorf("variant %d encodes identically to base: %s", i, v.Canonical())
+		}
+	}
+	if !strings.Contains(base.Canonical(), "drop(Data") {
+		t.Fatalf("canonical form unreadable: %s", base.Canonical())
+	}
+}
+
+// TestDeterministicDecisions is the core contract: two injectors derived
+// from the same plan produce identical decision streams, and a different
+// seed produces a different one.
+func TestDeterministicDecisions(t *testing.T) {
+	plan := &Plan{Seed: 42, Rules: []Rule{
+		{Kind: Drop, Target: "Data", Rate: 0.3},
+		{Kind: Duplicate, Target: "Data", Rate: 0.2},
+	}}
+	stream := func(p *Plan) []Decision {
+		in := p.Injector("Data", nil)
+		var out []Decision
+		for i := 0; i < 200; i++ {
+			if d, ok := in.OnMessage(); ok {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	a, b := stream(plan), stream(plan)
+	if len(a) == 0 {
+		t.Fatal("plan injected nothing over 200 messages")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	kinds := map[Kind]bool{}
+	for _, d := range a {
+		kinds[d.Kind] = true
+	}
+	if !kinds[Drop] || !kinds[Duplicate] {
+		t.Fatalf("expected both drop and duplicate decisions, got %v", kinds)
+	}
+	other := stream(&Plan{Seed: 43, Rules: plan.Rules})
+	if len(other) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical decision streams")
+		}
+	}
+}
+
+func TestRuleAfterAndCount(t *testing.T) {
+	plan := &Plan{Seed: 9, Rules: []Rule{{Kind: Drop, Target: "*", Rate: 1, After: 3, Count: 2}}}
+	in := plan.Injector("pipe", nil)
+	var seqs []int
+	for i := 0; i < 10; i++ {
+		if d, ok := in.OnMessage(); ok {
+			seqs = append(seqs, d.Seq)
+		}
+	}
+	if len(seqs) != 2 || seqs[0] != 3 || seqs[1] != 4 {
+		t.Fatalf("after=3 count=2 rate=1 should fire on events 3 and 4, got %v", seqs)
+	}
+	if in.Injected() != 2 {
+		t.Fatalf("Injected = %d, want 2", in.Injected())
+	}
+}
+
+func TestInjectorTargetMatching(t *testing.T) {
+	plan := &Plan{Seed: 1, Rules: []Rule{{Kind: Drop, Target: "Data", Rate: 1}}}
+	if in := plan.Injector("Ack", nil); in != nil {
+		t.Fatal("non-matching target should yield nil injector")
+	}
+	if in := plan.Injector("Data", nil); in == nil {
+		t.Fatal("matching target should yield an injector")
+	}
+	wild := &Plan{Seed: 1, Rules: []Rule{{Kind: Drop, Target: "*", Rate: 1}}}
+	if in := wild.Injector("anything", nil); in == nil {
+		t.Fatal("wildcard target should match every target")
+	}
+}
+
+func TestCrashSiteSeparateFromMessages(t *testing.T) {
+	plan := &Plan{Seed: 5, Rules: []Rule{
+		{Kind: Crash, Target: "worker", Rate: 1, Count: 2},
+	}}
+	in := plan.Injector("worker", nil)
+	if _, ok := in.OnMessage(); ok {
+		t.Fatal("crash rule must not fire at the message site")
+	}
+	if d, ok := in.OnRun(0); !ok || d.Kind != Crash {
+		t.Fatalf("run 0 should crash, got %v %v", d, ok)
+	}
+	if _, ok := in.OnRun(1); !ok {
+		t.Fatal("run 1 should crash (count=2)")
+	}
+	if _, ok := in.OnRun(2); ok {
+		t.Fatal("run 2 should survive (count exhausted)")
+	}
+}
+
+func TestInjectorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	plan := &Plan{Seed: 3, Rules: []Rule{{Kind: Drop, Target: "pipe", Rate: 1, Count: 4}}}
+	in := plan.Injector("pipe", reg)
+	for i := 0; i < 6; i++ {
+		in.OnMessage()
+	}
+	c := reg.Counter(obs.Labels("faults_injected_total", "kind", "drop", "target", "pipe"))
+	if c.Value() != 4 {
+		t.Fatalf("faults_injected_total{kind=drop} = %d, want 4", c.Value())
+	}
+}
+
+func TestUniformStability(t *testing.T) {
+	// The decision hash must never drift: freeze a few known values.
+	v := Uniform(42, hashString("Data"), 0, 0)
+	if v < 0 || v >= 1 {
+		t.Fatalf("Uniform out of range: %g", v)
+	}
+	if Uniform(42, hashString("Data"), 0, 0) != v {
+		t.Fatal("Uniform is not pure")
+	}
+	if Uniform(42, hashString("Data"), 0, 1) == v && Uniform(42, hashString("Ack"), 0, 0) == v {
+		t.Fatal("Uniform ignores its dimensions")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for _, k := range []Kind{Drop, Duplicate, Delay, Stall, Crash} {
+		name := k.String()
+		back, ok := KindFromString(name)
+		if !ok || back != k {
+			t.Fatalf("kind %d round-trip failed via %q", k, name)
+		}
+	}
+	if _, ok := KindFromString("nope"); ok {
+		t.Fatal("unknown kind name parsed")
+	}
+}

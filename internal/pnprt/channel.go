@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pnp/internal/blocks"
+	"pnp/internal/faults"
 	"pnp/internal/obs"
 )
 
@@ -47,6 +48,13 @@ type chanProc struct {
 	buf       []entry
 	waitSends []inMsg
 	waitRecvs []outReq
+
+	// inj applies the connector's fault plan at message ingress; nil (a
+	// no-op) unless WithFaults matched this connector. delayed holds
+	// messages held in transit by Delay faults until the next channel
+	// event releases them.
+	inj     *faults.Injector
+	delayed []entry
 
 	accepted  atomic.Int64
 	rejected  atomic.Int64
@@ -94,6 +102,66 @@ func (p *chanProc) emit(signal string, port int, m Message) {
 }
 
 func (p *chanProc) handleIn(m inMsg) {
+	d, faulted := p.inj.OnMessage()
+	if faulted {
+		switch d.Kind {
+		case faults.Drop:
+			// In-transit loss: the medium confirms IN_OK and the message
+			// vanishes — invisible to the sender, exactly like the lossy
+			// channel model's skip branch. (A SynBlocking sender tracking
+			// delivery will wait forever; fault plans pair with
+			// asynchronous sends, as ABP does.)
+			p.dropped.Add(1)
+			p.mDropped.Inc()
+			p.emit("IN_OK", m.msg.Sender, m.msg)
+			p.emit("FAULT_DROP", m.msg.Sender, m.msg)
+			m.reply <- inOK
+			p.flushDelayed()
+			return
+		case faults.Delay:
+			// Held in transit: confirmed IN_OK now, admitted to the buffer
+			// at the next channel event, so later sends can overtake it.
+			p.emit("IN_OK", m.msg.Sender, m.msg)
+			p.emit("FAULT_DELAY", m.msg.Sender, m.msg)
+			m.reply <- inOK
+			e := entry{msg: m.msg, delivered: m.delivered}
+			if p.mLatency != nil {
+				e.at = time.Now()
+			}
+			p.delayed = append(p.delayed, e)
+			if len(p.waitRecvs) > 0 {
+				// A parked receiver would starve if no further event ever
+				// arrived; release immediately rather than deadlock.
+				p.flushDelayed()
+			}
+			return
+		case faults.Stall:
+			// The channel process itself freezes: nothing is served while
+			// the stall lasts, backpressuring every attached port.
+			p.emit("FAULT_STALL", m.msg.Sender, m.msg)
+			dur := d.Delay
+			if dur <= 0 {
+				dur = faults.DefaultStall
+			}
+			time.Sleep(dur)
+		}
+	}
+	stored := p.admit(m)
+	if faulted && d.Kind == faults.Duplicate && stored && len(p.buf) < p.size {
+		// Duplicated in transit: a second copy enters the buffer right
+		// behind the original (needs a spare slot, as in the model). The
+		// copy shares no delivery notification — the sender only ever
+		// tracked one message.
+		p.emit("FAULT_DUP", m.msg.Sender, m.msg)
+		p.insertEntry(entry{msg: m.msg})
+		p.rebalance()
+	}
+	p.flushDelayed()
+}
+
+// admit runs the channel kind's normal admission protocol and reports
+// whether the message entered the buffer.
+func (p *chanProc) admit(m inMsg) bool {
 	switch {
 	case len(p.buf) < p.size:
 		p.insert(m)
@@ -102,6 +170,7 @@ func (p *chanProc) handleIn(m inMsg) {
 		p.emit("IN_OK", m.msg.Sender, m.msg)
 		m.reply <- inOK
 		p.rebalance()
+		return true
 	case p.kind == blocks.DroppingBuffer:
 		// Accept and silently discard, confirming IN_OK — the paper's
 		// drop-when-full buffer. A tracked delivery never happens.
@@ -119,6 +188,21 @@ func (p *chanProc) handleIn(m inMsg) {
 		p.emit("IN_FAIL", m.msg.Sender, m.msg)
 		m.reply <- inFail
 	}
+	return false
+}
+
+// flushDelayed admits as many delayed messages as fit the buffer, in
+// their original order.
+func (p *chanProc) flushDelayed() {
+	for len(p.delayed) > 0 && len(p.buf) < p.size {
+		e := p.delayed[0]
+		p.delayed = p.delayed[1:]
+		p.insertEntry(e)
+		p.accepted.Add(1)
+		p.mAccepted.Inc()
+		p.emit("FAULT_RELEASE", e.msg.Sender, e.msg)
+		p.rebalance()
+	}
 }
 
 // insert stores the message respecting the channel kind's order.
@@ -127,11 +211,16 @@ func (p *chanProc) insert(m inMsg) {
 	if p.mLatency != nil {
 		e.at = time.Now()
 	}
+	p.insertEntry(e)
+}
+
+// insertEntry places a prepared entry into the buffer.
+func (p *chanProc) insertEntry(e entry) {
 	p.mDepth.Set(int64(len(p.buf) + 1)) // depth once this insert lands
 	if p.kind == blocks.PriorityQueue {
 		pos := len(p.buf)
 		for i := range p.buf {
-			if m.msg.Tag < p.buf[i].msg.Tag {
+			if e.msg.Tag < p.buf[i].msg.Tag {
 				pos = i
 				break
 			}
@@ -156,6 +245,12 @@ func (p *chanProc) findMatch(req RecvRequest) int {
 
 func (p *chanProc) handleOut(r outReq) {
 	i := p.findMatch(r.req)
+	if i < 0 && len(p.delayed) > 0 {
+		// Nothing matches but messages are held in transit: their delay
+		// ends now instead of starving the receiver.
+		p.flushDelayed()
+		i = p.findMatch(r.req)
+	}
 	if i < 0 {
 		if r.wait {
 			p.mBlockedRecvs.Inc()

@@ -1,0 +1,22 @@
+package pnprt
+
+import (
+	"pnp/internal/faults"
+)
+
+// WithFaults arms the connector with a deterministic fault plan (package
+// faults): message-kind rules whose target matches the connector's name
+// are applied as middleware at channel ingress. Injected faults surface
+// as FAULT_* trace events on the channel lifeline and as
+// faults_injected_total counters when WithMetrics is also given.
+//
+// The injector is derived at Start, so WithFaults and WithMetrics
+// compose in either order. A nil plan (or one with no matching rule) is
+// a no-op.
+func WithFaults(plan *faults.Plan) Option {
+	return func(c *Connector) { c.faults = plan }
+}
+
+// FaultsInjected reports how many faults the connector's plan has fired
+// (0 without a plan).
+func (c *Connector) FaultsInjected() int64 { return c.ch.inj.Injected() }

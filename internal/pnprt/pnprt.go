@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"pnp/internal/blocks"
+	"pnp/internal/faults"
 	"pnp/internal/obs"
 )
 
@@ -160,17 +161,19 @@ type Connector struct {
 	spec    Spec
 	trace   TraceFunc
 	metrics *obs.Registry
+	faults  *faults.Plan
 
 	ch        *chanProc
 	senders   []*sendPort
 	receivers []*recvPort
 
-	mu      sync.Mutex
-	started bool
-	cancel  context.CancelFunc
-	done    chan struct{} // closed when Stop completes
-	stopCh  chan struct{} // closed at cancel time; unblocks endpoints
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	started  bool
+	cancel   context.CancelFunc
+	stopOnce sync.Once
+	done     chan struct{} // closed when every goroutine has exited
+	stopCh   chan struct{} // closed at cancel time; unblocks endpoints
+	wg       sync.WaitGroup
 }
 
 // Option configures a Connector.
@@ -195,6 +198,9 @@ func NewConnector(name string, spec Spec, opts ...Option) (*Connector, error) {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if err := c.faults.Validate(); err != nil {
+		return nil, err
 	}
 	c.ch = newChanProc(c, spec)
 	c.instrumentChan(c.ch)
@@ -272,6 +278,7 @@ func (c *Connector) Start(ctx context.Context) error {
 		return errors.New("pnprt: connector already started")
 	}
 	c.started = true
+	c.ch.inj = c.faults.Injector(c.name, c.metrics)
 	ctx, cancel := context.WithCancel(ctx)
 	c.cancel = cancel
 
@@ -310,8 +317,10 @@ func (c *Connector) Start(ctx context.Context) error {
 	return nil
 }
 
-// Stop cancels the connector and waits for every goroutine to exit. It is
-// safe to call multiple times.
+// Stop cancels the connector and waits for every goroutine to exit. It
+// is idempotent and safe for concurrent callers: the cancellation fires
+// exactly once (sync.Once) and every caller returns only after shutdown
+// completed. Stopping a never-started connector is a no-op.
 func (c *Connector) Stop() {
 	c.mu.Lock()
 	cancel := c.cancel
@@ -320,8 +329,6 @@ func (c *Connector) Stop() {
 	if !started {
 		return
 	}
-	if cancel != nil {
-		cancel()
-	}
+	c.stopOnce.Do(func() { cancel() })
 	<-c.done
 }

@@ -22,12 +22,13 @@ type PubSub struct {
 
 	subs []*subscription
 
-	mu      sync.Mutex
-	started bool
-	cancel  context.CancelFunc
-	done    chan struct{}
-	stopCh  chan struct{}
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	started  bool
+	cancel   context.CancelFunc
+	stopOnce sync.Once
+	done     chan struct{}
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
 }
 
 type pubMsg struct {
@@ -141,7 +142,8 @@ func (p *PubSub) Start(ctx context.Context) error {
 	return nil
 }
 
-// Stop cancels the pool and waits for it to exit.
+// Stop cancels the pool and waits for it to exit. Idempotent and safe
+// for concurrent callers, like Connector.Stop.
 func (p *PubSub) Stop() {
 	p.mu.Lock()
 	cancel := p.cancel
@@ -150,9 +152,7 @@ func (p *PubSub) Stop() {
 	if !started {
 		return
 	}
-	if cancel != nil {
-		cancel()
-	}
+	p.stopOnce.Do(func() { cancel() })
 	<-p.done
 }
 

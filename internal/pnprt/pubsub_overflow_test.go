@@ -1,0 +1,192 @@
+package pnprt
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestPubSubOverflowUnderConcurrentPublishers hammers one slow
+// subscriber from several publishers at once: every publish must be
+// accepted (nonblocking semantics), and once the subscriber's queue is
+// full each further matching event is dropped for it — never queued,
+// never blocking a publisher. Run with -race: the event pool confines
+// all queue state to its goroutine.
+func TestPubSubOverflowUnderConcurrentPublishers(t *testing.T) {
+	const (
+		qsize      = 3
+		publishers = 4
+		perPub     = 50
+	)
+	var mu sync.Mutex
+	dropped := 0
+	tap := func(e Event) {
+		if e.Signal == "DROPPED" {
+			mu.Lock()
+			dropped++
+			mu.Unlock()
+		}
+	}
+	ps, err := NewPubSub("bus", qsize, WithPubSubTrace(tap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs := make([]*Publisher, publishers)
+	for i := range pubs {
+		if pubs[i], err = ps.NewPublisher(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow, err := ps.NewSubscriber()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Stop()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for _, pub := range pubs {
+		pub := pub
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				if err := pub.Publish(ctx, Message{Data: i}); err != nil {
+					t.Errorf("publish into a full subscriber queue failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The slow subscriber never consumed: exactly qsize events survive.
+	got := 0
+	for {
+		_, ok, err := slow.TryNext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got++
+	}
+	total := publishers * perPub
+	mu.Lock()
+	defer mu.Unlock()
+	if got != qsize {
+		t.Errorf("slow subscriber drained %d events, want queue capacity %d", got, qsize)
+	}
+	if dropped != total-qsize {
+		t.Errorf("dropped = %d, want %d (every overflow event)", dropped, total-qsize)
+	}
+}
+
+// TestPubSubConcurrentPublishAndDrain races publishers against a
+// consuming subscriber; conservation must hold: every published event is
+// either delivered or dropped, nothing is duplicated or lost in between.
+func TestPubSubConcurrentPublishAndDrain(t *testing.T) {
+	const (
+		publishers = 4
+		perPub     = 50
+	)
+	var mu sync.Mutex
+	dropped := 0
+	tap := func(e Event) {
+		if e.Signal == "DROPPED" {
+			mu.Lock()
+			dropped++
+			mu.Unlock()
+		}
+	}
+	ps, err := NewPubSub("bus", 2, WithPubSubTrace(tap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs := make([]*Publisher, publishers)
+	for i := range pubs {
+		if pubs[i], err = ps.NewPublisher(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := ps.NewSubscriber()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Stop()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for _, pub := range pubs {
+		pub := pub
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				if err := pub.Publish(ctx, Message{Data: i}); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	pubsDone := drainDone(&wg)
+	delivered := 0
+	drain := make(chan struct{})
+	go func() {
+		defer close(drain)
+		for {
+			_, ok, err := sub.TryNext(ctx)
+			if err != nil {
+				t.Errorf("TryNext: %v", err)
+				return
+			}
+			if ok {
+				delivered++
+				continue
+			}
+			select {
+			case <-pubsDone:
+				// Publishers finished and the queue is empty: done.
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	<-drain
+
+	// One final sweep for events that landed after the last TryNext.
+	for {
+		_, ok, err := sub.TryNext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		delivered++
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if total := publishers * perPub; delivered+dropped != total {
+		t.Errorf("delivered %d + dropped %d != published %d", delivered, dropped, total)
+	}
+}
+
+// drainDone adapts a WaitGroup to a select-able channel.
+func drainDone(wg *sync.WaitGroup) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return ch
+}

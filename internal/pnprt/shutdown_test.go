@@ -1,0 +1,143 @@
+package pnprt
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"pnp/internal/blocks"
+)
+
+// TestConnectorStopConcurrent is the -race regression for idempotent
+// shutdown: many goroutines race Stop while senders are mid-flight;
+// every Stop call must return only after the connector is fully down,
+// and endpoints must fail with ErrStopped afterwards.
+func TestConnectorStopConcurrent(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 2, Recv: blocks.BlockingRecv}
+	conn, err := NewConnector("wire", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := conn.NewSender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var senders sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for j := 0; ; j++ {
+				if _, err := snd.Send(ctx, Message{Data: j}); err != nil {
+					return // connector stopped underneath us
+				}
+			}
+		}()
+	}
+	var stops sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		stops.Add(1)
+		go func() {
+			defer stops.Done()
+			conn.Stop()
+		}()
+	}
+	stops.Wait()
+	senders.Wait()
+	conn.Stop() // again, sequentially
+	if _, err := snd.Send(ctx, Message{Data: 0}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Send after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestConnectorStopBeforeStartIsNoOp(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	conn, err := NewConnector("wire", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Stop()
+	conn.Stop()
+	// Still startable after premature Stops.
+	if err := conn.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	conn.Stop()
+}
+
+func TestSystemStopConcurrent(t *testing.T) {
+	sys := NewSystem("app")
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 2, Recv: blocks.BlockingRecv}
+	if _, err := sys.AddConnector("a", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddConnector("b", spec); err != nil {
+		t.Fatal(err)
+	}
+	sup, err := sys.Supervise("svc", func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}, RestartPolicy{Mode: RestartImmediate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys.Stop()
+		}()
+	}
+	wg.Wait()
+	sys.Stop()
+	// Every caller returned only after teardown finished, so the
+	// supervised loop must already be done.
+	select {
+	case <-sup.done:
+	default:
+		t.Fatal("System.Stop returned before its parts finished stopping")
+	}
+}
+
+func TestPubSubStopConcurrent(t *testing.T) {
+	ps, err := NewPubSub("bus", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ps.NewPublisher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	go func() {
+		for i := 0; ; i++ {
+			if err := pub.Publish(ctx, Message{Data: i}); err != nil {
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps.Stop()
+		}()
+	}
+	wg.Wait()
+	if err := pub.Publish(ctx, Message{}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Publish after Stop = %v, want ErrStopped", err)
+	}
+}

@@ -1,0 +1,266 @@
+package pnprt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pnp/internal/faults"
+	"pnp/internal/obs"
+)
+
+// SupervisedFunc is one run of a supervised component. It should return
+// when ctx is cancelled; a nil return is a clean exit (no restart), a
+// non-nil return or a panic is a failure the restart policy decides on.
+type SupervisedFunc func(ctx context.Context) error
+
+// RestartMode selects what the supervisor does when a run fails.
+type RestartMode int
+
+// Restart modes.
+const (
+	// RestartNever runs the component once; any failure is final.
+	RestartNever RestartMode = iota
+	// RestartImmediate restarts a failed run without delay.
+	RestartImmediate
+	// RestartBackoff restarts with exponentially growing, jittered
+	// delays capped at MaxBackoff. The jitter is drawn from the
+	// deterministic faults.Uniform hash, so a seeded fault scenario
+	// replays its exact restart schedule.
+	RestartBackoff
+)
+
+// RestartPolicy bounds and paces a supervisor's restarts.
+type RestartPolicy struct {
+	Mode RestartMode
+	// MaxRestarts caps total restarts (0 = unlimited).
+	MaxRestarts int
+	// Backoff is the first RestartBackoff delay (default 1ms).
+	Backoff time.Duration
+	// MaxBackoff caps the grown delay (default 100ms).
+	MaxBackoff time.Duration
+}
+
+// Policy defaults.
+const (
+	DefaultBackoff    = time.Millisecond
+	DefaultMaxBackoff = 100 * time.Millisecond
+)
+
+// ErrInjectedCrash is the failure recorded when a fault plan's Crash rule
+// kills a supervised run.
+var ErrInjectedCrash = errors.New("pnprt: injected crash")
+
+// Supervisor runs one component function under a restart policy. It is a
+// Part, so it joins a System's lifecycle next to connectors. Crash rules
+// of a fault plan targeting the supervisor's name kill individual runs by
+// cancelling their context, exercising the restart path deterministically.
+type Supervisor struct {
+	name   string
+	fn     SupervisedFunc
+	policy RestartPolicy
+	plan   *faults.Plan
+	reg    *obs.Registry
+
+	mu       sync.Mutex
+	started  bool
+	restarts int64
+	lastErr  error
+
+	cancel   context.CancelFunc
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mRestarts *obs.Counter
+}
+
+// SupervisorOption configures a Supervisor.
+type SupervisorOption func(*Supervisor)
+
+// SupervisorMetrics exports pnprt_supervisor_restarts_total{component=...}
+// to the registry.
+func SupervisorMetrics(reg *obs.Registry) SupervisorOption {
+	return func(s *Supervisor) { s.reg = reg }
+}
+
+// SupervisorFaults arms the supervisor with a fault plan; Crash rules
+// matching the supervisor's name are applied per run attempt.
+func SupervisorFaults(plan *faults.Plan) SupervisorOption {
+	return func(s *Supervisor) { s.plan = plan }
+}
+
+// NewSupervisor builds a supervisor for fn under the given policy.
+func NewSupervisor(name string, fn SupervisedFunc, policy RestartPolicy, opts ...SupervisorOption) *Supervisor {
+	if policy.Backoff <= 0 {
+		policy.Backoff = DefaultBackoff
+	}
+	if policy.MaxBackoff <= 0 {
+		policy.MaxBackoff = DefaultMaxBackoff
+	}
+	s := &Supervisor{name: name, fn: fn, policy: policy, done: make(chan struct{})}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg != nil {
+		s.mRestarts = s.reg.Counter(obs.Labels("pnprt_supervisor_restarts_total", "component", name))
+	}
+	return s
+}
+
+// Name returns the supervised component's name.
+func (s *Supervisor) Name() string { return s.name }
+
+// Start launches the supervision loop.
+func (s *Supervisor) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("pnprt: supervisor already started")
+	}
+	s.started = true
+	ctx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	go s.loop(ctx, s.plan.Injector(s.name, s.reg))
+	return nil
+}
+
+// Stop cancels the current run and waits for the loop to exit. It is
+// idempotent and safe for concurrent callers.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	started := s.started
+	cancel := s.cancel
+	s.mu.Unlock()
+	if !started {
+		return
+	}
+	s.stopOnce.Do(cancel)
+	<-s.done
+}
+
+// Restarts returns how many times the component has been restarted.
+func (s *Supervisor) Restarts() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts
+}
+
+// Err returns the most recent run failure (nil after a clean exit).
+func (s *Supervisor) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Wait blocks until the supervision loop has ended (clean exit, policy
+// giving up, or Stop).
+func (s *Supervisor) Wait() { <-s.done }
+
+func (s *Supervisor) loop(ctx context.Context, inj *faults.Injector) {
+	defer close(s.done)
+	for run := 0; ; run++ {
+		if ctx.Err() != nil {
+			return
+		}
+		err := s.runOnce(ctx, inj, run)
+		if ctx.Err() != nil {
+			return // shutting down; the run's error is not a failure
+		}
+		s.mu.Lock()
+		s.lastErr = err
+		s.mu.Unlock()
+		if err == nil {
+			return // clean exit
+		}
+		if s.policy.Mode == RestartNever {
+			return
+		}
+		s.mu.Lock()
+		if s.policy.MaxRestarts > 0 && s.restarts >= int64(s.policy.MaxRestarts) {
+			s.mu.Unlock()
+			return
+		}
+		s.restarts++
+		n := s.restarts
+		s.mu.Unlock()
+		s.mRestarts.Inc()
+		if s.policy.Mode == RestartBackoff {
+			if !sleepCtx(ctx, s.backoff(n)) {
+				return
+			}
+		}
+	}
+}
+
+// runOnce executes one run attempt with panic recovery and, when the
+// fault plan says so, an injected crash that cancels the run's context
+// after the rule's Delay.
+func (s *Supervisor) runOnce(ctx context.Context, inj *faults.Injector, run int) (err error) {
+	runCtx := ctx
+	crashed := false
+	if d, ok := inj.OnRun(run); ok {
+		crashed = true
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(ctx)
+		if d.Delay > 0 {
+			t := time.AfterFunc(d.Delay, cancel)
+			defer t.Stop()
+		} else {
+			cancel()
+		}
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pnprt: supervised %s panicked: %v", s.name, r)
+		}
+		if err == nil && crashed && ctx.Err() == nil {
+			// The component swallowed the injected cancellation; the crash
+			// still counts as a failure so the restart path is exercised.
+			err = ErrInjectedCrash
+		}
+	}()
+	return s.fn(runCtx)
+}
+
+// backoff computes the nth restart delay: exponential growth from
+// policy.Backoff, capped at MaxBackoff, with deterministic jitter in
+// [50%, 100%] of the grown delay.
+func (s *Supervisor) backoff(n int64) time.Duration {
+	d := s.policy.Backoff
+	for i := int64(1); i < n && d < s.policy.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > s.policy.MaxBackoff {
+		d = s.policy.MaxBackoff
+	}
+	var seed uint64
+	if s.plan != nil {
+		seed = s.plan.Seed
+	}
+	jitter := 0.5 + 0.5*faults.Uniform(seed, faults.Hash(s.name), uint64(n))
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleepCtx pauses for d, reporting false when ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Supervise builds a supervisor and registers it with the system.
+func (s *System) Supervise(name string, fn SupervisedFunc, policy RestartPolicy, opts ...SupervisorOption) (*Supervisor, error) {
+	sup := NewSupervisor(name, fn, policy, opts...)
+	if err := s.Add(sup); err != nil {
+		return nil, err
+	}
+	return sup, nil
+}

@@ -1,0 +1,210 @@
+package pnprt
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pnp/internal/faults"
+	"pnp/internal/obs"
+)
+
+func TestSupervisorCleanExitDoesNotRestart(t *testing.T) {
+	var runs atomic.Int64
+	sup := NewSupervisor("w", func(ctx context.Context) error {
+		runs.Add(1)
+		return nil
+	}, RestartPolicy{Mode: RestartImmediate})
+	if err := sup.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sup.Wait()
+	if runs.Load() != 1 || sup.Restarts() != 0 || sup.Err() != nil {
+		t.Fatalf("runs=%d restarts=%d err=%v, want one clean run", runs.Load(), sup.Restarts(), sup.Err())
+	}
+}
+
+func TestSupervisorNeverModeGivesUp(t *testing.T) {
+	boom := errors.New("boom")
+	sup := NewSupervisor("w", func(ctx context.Context) error { return boom }, RestartPolicy{Mode: RestartNever})
+	if err := sup.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sup.Wait()
+	if sup.Restarts() != 0 || !errors.Is(sup.Err(), boom) {
+		t.Fatalf("restarts=%d err=%v, want 0 restarts and the failure recorded", sup.Restarts(), sup.Err())
+	}
+}
+
+func TestSupervisorRestartsUntilSuccess(t *testing.T) {
+	var runs atomic.Int64
+	sup := NewSupervisor("w", func(ctx context.Context) error {
+		if runs.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}, RestartPolicy{Mode: RestartImmediate})
+	if err := sup.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sup.Wait()
+	if runs.Load() != 3 || sup.Restarts() != 2 || sup.Err() != nil {
+		t.Fatalf("runs=%d restarts=%d err=%v, want recovery on the third run", runs.Load(), sup.Restarts(), sup.Err())
+	}
+}
+
+func TestSupervisorMaxRestartsBound(t *testing.T) {
+	sup := NewSupervisor("w", func(ctx context.Context) error { return errors.New("always") },
+		RestartPolicy{Mode: RestartImmediate, MaxRestarts: 3})
+	if err := sup.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sup.Wait()
+	if sup.Restarts() != 3 {
+		t.Fatalf("restarts=%d, want exactly MaxRestarts=3", sup.Restarts())
+	}
+}
+
+func TestSupervisorRecoversPanic(t *testing.T) {
+	var runs atomic.Int64
+	sup := NewSupervisor("w", func(ctx context.Context) error {
+		if runs.Add(1) == 1 {
+			panic("kaboom")
+		}
+		return nil
+	}, RestartPolicy{Mode: RestartImmediate})
+	if err := sup.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sup.Wait()
+	if runs.Load() != 2 || sup.Restarts() != 1 {
+		t.Fatalf("runs=%d restarts=%d, want the panic restarted once", runs.Load(), sup.Restarts())
+	}
+}
+
+func TestSupervisorCrashInjection(t *testing.T) {
+	// A seeded Crash rule kills the first two run attempts by cancelling
+	// their contexts; the third run is left alone. Restarts and the
+	// exported counter both see exactly two failures.
+	reg := obs.NewRegistry()
+	plan := &faults.Plan{Seed: 11, Rules: []faults.Rule{
+		{Kind: faults.Crash, Target: "worker", Rate: 1, Count: 2},
+	}}
+	var clean atomic.Int64
+	sup := NewSupervisor("worker", func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+			clean.Add(1)
+			return nil
+		}
+	}, RestartPolicy{Mode: RestartImmediate}, SupervisorFaults(plan), SupervisorMetrics(reg))
+	if err := sup.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sup.Wait()
+	if sup.Restarts() != 2 || clean.Load() != 1 {
+		t.Fatalf("restarts=%d clean=%d, want 2 injected crashes then a clean run", sup.Restarts(), clean.Load())
+	}
+	c := reg.Counter(obs.Labels("pnprt_supervisor_restarts_total", "component", "worker"))
+	if c.Value() != 2 {
+		t.Errorf("pnprt_supervisor_restarts_total = %d, want 2", c.Value())
+	}
+}
+
+func TestSupervisorCrashCountsEvenIfErrorSwallowed(t *testing.T) {
+	// A component that returns nil despite cancellation must still
+	// register the injected crash as a failure.
+	plan := &faults.Plan{Rules: []faults.Rule{{Kind: faults.Crash, Target: "w", Rate: 1, Count: 1}}}
+	var runs atomic.Int64
+	sup := NewSupervisor("w", func(ctx context.Context) error {
+		if runs.Add(1) == 1 {
+			<-ctx.Done() // the injected crash fires here
+		}
+		return nil // swallows the cancellation
+	}, RestartPolicy{Mode: RestartImmediate}, SupervisorFaults(plan))
+	if err := sup.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sup.Wait()
+	if sup.Restarts() != 1 || runs.Load() != 2 {
+		t.Fatalf("restarts=%d runs=%d, want the swallowed crash restarted", sup.Restarts(), runs.Load())
+	}
+}
+
+func TestSupervisorBackoffDeterministicAndCapped(t *testing.T) {
+	plan := &faults.Plan{Seed: 5}
+	sup := NewSupervisor("w", nil, RestartPolicy{
+		Mode: RestartBackoff, Backoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+	}, SupervisorFaults(plan))
+	sup2 := NewSupervisor("w", nil, RestartPolicy{
+		Mode: RestartBackoff, Backoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond,
+	}, SupervisorFaults(plan))
+	prev := time.Duration(0)
+	for n := int64(1); n <= 8; n++ {
+		d := sup.backoff(n)
+		if d != sup2.backoff(n) {
+			t.Fatalf("backoff(%d) differs between identically seeded supervisors", n)
+		}
+		if d > 8*time.Millisecond {
+			t.Fatalf("backoff(%d) = %s exceeds the cap", n, d)
+		}
+		if d < time.Millisecond/2 {
+			t.Fatalf("backoff(%d) = %s below half the base", n, d)
+		}
+		if n <= 4 && d < prev/2 {
+			t.Fatalf("backoff(%d) = %s does not grow (prev %s)", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestSupervisorStopIsConcurrentSafe(t *testing.T) {
+	sup := NewSupervisor("w", func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}, RestartPolicy{Mode: RestartImmediate})
+	if err := sup.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sup.Stop()
+		}()
+	}
+	wg.Wait()
+	sup.Stop() // and again, after everyone
+	if sup.Restarts() != 0 {
+		t.Fatalf("shutdown cancellation counted as a failure: %d restarts", sup.Restarts())
+	}
+}
+
+func TestSystemSupervise(t *testing.T) {
+	sys := NewSystem("app")
+	started := make(chan struct{})
+	sup, err := sys.Supervise("svc", func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}, RestartPolicy{Mode: RestartImmediate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("supervised component never started")
+	}
+	sys.Stop()
+	sup.Wait() // Stop must have ended the loop
+}

@@ -26,10 +26,10 @@ var (
 type System struct {
 	name string
 
-	mu      sync.Mutex
-	parts   []Part
-	started bool
-	stopped bool
+	mu       sync.Mutex
+	parts    []Part
+	started  bool
+	stopOnce sync.Once
 }
 
 // NewSystem creates an empty runtime system.
@@ -82,18 +82,22 @@ func (s *System) Start(ctx context.Context) error {
 	return nil
 }
 
-// Stop shuts every part down in reverse registration order. Safe to call
-// multiple times.
+// Stop shuts every part down in reverse registration order. It is
+// idempotent and safe for concurrent callers: the teardown runs exactly
+// once, and every caller (including latecomers) returns only after it
+// has completed — sync.Once.Do blocks concurrent callers until the
+// winning call finishes.
 func (s *System) Stop() {
 	s.mu.Lock()
-	if !s.started || s.stopped {
-		s.mu.Unlock()
-		return
-	}
-	s.stopped = true
+	started := s.started
 	parts := append([]Part(nil), s.parts...)
 	s.mu.Unlock()
-	for i := len(parts) - 1; i >= 0; i-- {
-		parts[i].Stop()
+	if !started {
+		return
 	}
+	s.stopOnce.Do(func() {
+		for i := len(parts) - 1; i >= 0; i-- {
+			parts[i].Stop()
+		}
+	})
 }

@@ -47,13 +47,20 @@ func OptionsKey(o checker.Options) string {
 		o.PartialOrder, o.WeakFairness, o.StrongFairness, o.Bitstate, o.BitstateBits)
 }
 
-// Key combines a model hash, one property's canonical source, and the
-// canonicalized options into the result-cache key.
-func Key(model [sha256.Size]byte, prop adl.PropertySource, opts checker.Options) CacheKey {
+// Key combines a model hash, one property's canonical source, the
+// canonicalized options, and the system's fault plan into the
+// result-cache key. The fault plan joins the key even though today's
+// checker explores the lossy adversary structurally (via the model
+// hash): a design resubmitted with a different `faults` block is a
+// different verification task, and its cached verdict must not be
+// served for another plan. faultsCanon is faults.Plan.Canonical() —
+// empty for a system with no fault plan.
+func Key(model [sha256.Size]byte, prop adl.PropertySource, opts checker.Options, faultsCanon string) CacheKey {
 	h := sha256.New()
 	h.Write(model[:])
 	io.WriteString(h, "\x00"+prop.Kind+"\x00"+prop.Name+"\x00"+prop.Text+"\x00")
 	io.WriteString(h, OptionsKey(opts))
+	io.WriteString(h, "\x00"+faultsCanon)
 	var out CacheKey
 	h.Sum(out[:0])
 	return out

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pnp/internal/adl"
@@ -103,6 +104,10 @@ type Server struct {
 	doneIDs []string // completed-job eviction order (FIFO)
 	nextID  int
 	closed  bool
+
+	// draining flips when Shutdown begins; /readyz reads it lock-free so
+	// load balancers see 503 while queued jobs finish.
+	draining atomic.Bool
 
 	// queue is never closed: workers exit via stop, which Shutdown
 	// closes only after every accepted job has run, so a Submit racing
@@ -233,6 +238,7 @@ func (s *Server) Wait(ctx context.Context, job *Job) error {
 // ctx.Err() if the context expires first; the drain then continues in
 // the background.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
@@ -309,9 +315,10 @@ func (s *Server) run(job *Job) {
 		Channels:  m.NumChannels(),
 		OK:        true,
 	}
+	fc := sys.Faults.Canonical()
 	hits, misses := 0, 0
 	for _, ps := range sys.Sources {
-		key := Key(mh, ps, opts)
+		key := Key(mh, ps, opts, fc)
 		if v, ok := s.cache.Get(key); ok {
 			v.Cached = true
 			rep.Properties = append(rep.Properties, v)
@@ -417,19 +424,48 @@ type httpError struct {
 //	GET  /v1/jobs/{id}      job status; report included when done
 //	GET  /v1/jobs/{id}/wait long-poll until done (or ?timeout=30s)
 //	GET  /v1/cache          result-cache statistics
-//	GET  /metrics           Prometheus exposition (plus /metrics.json, /healthz)
+//	GET  /healthz           liveness: 200 while the process runs
+//	GET  /readyz            readiness: 200 accepting jobs, 503 draining
+//	GET  /metrics           Prometheus exposition (plus /metrics.json)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.reg != nil {
 		mux.Handle("/metrics", s.reg.Handler())
 		mux.Handle("/metrics.json", s.reg.Handler())
-		mux.Handle("/healthz", s.reg.Handler())
 	}
 	return mux
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// handleHealthz is liveness: the process is up and serving HTTP. It
+// stays 200 through a drain — a draining server is unhealthy only to
+// new traffic, which is readiness' job to signal.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleReadyz is readiness: 503 once Shutdown begins, so orchestrators
+// stop routing new submissions while queued jobs finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{"draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ready"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pnp/internal/checker"
+	"pnp/internal/faults"
 	"pnp/internal/obs"
 )
 
@@ -521,25 +522,105 @@ func TestCacheKeySensitivity(t *testing.T) {
 	}
 
 	ps := fixed.sys.Sources[0]
-	base := Key(hFixed, ps, checker.Options{})
-	if base != Key(hFixed, ps, checker.Options{}) {
+	base := Key(hFixed, ps, checker.Options{}, "")
+	if base != Key(hFixed, ps, checker.Options{}, "") {
 		t.Error("key must be deterministic")
 	}
-	if base == Key(hFixed, ps, checker.Options{BFS: true}) {
+	if base == Key(hFixed, ps, checker.Options{BFS: true}, "") {
 		t.Error("search options must be part of the key")
 	}
-	if base == Key(hFixed, ps, checker.Options{MaxStates: 10}) {
+	if base == Key(hFixed, ps, checker.Options{MaxStates: 10}, "") {
 		t.Error("state limits must be part of the key")
 	}
 	other := ps
 	other.Text += "x"
-	if base == Key(hFixed, other, checker.Options{}) {
+	if base == Key(hFixed, other, checker.Options{}, "") {
 		t.Error("property text must be part of the key")
 	}
 	// Callback fields must NOT affect the key.
 	withCtx := checker.Options{Context: context.Background(), Metrics: obs.NewRegistry()}
-	if base != Key(hFixed, ps, withCtx) {
+	if base != Key(hFixed, ps, withCtx, "") {
 		t.Error("plumbing fields (Context, Metrics) must not affect the key")
+	}
+	// Fault plans are part of the verification task's identity.
+	dropPlan := (&faults.Plan{Seed: 1, Rules: []faults.Rule{{Kind: faults.Drop, Target: "*", Rate: 0.5}}}).Canonical()
+	dupPlan := (&faults.Plan{Seed: 1, Rules: []faults.Rule{{Kind: faults.Duplicate, Target: "*", Rate: 0.5}}}).Canonical()
+	if base == Key(hFixed, ps, checker.Options{}, dropPlan) {
+		t.Error("a fault plan must change the key")
+	}
+	if Key(hFixed, ps, checker.Options{}, dropPlan) == Key(hFixed, ps, checker.Options{}, dupPlan) {
+		t.Error("different fault plans must produce different keys")
+	}
+	if Key(hFixed, ps, checker.Options{}, dropPlan) != Key(hFixed, ps, checker.Options{}, dropPlan) {
+		t.Error("equal fault plans must produce equal keys")
+	}
+}
+
+// TestServiceReadinessFlipsDuringDrain: /healthz answers 200 for the
+// process lifetime, while /readyz flips to 503 the moment Shutdown
+// begins — observable while a queued job is still draining, so load
+// balancers stop routing before the listener goes away.
+func TestServiceReadinessFlipsDuringDrain(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d, want 200", got)
+	}
+
+	// Occupy the lone worker so the drain is observable in flight. The
+	// unbounded counter model cannot finish on its own; the per-job
+	// timeout bounds the test.
+	src := `system slow {
+    components "spin.pml"
+    instance p = P()
+    invariant bound "x < 255"
+}`
+	comps := map[string]string{"spin.pml": "byte x;\nproctype P() { do :: x = x + 1 od }"}
+	job, err := s.Submit(src, comps, checker.Options{IgnoreDeadlock: true}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	// Shutdown flips readiness synchronously before waiting on jobs, but
+	// give the goroutine a moment to have entered it.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200 (liveness is not readiness)", got)
+	}
+	<-drained
+	waitDone(t, s, job)
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain = %d, want 503", got)
 	}
 }
 

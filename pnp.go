@@ -40,6 +40,7 @@ import (
 	"pnp/internal/blocks"
 	"pnp/internal/checker"
 	"pnp/internal/core"
+	"pnp/internal/faults"
 	"pnp/internal/obs"
 	"pnp/internal/pnprt"
 	"pnp/internal/trace"
@@ -89,6 +90,9 @@ const (
 	FIFOQueue      = blocks.FIFOQueue
 	PriorityQueue  = blocks.PriorityQueue
 	DroppingBuffer = blocks.DroppingBuffer
+	// LossyBuffer is the unreliable-medium adversary: any message may be
+	// dropped or (given buffer room) duplicated in transit.
+	LossyBuffer = blocks.LossyBuffer
 )
 
 // NewDesign creates an empty design over pml component models.
@@ -142,6 +146,9 @@ type (
 	RPC = pnprt.RPC
 	// RuntimeSystem groups executable connectors under one lifecycle.
 	RuntimeSystem = pnprt.System
+	// ConnectorOption configures an executable connector (WithMetrics,
+	// WithTrace, WithFaults).
+	ConnectorOption = pnprt.Option
 )
 
 // Statuses.
@@ -169,6 +176,64 @@ func NewRPC(name string, queueSize int, opts ...pnprt.Option) (*RPC, error) {
 
 // NewRuntimeSystem creates an empty runtime system.
 func NewRuntimeSystem(name string) *RuntimeSystem { return pnprt.NewSystem(name) }
+
+// Fault-injection and supervision API: deterministic seeded fault plans
+// applied to running connectors, and supervised component goroutines
+// with restart policies.
+type (
+	// FaultPlan is a seeded, deterministic fault-injection plan; the same
+	// plan and workload reproduce the same fault sequence.
+	FaultPlan = faults.Plan
+	// FaultRule is one injection rule of a plan.
+	FaultRule = faults.Rule
+	// FaultKind selects what a rule injects.
+	FaultKind = faults.Kind
+	// Supervisor runs one component function, restarting it per policy
+	// when it fails or panics.
+	Supervisor = pnprt.Supervisor
+	// RestartPolicy bounds and paces a supervisor's restarts.
+	RestartPolicy = pnprt.RestartPolicy
+	// RestartMode selects a restart discipline.
+	RestartMode = pnprt.RestartMode
+	// SupervisedFunc is a component body run under a Supervisor.
+	SupervisedFunc = pnprt.SupervisedFunc
+)
+
+// Fault kinds.
+const (
+	FaultDrop      = faults.Drop
+	FaultDuplicate = faults.Duplicate
+	FaultDelay     = faults.Delay
+	FaultStall     = faults.Stall
+	FaultCrash     = faults.Crash
+)
+
+// Restart modes.
+const (
+	RestartNever     = pnprt.RestartNever
+	RestartImmediate = pnprt.RestartImmediate
+	RestartBackoff   = pnprt.RestartBackoff
+)
+
+// WithFaults applies a fault plan's matching rules to an executable
+// connector's channel.
+func WithFaults(plan *FaultPlan) pnprt.Option { return pnprt.WithFaults(plan) }
+
+// NewSupervisor wraps fn in a supervisor named name.
+func NewSupervisor(name string, fn SupervisedFunc, policy RestartPolicy, opts ...pnprt.SupervisorOption) *Supervisor {
+	return pnprt.NewSupervisor(name, fn, policy, opts...)
+}
+
+// SupervisorMetrics publishes restart counters to the registry.
+func SupervisorMetrics(reg *MetricsRegistry) pnprt.SupervisorOption {
+	return pnprt.SupervisorMetrics(reg)
+}
+
+// SupervisorFaults subjects the supervised component to the plan's
+// crash rules.
+func SupervisorFaults(plan *FaultPlan) pnprt.SupervisorOption {
+	return pnprt.SupervisorFaults(plan)
+}
 
 // Observability API: metrics, live verification progress, and runtime
 // event taps.

@@ -91,8 +91,8 @@ func TestFacadePlugAndReverify(t *testing.T) {
 
 func TestFacadeCatalog(t *testing.T) {
 	cat := pnp.Catalog()
-	if len(cat) != 11 {
-		t.Errorf("catalog has %d entries, want 11", len(cat))
+	if len(cat) != 12 {
+		t.Errorf("catalog has %d entries, want 12", len(cat))
 	}
 }
 
