@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -602,4 +603,39 @@ func BenchmarkVerifydCache(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelSafety: the PR4 multi-core safety search on the E9
+// bridge model at increasing worker counts. The Workers1 row is the
+// parallel engine pinned to one goroutine (its scheduling overhead
+// floor); the GOMAXPROCS row is the headline speedup. On a single-core
+// host every row degenerates to the same schedule, so speedups only
+// manifest with 2+ cores.
+func BenchmarkParallelSafety(b *testing.B) {
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range counts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		w := w
+		b.Run(fmt.Sprintf("Workers%d", w), func(b *testing.B) {
+			cache := blocks.NewCache()
+			var last *checker.Result
+			for i := 0; i < b.N; i++ {
+				res, err := bridge.Verify(bridge.Config{
+					Variant: bridge.ExactlyN, EnterSend: blocks.SynBlockingSend,
+				}, cache, checker.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK {
+					b.Fatal("expected verified")
+				}
+				last = res
+			}
+			reportStates(b, last)
+		})
+	}
 }

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	pnpd [--addr :7447] [--workers N] [--cache-entries N]
-//	     [--job-timeout 30s] [--metrics-addr :8080] [--root DIR]
+//	pnpd [--addr :7447] [--workers N] [--search-budget N]
+//	     [--cache-entries N] [--job-timeout 30s] [--metrics-addr :8080]
+//	     [--root DIR]
 //
 // Submit a design and wait for its verdict:
 //
@@ -45,6 +46,7 @@ func main() {
 func run() int {
 	addr := flag.String("addr", ":7447", "HTTP listen address for the job API")
 	workers := flag.Int("workers", 0, "concurrent checker runs (0 = GOMAXPROCS)")
+	searchBudget := flag.Int("search-budget", 0, "total parallel search workers shared by running jobs (0 = GOMAXPROCS)")
 	cacheEntries := flag.Int("cache-entries", 1024, "result cache capacity (verdicts)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-property search timeout (0 = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on a separate address (default: on --addr)")
@@ -62,6 +64,7 @@ func run() int {
 	reg := obs.NewRegistry()
 	cfg := verifyd.Config{
 		Workers:      *workers,
+		SearchBudget: *searchBudget,
 		CacheEntries: *cacheEntries,
 		JobTimeout:   *jobTimeout,
 		Registry:     reg,

@@ -12,13 +12,14 @@
 // composition survives it (delivery degrades to may-lose-messages),
 // which is what motivates protocol blocks like internal/abp.
 //
-// Usage: pnpmatrix [-msgs N] [-bufsize N] [-metrics]
+// Usage: pnpmatrix [-msgs N] [-bufsize N] [-workers N] [-metrics]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"pnp/internal/blocks"
@@ -69,15 +70,16 @@ type cellResult struct {
 func main() {
 	msgs := flag.Int("msgs", 3, "messages the producer sends")
 	bufsize := flag.Int("bufsize", 1, "size of sized channels")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel search workers per cell (0 = sequential engines)")
 	metrics := flag.Bool("metrics", false, "collect checker metrics across the sweep and print the table")
 	flag.Parse()
-	if err := run(*msgs, *bufsize, *metrics); err != nil {
+	if err := run(*msgs, *bufsize, *workers, *metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpmatrix: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(msgs, bufsize int, metrics bool) error {
+func run(msgs, bufsize, workers int, metrics bool) error {
 	sends := []blocks.SendPortKind{
 		blocks.AsynNonblockingSend, blocks.AsynBlockingSend, blocks.AsynCheckingSend,
 		blocks.SynBlockingSend, blocks.SynCheckingSend,
@@ -105,7 +107,7 @@ func run(msgs, bufsize int, metrics bool) error {
 				if ch == blocks.SingleSlot {
 					spec.Size = 0
 				}
-				cell, err := evaluate(spec, msgs, cache, reg)
+				cell, err := evaluate(spec, msgs, workers, cache, reg)
 				if err != nil {
 					return err
 				}
@@ -118,7 +120,7 @@ func run(msgs, bufsize int, metrics bool) error {
 					if fspec.Size == 0 {
 						fspec.Size = bufsize
 					}
-					if faultCell, err = evaluate(fspec, msgs, cache, reg); err != nil {
+					if faultCell, err = evaluate(fspec, msgs, workers, cache, reg); err != nil {
 						return err
 					}
 				}
@@ -156,7 +158,7 @@ func run(msgs, bufsize int, metrics bool) error {
 }
 
 // evaluate composes and verifies one matrix cell.
-func evaluate(spec blocks.ConnectorSpec, msgs int, cache *blocks.Cache, reg *obs.Registry) (cellResult, error) {
+func evaluate(spec blocks.ConnectorSpec, msgs, workers int, cache *blocks.Cache, reg *obs.Registry) (cellResult, error) {
 	b, err := blocks.NewBuilder(matrixComponents, cache)
 	if err != nil {
 		return cellResult{}, err
@@ -181,7 +183,7 @@ func evaluate(spec blocks.ConnectorSpec, msgs int, cache *blocks.Cache, reg *obs
 	}
 
 	t0 := time.Now()
-	safety := checker.New(b.System(), checker.Options{Metrics: reg}).CheckSafety()
+	safety := checker.New(b.System(), checker.Options{Workers: workers, Metrics: reg}).CheckSafety()
 	verdict := "delivers-all"
 	switch {
 	case !safety.OK && safety.Kind == checker.Deadlock:
@@ -196,7 +198,9 @@ func evaluate(spec blocks.ConnectorSpec, msgs int, cache *blocks.Cache, reg *obs
 		if err != nil {
 			return cellResult{}, err
 		}
-		inev := checker.New(b.System(), checker.Options{Metrics: reg}).CheckEventuallyReachable(target)
+		// AG-EF stays sequential (Workers is a no-op there), so the cell's
+		// reachability half is unchanged by -workers.
+		inev := checker.New(b.System(), checker.Options{Workers: workers, Metrics: reg}).CheckEventuallyReachable(target)
 		if !inev.OK {
 			verdict = "may-lose-messages"
 		}

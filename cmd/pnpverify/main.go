@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	pnpverify [-bfs] [-max-states N] [-msc] [-json] [-timeout 30s]
-//	          [-progress] [-metrics-addr :8080] system.pnp
+//	pnpverify [-bfs] [-workers N] [-max-states N] [-msc] [-json]
+//	          [-timeout 30s] [-progress] [-metrics-addr :8080] system.pnp
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -31,6 +32,7 @@ func main() {
 
 func run() int {
 	bfs := flag.Bool("bfs", false, "breadth-first search (shortest counterexamples)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel search workers for safety/reachability (0 = classic sequential engines)")
 	maxStates := flag.Int("max-states", 0, "state limit (0 = unlimited)")
 	msc := flag.Bool("msc", false, "render counterexamples as message sequence charts")
 	bitstate := flag.Bool("bitstate", false, "bitstate hashing (probabilistic, lower memory)")
@@ -109,6 +111,7 @@ func run() int {
 
 	opts := checker.Options{
 		BFS:             *bfs,
+		Workers:         *workers,
 		MaxStates:       *maxStates,
 		Bitstate:        *bitstate,
 		WeakFairness:    *fair,

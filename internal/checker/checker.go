@@ -88,6 +88,18 @@ type Options struct {
 	// often), via fair-SCC decomposition. Takes precedence over
 	// WeakFairness; the full product graph is materialized.
 	StrongFairness bool
+	// Workers selects the parallel safety/reachability engine: N >= 1
+	// runs a level-synchronized parallel BFS on N goroutines over a
+	// sharded visited set. Verdicts, StatesStored, and counterexample
+	// lengths are identical at every worker count (counterexamples stay
+	// shortest); which shortest counterexample is reported may vary.
+	// 0 — the default — keeps the classic sequential engines; the CLIs
+	// and verifyd default to runtime.GOMAXPROCS(0). Parallel exploration
+	// is breadth-first and is incompatible with PartialOrder and
+	// ReportUnreached (those searches fall back to the sequential DFS);
+	// liveness search (LTL, weak/strong fairness) and AG-EF goal checks
+	// are always sequential — Workers is a documented no-op there.
+	Workers int
 	// Bitstate replaces the exact visited set with a double-hash bitstate
 	// table of 2^BitstateBits bits (Spin's -DBITSTATE analogue). The search
 	// becomes probabilistic: violations found are real, but coverage may be
@@ -246,8 +258,10 @@ func newBitstateSet(bitsLog2 uint) *bitstateSet {
 	return &bitstateSet{bits: make([]uint64, n/64), mask: n - 1}
 }
 
-func (s *bitstateSet) hashes(key string) (uint64, uint64) {
-	// FNV-1a with two different offset bases.
+// bitstateHashes is the double-hash pair of the bitstate tables: FNV-1a
+// with two different offset bases, shared by the sequential and parallel
+// (sharded) implementations so both mark identical bit positions.
+func bitstateHashes[T ~string | ~[]byte](key T, mask uint64) (uint64, uint64) {
 	const prime = 1099511628211
 	h1 := uint64(14695981039346656037)
 	h2 := uint64(1099511628211*31 + 7)
@@ -255,11 +269,11 @@ func (s *bitstateSet) hashes(key string) (uint64, uint64) {
 		h1 = (h1 ^ uint64(key[i])) * prime
 		h2 = (h2 ^ uint64(key[i])) * (prime + 2)
 	}
-	return h1 & s.mask, h2 & s.mask
+	return h1 & mask, h2 & mask
 }
 
 func (s *bitstateSet) seen(key string) bool {
-	a, b := s.hashes(key)
+	a, b := bitstateHashes(key, s.mask)
 	hadA := s.bits[a/64]&(1<<(a%64)) != 0
 	hadB := s.bits[b/64]&(1<<(b%64)) != 0
 	if hadA && hadB {

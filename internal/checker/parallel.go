@@ -1,0 +1,454 @@
+package checker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnp/internal/model"
+	"pnp/internal/obs"
+	"pnp/internal/pml"
+	"pnp/internal/trace"
+)
+
+// The parallel engine explores breadth-first one level at a time: all
+// frontier nodes of depth d are expanded (by Options.Workers goroutines
+// pulling from a shared index) before any node of depth d+1 is looked
+// at. The barrier is what makes the search worker-count-independent:
+// the set of states at depth d+1 is exactly successors(level d) minus
+// the visited set after level d, no matter how workers interleave, so
+// verdicts, StatesStored, and counterexample lengths match at every
+// worker count. Violations found while expanding a level are collected
+// and adjudicated deterministically at the barrier (see bestProblem)
+// instead of racing to report first.
+
+// parallelEligible reports whether the options route to the parallel
+// engine: Workers >= 1 and nothing that requires the sequential DFS.
+// Partial-order reduction depends on DFS-stack cycle detection and
+// ReportUnreached on observing every expansion, so both fall back.
+func (c *Checker) parallelEligible() bool {
+	return c.opts.Workers >= 1 && !c.opts.PartialOrder && !c.opts.ReportUnreached
+}
+
+// parNode is one frontier entry. parent indexes the previous level's
+// slice (-1 at the root); in is the transition that produced the node.
+type parNode struct {
+	st     *model.State
+	parent int32
+	in     model.Transition
+}
+
+// parProblem is one violation candidate found while working a level.
+// trIdx is the index of the violating transition in its node's
+// (deterministic) successor order, or -1 when the node's own state is
+// the problem (invariant violation, deadlock, eval error, or — in the
+// reachability search — a target hit, kind NoViolation).
+type parProblem struct {
+	node  int
+	trIdx int
+	kind  ViolationKind
+	msg   string
+	tr    model.Transition
+}
+
+// parWorker is the per-goroutine scratch: a state arena, a reusable key
+// buffer, a reusable transition slice, and local accumulators flushed
+// at each level barrier so the hot loop touches no shared counters
+// except the visited set and the stored-states total.
+type parWorker struct {
+	arena    *model.Arena
+	scratch  []byte
+	trs      []model.Transition
+	next     []parNode
+	problems []parProblem
+	trans    int
+	matched  int
+	busy     time.Duration
+	cc       *canceler
+}
+
+// parRunner holds the cross-worker state of one parallel search.
+type parRunner struct {
+	c       *Checker
+	workers []*parWorker
+	visited parVisited
+	stored  atomic.Int64 // states stored so far, root included
+	stop    atomic.Bool  // cancel or state limit: workers drain promptly
+	limit   atomic.Bool
+	cancel  atomic.Bool
+
+	gFrontier, gWorkers *obs.Gauge
+	cBusy               *obs.Counter
+}
+
+func (c *Checker) newParRunner(phase string) *parRunner {
+	w := c.opts.Workers
+	if w < 1 {
+		w = 1
+	}
+	r := &parRunner{c: c}
+	var contention *obs.Counter
+	if reg := c.opts.Metrics; reg != nil {
+		contention = reg.Counter(obs.Labels("checker_visited_shard_contention_total", "phase", phase))
+		r.cBusy = reg.Counter(obs.Labels("checker_worker_busy_ns_total", "phase", phase))
+		r.gFrontier = reg.Gauge(obs.Labels("checker_frontier_states", "phase", phase))
+		r.gWorkers = reg.Gauge(obs.Labels("checker_workers", "phase", phase))
+	}
+	r.gWorkers.Set(int64(w))
+	r.visited = c.newParVisited(contention)
+	r.workers = make([]*parWorker, w)
+	for i := range r.workers {
+		r.workers[i] = &parWorker{arena: &model.Arena{}, cc: c.newCanceler()}
+	}
+	return r
+}
+
+// seedRoot records the initial state in the visited set and returns the
+// one-node root level.
+func (r *parRunner) seedRoot() [][]parNode {
+	init := r.c.sys.InitialState()
+	enc := init.AppendKey(nil)
+	r.visited.seen(fnv64(enc), enc)
+	r.stored.Store(1)
+	return [][]parNode{{{st: init, parent: -1}}}
+}
+
+// abort flags a worker-side stop condition. Cancellation and the state
+// limit drain the level early (their stats are best-effort, as in the
+// sequential engines); violations do NOT stop the level — it must
+// complete so the stored set stays deterministic.
+func (r *parRunner) abortCancel() { r.cancel.Store(true); r.stop.Store(true) }
+func (r *parRunner) abortLimit()  { r.limit.Store(true); r.stop.Store(true) }
+
+// runLevel drives work(worker, nodeIndex) over every index of cur,
+// spreading indices across the workers. With one worker it runs inline,
+// goroutine-free.
+func (r *parRunner) runLevel(n int, work func(w *parWorker, i int)) {
+	var idx atomic.Int64
+	loop := func(w *parWorker) {
+		t0 := time.Now()
+		for !r.stop.Load() {
+			i := int(idx.Add(1) - 1)
+			if i >= n {
+				break
+			}
+			work(w, i)
+		}
+		w.busy += time.Since(t0)
+	}
+	if len(r.workers) == 1 {
+		loop(r.workers[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, w := range r.workers {
+		wg.Add(1)
+		go func(w *parWorker) {
+			defer wg.Done()
+			loop(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// collect flushes every worker's level-local accumulators into the
+// result stats and returns the concatenated next frontier and problem
+// list. Concatenation order varies between runs; everything downstream
+// is order-insensitive (sets and min-adjudication).
+func (r *parRunner) collect(res *Result) (next []parNode, problems []parProblem) {
+	for _, w := range r.workers {
+		res.Stats.Transitions += w.trans
+		res.Stats.StatesMatched += w.matched
+		w.trans, w.matched = 0, 0
+		next = append(next, w.next...)
+		w.next = w.next[:0]
+		problems = append(problems, w.problems...)
+		w.problems = w.problems[:0]
+		r.cBusy.Add(w.busy.Nanoseconds())
+		w.busy = 0
+	}
+	res.Stats.StatesStored = int(r.stored.Load())
+	return next, problems
+}
+
+// limitResult finishes a search that crossed MaxStates. StatesStored is
+// clamped to limit+1 — the value the sequential engines report when
+// they store the first state past the limit and stop.
+func (r *parRunner) limitResult(res *Result) *Result {
+	if res.Stats.StatesStored > r.c.opts.MaxStates+1 {
+		res.Stats.StatesStored = r.c.opts.MaxStates + 1
+	}
+	res.Stats.Truncated = true
+	res.OK = false
+	res.Kind = SearchLimit
+	res.Message = fmt.Sprintf("state limit %d exceeded", r.c.opts.MaxStates)
+	return res
+}
+
+// cancelResult mirrors canceler.cancelResult for the parallel engine.
+func (r *parRunner) cancelResult(res *Result) *Result {
+	res.OK = false
+	res.Kind = Canceled
+	res.Stats.Truncated = true
+	if err := r.c.opts.Context.Err(); err != nil {
+		res.Message = err.Error()
+	} else {
+		res.Message = "context canceled"
+	}
+	return res
+}
+
+// bestProblem picks the violation to report, deterministically: state
+// problems (counterexample length = node depth) before violating
+// transitions (length = depth+1), then smallest state key, then
+// smallest transition index. The order is a pure function of the level
+// set, so every worker count reports the same counterexample.
+func bestProblem(cur []parNode, problems []parProblem) *parProblem {
+	rank := func(p *parProblem) int {
+		if p.trIdx < 0 {
+			return 0
+		}
+		return 1
+	}
+	var best *parProblem
+	var bestKey string
+	for i := range problems {
+		p := &problems[i]
+		k := cur[p.node].st.Key()
+		if best == nil ||
+			rank(p) < rank(best) ||
+			(rank(p) == rank(best) && (k < bestKey || (k == bestKey && p.trIdx < best.trIdx))) {
+			best, bestKey = p, k
+		}
+	}
+	return best
+}
+
+// parTrace rebuilds the path to levels[depth][node], optionally
+// appending one extra (violating) transition.
+func (c *Checker) parTrace(levels [][]parNode, depth, node int, extra *model.Transition) *trace.Trace {
+	var rev []trace.Event
+	for li, ni := depth, node; li > 0; li-- {
+		n := &levels[li][ni]
+		rev = append(rev, eventOf(c.sys, n.in))
+		ni = int(n.parent)
+	}
+	t := &trace.Trace{}
+	for k := len(rev) - 1; k >= 0; k-- {
+		t.Prefix = append(t.Prefix, rev[k])
+	}
+	if extra != nil {
+		t.Prefix = append(t.Prefix, eventOf(c.sys, *extra))
+	}
+	return t
+}
+
+// checkSafetyPar is the parallel counterpart of checkSafetyBFS: same
+// verdict semantics (assertions, runtime errors, invariants, deadlock),
+// shortest counterexamples, level-synchronized exploration.
+func (c *Checker) checkSafetyPar() *Result {
+	start := time.Now()
+	res := &Result{OK: true}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+	m := c.newMeter("safety-par-bfs")
+	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
+
+	r := c.newParRunner("safety-par-bfs")
+	levels := r.seedRoot()
+	res.Stats.StatesStored = 1
+
+	for depth := 0; depth < len(levels); depth++ {
+		cur := levels[depth]
+		if len(cur) == 0 {
+			break
+		}
+		if depth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = depth
+		}
+		r.gFrontier.Set(int64(len(cur)))
+
+		work := func(w *parWorker, i int) {
+			if w.cc.hit() {
+				r.abortCancel()
+				return
+			}
+			node := &cur[i]
+			w.trs = c.sys.SuccessorsAppend(node.st, w.arena, w.trs[:0])
+			w.trans += len(w.trs)
+			if kind, msg := c.stateProblem(node.st, len(w.trs)); kind != NoViolation {
+				w.problems = append(w.problems, parProblem{node: i, trIdx: -1, kind: kind, msg: msg})
+			}
+			// Expand fully even after recording a problem: the level's
+			// stored set must not depend on which worker saw what first.
+			for ti := range w.trs {
+				tr := w.trs[ti]
+				if tr.Violation != "" {
+					w.problems = append(w.problems, parProblem{
+						node: i, trIdx: ti, kind: violationKind(tr.Violation),
+						msg: tr.Violation, tr: tr,
+					})
+					continue
+				}
+				w.scratch = tr.Next.AppendKey(w.scratch[:0])
+				if r.visited.seen(fnv64(w.scratch), w.scratch) {
+					w.matched++
+					w.arena.Recycle(tr.Next)
+					continue
+				}
+				n := r.stored.Add(1)
+				if c.opts.MaxStates > 0 && int(n) > c.opts.MaxStates {
+					r.abortLimit()
+					return
+				}
+				w.next = append(w.next, parNode{st: tr.Next, parent: int32(i), in: tr})
+			}
+		}
+		prevStored := res.Stats.StatesStored
+		r.runLevel(len(cur), work)
+		next, problems := r.collect(res)
+		m.tickN(&res.Stats, depth, res.Stats.StatesStored-prevStored)
+
+		if r.cancel.Load() {
+			return r.cancelResult(res)
+		}
+		if r.limit.Load() {
+			return r.limitResult(res)
+		}
+		if p := bestProblem(cur, problems); p != nil {
+			res.OK = false
+			res.Kind = p.kind
+			res.Message = p.msg
+			var extra *model.Transition
+			if p.trIdx >= 0 {
+				extra = &p.tr
+			}
+			res.Trace = c.parTrace(levels, depth, p.node, extra)
+			res.Trace.Final = p.msg
+			return res
+		}
+		if c.opts.MaxDepth > 0 && depth+1 > c.opts.MaxDepth && len(next) > 0 {
+			res.Stats.Truncated = true
+			res.OK = false
+			res.Kind = SearchLimit
+			res.Message = fmt.Sprintf("depth limit %d reached; search incomplete", c.opts.MaxDepth)
+			return res
+		}
+		levels = append(levels, next)
+	}
+	return res
+}
+
+// checkReachablePar is the parallel counterpart of checkReachable. Each
+// level is first scanned for target hits — entirely, before any
+// expansion — so the witness is shortest and the stored-state count is
+// the same at every worker count; only if no frontier state satisfies
+// the target is the level expanded.
+func (c *Checker) checkReachablePar(target pml.RExpr) *Result {
+	start := time.Now()
+	res := &Result{}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
+	m := c.newMeter("reachability-par")
+	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
+
+	r := c.newParRunner("reachability-par")
+	levels := r.seedRoot()
+	res.Stats.StatesStored = 1
+
+	for depth := 0; depth < len(levels); depth++ {
+		cur := levels[depth]
+		if len(cur) == 0 {
+			break
+		}
+		if depth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = depth
+		}
+		r.gFrontier.Set(int64(len(cur)))
+
+		// Pass 1: scan the whole frontier for the target.
+		scan := func(w *parWorker, i int) {
+			if w.cc.hit() {
+				r.abortCancel()
+				return
+			}
+			v, err := c.sys.EvalGlobal(cur[i].st, target)
+			if err != nil {
+				w.problems = append(w.problems, parProblem{node: i, trIdx: -1, kind: RuntimeError, msg: err.Error()})
+				return
+			}
+			if v != 0 {
+				w.problems = append(w.problems, parProblem{node: i, trIdx: -1, kind: NoViolation})
+			}
+		}
+		r.runLevel(len(cur), scan)
+		_, hits := r.collect(res)
+		if r.cancel.Load() {
+			return r.cancelResult(res)
+		}
+		// A target hit wins over an evaluation error at the same level:
+		// the search is asked for a witness, and both choices are
+		// adjudicated by smallest key, independent of worker count.
+		var sats, errs []parProblem
+		for _, p := range hits {
+			if p.kind == NoViolation {
+				sats = append(sats, p)
+			} else {
+				errs = append(errs, p)
+			}
+		}
+		if p := bestProblem(cur, sats); p != nil {
+			res.OK = true
+			res.Trace = c.parTrace(levels, depth, p.node, nil)
+			res.Trace.Final = "target state reached"
+			return res
+		}
+		if p := bestProblem(cur, errs); p != nil {
+			res.Kind = RuntimeError
+			res.Message = p.msg
+			return res
+		}
+
+		// Pass 2: expand the frontier.
+		expand := func(w *parWorker, i int) {
+			if w.cc.hit() {
+				r.abortCancel()
+				return
+			}
+			node := &cur[i]
+			w.trs = c.sys.SuccessorsAppend(node.st, w.arena, w.trs[:0])
+			w.trans += len(w.trs)
+			for ti := range w.trs {
+				tr := w.trs[ti]
+				if tr.Violation != "" {
+					continue
+				}
+				w.scratch = tr.Next.AppendKey(w.scratch[:0])
+				if r.visited.seen(fnv64(w.scratch), w.scratch) {
+					w.matched++
+					w.arena.Recycle(tr.Next)
+					continue
+				}
+				n := r.stored.Add(1)
+				if c.opts.MaxStates > 0 && int(n) > c.opts.MaxStates {
+					r.abortLimit()
+					return
+				}
+				w.next = append(w.next, parNode{st: tr.Next, parent: int32(i), in: tr})
+			}
+		}
+		prevStored := res.Stats.StatesStored
+		r.runLevel(len(cur), expand)
+		next, _ := r.collect(res)
+		m.tickN(&res.Stats, depth, res.Stats.StatesStored-prevStored)
+		if r.cancel.Load() {
+			return r.cancelResult(res)
+		}
+		if r.limit.Load() {
+			return r.limitResult(res)
+		}
+		levels = append(levels, next)
+	}
+	res.Kind = NoViolation
+	res.Message = "target state is unreachable"
+	return res
+}

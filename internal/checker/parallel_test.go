@@ -1,0 +1,411 @@
+package checker
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// parWorkerCounts are the worker counts every determinism test sweeps.
+var parWorkerCounts = []int{1, 2, 8}
+
+func statsEqualIgnoringElapsed(a, b Stats) bool {
+	a.Elapsed, b.Elapsed = 0, 0
+	return a == b
+}
+
+// parOKSrc has a moderately branchy but violation-free state space.
+const parOKSrc = `
+byte x;
+chan c = [2] of { byte };
+active proctype P() {
+	byte i;
+	do
+	:: i < 4 -> c!i; i = i + 1
+	:: else -> break
+	od
+}
+active proctype Q() {
+	byte v;
+	byte n;
+	do
+	:: c?v -> x = v; n = n + 1
+	:: n >= 4 -> break
+	od
+}`
+
+func TestParallelSafetyDeterministicAcrossWorkerCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		inv  string // optional invariant source
+		kind ViolationKind
+	}{
+		{"ok", parOKSrc, "", NoViolation},
+		{"assertion", `
+byte x;
+active proctype P() { x = 1 }
+active proctype Q() { x == 1 -> assert(x == 0) }`, "", Assertion},
+		{"deadlock", `
+chan a = [0] of { byte };
+chan b = [0] of { byte };
+active proctype P() { byte x; a?x; b!1 }
+active proctype Q() { byte y; b?y; a!1 }`, "", Deadlock},
+		{"invariant", `
+byte x;
+active proctype P() { x = 1; x = 2; x = 3 }`, "x < 3", InvariantViolation},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var first *Result
+			for _, w := range parWorkerCounts {
+				s := sysFromSource(t, tc.src)
+				opts := Options{Workers: w}
+				if tc.inv != "" {
+					inv, err := InvariantFromSource(s.Prog, "inv", tc.inv)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts.Invariants = []Invariant{inv}
+				}
+				res := New(s, opts).CheckSafety()
+				if (tc.kind == NoViolation) != res.OK {
+					t.Fatalf("workers=%d: unexpected verdict %s", w, res.Summary())
+				}
+				if !res.OK && res.Kind != tc.kind {
+					t.Fatalf("workers=%d: kind %s, want %s", w, res.Kind, tc.kind)
+				}
+				if first == nil {
+					first = res
+					continue
+				}
+				if res.Stats.StatesStored != first.Stats.StatesStored ||
+					res.Stats.StatesMatched != first.Stats.StatesMatched ||
+					res.Stats.Transitions != first.Stats.Transitions ||
+					res.Stats.MaxDepth != first.Stats.MaxDepth {
+					t.Errorf("workers=%d: stats diverge: %+v vs %+v", w, res.Stats, first.Stats)
+				}
+				if (res.Trace == nil) != (first.Trace == nil) {
+					t.Fatalf("workers=%d: trace presence differs", w)
+				}
+				if res.Trace != nil {
+					if res.Trace.Len() != first.Trace.Len() {
+						t.Errorf("workers=%d: counterexample length %d vs %d",
+							w, res.Trace.Len(), first.Trace.Len())
+					}
+					if res.Trace.String() != first.Trace.String() {
+						t.Errorf("workers=%d: counterexample differs:\n%s\nvs\n%s",
+							w, res.Trace, first.Trace)
+					}
+				}
+			}
+		})
+	}
+}
+
+// On a violation-free model the parallel engine and the sequential BFS
+// explore exactly the same set of states.
+func TestParallelSafetyStatsMatchSequentialBFS(t *testing.T) {
+	seq := New(sysFromSource(t, parOKSrc), Options{BFS: true}).CheckSafety()
+	par := New(sysFromSource(t, parOKSrc), Options{Workers: 2}).CheckSafety()
+	if !seq.OK || !par.OK {
+		t.Fatalf("expected OK: seq=%s par=%s", seq.Summary(), par.Summary())
+	}
+	if seq.Stats.StatesStored != par.Stats.StatesStored ||
+		seq.Stats.StatesMatched != par.Stats.StatesMatched ||
+		seq.Stats.Transitions != par.Stats.Transitions ||
+		seq.Stats.MaxDepth != par.Stats.MaxDepth {
+		t.Errorf("stats diverge from sequential BFS: %+v vs %+v", par.Stats, seq.Stats)
+	}
+}
+
+// An assertion reached only by BFS-shortest paths: the parallel engine's
+// counterexample must be as short as the sequential BFS one.
+func TestParallelShortestCounterexample(t *testing.T) {
+	src := `
+byte x;
+active proctype P() {
+	do
+	:: x < 6 -> x = x + 1
+	:: x == 3 -> assert(false)
+	od
+}`
+	seq := New(sysFromSource(t, src), Options{BFS: true}).CheckSafety()
+	if seq.OK || seq.Trace == nil {
+		t.Fatalf("sequential BFS should find the assertion: %s", seq.Summary())
+	}
+	for _, w := range parWorkerCounts {
+		par := New(sysFromSource(t, src), Options{Workers: w}).CheckSafety()
+		if par.OK || par.Trace == nil {
+			t.Fatalf("workers=%d should find the assertion: %s", w, par.Summary())
+		}
+		if par.Trace.Len() != seq.Trace.Len() {
+			t.Errorf("workers=%d: counterexample length %d, sequential BFS %d",
+				w, par.Trace.Len(), seq.Trace.Len())
+		}
+	}
+}
+
+func TestParallelMaxStatesClamp(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		res := New(sysFromSource(t, parOKSrc), Options{Workers: w, MaxStates: 10}).CheckSafety()
+		if res.OK || res.Kind != SearchLimit || !res.Stats.Truncated {
+			t.Fatalf("workers=%d: expected SearchLimit, got %s", w, res.Summary())
+		}
+		if res.Stats.StatesStored != 11 {
+			t.Errorf("workers=%d: StatesStored = %d, want MaxStates+1 = 11", w, res.Stats.StatesStored)
+		}
+	}
+}
+
+func TestParallelReachabilityWitness(t *testing.T) {
+	s := sysFromSource(t, parOKSrc)
+	target, err := s.Prog.CompileGlobalExpr("x == 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := New(s, Options{}).CheckReachable(target)
+	if !seq.OK || seq.Trace == nil {
+		t.Fatalf("sequential reachability failed: %s", seq.Summary())
+	}
+	var first *Result
+	for _, w := range parWorkerCounts {
+		res := New(sysFromSource(t, parOKSrc), Options{Workers: w}).CheckReachable(target)
+		if !res.OK || res.Trace == nil {
+			t.Fatalf("workers=%d: target not reached: %s", w, res.Summary())
+		}
+		if res.Trace.Len() != seq.Trace.Len() {
+			t.Errorf("workers=%d: witness length %d, sequential %d", w, res.Trace.Len(), seq.Trace.Len())
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.Stats.StatesStored != first.Stats.StatesStored {
+			t.Errorf("workers=%d: StatesStored %d vs %d", w, res.Stats.StatesStored, first.Stats.StatesStored)
+		}
+		if res.Trace.String() != first.Trace.String() {
+			t.Errorf("workers=%d: witness differs across worker counts", w)
+		}
+	}
+}
+
+func TestParallelUnreachableTarget(t *testing.T) {
+	s := sysFromSource(t, parOKSrc)
+	target, err := s.Prog.CompileGlobalExpr("x == 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := New(s, Options{Workers: 4}).CheckReachable(target)
+	if res.OK {
+		t.Fatalf("x == 200 should be unreachable: %s", res.Summary())
+	}
+	seq := New(sysFromSource(t, parOKSrc), Options{}).CheckReachable(target)
+	if res.Stats.StatesStored != seq.Stats.StatesStored {
+		t.Errorf("exhaustive reachability stored %d states, sequential %d",
+			res.Stats.StatesStored, seq.Stats.StatesStored)
+	}
+}
+
+func TestParallelBitstateVerifies(t *testing.T) {
+	res := New(sysFromSource(t, parOKSrc), Options{Workers: 4, Bitstate: true, BitstateBits: 20}).CheckSafety()
+	if !res.OK {
+		t.Fatalf("bitstate parallel search should verify: %s", res.Summary())
+	}
+	if res.Stats.StatesStored == 0 {
+		t.Error("bitstate search stored no states")
+	}
+}
+
+// Workers is a documented no-op for liveness: verdict, stats, and
+// counterexample must be identical at any worker count.
+func TestLivenessWorkersNoOp(t *testing.T) {
+	src := `
+byte x;
+active proctype P() {
+	do
+	:: x = 0
+	:: x = 2
+	od
+}`
+	var first *Result
+	for _, w := range []int{0, 1, 8} {
+		s := sysFromSource(t, src)
+		p := props(t, s.Prog, map[string]string{"done": "x == 2"})
+		res := New(s, Options{Workers: w}).CheckLTL("<> done", p)
+		if res.OK || res.Kind != AcceptanceCycle {
+			t.Fatalf("workers=%d: expected acceptance cycle, got %s", w, res.Summary())
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if !statsEqualIgnoringElapsed(res.Stats, first.Stats) {
+			t.Errorf("workers=%d: liveness stats changed: %+v vs %+v", w, res.Stats, first.Stats)
+		}
+		if res.Trace.String() != first.Trace.String() {
+			t.Errorf("workers=%d: liveness counterexample changed", w)
+		}
+	}
+}
+
+// Partial-order reduction and unreached reporting need the sequential
+// DFS; Workers must fall back rather than change those verdicts.
+func TestParallelFallsBackForPORAndUnreached(t *testing.T) {
+	base := New(sysFromSource(t, parOKSrc), Options{PartialOrder: true}).CheckSafety()
+	par := New(sysFromSource(t, parOKSrc), Options{PartialOrder: true, Workers: 8}).CheckSafety()
+	if !statsEqualIgnoringElapsed(par.Stats, base.Stats) {
+		t.Errorf("POR run changed under Workers: %+v vs %+v", par.Stats, base.Stats)
+	}
+	ru := New(sysFromSource(t, parOKSrc), Options{ReportUnreached: true, Workers: 8}).CheckSafety()
+	if !ru.OK {
+		t.Fatalf("unreached-reporting run failed: %s", ru.Summary())
+	}
+}
+
+func TestParallelCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := New(sysFromSource(t, parOKSrc), Options{Workers: 4, Context: ctx}).CheckSafety()
+	if res.OK || res.Kind != Canceled || !res.Stats.Truncated {
+		t.Fatalf("expected Canceled, got %s", res.Summary())
+	}
+}
+
+// The AG-EF search must stop within one state of MaxStates and report
+// the same clamped count as the other searches (satellite fix).
+func TestEventuallyReachableMaxStatesClamp(t *testing.T) {
+	s := sysFromSource(t, parOKSrc)
+	target, err := s.Prog.CompileGlobalExpr("x == 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := New(s, Options{MaxStates: 5}).CheckEventuallyReachable(target)
+	if res.OK || res.Kind != SearchLimit || !res.Stats.Truncated {
+		t.Fatalf("expected SearchLimit, got %s", res.Summary())
+	}
+	if res.Stats.StatesStored != 6 {
+		t.Errorf("StatesStored = %d, want MaxStates+1 = 6", res.Stats.StatesStored)
+	}
+}
+
+// --- sharded visited set ---
+
+func encOf(i int) []byte {
+	return []byte(fmt.Sprintf("state-%d-%s", i, "padding-to-make-keys-nontrivial"))
+}
+
+func TestShardedSetExact(t *testing.T) {
+	s := newShardedSet(nil)
+	for i := 0; i < 1000; i++ {
+		enc := encOf(i)
+		if s.seen(fnv64(enc), enc) {
+			t.Fatalf("fresh key %d reported seen", i)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		enc := encOf(i)
+		if !s.seen(fnv64(enc), enc) {
+			t.Fatalf("stored key %d reported unseen", i)
+		}
+	}
+	if s.size() != 1000 {
+		t.Fatalf("size = %d, want 1000", s.size())
+	}
+}
+
+// Concurrent inserts of overlapping key ranges must store each distinct
+// key exactly once (run with -race).
+func TestShardedSetConcurrentExactCount(t *testing.T) {
+	s := newShardedSet(nil)
+	const keys, workers = 2000, 8
+	var wins [workers]int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []byte
+			for i := 0; i < keys; i++ {
+				buf = append(buf[:0], encOf(i)...)
+				if !s.seen(fnv64(buf), buf) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.size() != keys {
+		t.Fatalf("size = %d, want %d", s.size(), keys)
+	}
+	total := 0
+	for _, n := range wins {
+		total += n
+	}
+	if total != keys {
+		t.Fatalf("%d first-insert wins across workers, want %d", total, keys)
+	}
+}
+
+func TestParBitstateSetMatchesSequentialBits(t *testing.T) {
+	seq := newBitstateSet(14)
+	par := newParBitstateSet(14, nil)
+	for i := 0; i < 500; i++ {
+		enc := encOf(i)
+		if got, want := par.seen(fnv64(enc), enc), seq.seen(string(enc)); got != want {
+			t.Fatalf("key %d: parallel bitstate %v, sequential %v", i, got, want)
+		}
+	}
+	if par.size() != seq.size() {
+		t.Fatalf("sizes diverge: %d vs %d", par.size(), seq.size())
+	}
+}
+
+func BenchmarkShardedVisited(b *testing.B) {
+	encs := make([][]byte, 4096)
+	fps := make([]uint64, len(encs))
+	for i := range encs {
+		encs[i] = encOf(i)
+		fps[i] = fnv64(encs[i])
+	}
+	b.Run("MapSet", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := newMapSet()
+			for j := range encs {
+				s.seen(string(encs[j]))
+				s.seen(string(encs[j]))
+			}
+		}
+	})
+	b.Run("Sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := newShardedSet(nil)
+			for j := range encs {
+				s.seen(fps[j], encs[j])
+				s.seen(fps[j], encs[j])
+			}
+		}
+	})
+	b.Run("ShardedParallel", func(b *testing.B) {
+		b.ReportAllocs()
+		const workers = 4
+		for i := 0; i < b.N; i++ {
+			s := newShardedSet(nil)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for j := w; j < len(encs); j += workers {
+						s.seen(fps[j], encs[j])
+						s.seen(fps[j], encs[j])
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	})
+}

@@ -15,8 +15,9 @@ import (
 // snapshot (Final == true) when the search ends.
 type Progress struct {
 	// Phase names the search: "safety-dfs", "safety-dfs-por",
-	// "safety-bfs", "liveness-ndfs", "liveness-strongfair",
-	// "reachability", "ag-ef".
+	// "safety-bfs", "safety-par-bfs", "liveness-ndfs",
+	// "liveness-strongfair", "reachability", "reachability-par",
+	// "ag-ef".
 	Phase string
 	// Exploration counters so far.
 	StatesStored  int
@@ -94,11 +95,16 @@ func (c *Checker) newMeter(phase string) *meter {
 
 // tick is called once per stored state; it emits a snapshot when the
 // interval has elapsed. Cheap when not due: one decrement and compare.
-func (m *meter) tick(st *Stats, depth int) {
-	if m == nil {
+func (m *meter) tick(st *Stats, depth int) { m.tickN(st, depth, 1) }
+
+// tickN credits n stored states at once — the parallel engine calls it
+// at each level barrier instead of per state, so workers never touch
+// the meter.
+func (m *meter) tickN(st *Stats, depth, n int) {
+	if m == nil || n <= 0 {
 		return
 	}
-	m.countdown--
+	m.countdown -= n
 	if m.countdown > 0 {
 		return
 	}

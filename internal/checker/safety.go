@@ -15,7 +15,9 @@ import (
 // state (deadlock). With Options.BFS the counterexample is shortest.
 func (c *Checker) CheckSafety() *Result {
 	var res *Result
-	if c.opts.BFS {
+	if c.parallelEligible() {
+		withPhaseLabel("safety-par-bfs", func() { res = c.checkSafetyPar() })
+	} else if c.opts.BFS {
 		withPhaseLabel("safety-bfs", func() { res = c.checkSafetyBFS() })
 	} else {
 		phase := "safety-dfs"
@@ -243,7 +245,11 @@ func (c *Checker) checkSafetyDFS() *Result {
 // along the way are not reported; only reachability is decided.
 func (c *Checker) CheckReachable(target pml.RExpr) *Result {
 	var res *Result
-	withPhaseLabel("reachability", func() { res = c.checkReachable(target) })
+	if c.parallelEligible() {
+		withPhaseLabel("reachability-par", func() { res = c.checkReachablePar(target) })
+	} else {
+		withPhaseLabel("reachability", func() { res = c.checkReachable(target) })
+	}
 	return res
 }
 
@@ -343,10 +349,14 @@ func (c *Checker) checkEventuallyReachable(target pml.RExpr) *Result {
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 	cc := c.newCanceler()
 
-	// Forward pass: build the full reachable graph.
+	// Forward pass: build the full reachable graph. add enforces
+	// MaxStates the way the other searches do — count the state, tick
+	// the meter, then flag the overrun — so the search stops within one
+	// state of the limit instead of finishing the whole expansion.
 	index := map[string]int{}
 	var arena []bfsNode
 	var succs [][]int
+	limitHit := false
 	add := func(st *model.State, parent int, in model.Transition) int {
 		key := st.Key()
 		if i, ok := index[key]; ok {
@@ -358,18 +368,24 @@ func (c *Checker) checkEventuallyReachable(target pml.RExpr) *Result {
 		succs = append(succs, nil)
 		res.Stats.StatesStored++
 		m.tick(&res.Stats, 0)
+		if c.opts.MaxStates > 0 && res.Stats.StatesStored > c.opts.MaxStates {
+			limitHit = true
+		}
 		return len(arena) - 1
 	}
+	limitResult := func() *Result {
+		res.Stats.Truncated = true
+		res.Kind = SearchLimit
+		res.Message = fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates)
+		return res
+	}
 	add(c.sys.InitialState(), -1, model.Transition{})
+	if limitHit {
+		return limitResult()
+	}
 	for head := 0; head < len(arena); head++ {
 		if cc.hit() {
 			return cc.cancelResult(res)
-		}
-		if c.opts.MaxStates > 0 && len(arena) > c.opts.MaxStates {
-			res.Stats.Truncated = true
-			res.Kind = SearchLimit
-			res.Message = fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates)
-			return res
 		}
 		trs := c.sys.Successors(arena[head].st)
 		res.Stats.Transitions += len(trs)
@@ -378,6 +394,9 @@ func (c *Checker) checkEventuallyReachable(target pml.RExpr) *Result {
 				continue
 			}
 			succs[head] = append(succs[head], add(tr.Next, head, tr))
+			if limitHit {
+				return limitResult()
+			}
 		}
 	}
 
@@ -435,6 +454,7 @@ func (c *Checker) checkEventuallyReachable(target pml.RExpr) *Result {
 type bfsNode struct {
 	st     *model.State
 	parent int
+	depth  int32
 	in     model.Transition
 }
 
@@ -475,7 +495,6 @@ func (c *Checker) checkSafetyBFS() *Result {
 	visited.seen(init.Key())
 	res.Stats.StatesStored = 1
 	arena := []bfsNode{{st: init, parent: -1}}
-	depth := map[int]int{0: 0}
 
 	for head := 0; head < len(arena); head++ {
 		if cc.hit() {
@@ -484,7 +503,7 @@ func (c *Checker) checkSafetyBFS() *Result {
 		st := arena[head].st
 		trs := c.sys.Successors(st)
 		res.Stats.Transitions += len(trs)
-		if d := depth[head]; d > res.Stats.MaxDepth {
+		if d := int(arena[head].depth); d > res.Stats.MaxDepth {
 			res.Stats.MaxDepth = d
 		}
 		if kind, msg := c.stateProblem(st, len(trs)); kind != NoViolation {
@@ -508,8 +527,7 @@ func (c *Checker) checkSafetyBFS() *Result {
 				res.Message = fmt.Sprintf("state limit %d exceeded", c.opts.MaxStates)
 				return res
 			}
-			arena = append(arena, bfsNode{st: tr.Next, parent: head, in: tr})
-			depth[len(arena)-1] = depth[head] + 1
+			arena = append(arena, bfsNode{st: tr.Next, parent: head, depth: arena[head].depth + 1, in: tr})
 		}
 	}
 	return res

@@ -1,0 +1,165 @@
+package checker
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pnp/internal/obs"
+)
+
+// parVisited is the duplicate detector of the parallel engine. seen
+// tests-and-sets a state by its canonical encoding enc (the bytes
+// State.AppendKey produces) and its 64-bit fingerprint fp (fnv64 of
+// enc), reporting whether the state was already present.
+// Implementations are safe for concurrent callers; enc is only read
+// during the call and may be reused by the caller afterwards.
+type parVisited interface {
+	seen(fp uint64, enc []byte) bool
+	size() int
+}
+
+// visitedShards is the stripe count of the parallel visited structures.
+// 64 stripes keep the probability of two workers wanting the same lock
+// low even at high core counts, for a fixed cost of a few KiB.
+const visitedShards = 64
+
+// fnv64 is FNV-1a over b — the same hash State.Fingerprint streams, so
+// fnv64(st.AppendKey(nil)) == st.Fingerprint().
+func fnv64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint64(b[i])) * prime64
+	}
+	return h
+}
+
+// visitedShard is one stripe of shardedSet, padded so neighboring
+// stripe locks don't share a cache line.
+type visitedShard struct {
+	mu sync.Mutex
+	m  map[uint64][]string
+	_  [40]byte
+}
+
+// shardedSet is the exact visited set of the parallel engine: states
+// route to one of visitedShards stripes by fingerprint, and each stripe
+// buckets full encodings by fingerprint, so a lookup compares the cheap
+// uint64 first and the bytes only on a bucket hit. The encoding is
+// materialized as a string only when a state is actually inserted.
+type shardedSet struct {
+	shards [visitedShards]visitedShard
+	stored atomic.Int64
+	// contention counts TryLock misses — a worker arriving at a stripe
+	// another worker holds. Nil (metrics disabled) is a no-op.
+	contention *obs.Counter
+}
+
+func newShardedSet(contention *obs.Counter) *shardedSet {
+	s := &shardedSet{contention: contention}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64][]string, 64)
+	}
+	return s
+}
+
+func (s *shardedSet) seen(fp uint64, enc []byte) bool {
+	sh := &s.shards[fp%visitedShards]
+	if !sh.mu.TryLock() {
+		s.contention.Add(1)
+		sh.mu.Lock()
+	}
+	bucket := sh.m[fp]
+	for _, k := range bucket {
+		if k == string(enc) { // compiles to a no-alloc comparison
+			sh.mu.Unlock()
+			return true
+		}
+	}
+	sh.m[fp] = append(bucket, string(enc))
+	sh.mu.Unlock()
+	s.stored.Add(1)
+	return false
+}
+
+func (s *shardedSet) size() int { return int(s.stored.Load()) }
+
+// paddedMutex is a mutex padded to its own cache line.
+type paddedMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
+// parBitstateSet is the bitstate (supertrace) structure of the parallel
+// engine. Bit words are shared across stripes and flipped with CAS, but
+// the test-and-set decision for one fingerprint is serialized by a
+// stripe lock so two workers racing on the same state cannot both claim
+// to have stored it. Which of two hash-colliding distinct states is
+// counted as stored can still depend on arrival order — bitstate
+// coverage is probabilistic in the sequential engine too.
+type parBitstateSet struct {
+	locks      [visitedShards]paddedMutex
+	bits       []uint64
+	mask       uint64
+	count      atomic.Int64
+	contention *obs.Counter
+}
+
+func newParBitstateSet(bitsLog2 uint, contention *obs.Counter) *parBitstateSet {
+	if bitsLog2 < 10 {
+		bitsLog2 = 10
+	}
+	n := uint64(1) << bitsLog2
+	return &parBitstateSet{bits: make([]uint64, n/64), mask: n - 1, contention: contention}
+}
+
+func (s *parBitstateSet) seen(fp uint64, enc []byte) bool {
+	a, b := bitstateHashes(enc, s.mask)
+	lk := &s.locks[fp%visitedShards]
+	if !lk.TryLock() {
+		s.contention.Add(1)
+		lk.Lock()
+	}
+	hadA := s.setBit(a)
+	hadB := s.setBit(b)
+	lk.Unlock()
+	if hadA && hadB {
+		return true
+	}
+	s.count.Add(1)
+	return false
+}
+
+// setBit atomically sets bit pos, reporting whether it was already set.
+// A CAS loop rather than atomic.Uint64.Or: the module targets go1.22.
+func (s *parBitstateSet) setBit(pos uint64) bool {
+	word := &s.bits[pos/64]
+	bit := uint64(1) << (pos % 64)
+	for {
+		old := atomic.LoadUint64(word)
+		if old&bit != 0 {
+			return true
+		}
+		if atomic.CompareAndSwapUint64(word, old, old|bit) {
+			return false
+		}
+	}
+}
+
+func (s *parBitstateSet) size() int { return int(s.count.Load()) }
+
+// newParVisited builds the parallel engine's visited structure,
+// mirroring newVisited's exact/bitstate split.
+func (c *Checker) newParVisited(contention *obs.Counter) parVisited {
+	if c.opts.Bitstate {
+		bits := c.opts.BitstateBits
+		if bits == 0 {
+			bits = 24
+		}
+		return newParBitstateSet(bits, contention)
+	}
+	return newShardedSet(contention)
+}

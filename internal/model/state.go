@@ -1,6 +1,9 @@
 package model
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
 
 // State is one global state of the system: program counters and local
 // stores of every process, global variables, channel contents, and the
@@ -15,42 +18,96 @@ type State struct {
 	Chans   [][]int64 // flattened messages, width = len(channel fields)
 	Atomic  int32
 
-	// key memoizes the canonical encoding; states are immutable after
-	// creation and the exploration is single-threaded, so computing it
-	// once is safe and saves the dominant cost of repeated lookups.
-	key string
+	// key memoizes the canonical encoding behind an atomic pointer so
+	// states may be shared by concurrent explorer workers: the encoding
+	// is a pure function of the immutable fields above, so racing
+	// computations produce identical strings and whichever Store wins is
+	// correct. (This used to be a plain string whose memoization assumed
+	// single-threaded exploration; the parallel engine removed that
+	// assumption.)
+	key atomic.Pointer[string]
 }
 
 // clone deep-copies the state (without the memoized key: the copy is
-// about to be mutated).
-func (st *State) clone() *State {
-	n := &State{
-		PCs:     append([]int32(nil), st.PCs...),
-		Locals:  make([][]int64, len(st.Locals)),
-		Globals: append([]int64(nil), st.Globals...),
-		Chans:   make([][]int64, len(st.Chans)),
-		Atomic:  st.Atomic,
+// about to be mutated). A non-nil arena recycles the storage of
+// previously discarded states.
+func (st *State) clone(a *Arena) *State {
+	n := a.take()
+	n.PCs = append(n.PCs[:0], st.PCs...)
+	n.Globals = append(n.Globals[:0], st.Globals...)
+	n.Atomic = st.Atomic
+	if cap(n.Locals) < len(st.Locals) {
+		n.Locals = make([][]int64, len(st.Locals))
+	} else {
+		n.Locals = n.Locals[:len(st.Locals)]
 	}
 	for i, l := range st.Locals {
-		n.Locals[i] = append([]int64(nil), l...)
+		n.Locals[i] = append(n.Locals[i][:0], l...)
+	}
+	if cap(n.Chans) < len(st.Chans) {
+		n.Chans = make([][]int64, len(st.Chans))
+	} else {
+		n.Chans = n.Chans[:len(st.Chans)]
 	}
 	for i, c := range st.Chans {
-		n.Chans[i] = append([]int64(nil), c...)
+		n.Chans[i] = append(n.Chans[i][:0], c...)
 	}
 	return n
 }
 
-// Key serializes the state into a compact byte string usable as a map key.
-// The encoding is injective: slice boundaries are length-prefixed.
-func (st *State) Key() string {
-	if st.key == "" {
-		st.key = st.computeKey()
-	}
-	return st.key
+// Arena recycles successor-generation scratch for one explorer worker:
+// states discarded as duplicates hand their slice storage back, so the
+// next clone allocates nothing. An Arena must not be shared between
+// goroutines; a nil *Arena disables recycling (every clone allocates
+// fresh storage).
+type Arena struct {
+	free []*State
 }
 
-func (st *State) computeKey() string {
-	buf := make([]byte, 0, 16+8*len(st.PCs)+8*len(st.Globals))
+// Recycle returns a discarded state's storage to the arena. The caller
+// must hold the only reference: recycle states it just rejected (for
+// example a successor whose key was already in the visited set), never
+// states stored in a frontier, visited structure, or trace.
+func (a *Arena) Recycle(st *State) {
+	if a == nil || st == nil {
+		return
+	}
+	a.free = append(a.free, st)
+}
+
+// take pops a recycled state (resetting its memoized key) or allocates
+// a fresh one.
+func (a *Arena) take() *State {
+	if a == nil || len(a.free) == 0 {
+		return &State{}
+	}
+	st := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	st.key.Store(nil)
+	return st
+}
+
+// Key serializes the state into a compact byte string usable as a map key.
+// The encoding is injective: slice boundaries are length-prefixed. The
+// result is memoized; Key is safe to call from concurrent workers.
+func (st *State) Key() string {
+	if p := st.key.Load(); p != nil {
+		return *p
+	}
+	k := string(st.AppendKey(nil))
+	st.key.Store(&k)
+	return k
+}
+
+// AppendKey appends the state's canonical encoding (the same bytes Key
+// returns) to buf and returns the extended slice. Hot paths reuse buf
+// across states so duplicate-detection never materializes a string.
+func (st *State) AppendKey(buf []byte) []byte {
+	if cap(buf)-len(buf) < 16+8*len(st.PCs)+8*len(st.Globals) {
+		grown := make([]byte, len(buf), len(buf)+16+8*len(st.PCs)+8*len(st.Globals))
+		copy(grown, buf)
+		buf = grown
+	}
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(v int64) {
 		n := binary.PutVarint(tmp[:], v)
@@ -75,5 +132,47 @@ func (st *State) computeKey() string {
 			put(v)
 		}
 	}
-	return string(buf)
+	return buf
+}
+
+// FNV-1a parameters for Fingerprint.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint returns the 64-bit FNV-1a hash of the canonical encoding
+// without materializing it — equal states always fingerprint equally,
+// distinct states collide with probability ~2^-64. The parallel checker
+// uses it to route states to visited-set shards before (and usually
+// instead of) building the full key.
+func (st *State) Fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	var tmp [binary.MaxVarintLen64]byte
+	mix := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		for i := 0; i < n; i++ {
+			h = (h ^ uint64(tmp[i])) * fnvPrime64
+		}
+	}
+	mix(int64(st.Atomic))
+	for _, pc := range st.PCs {
+		mix(int64(pc))
+	}
+	for _, g := range st.Globals {
+		mix(g)
+	}
+	for _, l := range st.Locals {
+		mix(int64(len(l)))
+		for _, v := range l {
+			mix(v)
+		}
+	}
+	for _, c := range st.Chans {
+		mix(int64(len(c)))
+		for _, v := range c {
+			mix(v)
+		}
+	}
+	return h
 }

@@ -53,20 +53,28 @@ func (e env) ChanCap(ref pml.ChanRef) int {
 // and Spin's timeout semantics: timeout-guarded transitions become
 // executable exactly when nothing else in the system is.
 func (s *System) Successors(st *State) []Transition {
-	out := s.successorsPass(st, false)
-	if len(out) == 0 {
-		out = s.successorsPass(st, true)
+	return s.SuccessorsAppend(st, nil, nil)
+}
+
+// SuccessorsAppend is the allocation-lean form of Successors used by the
+// parallel explorer: transitions are appended to out (which callers
+// reuse across expansions) and successor states draw their storage from
+// the per-worker arena. Both a nil arena and a nil out are valid.
+func (s *System) SuccessorsAppend(st *State, a *Arena, out []Transition) []Transition {
+	base := len(out)
+	out = s.successorsPass(st, false, a, out)
+	if len(out) == base {
+		out = s.successorsPass(st, true, a, out)
 	}
 	return out
 }
 
-func (s *System) successorsPass(st *State, tmo bool) []Transition {
+func (s *System) successorsPass(st *State, tmo bool, a *Arena, out []Transition) []Transition {
 	if st.Atomic >= 0 {
-		return s.procSuccessors(st, int(st.Atomic), tmo)
+		return s.procSuccessors(st, int(st.Atomic), tmo, a, out)
 	}
-	var out []Transition
 	for p := range s.insts {
-		out = append(out, s.procSuccessors(st, p, tmo)...)
+		out = s.procSuccessors(st, p, tmo, a, out)
 	}
 	return out
 }
@@ -97,18 +105,17 @@ func (s *System) AmpleSuccessors(st *State) ([]Transition, bool) {
 		if !allLocal {
 			continue
 		}
-		if trs := s.procSuccessors(st, p, false); len(trs) > 0 {
+		if trs := s.procSuccessors(st, p, false, nil, nil); len(trs) > 0 {
 			return trs, true
 		}
 	}
 	return nil, false
 }
 
-// procSuccessors computes the transitions process p can take from st.
+// procSuccessors appends the transitions process p can take from st.
 // Else edges fire only when no sibling edge is executable.
-func (s *System) procSuccessors(st *State, p int, tmo bool) []Transition {
+func (s *System) procSuccessors(st *State, p int, tmo bool, a *Arena, out []Transition) []Transition {
 	node := &s.insts[p].Proc.Nodes[st.PCs[p]]
-	var out []Transition
 	anyEnabled := false
 	for ei := range node.Edges {
 		e := &node.Edges[ei]
@@ -121,7 +128,7 @@ func (s *System) procSuccessors(st *State, p int, tmo bool) []Transition {
 		if s.edgeEnabled(st, p, e, tmo) {
 			anyEnabled = true
 		}
-		out = append(out, s.execEdge(st, p, e, tmo)...)
+		out = s.execEdge(st, p, e, tmo, a, out)
 	}
 	if anyEnabled {
 		return out
@@ -129,86 +136,86 @@ func (s *System) procSuccessors(st *State, p int, tmo bool) []Transition {
 	for ei := range node.Edges {
 		e := &node.Edges[ei]
 		if e.Kind == pml.EdgeElse {
-			out = append(out, s.advance(st, p, e, -1, nil, -1, nil))
+			out = append(out, s.advance(st, p, e, -1, nil, -1, nil, a))
 		}
 	}
 	return out
 }
 
-// execEdge produces the transitions from executing one (non-else) edge.
-func (s *System) execEdge(st *State, p int, e *pml.Edge, tmo bool) []Transition {
+// execEdge appends the transitions from executing one (non-else) edge.
+func (s *System) execEdge(st *State, p int, e *pml.Edge, tmo bool, a *Arena, out []Transition) []Transition {
 	ev := env{s: s, st: st, proc: p, tmo: tmo}
 	switch e.Kind {
 	case pml.EdgeGuard:
 		v, err := pml.Eval(e.Cond, ev)
 		if err != nil {
-			return []Transition{s.violate(st, p, e, err.Error())}
+			return append(out, s.violate(st, p, e, err.Error()))
 		}
 		if v == 0 {
-			return nil
+			return out
 		}
-		return []Transition{s.advance(st, p, e, -1, nil, -1, nil)}
+		return append(out, s.advance(st, p, e, -1, nil, -1, nil, a))
 	case pml.EdgeSkip:
-		return []Transition{s.advance(st, p, e, -1, nil, -1, nil)}
+		return append(out, s.advance(st, p, e, -1, nil, -1, nil, a))
 	case pml.EdgeAssert:
 		v, err := pml.Eval(e.Cond, ev)
 		if err != nil {
-			return []Transition{s.violate(st, p, e, err.Error())}
+			return append(out, s.violate(st, p, e, err.Error()))
 		}
 		if v == 0 {
-			return []Transition{s.violate(st, p, e, "assertion violated")}
+			return append(out, s.violate(st, p, e, "assertion violated"))
 		}
-		return []Transition{s.advance(st, p, e, -1, nil, -1, nil)}
+		return append(out, s.advance(st, p, e, -1, nil, -1, nil, a))
 	case pml.EdgeAssign:
 		v, err := pml.Eval(e.RHS, ev)
 		if err != nil {
-			return []Transition{s.violate(st, p, e, err.Error())}
+			return append(out, s.violate(st, p, e, err.Error()))
 		}
 		ref := e.Var
 		if e.VarIdx != nil {
 			i, err := pml.Eval(e.VarIdx, ev)
 			if err != nil {
-				return []Transition{s.violate(st, p, e, err.Error())}
+				return append(out, s.violate(st, p, e, err.Error()))
 			}
 			if i < 0 || i >= int64(e.VarLen) {
-				return []Transition{s.violate(st, p, e, pml.ErrIndexOutOfRange.Error())}
+				return append(out, s.violate(st, p, e, pml.ErrIndexOutOfRange.Error()))
 			}
 			ref.Idx += int(i)
 		}
-		next := st.clone()
+		next := st.clone(a)
 		storeVar(next, p, ref, v)
 		next.PCs[p] = int32(e.Dst)
 		s.normalizeAtomic(next, p)
-		return []Transition{{Proc: p, Edge: e, Partner: -1, Ch: -1, Next: next}}
+		return append(out, Transition{Proc: p, Edge: e, Partner: -1, Ch: -1, Next: next})
 	case pml.EdgeSend:
-		return s.execSend(st, p, e, tmo)
+		return s.execSend(st, p, e, tmo, a, out)
 	case pml.EdgeRecv:
-		return s.execRecv(st, p, e, tmo)
+		return s.execRecv(st, p, e, tmo, a, out)
 	default:
-		return []Transition{s.violate(st, p, e, fmt.Sprintf("internal: unexpected edge kind %d", e.Kind))}
+		return append(out, s.violate(st, p, e, fmt.Sprintf("internal: unexpected edge kind %d", e.Kind)))
 	}
 }
 
-func (s *System) execSend(st *State, p int, e *pml.Edge, tmo bool) []Transition {
+func (s *System) execSend(st *State, p int, e *pml.Edge, tmo bool, a *Arena, out []Transition) []Transition {
 	ev := env{s: s, st: st, proc: p, tmo: tmo}
 	id := s.resolveChanFor(s.insts[p], e.Ch)
 	shape := &s.shapes[id]
 	vals := make([]int64, len(e.SendArgs))
-	for i, a := range e.SendArgs {
-		v, err := pml.Eval(a, ev)
+	for i, arg := range e.SendArgs {
+		v, err := pml.Eval(arg, ev)
 		if err != nil {
-			return []Transition{s.violate(st, p, e, err.Error())}
+			return append(out, s.violate(st, p, e, err.Error()))
 		}
 		vals[i] = shape.fields[i].Truncate(v)
 	}
 	if shape.cap == 0 {
-		return s.rendezvous(st, p, e, id, vals, tmo)
+		return s.rendezvous(st, p, e, id, vals, tmo, a, out)
 	}
 	w := len(shape.fields)
 	if len(st.Chans[id])/w >= shape.cap {
-		return nil // buffer full: blocked
+		return out // buffer full: blocked
 	}
-	next := st.clone()
+	next := st.clone(a)
 	if e.Sorted {
 		next.Chans[id] = sortedInsert(next.Chans[id], vals, w)
 	} else {
@@ -216,14 +223,13 @@ func (s *System) execSend(st *State, p int, e *pml.Edge, tmo bool) []Transition 
 	}
 	next.PCs[p] = int32(e.Dst)
 	s.normalizeAtomic(next, p)
-	return []Transition{{Proc: p, Edge: e, Partner: -1, Ch: ChanID(id), Msg: vals, Next: next}}
+	return append(out, Transition{Proc: p, Edge: e, Partner: -1, Ch: ChanID(id), Msg: vals, Next: next})
 }
 
 // rendezvous pairs a send on a zero-capacity channel with every matching
 // receive another process is currently offering; each pairing is one
 // combined transition.
-func (s *System) rendezvous(st *State, p int, e *pml.Edge, id int, vals []int64, tmo bool) []Transition {
-	var out []Transition
+func (s *System) rendezvous(st *State, p int, e *pml.Edge, id int, vals []int64, tmo bool, a *Arena, out []Transition) []Transition {
 	for q := range s.insts {
 		if q == p {
 			continue
@@ -245,7 +251,7 @@ func (s *System) rendezvous(st *State, p int, e *pml.Edge, id int, vals []int64,
 			if !ok {
 				continue
 			}
-			next := st.clone()
+			next := st.clone(a)
 			applyBinds(next, q, er.RecvArgs, vals)
 			next.PCs[p] = int32(e.Dst)
 			next.PCs[q] = int32(er.Dst)
@@ -259,16 +265,16 @@ func (s *System) rendezvous(st *State, p int, e *pml.Edge, id int, vals []int64,
 	return out
 }
 
-func (s *System) execRecv(st *State, p int, e *pml.Edge, tmo bool) []Transition {
+func (s *System) execRecv(st *State, p int, e *pml.Edge, tmo bool, a *Arena, out []Transition) []Transition {
 	id := s.resolveChanFor(s.insts[p], e.Ch)
 	shape := &s.shapes[id]
 	if shape.cap == 0 {
-		return nil // rendezvous receives execute via the sender's pairing
+		return out // rendezvous receives execute via the sender's pairing
 	}
 	w := len(shape.fields)
 	n := len(st.Chans[id]) / w
 	if n == 0 {
-		return nil
+		return out
 	}
 	limit := 1
 	if e.Random {
@@ -278,20 +284,20 @@ func (s *System) execRecv(st *State, p int, e *pml.Edge, tmo bool) []Transition 
 		msg := st.Chans[id][i*w : (i+1)*w]
 		ok, err := s.patternMatches(st, p, e.RecvArgs, msg, tmo)
 		if err != nil {
-			return []Transition{s.violate(st, p, e, err.Error())}
+			return append(out, s.violate(st, p, e, err.Error()))
 		}
 		if !ok {
 			continue
 		}
 		vals := append([]int64(nil), msg...)
-		next := st.clone()
+		next := st.clone(a)
 		applyBinds(next, p, e.RecvArgs, vals)
 		next.Chans[id] = append(next.Chans[id][:i*w], next.Chans[id][(i+1)*w:]...)
 		next.PCs[p] = int32(e.Dst)
 		s.normalizeAtomic(next, p)
-		return []Transition{{Proc: p, Edge: e, Partner: -1, Ch: ChanID(id), Msg: vals, Next: next}}
+		return append(out, Transition{Proc: p, Edge: e, Partner: -1, Ch: ChanID(id), Msg: vals, Next: next})
 	}
-	return nil
+	return out
 }
 
 // patternMatches checks a receive pattern against message values without
@@ -362,8 +368,8 @@ func lexLess(a, b []int64) bool {
 }
 
 // advance clones st, moves p along e, and renormalizes atomicity.
-func (s *System) advance(st *State, p int, e *pml.Edge, partner int, pe *pml.Edge, ch ChanID, msg []int64) Transition {
-	next := st.clone()
+func (s *System) advance(st *State, p int, e *pml.Edge, partner int, pe *pml.Edge, ch ChanID, msg []int64, a *Arena) Transition {
+	next := st.clone(a)
 	next.PCs[p] = int32(e.Dst)
 	s.normalizeAtomic(next, p)
 	return Transition{Proc: p, Edge: e, Partner: partner, PartnerEdge: pe, Ch: ch, Msg: msg, Next: next}

@@ -1,0 +1,57 @@
+package verifyd
+
+import (
+	"sync"
+
+	"pnp/internal/obs"
+)
+
+// workerBudget is the pool of checker search workers shared by all
+// running jobs. Job-level parallelism (Config.Workers) and search-level
+// parallelism (checker.Options.Workers) draw from different resources
+// but the same cores, so the budget keeps their product bounded: a job
+// is granted as many idle tokens as it may use, and a saturated pool
+// degrades to one search worker per job instead of oversubscribing.
+type workerBudget struct {
+	mu    sync.Mutex
+	total int
+	inUse int
+	gauge *obs.Gauge // verifyd_search_workers_in_use; nil-safe
+}
+
+func newWorkerBudget(total int, gauge *obs.Gauge) *workerBudget {
+	if total < 1 {
+		total = 1
+	}
+	return &workerBudget{total: total, gauge: gauge}
+}
+
+// acquire grants up to want search workers (want <= 0 asks for the
+// whole budget), never more than are idle and never fewer than one, so
+// every job makes progress even when the pool is oversubscribed. The
+// caller must release exactly the granted count.
+func (b *workerBudget) acquire(want int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if want <= 0 || want > b.total {
+		want = b.total
+	}
+	grant := b.total - b.inUse
+	if grant > want {
+		grant = want
+	}
+	if grant < 1 {
+		grant = 1
+	}
+	b.inUse += grant
+	b.gauge.Set(int64(b.inUse))
+	return grant
+}
+
+// release returns granted tokens to the pool.
+func (b *workerBudget) release(n int) {
+	b.mu.Lock()
+	b.inUse -= n
+	b.gauge.Set(int64(b.inUse))
+	b.mu.Unlock()
+}

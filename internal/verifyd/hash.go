@@ -40,11 +40,15 @@ func ModelHash(b *blocks.Builder) [sha256.Size]byte {
 // OptionsKey canonicalizes the verdict-relevant checker options into a
 // stable string. Callback and plumbing fields (Progress, Metrics,
 // Context) do not influence verdicts and are excluded; Invariants are
-// covered by the property's own source text.
+// covered by the property's own source text. Workers is normalized to
+// the engine it selects ("par"), not the count: the parallel engine's
+// verdicts and stats are identical at every worker count, and hashing
+// the dynamically granted count would fragment the cache for no reason.
 func OptionsKey(o checker.Options) string {
-	return fmt.Sprintf("ms=%d;md=%d;bfs=%t;id=%t;ru=%t;po=%t;wf=%t;sf=%t;bs=%t;bb=%d",
+	par := o.Workers >= 1 && !o.PartialOrder && !o.ReportUnreached
+	return fmt.Sprintf("ms=%d;md=%d;bfs=%t;id=%t;ru=%t;po=%t;wf=%t;sf=%t;bs=%t;bb=%d;par=%t",
 		o.MaxStates, o.MaxDepth, o.BFS, o.IgnoreDeadlock, o.ReportUnreached,
-		o.PartialOrder, o.WeakFairness, o.StrongFairness, o.Bitstate, o.BitstateBits)
+		o.PartialOrder, o.WeakFairness, o.StrongFairness, o.Bitstate, o.BitstateBits, par)
 }
 
 // Key combines a model hash, one property's canonical source, the

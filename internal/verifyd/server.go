@@ -24,6 +24,14 @@ type Config struct {
 	// Workers is the number of concurrent checker runs (default
 	// GOMAXPROCS). Each worker runs at most one search at a time.
 	Workers int
+	// SearchBudget is the total number of checker search workers
+	// (checker.Options.Workers tokens) shared by all running jobs
+	// (default GOMAXPROCS). Each job acquires as many idle tokens as it
+	// may use when a worker picks it up — so one big job on an otherwise
+	// idle server searches on every core, while a full pool degrades
+	// gracefully to one search worker per job — and releases them when
+	// it finishes. Every job is granted at least one token.
+	SearchBudget int
 	// CacheEntries bounds the result cache (default 1024).
 	CacheEntries int
 	// RetainJobs bounds how many completed jobs stay queryable via
@@ -66,6 +74,9 @@ type Job struct {
 	// cache; CacheMisses counts properties actually searched.
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+	// Workers is the number of search workers granted from the server's
+	// SearchBudget while the job ran (0 until it starts).
+	Workers int `json:"workers,omitempty"`
 
 	sys     *adl.System
 	opts    checker.Options
@@ -87,6 +98,9 @@ type jobRequest struct {
 	PartialOrder   *bool `json:"partial_order,omitempty"`
 	WeakFairness   *bool `json:"weak_fairness,omitempty"`
 	StrongFairness *bool `json:"strong_fairness,omitempty"`
+	// Workers caps the search workers granted to this job from the
+	// server's SearchBudget (0 or absent = as many as are idle).
+	Workers *int `json:"workers,omitempty"`
 	// TimeoutMS overrides the server's per-job timeout (0 keeps it).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -98,6 +112,8 @@ type Server struct {
 	reg    *obs.Registry
 	cache  *ResultCache
 	models *blocks.Cache
+
+	budget *workerBudget
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -134,6 +150,9 @@ func NewServer(cfg Config) *Server {
 	if cfg.RetainJobs <= 0 {
 		cfg.RetainJobs = 1024
 	}
+	if cfg.SearchBudget <= 0 {
+		cfg.SearchBudget = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Registry,
@@ -148,6 +167,7 @@ func NewServer(cfg Config) *Server {
 		mRunning:   cfg.Registry.Gauge("verifyd_jobs_running"),
 		mQueued:    cfg.Registry.Gauge("verifyd_jobs_queued"),
 	}
+	s.budget = newWorkerBudget(cfg.SearchBudget, cfg.Registry.Gauge("verifyd_search_workers_in_use"))
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -285,6 +305,18 @@ func (s *Server) run(job *Job) {
 
 	opts := job.opts
 	opts.Metrics = s.reg
+
+	// Claim search workers for the whole job: up to the requested count
+	// (0 = all that are idle), at least one. The grant is the job's
+	// checker.Options.Workers, so one big job on an idle server runs its
+	// safety searches on every budgeted core.
+	granted := s.budget.acquire(opts.Workers)
+	defer s.budget.release(granted)
+	opts.Workers = granted
+	s.mu.Lock()
+	job.Workers = granted
+	s.mu.Unlock()
+
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -406,6 +438,7 @@ func (s *Server) snapshotJob(job *Job) Job {
 		Report:      job.Report,
 		CacheHits:   job.CacheHits,
 		CacheMisses: job.CacheMisses,
+		Workers:     job.Workers,
 	}
 }
 
@@ -542,6 +575,9 @@ func (s *Server) jobOptions(req jobRequest) checker.Options {
 	}
 	if req.StrongFairness != nil {
 		opts.StrongFairness = *req.StrongFairness
+	}
+	if req.Workers != nil {
+		opts.Workers = *req.Workers
 	}
 	return opts
 }
