@@ -22,20 +22,23 @@ race:
 	$(GO) test -race ./internal/blocks/ ./internal/verifyd/ -run 'Concurrent|Cache'
 	$(GO) test -race -short ./internal/checker/ ./internal/model/
 	$(GO) test -race ./internal/verifyd/ -run 'Budget|ServiceJob'
+	$(GO) test -race -short ./internal/sweep/ ./internal/verifyd/client/
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable benchmark records (name, ns/op, states/s) for the
 # experiment benchmarks E8-E17, the verification-service cache, the
-# fault-injection middleware overhead, and the PR4 parallel-search
-# scaling rows (ParallelSafety worker sweep + the sharded visited set
-# vs the sequential map).
+# fault-injection middleware overhead, the PR4 parallel-search scaling
+# rows (ParallelSafety worker sweep + the sharded visited set vs the
+# sequential map), and the PR5 sweep-engine rows (cold in-process sweep
+# vs fully cache-served re-sweep, plus spec expansion).
 bench-json:
 	($(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR|VerifydCache|FaultMiddleware|ParallelSafety' -benchtime 1x . && \
-	 $(GO) test -run '^$$' -bench 'ShardedVisited' -benchtime 1x ./internal/checker/) \
-		| $(GO) run ./internal/tools/benchjson > BENCH_PR4.json
-	@echo wrote BENCH_PR4.json
+	 $(GO) test -run '^$$' -bench 'ShardedVisited' -benchtime 1x ./internal/checker/ && \
+	 $(GO) test -run '^$$' -bench 'SweepInProcess|SweepCacheReuse|ExpandMatrix' -benchtime 1x ./internal/sweep/) \
+		| $(GO) run ./internal/tools/benchjson > BENCH_PR5.json
+	@echo wrote BENCH_PR5.json
 
 # Regenerate every EXPERIMENTS.md table.
 experiments:

@@ -15,6 +15,10 @@
 //	curl -s --data-binary @examples/adl/bridge.pnp localhost:7447/v1/jobs
 //	curl -s localhost:7447/v1/jobs/job-1/wait
 //
+// The daemon also serves design-space sweeps (POST /v1/sweeps): one
+// request expands into a verification job per design variant, deduped
+// against the shared result cache. pnpsweep -remote drives them.
+//
 // A SIGINT/SIGTERM drains the queue: running jobs finish, new
 // submissions get 503, then the process exits. GET /healthz is the
 // liveness probe (200 for the process lifetime) and GET /readyz the
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"pnp/internal/obs"
+	"pnp/internal/sweep"
 	"pnp/internal/verifyd"
 )
 
@@ -77,13 +82,17 @@ func run() int {
 		}
 	}
 	srv := verifyd.NewServer(cfg)
+	// The sweep service layers the /v1/sweeps routes over the job API;
+	// every sweep fans out into jobs on this server, sharing its result
+	// cache and search budget with direct submissions.
+	swp := sweep.NewService(srv, srv.Options(), reg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: %v\n", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: swp.Handler(srv.Handler())}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	fmt.Printf("pnpd: listening on http://%s (workers=%d, cache=%d, timeout=%s)\n",
@@ -120,6 +129,9 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "pnpd: drain: %v\n", err)
 		return 1
 	}
+	// With the job queue drained every sweep's cells have resolved; this
+	// only waits for their aggregation goroutines to publish results.
+	swp.Wait()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: http shutdown: %v\n", err)
 	}

@@ -12,60 +12,25 @@
 // composition survives it (delivery degrades to may-lose-messages),
 // which is what motivates protocol blocks like internal/abp.
 //
+// pnpmatrix is a preset of the sweep engine: it expands sweep.Matrix and
+// renders the result as the E12 table. cmd/pnpsweep runs the same preset
+// against a remote verification service.
+//
 // Usage: pnpmatrix [-msgs N] [-bufsize N] [-workers N] [-metrics]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
-	"pnp/internal/blocks"
 	"pnp/internal/checker"
-	"pnp/internal/model"
 	"pnp/internal/obs"
+	"pnp/internal/sweep"
 )
-
-// matrixComponents counts deliveries so message loss is observable.
-const matrixComponents = `
-byte got;
-proctype Producer(chan esig; chan edat; byte n) {
-	byte i;
-	mtype st;
-	do
-	:: i < n ->
-	   edat!i + 1,0,0,0,1;
-	   esig?st,_;
-	   i = i + 1
-	:: else -> break
-	od
-}
-proctype Consumer(chan rsig; chan rdat; byte n) {
-	mtype st;
-	byte d, sid, sd;
-	bit sel, rem;
-	do
-	:: got < n ->
-	   rdat!0,0,0,0,1;
-	   rsig?st,_;
-	   rdat?d,sid,sd,sel,rem;
-	   if
-	   :: st == RECV_SUCC -> got = got + 1
-	   :: else
-	   fi
-	:: else -> break
-	od
-}
-`
-
-type cellResult struct {
-	spec    blocks.ConnectorSpec
-	verdict string
-	states  int
-	elapsed time.Duration
-}
 
 func main() {
 	msgs := flag.Int("msgs", 3, "messages the producer sends")
@@ -80,17 +45,6 @@ func main() {
 }
 
 func run(msgs, bufsize, workers int, metrics bool) error {
-	sends := []blocks.SendPortKind{
-		blocks.AsynNonblockingSend, blocks.AsynBlockingSend, blocks.AsynCheckingSend,
-		blocks.SynBlockingSend, blocks.SynCheckingSend,
-	}
-	channels := []blocks.ChannelKind{
-		blocks.SingleSlot, blocks.FIFOQueue, blocks.PriorityQueue, blocks.DroppingBuffer,
-		blocks.LossyBuffer,
-	}
-	recvs := []blocks.RecvPortKind{blocks.BlockingRecv, blocks.NonblockingRecv}
-
-	cache := blocks.NewCache()
 	var reg *obs.Registry
 	if metrics {
 		reg = obs.NewRegistry()
@@ -98,117 +52,48 @@ func run(msgs, bufsize, workers int, metrics bool) error {
 	fmt.Printf("producer sends %d message(s); sized channels hold %d\n\n", msgs, bufsize)
 	fmt.Printf("%-52s %-22s %-18s %8s %10s %10s\n", "connector", "verdict", "under-lossy", "states", "states/s", "time")
 
-	var cells []cellResult
-	faultSurvivors := 0
-	for _, s := range sends {
-		for _, ch := range channels {
-			for _, r := range recvs {
-				spec := blocks.ConnectorSpec{Send: s, Channel: ch, Size: bufsize, Recv: r}
-				if ch == blocks.SingleSlot {
-					spec.Size = 0
-				}
-				cell, err := evaluate(spec, msgs, workers, cache, reg)
-				if err != nil {
-					return err
-				}
-				// The fault column: the same composition with its channel
-				// swapped for the lossy adversary (already lossy = itself).
-				faultCell := cell
-				if ch != blocks.LossyBuffer {
-					fspec := spec
-					fspec.Channel = blocks.LossyBuffer
-					if fspec.Size == 0 {
-						fspec.Size = bufsize
-					}
-					if faultCell, err = evaluate(fspec, msgs, workers, cache, reg); err != nil {
-						return err
-					}
-				}
-				if faultCell.verdict == "delivers-all" {
-					faultSurvivors++
-				}
-				cells = append(cells, cell)
-				rate := "-"
-				if cell.elapsed > 0 {
-					rate = fmt.Sprintf("%.3gk/s", float64(cell.states)/cell.elapsed.Seconds()/1e3)
-				}
-				fmt.Printf("%-52s %-22s %-18s %8d %10s %10s\n",
-					cell.spec, cell.verdict, faultCell.verdict, cell.states, rate, cell.elapsed.Round(time.Millisecond))
-			}
+	res, err := sweep.Run(context.Background(), sweep.Matrix(msgs, bufsize), sweep.Config{
+		SearchBudget: workers,
+		Options:      checker.Options{Workers: workers},
+		Registry:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	rows := sweep.MatrixRows(res)
+	for _, row := range rows {
+		if row.Cell.Err != "" {
+			return fmt.Errorf("%s: %s", row.Cell.Connector, row.Cell.Err)
 		}
+		elapsed := time.Duration(row.Cell.ElapsedMS * float64(time.Millisecond))
+		rate := "-"
+		if elapsed > 0 {
+			rate = fmt.Sprintf("%.3gk/s", float64(row.Cell.States)/elapsed.Seconds()/1e3)
+		}
+		fmt.Printf("%-52s %-22s %-18s %8d %10s %10s\n",
+			row.Cell.Connector, row.Cell.Verdict, row.UnderLossy, row.Cell.States, rate,
+			elapsed.Round(time.Millisecond))
 	}
 
 	counts := map[string]int{}
-	for _, c := range cells {
-		counts[c.verdict]++
+	faultSurvivors := 0
+	for _, row := range rows {
+		counts[row.Cell.Verdict]++
+		if row.UnderLossy == "delivers-all" {
+			faultSurvivors++
+		}
 	}
-	fmt.Printf("\nsummary: %d compositions", len(cells))
+	fmt.Printf("\nsummary: %d compositions", len(rows))
 	for _, v := range []string{"delivers-all", "may-lose-messages", "deadlock"} {
 		if counts[v] > 0 {
 			fmt.Printf(", %d %s", counts[v], v)
 		}
 	}
 	fmt.Println()
-	fmt.Printf("under lossy channels: %d of %d compositions still guarantee delivery\n", faultSurvivors, len(cells))
+	fmt.Printf("under lossy channels: %d of %d compositions still guarantee delivery\n", faultSurvivors, len(rows))
 	if reg != nil {
 		fmt.Println("-- checker metrics across the sweep --")
 		reg.Dump(os.Stdout)
 	}
 	return nil
-}
-
-// evaluate composes and verifies one matrix cell.
-func evaluate(spec blocks.ConnectorSpec, msgs, workers int, cache *blocks.Cache, reg *obs.Registry) (cellResult, error) {
-	b, err := blocks.NewBuilder(matrixComponents, cache)
-	if err != nil {
-		return cellResult{}, err
-	}
-	conn, err := b.NewConnector("pipe", spec)
-	if err != nil {
-		return cellResult{}, err
-	}
-	snd, err := conn.AddSender("p")
-	if err != nil {
-		return cellResult{}, err
-	}
-	rcv, err := conn.AddReceiver("c")
-	if err != nil {
-		return cellResult{}, err
-	}
-	if _, err := b.Spawn("Producer", model.Chan(snd.Sig), model.Chan(snd.Dat), model.Int(int64(msgs))); err != nil {
-		return cellResult{}, err
-	}
-	if _, err := b.Spawn("Consumer", model.Chan(rcv.Sig), model.Chan(rcv.Dat), model.Int(int64(msgs))); err != nil {
-		return cellResult{}, err
-	}
-
-	t0 := time.Now()
-	safety := checker.New(b.System(), checker.Options{Workers: workers, Metrics: reg}).CheckSafety()
-	verdict := "delivers-all"
-	switch {
-	case !safety.OK && safety.Kind == checker.Deadlock:
-		verdict = "deadlock"
-	case !safety.OK:
-		verdict = string(safety.Kind.String())
-	default:
-		// Delivery guarantee = AG EF (got == msgs): from every reachable
-		// state, completing all deliveries must remain possible. A
-		// composition that can irrecoverably drop a message fails this.
-		target, err := b.Program().CompileGlobalExpr(fmt.Sprintf("got == %d", msgs))
-		if err != nil {
-			return cellResult{}, err
-		}
-		// AG-EF stays sequential (Workers is a no-op there), so the cell's
-		// reachability half is unchanged by -workers.
-		inev := checker.New(b.System(), checker.Options{Workers: workers, Metrics: reg}).CheckEventuallyReachable(target)
-		if !inev.OK {
-			verdict = "may-lose-messages"
-		}
-	}
-	return cellResult{
-		spec:    spec,
-		verdict: verdict,
-		states:  safety.Stats.StatesStored,
-		elapsed: time.Since(t0),
-	}, nil
 }

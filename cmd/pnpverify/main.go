@@ -7,6 +7,11 @@
 //
 //	pnpverify [-bfs] [-workers N] [-max-states N] [-msc] [-json]
 //	          [-timeout 30s] [-progress] [-metrics-addr :8080] system.pnp
+//
+// With -remote the design is submitted to a running verification
+// service (pnpd) instead of being checked in-process: component files
+// are inlined into the request, the job's verdict report is printed in
+// the same format, and cached results come back in microseconds.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"pnp/internal/checker"
 	"pnp/internal/obs"
 	"pnp/internal/verifyd"
+	"pnp/internal/verifyd/client"
 )
 
 func main() {
@@ -48,6 +54,7 @@ func run() int {
 	progress := flag.Bool("progress", false, "print periodic search progress lines and a final stats table")
 	progressInterval := flag.Duration("progress-interval", 200*time.Millisecond, "interval between progress lines")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address while verifying")
+	remote := flag.String("remote", "", "submit to a verification service at this base URL instead of checking in-process")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: pnpverify [flags] system.pnp\n")
 		flag.PrintDefaults()
@@ -67,6 +74,9 @@ func run() int {
 	resolve := func(ref string) (string, error) {
 		b, err := os.ReadFile(filepath.Join(dir, ref))
 		return string(b), err
+	}
+	if *remote != "" {
+		return runRemote(*remote, string(src), dir, *bfs, *workers, *maxStates, *timeout, *jsonOut, *msc)
 	}
 	sys, err := adl.Load(string(src), resolve, nil)
 	if err != nil {
@@ -203,6 +213,84 @@ func run() int {
 	}
 	if failed > 0 {
 		fmt.Printf("%d propert(y/ies) FAILED\n", failed)
+		return 1
+	}
+	fmt.Println("all properties verified")
+	return 0
+}
+
+// runRemote submits the design to a verification service and prints its
+// verdict report. Component references are resolved locally and inlined
+// into the request — the service never touches this machine's files.
+func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout time.Duration, jsonOut, msc bool) int {
+	refs, err := adl.ComponentRefs(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+		return 1
+	}
+	comps := make(map[string]string, len(refs))
+	for _, ref := range refs {
+		b, err := os.ReadFile(filepath.Join(dir, ref))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnpverify: component %q: %v\n", ref, err)
+			return 1
+		}
+		comps[ref] = string(b)
+	}
+
+	req := client.JobRequest{ADL: src, Components: comps, TimeoutMS: int(timeout / time.Millisecond)}
+	if bfs {
+		req.BFS = &bfs
+	}
+	if workers > 0 {
+		req.Workers = &workers
+	}
+	if maxStates > 0 {
+		req.MaxStates = &maxStates
+	}
+
+	ctx := context.Background()
+	c := client.New(base)
+	job, err := c.Submit(ctx, req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+		return 1
+	}
+	done, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+		return 1
+	}
+	rep := done.Report
+	if rep == nil {
+		fmt.Fprintf(os.Stderr, "pnpverify: job %s finished without a report\n", job.ID)
+		return 1
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+			return 1
+		}
+		if rep.OK {
+			return 0
+		}
+		return 1
+	}
+	fmt.Printf("system %s: %d processes, %d channels (remote %s, job %s, %d cached)\n",
+		rep.System, rep.Processes, rep.Channels, base, job.ID, done.CacheHits)
+	for _, p := range rep.Properties {
+		fmt.Printf("  %-20s %s\n", p.Name, p.Summary)
+		if !p.OK && p.Counterexample != "" {
+			fmt.Println(p.Counterexample)
+			if msc && p.MSC != "" {
+				fmt.Println(p.MSC)
+			}
+		}
+	}
+	if rep.Failed > 0 {
+		fmt.Printf("%d propert(y/ies) FAILED\n", rep.Failed)
 		return 1
 	}
 	fmt.Println("all properties verified")

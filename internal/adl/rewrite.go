@@ -1,0 +1,232 @@
+package adl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pnp/internal/blocks"
+)
+
+// This file is the structural-edit surface of the ADL: the design-space
+// sweep engine (internal/sweep) varies one connector of a base design
+// across many block triples, and it does so by rewriting the source text
+// rather than by mutating a composed system, so that every generated
+// cell is an ordinary ADL document — submittable to a verification
+// service, diffable, and reproducible outside the sweep.
+
+// ConnectorDecl is the declared form of one connector in an ADL source,
+// available without resolving the design's component files.
+type ConnectorDecl struct {
+	Name string
+	Spec blocks.ConnectorSpec
+}
+
+// Connectors parses src and lists its connector declarations in order.
+// Unlike Load it needs no component resolver: only the architecture's
+// syntax is examined.
+func Connectors(src string) ([]ConnectorDecl, error) {
+	pf, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ConnectorDecl, 0, len(pf.connectors))
+	for _, pc := range pf.connectors {
+		out = append(out, ConnectorDecl{Name: pc.name, Spec: pc.spec})
+	}
+	return out, nil
+}
+
+// ComponentRefs parses src and returns the component file paths its
+// `components` clauses reference, in declaration order. Clients use it
+// to inline local component files when submitting a design to a remote
+// verification service.
+func ComponentRefs(src string) ([]string, error) {
+	pf, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), pf.components...), nil
+}
+
+// ParseSendKind resolves an ADL send-port keyword ("syn-blocking") or
+// proctype name ("SynBlSendPort") to its kind.
+func ParseSendKind(tok string) (blocks.SendPortKind, bool) {
+	k, ok := sendKinds[tok]
+	return k, ok
+}
+
+// ParseRecvKind resolves an ADL receive-port keyword to its kind.
+func ParseRecvKind(tok string) (blocks.RecvPortKind, bool) {
+	k, ok := recvKinds[tok]
+	return k, ok
+}
+
+// ParseChannel resolves an ADL channel clause — "fifo(2)", "lossy(1)",
+// "single-slot" — to its kind and size. A sized kind written without a
+// size defaults to 1.
+func ParseChannel(tok string) (blocks.ChannelKind, int, error) {
+	name, size := tok, 0
+	if i := strings.IndexByte(tok, '('); i >= 0 {
+		if !strings.HasSuffix(tok, ")") {
+			return 0, 0, fmt.Errorf("adl: bad channel %q: missing )", tok)
+		}
+		name = tok[:i]
+		n, err := strconv.Atoi(tok[i+1 : len(tok)-1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("adl: bad channel size in %q", tok)
+		}
+		size = n
+	}
+	kind, ok := chanKinds[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("adl: unknown channel kind %q", name)
+	}
+	if kind.Sized() && size == 0 {
+		size = 1
+	}
+	return kind, size, nil
+}
+
+// ChannelToken renders a channel kind and size as its ADL clause.
+func ChannelToken(kind blocks.ChannelKind, size int) string {
+	if kind.Sized() {
+		return fmt.Sprintf("%s(%d)", kind.Token(), size)
+	}
+	return kind.Token()
+}
+
+// RewriteConnector returns src with the named connector's send, channel,
+// and receive clauses replaced to describe spec — the paper's one-token
+// "plug" edit performed mechanically. The connector must be declared
+// with its opening brace on the declaration line; everything outside the
+// block, including comments, is preserved byte-for-byte.
+func RewriteConnector(src, name string, spec blocks.ConnectorSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	// Validate first so rewrite errors carry positions, and so an absent
+	// connector is reported even when the textual scan would not reach it.
+	decls, err := Connectors(src)
+	if err != nil {
+		return "", err
+	}
+	found := false
+	for _, d := range decls {
+		if d.Name == name {
+			found = true
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("adl: no connector %q to rewrite", name)
+	}
+
+	lines := strings.Split(src, "\n")
+	var out []string
+	inBlock := false
+	rewrote := false
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(stripComment(line))
+		if !inBlock {
+			if isConnectorOpen(trimmed, name) {
+				inBlock = true
+				rewrote = true
+				indent := line[:len(line)-len(strings.TrimLeft(line, " \t"))]
+				out = append(out, line,
+					indent+"    send    "+spec.Send.Token(),
+					indent+"    channel "+ChannelToken(spec.Channel, spec.Size),
+					indent+"    receive "+spec.Recv.Token())
+				continue
+			}
+			out = append(out, line)
+			continue
+		}
+		// Inside the target block: drop the old clauses, keep the close.
+		if trimmed == "}" || strings.HasPrefix(trimmed, "}") {
+			inBlock = false
+			out = append(out, line)
+		}
+	}
+	if inBlock {
+		return "", fmt.Errorf("adl: connector %q block never closed", name)
+	}
+	if !rewrote {
+		return "", fmt.Errorf("adl: connector %q must open its block on the declaration line to be rewritten", name)
+	}
+	return strings.Join(out, "\n"), nil
+}
+
+// ReplaceFaults returns src with its faults block (if any) removed and,
+// when body is non-empty, a new `faults { body }` block inserted before
+// the system's closing brace. body is the block's inner text, e.g.
+// "seed 7\ndrop pipe 30".
+func ReplaceFaults(src, body string) (string, error) {
+	if _, err := parse(src); err != nil {
+		return "", err
+	}
+	lines := strings.Split(src, "\n")
+	var out []string
+	inFaults := false
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(stripComment(line))
+		if inFaults {
+			if trimmed == "}" || strings.HasPrefix(trimmed, "}") {
+				inFaults = false
+			}
+			continue
+		}
+		if strings.HasPrefix(trimmed, "faults") &&
+			(trimmed == "faults" || strings.HasPrefix(strings.TrimSpace(trimmed[len("faults"):]), "{")) {
+			inFaults = true
+			continue
+		}
+		out = append(out, line)
+	}
+	if body == "" {
+		return strings.Join(out, "\n"), nil
+	}
+	// Insert before the last closing brace (the system block's end).
+	last := -1
+	for i := len(out) - 1; i >= 0; i-- {
+		if strings.TrimSpace(stripComment(out[i])) == "}" {
+			last = i
+			break
+		}
+	}
+	if last < 0 {
+		return "", fmt.Errorf("adl: no system block to attach a faults block to")
+	}
+	block := []string{"    faults {"}
+	for _, bl := range strings.Split(strings.TrimSpace(body), "\n") {
+		block = append(block, "        "+strings.TrimSpace(bl))
+	}
+	block = append(block, "    }")
+	out = append(out[:last], append(block, out[last:]...)...)
+	return strings.Join(out, "\n"), nil
+}
+
+// isConnectorOpen matches `connector <name> {` with arbitrary spacing.
+func isConnectorOpen(trimmed, name string) bool {
+	rest, ok := strings.CutPrefix(trimmed, "connector")
+	if !ok {
+		return false
+	}
+	rest = strings.TrimSpace(rest)
+	rest, ok = strings.CutPrefix(rest, name)
+	if !ok {
+		return false
+	}
+	return strings.TrimSpace(rest) == "{"
+}
+
+// stripComment removes // and # line comments (the ADL's two comment
+// forms) so brace scanning ignores commented-out text.
+func stripComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}

@@ -31,6 +31,19 @@ var sendPortProcs = map[SendPortKind]string{
 // String returns the proctype name of the port model.
 func (k SendPortKind) String() string { return sendPortProcs[k] }
 
+var sendPortTokens = map[SendPortKind]string{
+	AsynNonblockingSend: "asyn-nonblocking",
+	AsynBlockingSend:    "asyn-blocking",
+	AsynCheckingSend:    "asyn-checking",
+	SynBlockingSend:     "syn-blocking",
+	SynCheckingSend:     "syn-checking",
+}
+
+// Token returns the canonical ADL keyword for the kind ("syn-blocking"),
+// the spelling the adl package parses and the sweep engine emits when it
+// rewrites a connector clause.
+func (k SendPortKind) Token() string { return sendPortTokens[k] }
+
 // RecvPortKind selects one of the library's receive ports. Copy/remove and
 // selective variants are chosen per-request through the standard interface
 // flags, as in the paper.
@@ -49,6 +62,14 @@ var recvPortProcs = map[RecvPortKind]string{
 
 // String returns the proctype name of the port model.
 func (k RecvPortKind) String() string { return recvPortProcs[k] }
+
+var recvPortTokens = map[RecvPortKind]string{
+	BlockingRecv:    "blocking",
+	NonblockingRecv: "nonblocking",
+}
+
+// Token returns the canonical ADL keyword for the kind ("blocking").
+func (k RecvPortKind) Token() string { return recvPortTokens[k] }
 
 // ChannelKind selects one of the library's channels.
 type ChannelKind int
@@ -77,8 +98,23 @@ var channelProcs = map[ChannelKind]string{
 // String returns the proctype name of the channel model.
 func (k ChannelKind) String() string { return channelProcs[k] }
 
+var channelTokens = map[ChannelKind]string{
+	SingleSlot:     "single-slot",
+	FIFOQueue:      "fifo",
+	PriorityQueue:  "priority",
+	DroppingBuffer: "dropping",
+	LossyBuffer:    "lossy",
+}
+
+// Token returns the canonical ADL keyword for the kind ("fifo"); sized
+// kinds are written with their size, as in "fifo(2)".
+func (k ChannelKind) Token() string { return channelTokens[k] }
+
 // sized reports whether the channel kind takes a size parameter.
 func (k ChannelKind) sized() bool { return k != SingleSlot }
+
+// Sized reports whether the channel kind takes a size parameter.
+func (k ChannelKind) Sized() bool { return k.sized() }
 
 // MaxBufSize is the static capacity of the sized channel models; their
 // logical size parameter must be 1..MaxBufSize.

@@ -49,6 +49,19 @@ var violationNames = map[ViolationKind]string{
 // String names the violation kind.
 func (k ViolationKind) String() string { return violationNames[k] }
 
+// ParseViolationKind resolves a violation-kind name (as produced by
+// String, e.g. in a cached PropertyVerdict's verdict field) back to its
+// kind. Consumers ranking or grouping verdicts that crossed a JSON
+// boundary use it instead of string comparison.
+func ParseViolationKind(s string) (ViolationKind, bool) {
+	for k, name := range violationNames {
+		if name == s {
+			return k, true
+		}
+	}
+	return NoViolation, false
+}
+
 // Invariant is a named global-state predicate that must hold in every
 // reachable state.
 type Invariant struct {

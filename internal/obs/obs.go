@@ -7,6 +7,17 @@
 // *Histogram are no-ops, and a nil *Registry hands out nil instruments.
 // Hot paths therefore instrument unconditionally and pay only a
 // predictable nil check when observability is disabled.
+//
+// Well-known metric families, by emitter:
+//
+//   - checker_* — search progress (internal/checker)
+//   - pnprt_*   — runtime connector traffic (internal/pnprt)
+//   - verifyd_* — verification-service jobs and caches (internal/verifyd)
+//   - sweeps_total, sweep_cells_total, sweep_cache_hits_total,
+//     sweep_cells_in_flight — design-space sweeps (internal/sweep):
+//     sweep_cache_hits_total counts cells answered without a search,
+//     either deduplicated inside a sweep or served whole from the
+//     verification service's result cache.
 package obs
 
 import (

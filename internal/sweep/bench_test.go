@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"pnp/internal/blocks"
+	"pnp/internal/verifyd"
+)
+
+func benchSpec() Spec {
+	spec := pingSpec(2)
+	spec.Channels = []ChannelVariant{
+		{Kind: blocks.SingleSlot},
+		{Kind: blocks.FIFOQueue, Size: 1},
+		{Kind: blocks.FIFOQueue, Size: 2},
+		{Kind: blocks.DroppingBuffer, Size: 1},
+	}
+	spec.Recvs = []blocks.RecvPortKind{blocks.BlockingRecv, blocks.NonblockingRecv}
+	return spec
+}
+
+// BenchmarkSweepInProcess measures a cold 8-cell sweep on a private
+// server: expansion, composition, and all searches, no cache reuse.
+func BenchmarkSweepInProcess(b *testing.B) {
+	spec := benchSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), spec, Config{Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total != 8 {
+			b.Fatalf("total = %d", res.Total)
+		}
+	}
+}
+
+// BenchmarkSweepCacheReuse measures the same sweep re-run against a
+// shared warm server — the iterate-on-one-port workflow, where every
+// cell is answered from the content-addressed result cache.
+func BenchmarkSweepCacheReuse(b *testing.B) {
+	spec := benchSpec()
+	srv := verifyd.NewServer(verifyd.Config{Workers: 2})
+	defer srv.Shutdown(context.Background())
+	if _, err := Run(context.Background(), spec, Config{Server: srv}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), spec, Config{Server: srv})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheMisses != 0 {
+			b.Fatalf("cache misses on warm server: %d", res.CacheMisses)
+		}
+	}
+}
+
+// BenchmarkExpandMatrix isolates spec expansion (parse + rewrite per
+// cell) from verification.
+func BenchmarkExpandMatrix(b *testing.B) {
+	spec := Matrix(3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, err := spec.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 90 {
+			b.Fatalf("cells = %d", len(cells))
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"pnp/internal/checker"
+	"pnp/internal/obs"
+	"pnp/internal/verifyd"
+)
+
+// Config parameterizes sweep execution.
+type Config struct {
+	// Server executes the cells; nil runs the sweep on a private
+	// in-process server that is drained when Run returns. A shared server
+	// (the daemon case) lets concurrent sweeps share its result cache and
+	// search-worker budget.
+	Server *verifyd.Server
+
+	// Private-server shape, used only when Server is nil.
+	Workers      int
+	SearchBudget int
+	CacheEntries int
+
+	// Options is the base checker configuration for every cell; the
+	// spec's MaxStates/Workers/Timeout overlay it. When the sweep runs on
+	// a shared server, pass the options that server was configured with
+	// so cells hash into the same cache entries as direct submissions.
+	Options checker.Options
+
+	// Registry receives the sweep metric families (sweeps_total,
+	// sweep_cells_total, sweep_cache_hits_total, sweep_cells_in_flight);
+	// nil disables them.
+	Registry *obs.Registry
+
+	// OnCell, when set, is called with each cell's result as it completes,
+	// in cell-index order — the streaming hook behind NDJSON responses
+	// and live CLI tables.
+	OnCell func(CellResult)
+}
+
+// CellResult is one cell's outcome: its coordinates, its verdict, and
+// the cost of obtaining it.
+type CellResult struct {
+	Index     int    `json:"index"`
+	Connector string `json:"connector"`
+	Send      string `json:"send"`
+	Channel   string `json:"channel"`
+	Size      int    `json:"size,omitempty"`
+	Recv      string `json:"recv"`
+	Faults    string `json:"faults,omitempty"`
+	Companion bool   `json:"companion,omitempty"`
+	Primary   int    `json:"primary"`
+
+	// Verdict classifies the cell: "delivers-all", "may-lose-messages",
+	// "deadlock", or another checker violation kind. OK is the report's
+	// overall verdict; States is the safety search's stored-state count.
+	Verdict string `json:"verdict"`
+	OK      bool   `json:"ok"`
+	States  int    `json:"states"`
+	// Properties carries the full per-property verdicts of the cell's job.
+	Properties []verifyd.PropertyVerdict `json:"properties,omitempty"`
+
+	// CacheHits/CacheMisses are the cell's job counters; Deduped marks a
+	// cell that reused another cell's job in this sweep (its counters are
+	// then zero — the cost was paid once, by the leader).
+	CacheHits   int  `json:"cache_hits"`
+	CacheMisses int  `json:"cache_misses"`
+	Deduped     bool `json:"deduped,omitempty"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Err reports a per-cell submission failure; the sweep continues.
+	Err string `json:"err,omitempty"`
+}
+
+// Result is the aggregated outcome of one sweep.
+type Result struct {
+	Name  string       `json:"name"`
+	Cells []CellResult `json:"cells"`
+
+	Total  int `json:"total"`
+	Passed int `json:"passed"`
+	Failed int `json:"failed"`
+	// DedupHits counts cells answered by another cell of this sweep;
+	// CacheHits/CacheMisses sum the executed jobs' property-cache
+	// counters.
+	DedupHits   int     `json:"dedup_hits"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// verdictRank orders verdicts from strongest to weakest guarantee.
+func verdictRank(v CellResult) int {
+	switch {
+	case v.Err != "":
+		return 4
+	case v.Verdict == "delivers-all":
+		return 0
+	case v.Verdict == "may-lose-messages":
+		return 1
+	case v.Verdict == "deadlock":
+		return 2
+	default:
+		if _, ok := checker.ParseViolationKind(v.Verdict); ok {
+			return 3
+		}
+		return 3
+	}
+}
+
+// Ranked returns the cells ordered best-first: strongest delivery
+// guarantee, then fewest stored states (the cheapest design that still
+// satisfies the properties), then cell order. Companion cells rank after
+// primaries with the same verdict and cost.
+func (r *Result) Ranked() []CellResult {
+	out := append([]CellResult(nil), r.Cells...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := verdictRank(out[i]), verdictRank(out[j])
+		if ri != rj {
+			return ri < rj
+		}
+		if out[i].Companion != out[j].Companion {
+			return !out[i].Companion
+		}
+		if out[i].States != out[j].States {
+			return out[i].States < out[j].States
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Run expands the spec and executes every cell on the configured server,
+// deduplicating identical cell sources into single jobs. Cells that fail
+// to submit (bad composition) carry their error in the result; Run
+// itself fails only on an invalid spec or a canceled context.
+func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	srv := cfg.Server
+	if srv == nil {
+		srv = verifyd.NewServer(verifyd.Config{
+			Workers:      cfg.Workers,
+			SearchBudget: cfg.SearchBudget,
+			CacheEntries: cfg.CacheEntries,
+			Registry:     cfg.Registry,
+			Options:      cfg.Options,
+		})
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+	}
+
+	mSweeps := cfg.Registry.Counter("sweeps_total")
+	mCells := cfg.Registry.Counter("sweep_cells_total")
+	mCacheHits := cfg.Registry.Counter("sweep_cache_hits_total")
+	mInFlight := cfg.Registry.Gauge("sweep_cells_in_flight")
+	mSweeps.Inc()
+
+	opts := cfg.Options
+	if spec.MaxStates > 0 {
+		opts.MaxStates = spec.MaxStates
+	}
+	if spec.Workers > 0 {
+		opts.Workers = spec.Workers
+	}
+
+	// Submit one job per distinct cell source; later cells with the same
+	// source become followers of the first (the leader) and reuse its
+	// result. The under-lossy companions of an already-lossy-adjacent
+	// matrix are the common case: half a sweep can collapse this way.
+	type submission struct {
+		job *verifyd.Job
+		err error
+	}
+	leaders := make(map[string]int, len(cells)) // source -> leader cell index
+	subs := make(map[int]*submission, len(cells))
+	for _, c := range cells {
+		if _, ok := leaders[c.Source]; ok {
+			continue
+		}
+		leaders[c.Source] = c.Index
+		job, err := srv.Submit(c.Source, spec.Components, opts, spec.Timeout)
+		subs[c.Index] = &submission{job: job, err: err}
+		if err == nil {
+			mInFlight.Add(1)
+		}
+	}
+
+	res := &Result{Name: spec.Name, Total: len(cells)}
+	start := time.Now()
+	for _, c := range cells {
+		leader := leaders[c.Source]
+		sub := subs[leader]
+		cr := CellResult{
+			Index:     c.Index,
+			Connector: c.Connector,
+			Send:      c.Spec.Send.Token(),
+			Channel:   c.Spec.Channel.Token(),
+			Size:      c.Spec.Size,
+			Recv:      c.Spec.Recv.Token(),
+			Faults:    c.Faults,
+			Companion: c.Companion,
+			Primary:   c.Primary,
+			Deduped:   leader != c.Index,
+		}
+		switch {
+		case sub.err != nil:
+			cr.Verdict = "error"
+			cr.Err = sub.err.Error()
+		default:
+			if err := srv.Wait(ctx, sub.job); err != nil {
+				return nil, fmt.Errorf("sweep: cell %d: %w", c.Index, err)
+			}
+			snap := srv.Snapshot(sub.job)
+			classify(&cr, snap.Report)
+			if !cr.Deduped {
+				cr.CacheHits = snap.CacheHits
+				cr.CacheMisses = snap.CacheMisses
+				mInFlight.Add(-1)
+			}
+		}
+		mCells.Inc()
+		// A cell is "served from cache" when it piggybacked on another
+		// cell's job, or when its own job never ran a search.
+		if cr.Err == "" && (cr.Deduped || cr.CacheMisses == 0) {
+			mCacheHits.Inc()
+		}
+		if cr.Deduped {
+			res.DedupHits++
+		}
+		res.CacheHits += cr.CacheHits
+		res.CacheMisses += cr.CacheMisses
+		if cr.Err == "" && cr.OK {
+			res.Passed++
+		} else {
+			res.Failed++
+		}
+		res.Cells = append(res.Cells, cr)
+		if cfg.OnCell != nil {
+			cfg.OnCell(cr)
+		}
+	}
+	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return res, nil
+}
+
+// classify reduces a job report to the cell's verdict: a failing safety
+// property names the violation ("deadlock" for invalid end states), a
+// failing goal means the design can lose messages, and a clean report
+// delivers all. States is the safety search's cost — the number the
+// matrix experiment compares across cells.
+func classify(cr *CellResult, rep *verifyd.Report) {
+	if rep == nil {
+		cr.Verdict = "error"
+		cr.Err = "job finished without a report"
+		return
+	}
+	cr.OK = rep.OK
+	cr.Properties = rep.Properties
+	cr.Verdict = "delivers-all"
+	var goalFailed bool
+	for i := range rep.Properties {
+		p := &rep.Properties[i]
+		cr.ElapsedMS += p.ElapsedMS
+		switch p.Kind {
+		case "invariant":
+			cr.States = p.States
+			if !p.OK {
+				if p.Verdict == checker.Deadlock.String() {
+					cr.Verdict = "deadlock"
+				} else {
+					cr.Verdict = p.Verdict
+				}
+			}
+		case "goal":
+			if !p.OK {
+				goalFailed = true
+			}
+		}
+	}
+	if cr.Verdict == "delivers-all" && goalFailed {
+		cr.Verdict = "may-lose-messages"
+	}
+}

@@ -1,0 +1,391 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pnp/internal/adl"
+	"pnp/internal/blocks"
+	"pnp/internal/checker"
+	"pnp/internal/obs"
+	"pnp/internal/verifyd"
+)
+
+// retainSweeps bounds how many completed sweeps stay queryable; older
+// ones are evicted FIFO (running sweeps are never evicted).
+const retainSweeps = 64
+
+// WireSpec is the JSON form of a sweep submission: the dimensions are
+// ADL tokens ("syn-blocking", "fifo(2)", "blocking") so clients never
+// depend on internal enum values. Preset names a built-in spec
+// ("matrix") and makes every other field except Msgs/BufSize optional.
+type WireSpec struct {
+	Name       string            `json:"name,omitempty"`
+	Base       string            `json:"base,omitempty"`
+	Components map[string]string `json:"components,omitempty"`
+	Connector  string            `json:"connector,omitempty"`
+
+	Sends    []string `json:"sends,omitempty"`
+	Channels []string `json:"channels,omitempty"`
+	Recvs    []string `json:"recvs,omitempty"`
+	// FaultPlans varies the design's faults block; each entry is the
+	// block's inner text ("" = none).
+	FaultPlans []string `json:"fault_plans,omitempty"`
+
+	UnderLossy bool `json:"under_lossy,omitempty"`
+	LossySize  int  `json:"lossy_size,omitempty"`
+
+	MaxStates int `json:"max_states,omitempty"`
+	Workers   int `json:"workers,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// Preset selects a built-in spec ("matrix"); Msgs and BufSize
+	// parameterize it.
+	Preset  string `json:"preset,omitempty"`
+	Msgs    int    `json:"msgs,omitempty"`
+	BufSize int    `json:"buf_size,omitempty"`
+}
+
+// Compile resolves the wire form to an executable Spec.
+func (ws WireSpec) Compile() (Spec, error) {
+	var spec Spec
+	switch ws.Preset {
+	case "":
+		spec = Spec{
+			Name:       ws.Name,
+			Base:       ws.Base,
+			Components: ws.Components,
+			Connector:  ws.Connector,
+			FaultPlans: ws.FaultPlans,
+			UnderLossy: ws.UnderLossy,
+			LossySize:  ws.LossySize,
+		}
+		for _, tok := range ws.Sends {
+			k, ok := adl.ParseSendKind(tok)
+			if !ok {
+				return Spec{}, fmt.Errorf("unknown send kind %q", tok)
+			}
+			spec.Sends = append(spec.Sends, k)
+		}
+		for _, tok := range ws.Channels {
+			kind, size, err := adl.ParseChannel(tok)
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.Channels = append(spec.Channels, ChannelVariant{Kind: kind, Size: size})
+		}
+		for _, tok := range ws.Recvs {
+			k, ok := adl.ParseRecvKind(tok)
+			if !ok {
+				return Spec{}, fmt.Errorf("unknown receive kind %q", tok)
+			}
+			spec.Recvs = append(spec.Recvs, k)
+		}
+	case "matrix":
+		msgs := ws.Msgs
+		if msgs <= 0 {
+			msgs = 3
+		}
+		bufsize := ws.BufSize
+		if bufsize <= 0 {
+			bufsize = 1
+		}
+		spec = Matrix(msgs, bufsize)
+		if ws.Name != "" {
+			spec.Name = ws.Name
+		}
+	default:
+		return Spec{}, fmt.Errorf("unknown preset %q", ws.Preset)
+	}
+	spec.MaxStates = ws.MaxStates
+	spec.Workers = ws.Workers
+	spec.Timeout = time.Duration(ws.TimeoutMS) * time.Millisecond
+	return spec, nil
+}
+
+// Status is the externally visible state of one sweep.
+type Status struct {
+	ID      string    `json:"id"`
+	Name    string    `json:"name"`
+	State   string    `json:"state"` // "running" or "done"
+	Started time.Time `json:"started"`
+	Total   int       `json:"total_cells"`
+	Done    int       `json:"done_cells"`
+	// Result is present once State is "done"; Err reports a sweep that
+	// failed outright (its cells are then absent).
+	Result *Result `json:"result,omitempty"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// sweepJob is one running or completed sweep.
+type sweepJob struct {
+	id      string
+	name    string
+	started time.Time
+	total   int
+
+	mu     sync.Mutex
+	cells  []CellResult
+	result *Result
+	err    string
+	done   bool
+	notify chan struct{} // closed and replaced on every update
+}
+
+func (sj *sweepJob) status(withResult bool) Status {
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	st := Status{
+		ID: sj.id, Name: sj.name, State: "running", Started: sj.started,
+		Total: sj.total, Done: len(sj.cells), Err: sj.err,
+	}
+	if sj.done {
+		st.State = "done"
+		if withResult {
+			st.Result = sj.result
+		}
+	}
+	return st
+}
+
+// Service serves the sweep routes of the v1 API on top of a verification
+// server. One POST fans out into a job per distinct cell; all sweeps
+// share the server's result cache and search budget.
+type Service struct {
+	srv  *verifyd.Server
+	opts checker.Options
+	reg  *obs.Registry
+
+	mu     sync.Mutex
+	sweeps map[string]*sweepJob
+	order  []string // completed-sweep eviction order
+	nextID int
+	wg     sync.WaitGroup
+}
+
+// NewService builds a sweep service over srv. opts is the base checker
+// configuration for sweep cells — pass the options srv was configured
+// with, so sweep cells share cache entries with direct job submissions.
+func NewService(srv *verifyd.Server, opts checker.Options, reg *obs.Registry) *Service {
+	return &Service{srv: srv, opts: opts, reg: reg, sweeps: make(map[string]*sweepJob)}
+}
+
+// Wait blocks until every accepted sweep has finished. Call after the
+// verification server has drained.
+func (sv *Service) Wait() { sv.wg.Wait() }
+
+// Handler returns the sweep routes mounted over base (the verification
+// server's handler), forming the complete v1 surface:
+//
+//	POST /v1/sweeps             submit a sweep (WireSpec) -> 202 + status
+//	GET  /v1/sweeps             list sweeps
+//	GET  /v1/sweeps/{id}        sweep status; result included when done
+//	GET  /v1/sweeps/{id}/stream NDJSON: {"cell":...} per cell, then {"sweep":...}
+func (sv *Service) Handler(base http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", sv.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", sv.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", sv.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", sv.handleStream)
+	mux.Handle("/", base)
+	return mux
+}
+
+// Run executes a compiled spec synchronously on the service's server,
+// sharing its cache, budget, and metrics. The Go-API twin of POST
+// /v1/sweeps for in-process embedders (pnp.Sweep with a service).
+func (sv *Service) Run(ctx context.Context, spec Spec) (*Result, error) {
+	return Run(ctx, spec, Config{Server: sv.srv, Options: sv.opts, Registry: sv.reg})
+}
+
+// Start validates and launches a sweep in the background, returning its
+// initial status.
+func (sv *Service) Start(ws WireSpec) (Status, error) {
+	spec, err := ws.Compile()
+	if err != nil {
+		return Status{}, err
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		return Status{}, err
+	}
+	// Compose the first cell now so bad designs fail the submission, not
+	// the background run: Expand only parses the architecture, while
+	// composition resolves components and endpoints.
+	if _, err := adl.Load(cells[0].Source, func(path string) (string, error) {
+		if text, ok := spec.Components[path]; ok {
+			return text, nil
+		}
+		return "", fmt.Errorf("unknown component %q", path)
+	}, blocks.NewCache()); err != nil {
+		return Status{}, err
+	}
+
+	sv.mu.Lock()
+	sv.nextID++
+	sj := &sweepJob{
+		id:      fmt.Sprintf("sweep-%d", sv.nextID),
+		name:    spec.Name,
+		started: time.Now(),
+		total:   len(cells),
+		notify:  make(chan struct{}),
+	}
+	sv.sweeps[sj.id] = sj
+	sv.mu.Unlock()
+
+	sv.wg.Add(1)
+	go func() {
+		defer sv.wg.Done()
+		res, err := Run(context.Background(), spec, Config{
+			Server:   sv.srv,
+			Options:  sv.opts,
+			Registry: sv.reg,
+			OnCell: func(cr CellResult) {
+				sj.mu.Lock()
+				sj.cells = append(sj.cells, cr)
+				close(sj.notify)
+				sj.notify = make(chan struct{})
+				sj.mu.Unlock()
+			},
+		})
+		sj.mu.Lock()
+		if err != nil {
+			sj.err = err.Error()
+		} else {
+			sj.result = res
+		}
+		sj.done = true
+		close(sj.notify)
+		sj.notify = make(chan struct{})
+		sj.mu.Unlock()
+		sv.retire(sj.id)
+	}()
+	return sj.status(false), nil
+}
+
+// retire records a completed sweep and evicts the oldest beyond the
+// retention bound.
+func (sv *Service) retire(id string) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.order = append(sv.order, id)
+	for len(sv.order) > retainSweeps {
+		delete(sv.sweeps, sv.order[0])
+		sv.order = sv.order[1:]
+	}
+}
+
+func (sv *Service) lookup(id string) (*sweepJob, bool) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sj, ok := sv.sweeps[id]
+	return sj, ok
+}
+
+func (sv *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var ws WireSpec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&ws); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			verifyd.WriteError(w, http.StatusRequestEntityTooLarge, verifyd.CodeTooLarge, "body exceeds 1MiB")
+			return
+		}
+		verifyd.WriteError(w, http.StatusBadRequest, verifyd.CodeInvalidArgument, "bad sweep spec: "+err.Error())
+		return
+	}
+	st, err := sv.Start(ws)
+	if err != nil {
+		verifyd.WriteADLError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (sv *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	sv.mu.Lock()
+	jobs := make([]*sweepJob, 0, len(sv.sweeps))
+	for _, sj := range sv.sweeps {
+		jobs = append(jobs, sj)
+	}
+	sv.mu.Unlock()
+	out := struct {
+		Sweeps []Status `json:"sweeps"`
+	}{Sweeps: make([]Status, 0, len(jobs))}
+	for _, sj := range jobs {
+		out.Sweeps = append(out.Sweeps, sj.status(false))
+	}
+	// Listing order is creation order ("sweep-N" is monotonic).
+	for i := 1; i < len(out.Sweeps); i++ {
+		for j := i; j > 0 && out.Sweeps[j-1].Started.After(out.Sweeps[j].Started); j-- {
+			out.Sweeps[j-1], out.Sweeps[j] = out.Sweeps[j], out.Sweeps[j-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (sv *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sj, ok := sv.lookup(r.PathValue("id"))
+	if !ok {
+		verifyd.WriteError(w, http.StatusNotFound, verifyd.CodeNotFound, "no such sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, sj.status(true))
+}
+
+// streamLine is one NDJSON line of GET /v1/sweeps/{id}/stream: cell
+// lines as results arrive, then exactly one sweep line.
+type streamLine struct {
+	Cell  *CellResult `json:"cell,omitempty"`
+	Sweep *Status     `json:"sweep,omitempty"`
+}
+
+func (sv *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	sj, ok := sv.lookup(r.PathValue("id"))
+	if !ok {
+		verifyd.WriteError(w, http.StatusNotFound, verifyd.CodeNotFound, "no such sweep")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	seen := 0
+	for {
+		sj.mu.Lock()
+		pending := append([]CellResult(nil), sj.cells[seen:]...)
+		done := sj.done
+		notify := sj.notify
+		sj.mu.Unlock()
+		for i := range pending {
+			enc.Encode(streamLine{Cell: &pending[i]})
+			seen++
+		}
+		if done {
+			st := sj.status(true)
+			enc.Encode(streamLine{Sweep: &st})
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

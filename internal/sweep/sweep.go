@@ -1,0 +1,214 @@
+// Package sweep is the design-space exploration engine of the
+// Plug-and-Play toolchain. The paper's evaluation is exactly this
+// workload: compose every candidate send-port x channel x receive-port
+// connector into the same base design and re-verify, reusing the
+// component and block-library models each time. A Spec names a base ADL
+// design and the block sets to vary; Expand turns it into a job matrix
+// of ordinary ADL documents (one per cell); Run executes the matrix on a
+// verification server — an in-process one for local sweeps, or a shared
+// daemon where one HTTP request fans out into hundreds of verification
+// jobs that share the result cache and the search-worker budget.
+//
+// Identical cells are deduplicated before submission, and repeated
+// compositions across sweeps are answered from the server's
+// content-addressed result cache, so the marginal cost of a design
+// variant is the part of its state space no earlier variant explored.
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"pnp/internal/adl"
+	"pnp/internal/blocks"
+)
+
+// ChannelVariant is one channel choice of a sweep dimension.
+type ChannelVariant struct {
+	Kind blocks.ChannelKind
+	Size int // buffer size for sized kinds (default 1); ignored for single-slot
+}
+
+// Spec describes a design-space sweep: a base ADL design, the connector
+// to vary, and the block sets forming the variant matrix. Dimensions
+// left empty keep the base design's choice, so a Spec varying only
+// channels is three lines.
+type Spec struct {
+	// Name labels the sweep in results and service listings.
+	Name string
+	// Base is the base design's ADL source. The varied connector must
+	// open its block on the declaration line (`connector pipe {`).
+	Base string
+	// Components maps component paths referenced by Base to inline pml
+	// sources, exactly as a job submission would.
+	Components map[string]string
+	// Connector names the connector to vary; empty selects the base
+	// design's sole connector (an error if it has several).
+	Connector string
+
+	// The variant dimensions. Empty dimensions pin the base design's
+	// declared block for that position.
+	Sends    []blocks.SendPortKind
+	Channels []ChannelVariant
+	Recvs    []blocks.RecvPortKind
+	// FaultPlans optionally varies the design's fault plan: each entry is
+	// the inner text of a `faults { ... }` block ("" = no plan). Nil
+	// keeps the base design's faults block untouched.
+	FaultPlans []string
+
+	// UnderLossy adds, for every cell whose channel is not already lossy,
+	// a companion cell with the channel swapped for the lossy adversary —
+	// the matrix experiment's fault column. Companion cells that coincide
+	// with primary cells deduplicate into the same job.
+	UnderLossy bool
+	// LossySize is the companion's buffer size when the primary channel
+	// is unsized (default 1).
+	LossySize int
+
+	// Per-cell search-shape overrides (zero values keep the executing
+	// server's defaults).
+	MaxStates int
+	Workers   int
+	Timeout   time.Duration
+}
+
+// Cell is one expanded point of the variant matrix: a complete ADL
+// document plus the coordinates it was generated from.
+type Cell struct {
+	Index int `json:"index"`
+	// Spec is the varied connector's composition at this cell.
+	Spec blocks.ConnectorSpec `json:"-"`
+	// Connector renders Spec ("SynBlSendPort--FifoChannel(1)--BlRecvPort").
+	Connector string `json:"connector"`
+	// Faults is the cell's fault-plan text ("" = none/base).
+	Faults string `json:"faults,omitempty"`
+	// Companion marks an under-lossy companion; Primary is the index of
+	// the cell it shadows (its own index for primary cells).
+	Companion bool `json:"companion,omitempty"`
+	Primary   int  `json:"primary"`
+	// Source is the cell's generated ADL document.
+	Source string `json:"-"`
+}
+
+// Expand turns the spec into its job matrix: the cartesian product of
+// the populated dimensions in sends-major order (send, then channel,
+// then receive, then fault plan), followed by any under-lossy companion
+// cells. The base design is parsed but not composed, so expansion needs
+// no component sources.
+func (s Spec) Expand() ([]Cell, error) {
+	conns, err := adl.Connectors(s.Base)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: base design: %w", err)
+	}
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("sweep: base design declares no connectors")
+	}
+	var base *adl.ConnectorDecl
+	name := s.Connector
+	if name == "" {
+		if len(conns) > 1 {
+			return nil, fmt.Errorf("sweep: base design has %d connectors; name one in Spec.Connector", len(conns))
+		}
+		base = &conns[0]
+		name = base.Name
+	} else {
+		for i := range conns {
+			if conns[i].Name == name {
+				base = &conns[i]
+			}
+		}
+		if base == nil {
+			return nil, fmt.Errorf("sweep: base design has no connector %q", name)
+		}
+	}
+
+	sends := s.Sends
+	if len(sends) == 0 {
+		sends = []blocks.SendPortKind{base.Spec.Send}
+	}
+	channels := s.Channels
+	if len(channels) == 0 {
+		channels = []ChannelVariant{{Kind: base.Spec.Channel, Size: base.Spec.Size}}
+	}
+	recvs := s.Recvs
+	if len(recvs) == 0 {
+		recvs = []blocks.RecvPortKind{base.Spec.Recv}
+	}
+	plans := s.FaultPlans
+	rewritePlans := plans != nil
+	if len(plans) == 0 {
+		plans = []string{""}
+	}
+	lossySize := s.LossySize
+	if lossySize <= 0 {
+		lossySize = 1
+	}
+
+	var cells []Cell
+	add := func(cs blocks.ConnectorSpec, plan string, companion bool, primary int) error {
+		src, err := adl.RewriteConnector(s.Base, name, cs)
+		if err != nil {
+			return fmt.Errorf("sweep: cell %s: %w", cs, err)
+		}
+		if rewritePlans {
+			if src, err = adl.ReplaceFaults(src, plan); err != nil {
+				return fmt.Errorf("sweep: cell %s: %w", cs, err)
+			}
+		}
+		c := Cell{
+			Index:     len(cells),
+			Spec:      cs,
+			Connector: cs.String(),
+			Faults:    plan,
+			Companion: companion,
+			Primary:   primary,
+			Source:    src,
+		}
+		if !companion {
+			c.Primary = c.Index
+		}
+		cells = append(cells, c)
+		return nil
+	}
+
+	for _, snd := range sends {
+		for _, ch := range channels {
+			for _, rcv := range recvs {
+				for _, plan := range plans {
+					cs := blocks.ConnectorSpec{Send: snd, Channel: ch.Kind, Size: ch.Size, Recv: rcv}
+					if cs.Channel.Sized() && cs.Size == 0 {
+						cs.Size = 1
+					}
+					if !cs.Channel.Sized() {
+						cs.Size = 0
+					}
+					if err := cs.Validate(); err != nil {
+						return nil, fmt.Errorf("sweep: %w", err)
+					}
+					if err := add(cs, plan, false, 0); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if s.UnderLossy {
+		for i, prim := range append([]Cell(nil), cells...) {
+			if prim.Spec.Channel == blocks.LossyBuffer {
+				continue
+			}
+			ls := prim.Spec
+			ls.Channel = blocks.LossyBuffer
+			if ls.Size == 0 {
+				ls.Size = lossySize
+			}
+			if err := add(ls, prim.Faults, true, i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep: empty variant matrix")
+	}
+	return cells, nil
+}

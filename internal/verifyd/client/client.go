@@ -1,0 +1,487 @@
+// Package client is the typed Go client of the verification service's
+// v1 HTTP API. It deliberately imports nothing from the server packages:
+// the wire types below mirror the documented JSON shapes (docs/API.md),
+// so the client compiles against the protocol, not the implementation —
+// the same position an external consumer of the API is in.
+//
+// Transient failures — connection errors and 5xx responses on
+// idempotent requests — are retried with capped exponential backoff;
+// API failures surface as *APIError carrying the uniform error
+// envelope's code and message.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Job mirrors the service's job resource.
+type Job struct {
+	ID          string    `json:"id"`
+	State       string    `json:"state"` // "queued", "running", "done"
+	Submitted   time.Time `json:"submitted"`
+	Report      *Report   `json:"report,omitempty"`
+	CacheHits   int       `json:"cache_hits"`
+	CacheMisses int       `json:"cache_misses"`
+	Workers     int       `json:"workers,omitempty"`
+}
+
+// Report mirrors the service's verdict document.
+type Report struct {
+	System     string            `json:"system"`
+	Processes  int               `json:"processes"`
+	Channels   int               `json:"channels"`
+	OK         bool              `json:"ok"`
+	Failed     int               `json:"failed"`
+	Properties []PropertyVerdict `json:"properties"`
+}
+
+// PropertyVerdict mirrors one property's verdict.
+type PropertyVerdict struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	OK      bool   `json:"ok"`
+	Verdict string `json:"verdict"`
+	Message string `json:"message,omitempty"`
+	Summary string `json:"summary"`
+
+	States      int     `json:"states"`
+	Matched     int     `json:"matched"`
+	Transitions int     `json:"transitions"`
+	Depth       int     `json:"depth"`
+	Reduced     int     `json:"reduced,omitempty"`
+	Truncated   bool    `json:"truncated,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+
+	Counterexample string   `json:"counterexample,omitempty"`
+	MSC            string   `json:"msc,omitempty"`
+	Unreached      []string `json:"unreached,omitempty"`
+	Cached         bool     `json:"cached"`
+}
+
+// JobRequest is the submission envelope for Submit.
+type JobRequest struct {
+	ADL        string            `json:"adl"`
+	Components map[string]string `json:"components,omitempty"`
+
+	MaxStates      *int  `json:"max_states,omitempty"`
+	MaxDepth       *int  `json:"max_depth,omitempty"`
+	BFS            *bool `json:"bfs,omitempty"`
+	IgnoreDeadlock *bool `json:"ignore_deadlock,omitempty"`
+	PartialOrder   *bool `json:"partial_order,omitempty"`
+	WeakFairness   *bool `json:"weak_fairness,omitempty"`
+	StrongFairness *bool `json:"strong_fairness,omitempty"`
+	Workers        *int  `json:"workers,omitempty"`
+	TimeoutMS      int   `json:"timeout_ms,omitempty"`
+}
+
+// JobSummary mirrors a GET /v1/jobs list element.
+type JobSummary struct {
+	ID          string    `json:"id"`
+	State       string    `json:"state"`
+	Submitted   time.Time `json:"submitted"`
+	CacheHits   int       `json:"cache_hits"`
+	CacheMisses int       `json:"cache_misses"`
+	Workers     int       `json:"workers,omitempty"`
+	OK          *bool     `json:"ok,omitempty"`
+}
+
+// JobList is one page of GET /v1/jobs.
+type JobList struct {
+	Jobs       []JobSummary `json:"jobs"`
+	NextCursor string       `json:"next_cursor,omitempty"`
+}
+
+// SweepSpec mirrors the sweep submission (ADL-token dimensions).
+type SweepSpec struct {
+	Name       string            `json:"name,omitempty"`
+	Base       string            `json:"base,omitempty"`
+	Components map[string]string `json:"components,omitempty"`
+	Connector  string            `json:"connector,omitempty"`
+
+	Sends      []string `json:"sends,omitempty"`
+	Channels   []string `json:"channels,omitempty"`
+	Recvs      []string `json:"recvs,omitempty"`
+	FaultPlans []string `json:"fault_plans,omitempty"`
+
+	UnderLossy bool `json:"under_lossy,omitempty"`
+	LossySize  int  `json:"lossy_size,omitempty"`
+
+	MaxStates int `json:"max_states,omitempty"`
+	Workers   int `json:"workers,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	Preset  string `json:"preset,omitempty"`
+	Msgs    int    `json:"msgs,omitempty"`
+	BufSize int    `json:"buf_size,omitempty"`
+}
+
+// SweepCell mirrors one sweep cell's result.
+type SweepCell struct {
+	Index     int    `json:"index"`
+	Connector string `json:"connector"`
+	Send      string `json:"send"`
+	Channel   string `json:"channel"`
+	Size      int    `json:"size,omitempty"`
+	Recv      string `json:"recv"`
+	Faults    string `json:"faults,omitempty"`
+	Companion bool   `json:"companion,omitempty"`
+	Primary   int    `json:"primary"`
+
+	Verdict    string            `json:"verdict"`
+	OK         bool              `json:"ok"`
+	States     int               `json:"states"`
+	Properties []PropertyVerdict `json:"properties,omitempty"`
+
+	CacheHits   int  `json:"cache_hits"`
+	CacheMisses int  `json:"cache_misses"`
+	Deduped     bool `json:"deduped,omitempty"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// SweepResult mirrors a completed sweep's aggregate.
+type SweepResult struct {
+	Name  string      `json:"name"`
+	Cells []SweepCell `json:"cells"`
+
+	Total       int     `json:"total"`
+	Passed      int     `json:"passed"`
+	Failed      int     `json:"failed"`
+	DedupHits   int     `json:"dedup_hits"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// SweepStatus mirrors a sweep resource.
+type SweepStatus struct {
+	ID      string       `json:"id"`
+	Name    string       `json:"name"`
+	State   string       `json:"state"` // "running" or "done"
+	Started time.Time    `json:"started"`
+	Total   int          `json:"total_cells"`
+	Done    int          `json:"done_cells"`
+	Result  *SweepResult `json:"result,omitempty"`
+	Err     string       `json:"err,omitempty"`
+}
+
+// APIError is a non-2xx response decoded from the uniform error
+// envelope {"error":{"code","message"}}.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // machine-readable code ("invalid_argument", ...)
+	Message string
+	Line    int // source position, set on ADL errors
+	Col     int
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("verifyd: %s (%d): %s (line %d, col %d)", e.Code, e.Status, e.Message, e.Line, e.Col)
+	}
+	return fmt.Sprintf("verifyd: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries bounds transient-failure retries per request (default 3;
+// 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the initial and maximum retry backoff (defaults
+// 100ms and 2s). The delay doubles per attempt, capped at max.
+func WithBackoff(initial, max time.Duration) Option {
+	return func(c *Client) { c.backoff, c.maxBackoff = initial, max }
+}
+
+// Client talks to one verification service.
+type Client struct {
+	base       string
+	hc         *http.Client
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+}
+
+// New builds a client for the service at base (e.g.
+// "http://localhost:7447").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{},
+		retries:    3,
+		backoff:    100 * time.Millisecond,
+		maxBackoff: 2 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one request with retries. body is re-sent on each attempt;
+// non-2xx responses decode into *APIError. 5xx responses and transport
+// errors are retried (the API's mutating requests are safe to repeat:
+// re-submitting content-addressed work is how the cache earns its keep);
+// 4xx responses are not.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	delay := c.backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		switch {
+		case err != nil:
+			lastErr = err
+		default:
+			retry, err := c.decode(resp, out)
+			if !retry {
+				return err
+			}
+			lastErr = err
+		}
+		if attempt >= c.retries {
+			return lastErr
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		delay *= 2
+		if delay > c.maxBackoff {
+			delay = c.maxBackoff
+		}
+	}
+}
+
+// decode consumes one response; retry reports whether the failure is
+// transient.
+func (c *Client) decode(resp *http.Response, out any) (retry bool, err error) {
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return false, nil
+		}
+		return false, json.NewDecoder(resp.Body).Decode(out)
+	}
+	ae := &APIError{Status: resp.StatusCode}
+	var eb struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+		} `json:"error"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&eb); derr == nil {
+		ae.Code, ae.Message, ae.Line, ae.Col = eb.Error.Code, eb.Error.Message, eb.Error.Line, eb.Error.Col
+	}
+	if ae.Message == "" {
+		ae.Message = http.StatusText(resp.StatusCode)
+	}
+	return resp.StatusCode >= 500, ae
+}
+
+// Submit submits a verification job and returns its initial state.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*Job, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var job Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Job fetches a job by ID.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Jobs lists jobs. status filters by lifecycle state (""= all); cursor
+// continues a previous page; limit caps the page size (0 = server
+// default).
+func (c *Client) Jobs(ctx context.Context, status, cursor string, limit int) (*JobList, error) {
+	q := url.Values{}
+	if status != "" {
+		q.Set("status", status)
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var list JobList
+	if err := c.do(ctx, http.MethodGet, path, nil, &list); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
+// Wait long-polls until the job completes or ctx expires. Each poll
+// rides the server's /wait endpoint so waiting costs one slow request,
+// not a busy loop.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	for {
+		var job Job
+		err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/wait?timeout=30s", nil, &job)
+		if err != nil {
+			return nil, err
+		}
+		if job.State == "done" {
+			return &job, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// SubmitSweep submits a design-space sweep.
+func (c *Client) SubmitSweep(ctx context.Context, spec SweepSpec) (*SweepStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	var st SweepStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Sweep fetches a sweep's status (result included once done).
+func (c *Client) Sweep(ctx context.Context, id string) (*SweepStatus, error) {
+	var st SweepStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// StreamSweep follows a sweep's NDJSON stream, invoking onCell for each
+// cell line, and returns the final status. A dropped connection
+// reconnects (with the usual backoff) and replays; cells already seen
+// are skipped, so onCell observes each index exactly once, in order.
+func (c *Client) StreamSweep(ctx context.Context, id string, onCell func(SweepCell)) (*SweepStatus, error) {
+	delay := c.backoff
+	seen := 0
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		st, err := c.streamOnce(ctx, id, &seen, onCell)
+		if err == nil {
+			return st, nil
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status < 500 {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		if attempt >= c.retries {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		delay *= 2
+		if delay > c.maxBackoff {
+			delay = c.maxBackoff
+		}
+	}
+}
+
+// streamOnce consumes one stream connection, advancing *seen past
+// replayed cells.
+func (c *Client) streamOnce(ctx context.Context, id string, seen *int, onCell func(SweepCell)) (*SweepStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/sweeps/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		_, err := c.decode(resp, nil)
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	// Cell lines carry full property verdicts (counterexamples included),
+	// which overflow bufio's default 64KiB line limit on real designs.
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var line struct {
+		Cell  *SweepCell   `json:"cell"`
+		Sweep *SweepStatus `json:"sweep"`
+	}
+	for sc.Scan() {
+		line.Cell, line.Sweep = nil, nil
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("bad stream line: %w", err)
+		}
+		switch {
+		case line.Cell != nil:
+			if line.Cell.Index < *seen {
+				continue // replayed after a reconnect
+			}
+			*seen = line.Cell.Index + 1
+			if onCell != nil {
+				onCell(*line.Cell)
+			}
+		case line.Sweep != nil:
+			return line.Sweep, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("stream ended without a sweep line")
+}

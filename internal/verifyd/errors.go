@@ -1,0 +1,58 @@
+package verifyd
+
+import (
+	"errors"
+	"net/http"
+
+	"pnp/internal/adl"
+)
+
+// Error codes of the v1 HTTP API. Every failure response across every
+// /v1 route (including the sweep routes layered on by internal/sweep)
+// carries the same JSON envelope:
+//
+//	{"error": {"code": "invalid_argument", "message": "...", "line": 2, "col": 5}}
+//
+// line/col appear only on ADL parse and composition errors.
+const (
+	CodeInvalidArgument = "invalid_argument"
+	CodeNotFound        = "not_found"
+	CodeTooLarge        = "too_large"
+	CodeUnavailable     = "unavailable"
+	CodeInternal        = "internal"
+)
+
+// ErrorInfo is the body of the uniform v1 error envelope.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+}
+
+// ErrorBody is the uniform v1 error envelope.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// WriteError writes the uniform error envelope. It is exported so every
+// handler layered onto the service's HTTP surface (the sweep service,
+// future route groups) fails with the same shape.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: msg}})
+}
+
+// WriteADLError writes err as the uniform envelope, carrying source
+// positions for ADL errors and mapping ErrDraining to 503/unavailable.
+func WriteADLError(w http.ResponseWriter, err error) {
+	var ae *adl.Error
+	switch {
+	case errors.As(err, &ae):
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: ErrorInfo{
+			Code: CodeInvalidArgument, Message: ae.Error(), Line: ae.Line, Col: ae.Col}})
+	case errors.Is(err, ErrDraining):
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+	default:
+		WriteError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+	}
+}

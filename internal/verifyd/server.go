@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -82,6 +84,7 @@ type Job struct {
 	opts    checker.Options
 	timeout time.Duration
 	done    chan struct{}
+	seq     int // submission order, the cursor GET /v1/jobs pages over
 }
 
 // jobRequest is the JSON submission envelope. Raw (non-JSON) bodies are
@@ -178,6 +181,11 @@ func NewServer(cfg Config) *Server {
 // Cache exposes the result cache (for stats endpoints and tests).
 func (s *Server) Cache() *ResultCache { return s.cache }
 
+// Options returns the server's base checker configuration. Embedders
+// that submit on behalf of clients (the sweep service) start from it so
+// their jobs hash into the same cache entries as direct submissions.
+func (s *Server) Options() checker.Options { return s.cfg.Options }
+
 // ModelCacheStats reports compiled-model reuse across jobs.
 func (s *Server) ModelCacheStats() (hits, misses int) { return s.models.Stats() }
 
@@ -219,6 +227,7 @@ func (s *Server) Submit(src string, components map[string]string, opts checker.O
 		opts:      opts,
 		timeout:   timeout,
 		done:      make(chan struct{}),
+		seq:       s.nextID,
 	}
 	s.jobs[job.ID] = job
 	// Registered under the same lock as the closed check, so Shutdown's
@@ -439,30 +448,35 @@ func (s *Server) snapshotJob(job *Job) Job {
 		CacheHits:   job.CacheHits,
 		CacheMisses: job.CacheMisses,
 		Workers:     job.Workers,
+		seq:         job.seq,
 	}
 }
 
-// --- HTTP API ---
+// Snapshot returns a race-free copy of a job's externally visible
+// fields. The sweep engine and other in-process embedders read results
+// through it instead of touching the live job.
+func (s *Server) Snapshot(job *Job) Job { return s.snapshotJob(job) }
 
-// httpError is the JSON error body; ADL errors carry their position.
-type httpError struct {
-	Error string `json:"error"`
-	Line  int    `json:"line,omitempty"`
-	Col   int    `json:"col,omitempty"`
-}
+// --- HTTP API ---
 
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/jobs           submit ADL (raw text or JSON envelope) -> job
+//	GET  /v1/jobs           list jobs (?status=, ?cursor=, ?limit=)
 //	GET  /v1/jobs/{id}      job status; report included when done
 //	GET  /v1/jobs/{id}/wait long-poll until done (or ?timeout=30s)
 //	GET  /v1/cache          result-cache statistics
 //	GET  /healthz           liveness: 200 while the process runs
 //	GET  /readyz            readiness: 200 accepting jobs, 503 draining
 //	GET  /metrics           Prometheus exposition (plus /metrics.json)
+//
+// Every failure response is the uniform JSON envelope
+// {"error":{"code","message"}} (see WriteError); unknown paths get an
+// enveloped 404 so the whole surface fails uniformly.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
@@ -472,6 +486,9 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/metrics", s.reg.Handler())
 		mux.Handle("/metrics.json", s.reg.Handler())
 	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no such route: "+r.URL.Path)
+	})
 	return mux
 }
 
@@ -514,39 +531,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, httpError{Error: "body exceeds 1MiB"})
+			WriteError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, "body exceeds 1MiB")
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "reading body: " + err.Error()})
+		WriteError(w, http.StatusBadRequest, CodeInvalidArgument, "reading body: "+err.Error())
 		return
 	}
 	var req jobRequest
 	trimmed := strings.TrimSpace(string(body))
 	if strings.HasPrefix(trimmed, "{") {
 		if err := json.Unmarshal(body, &req); err != nil {
-			writeJSON(w, http.StatusBadRequest, httpError{Error: "bad JSON envelope: " + err.Error()})
+			WriteError(w, http.StatusBadRequest, CodeInvalidArgument, "bad JSON envelope: "+err.Error())
 			return
 		}
 	} else {
 		req.ADL = trimmed
 	}
 	if strings.TrimSpace(req.ADL) == "" {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "empty ADL source"})
+		WriteError(w, http.StatusBadRequest, CodeInvalidArgument, "empty ADL source")
 		return
 	}
 
 	opts := s.jobOptions(req)
 	job, err := s.Submit(req.ADL, req.Components, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
 	if err != nil {
-		var ae *adl.Error
-		switch {
-		case errors.As(err, &ae):
-			writeJSON(w, http.StatusBadRequest, httpError{Error: ae.Error(), Line: ae.Line, Col: ae.Col})
-		case errors.Is(err, ErrDraining):
-			writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
-		default:
-			writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
-		}
+		WriteADLError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.snapshotJob(job))
@@ -582,10 +591,94 @@ func (s *Server) jobOptions(req jobRequest) checker.Options {
 	return opts
 }
 
+// jobSummary is the GET /v1/jobs list element: everything a dashboard
+// needs without the (potentially large) verdict report.
+type jobSummary struct {
+	ID          string    `json:"id"`
+	State       JobState  `json:"state"`
+	Submitted   time.Time `json:"submitted"`
+	CacheHits   int       `json:"cache_hits"`
+	CacheMisses int       `json:"cache_misses"`
+	Workers     int       `json:"workers,omitempty"`
+	// OK is present once the job is done.
+	OK *bool `json:"ok,omitempty"`
+}
+
+// handleJobs lists jobs in submission order with optional status
+// filtering and cursor pagination: ?status=queued|running|done,
+// ?cursor=<opaque, from the previous page's next_cursor>, ?limit=N
+// (default 100, max 1000). Evicted jobs are absent; the cursor remains
+// valid across evictions because it encodes a submission sequence
+// number, not an offset.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var filter JobState
+	switch st := q.Get("status"); st {
+	case "":
+	case string(JobQueued), string(JobRunning), string(JobDone):
+		filter = JobState(st)
+	default:
+		WriteError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("bad status %q: want queued, running, or done", st))
+		return
+	}
+	limit := 100
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			WriteError(w, http.StatusBadRequest, CodeInvalidArgument, "bad limit: "+ls)
+			return
+		}
+		limit = min(n, 1000)
+	}
+	after := 0
+	if cs := q.Get("cursor"); cs != "" {
+		n, err := strconv.Atoi(cs)
+		if err != nil || n < 0 {
+			WriteError(w, http.StatusBadRequest, CodeInvalidArgument, "bad cursor: "+cs)
+			return
+		}
+		after = n
+	}
+
+	s.mu.Lock()
+	all := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.seq > after && (filter == "" || j.State == filter) {
+			all = append(all, j)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	more := len(all) > limit
+	if more {
+		all = all[:limit]
+	}
+	out := struct {
+		Jobs       []jobSummary `json:"jobs"`
+		NextCursor string       `json:"next_cursor,omitempty"`
+	}{Jobs: make([]jobSummary, 0, len(all))}
+	for _, j := range all {
+		js := jobSummary{
+			ID: j.ID, State: j.State, Submitted: j.Submitted,
+			CacheHits: j.CacheHits, CacheMisses: j.CacheMisses, Workers: j.Workers,
+		}
+		if j.State == JobDone && j.Report != nil {
+			ok := j.Report.OK
+			js.OK = &ok
+		}
+		out.Jobs = append(out.Jobs, js)
+	}
+	if more {
+		out.NextCursor = strconv.Itoa(all[len(all)-1].seq)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, httpError{Error: "no such job"})
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.snapshotJob(job))
@@ -594,14 +687,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, httpError{Error: "no such job"})
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no such job")
 		return
 	}
 	ctx := r.Context()
 	if tm := r.URL.Query().Get("timeout"); tm != "" {
 		d, err := time.ParseDuration(tm)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, httpError{Error: "bad timeout: " + err.Error()})
+			WriteError(w, http.StatusBadRequest, CodeInvalidArgument, "bad timeout: "+err.Error())
 			return
 		}
 		var cancel context.CancelFunc

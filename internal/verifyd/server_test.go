@@ -312,16 +312,19 @@ func TestServiceBadADL(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", resp.StatusCode)
 	}
-	var e httpError
+	var e ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if e.Line != 2 || e.Col != 5 {
-		t.Errorf("error position = %d:%d, want 2:5 (%+v)", e.Line, e.Col, e)
+	if e.Error.Line != 2 || e.Error.Col != 5 {
+		t.Errorf("error position = %d:%d, want 2:5 (%+v)", e.Error.Line, e.Error.Col, e)
 	}
-	if !strings.Contains(e.Error, "unknown declaration") {
-		t.Errorf("error = %q", e.Error)
+	if e.Error.Code != CodeInvalidArgument {
+		t.Errorf("error code = %q, want %q", e.Error.Code, CodeInvalidArgument)
+	}
+	if !strings.Contains(e.Error.Message, "unknown declaration") {
+		t.Errorf("error = %q", e.Error.Message)
 	}
 }
 

@@ -36,6 +36,8 @@
 package pnp
 
 import (
+	"context"
+
 	"pnp/internal/adl"
 	"pnp/internal/blocks"
 	"pnp/internal/checker"
@@ -43,8 +45,10 @@ import (
 	"pnp/internal/faults"
 	"pnp/internal/obs"
 	"pnp/internal/pnprt"
+	"pnp/internal/sweep"
 	"pnp/internal/trace"
 	"pnp/internal/verifyd"
+	"pnp/internal/verifyd/client"
 )
 
 // Design-level API.
@@ -329,3 +333,60 @@ func NewVerifyServer(cfg VerifyServerConfig) *VerifyServer { return verifyd.NewS
 func NewResultCache(maxEntries int, reg *MetricsRegistry) *ResultCache {
 	return verifyd.NewResultCache(maxEntries, reg)
 }
+
+// Design-space sweep API: expand a base design and block-dimension sets
+// into a cell matrix and verify every variant, deduping identical cells
+// and reusing the verification service's result cache (see cmd/pnpsweep
+// for the CLI).
+type (
+	// SweepSpec describes a sweep: a base ADL design, the connector to
+	// vary, and the block sets forming the variant matrix.
+	SweepSpec = sweep.Spec
+	// SweepChannelVariant is one channel choice of a sweep dimension.
+	SweepChannelVariant = sweep.ChannelVariant
+	// SweepConfig parameterizes sweep execution (server, options,
+	// metrics, streaming callback).
+	SweepConfig = sweep.Config
+	// SweepCell is one expanded point of the variant matrix.
+	SweepCell = sweep.Cell
+	// SweepCellResult is one cell's verdict and cost.
+	SweepCellResult = sweep.CellResult
+	// SweepResult aggregates a sweep's cells with dedup and cache
+	// counters; Ranked orders cells best-first.
+	SweepResult = sweep.Result
+	// SweepService serves sweeps over HTTP on top of a VerifyServer
+	// (POST /v1/sweeps, streaming NDJSON results).
+	SweepService = sweep.Service
+)
+
+// Sweep expands spec and verifies every cell. A nil Server in cfg runs
+// the sweep on a private in-process verification service.
+func Sweep(ctx context.Context, spec SweepSpec, cfg SweepConfig) (*SweepResult, error) {
+	return sweep.Run(ctx, spec, cfg)
+}
+
+// MatrixSweep is the paper's E12 connector-matrix experiment as a
+// preset spec: every send-port x channel x receive-port composition of
+// a producer/consumer system, each with its under-lossy companion.
+func MatrixSweep(msgs, bufsize int) SweepSpec { return sweep.Matrix(msgs, bufsize) }
+
+// NewSweepService layers sweep routes over a verification server's API.
+func NewSweepService(srv *VerifyServer, opts CheckOptions, reg *MetricsRegistry) *SweepService {
+	return sweep.NewService(srv, opts, reg)
+}
+
+// Remote-client API: a typed client for the verification service's HTTP
+// API, with retries and sweep streaming.
+type (
+	// Client talks to one verification service (pnpd) over HTTP.
+	Client = client.Client
+	// ClientOption configures a Client (retries, backoff, transport).
+	ClientOption = client.Option
+	// APIError is a service failure decoded from the uniform error
+	// envelope.
+	APIError = client.APIError
+)
+
+// NewClient builds a client for the verification service at base, e.g.
+// "http://localhost:7447".
+func NewClient(base string, opts ...ClientOption) *Client { return client.New(base, opts...) }
