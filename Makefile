@@ -17,11 +17,11 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/faults/... ./internal/pnprt/...
+	$(GO) test -race ./internal/faults/... ./internal/pnprt/... ./internal/obs/tracing/
 	$(GO) test -race ./internal/bridge/ -run Runtime
 	$(GO) test -race ./internal/blocks/ ./internal/verifyd/ -run 'Concurrent|Cache'
 	$(GO) test -race -short ./internal/checker/ ./internal/model/
-	$(GO) test -race ./internal/verifyd/ -run 'Budget|ServiceJob'
+	$(GO) test -race ./internal/verifyd/ -run 'Budget|ServiceJob|Trace'
 	$(GO) test -race -short ./internal/sweep/ ./internal/verifyd/client/
 
 bench:
@@ -31,14 +31,17 @@ bench:
 # experiment benchmarks E8-E17, the verification-service cache, the
 # fault-injection middleware overhead, the PR4 parallel-search scaling
 # rows (ParallelSafety worker sweep + the sharded visited set vs the
-# sequential map), and the PR5 sweep-engine rows (cold in-process sweep
-# vs fully cache-served re-sweep, plus spec expansion).
+# sequential map), the PR5 sweep-engine rows (cold in-process sweep
+# vs fully cache-served re-sweep, plus spec expansion), and the PR6
+# tracing rows (span overhead with the recorder enabled vs the nil
+# recorder's disabled path).
 bench-json:
 	($(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR|VerifydCache|FaultMiddleware|ParallelSafety' -benchtime 1x . && \
 	 $(GO) test -run '^$$' -bench 'ShardedVisited' -benchtime 1x ./internal/checker/ && \
-	 $(GO) test -run '^$$' -bench 'SweepInProcess|SweepCacheReuse|ExpandMatrix' -benchtime 1x ./internal/sweep/) \
-		| $(GO) run ./internal/tools/benchjson > BENCH_PR5.json
-	@echo wrote BENCH_PR5.json
+	 $(GO) test -run '^$$' -bench 'SweepInProcess|SweepCacheReuse|ExpandMatrix' -benchtime 1x ./internal/sweep/ && \
+	 $(GO) test -run '^$$' -bench 'SpanOverhead' -benchtime 1000x ./internal/obs/tracing/) \
+		| $(GO) run ./internal/tools/benchjson > BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
 
 # Regenerate every EXPERIMENTS.md table.
 experiments:

@@ -8,7 +8,7 @@
 //	E13 paper-literal vs optimized block models (state explosion)
 //	E15 state-space scaling with buffer size
 //
-// Usage: pnpbridge [-quick] [-trace] [-metrics]
+// Usage: pnpbridge [-quick] [-trace] [-metrics] [-trace-out FILE]
 package main
 
 import (
@@ -22,17 +22,43 @@ import (
 	"pnp/internal/checker"
 	"pnp/internal/model"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps (skips the slowest rows)")
 	showTrace := flag.Bool("trace", false, "print the E8 counterexample trace and MSC")
 	metrics := flag.Bool("metrics", false, "collect checker metrics and print a table per experiment")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the checker-phase spans")
 	flag.Parse()
-	if err := run(*quick, *showTrace, *metrics); err != nil {
+	var rec *tracing.Recorder
+	if *traceOut != "" {
+		rec = tracing.NewRecorder(tracing.DefaultRecorderCapacity)
+	}
+	if err := run(*quick, *showTrace, *metrics, rec); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpbridge: %v\n", err)
 		os.Exit(1)
 	}
+	if rec != nil {
+		if err := writeChromeFile(*traceOut, rec.Spans()); err != nil {
+			fmt.Fprintf(os.Stderr, "pnpbridge: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+	}
+}
+
+// writeChromeFile writes spans to path as Chrome trace_event JSON.
+func writeChromeFile(path string, spans []tracing.SpanData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tracing.WriteChromeTrace(f, spans)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // newRegistry returns a fresh registry when metrics are requested, nil
@@ -69,7 +95,7 @@ func rate(states int, d time.Duration) string {
 	}
 }
 
-func run(quick, showTrace, metrics bool) error {
+func run(quick, showTrace, metrics bool, rec *tracing.Recorder) error {
 	cache := blocks.NewCache()
 
 	fmt.Println("== E8/E9/E10: bridge safety across connector choices ==")
@@ -96,6 +122,7 @@ func run(quick, showTrace, metrics bool) error {
 	var e8 *checker.Result
 	for _, r := range rows {
 		r.opts.Metrics = regSafety
+		r.opts.Tracer = rec
 		res, err := bridge.Verify(r.cfg, cache, r.opts)
 		if err != nil {
 			return err
@@ -147,7 +174,7 @@ func run(quick, showTrace, metrics bool) error {
 		}
 		res, err := bridge.Verify(bridge.Config{
 			Variant: bridge.ExactlyN, EnterSend: blocks.SynBlockingSend,
-		}, cache, checker.Options{PartialOrder: por, Metrics: regPOR})
+		}, cache, checker.Options{PartialOrder: por, Metrics: regPOR, Tracer: rec})
 		if err != nil {
 			return err
 		}
@@ -168,7 +195,7 @@ func run(quick, showTrace, metrics bool) error {
 	for n := 1; n <= maxN; n++ {
 		res, err := bridge.Verify(bridge.Config{
 			Variant: bridge.ExactlyN, EnterSend: blocks.SynBlockingSend, N: n,
-		}, cache, checker.Options{Metrics: regScale})
+		}, cache, checker.Options{Metrics: regScale, Tracer: rec})
 		if err != nil {
 			return err
 		}

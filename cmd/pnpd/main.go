@@ -8,7 +8,14 @@
 //
 //	pnpd [--addr :7447] [--workers N] [--search-budget N]
 //	     [--cache-entries N] [--job-timeout 30s] [--metrics-addr :8080]
-//	     [--root DIR]
+//	     [--root DIR] [--trace-entries N] [--log-level info]
+//
+// Every job and sweep is traced into a bounded in-process flight
+// recorder: GET /v1/jobs/{id}/trace and /v1/sweeps/{id}/trace stream
+// the spans as NDJSON, /debug/trace browses the ring, and submissions
+// carrying a W3C traceparent header join the caller's trace. Job
+// lifecycle events are logged with log/slog, each line carrying the
+// job_id and trace_id.
 //
 // Submit a design and wait for its verdict:
 //
@@ -30,6 +37,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 	"pnp/internal/sweep"
 	"pnp/internal/verifyd"
 )
@@ -56,6 +65,9 @@ func run() int {
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-property search timeout (0 = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on a separate address (default: on --addr)")
 	root := flag.String("root", "", "directory for resolving component references in raw ADL submissions")
+	traceEntries := flag.Int("trace-entries", tracing.DefaultRecorderCapacity,
+		"flight-recorder capacity in spans; jobs and sweeps record traces served on /v1/*/trace and /debug/trace (0 disables tracing)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: pnpd [flags]\n")
 		flag.PrintDefaults()
@@ -66,6 +78,18 @@ func run() int {
 		return 2
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: bad -log-level %q\n", *logLevel)
+		return 2
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var rec *tracing.Recorder
+	if *traceEntries > 0 {
+		rec = tracing.NewRecorder(*traceEntries)
+	}
+
 	reg := obs.NewRegistry()
 	cfg := verifyd.Config{
 		Workers:      *workers,
@@ -73,6 +97,8 @@ func run() int {
 		CacheEntries: *cacheEntries,
 		JobTimeout:   *jobTimeout,
 		Registry:     reg,
+		Tracer:       rec,
+		Logger:       logger,
 	}
 	if *root != "" {
 		dir := *root
@@ -99,7 +125,11 @@ func run() int {
 		ln.Addr(), cfgWorkers(cfg), *cacheEntries, *jobTimeout)
 
 	if *metricsAddr != "" {
-		msrv, err := obs.Serve(reg, *metricsAddr)
+		var mounts []obs.Mount
+		if rec != nil {
+			mounts = append(mounts, obs.Mount{Pattern: "/debug/trace", Handler: rec.Handler()})
+		}
+		msrv, err := obs.Serve(reg, *metricsAddr, mounts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pnpd: metrics: %v\n", err)
 			return 1

@@ -17,6 +17,8 @@
 // against a remote verification service.
 //
 // Usage: pnpmatrix [-msgs N] [-bufsize N] [-workers N] [-metrics]
+//
+//	[-trace-out FILE]
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 
 	"pnp/internal/checker"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 	"pnp/internal/sweep"
 )
 
@@ -37,17 +40,22 @@ func main() {
 	bufsize := flag.Int("bufsize", 1, "size of sized channels")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel search workers per cell (0 = sequential engines)")
 	metrics := flag.Bool("metrics", false, "collect checker metrics across the sweep and print the table")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the sweep's spans")
 	flag.Parse()
-	if err := run(*msgs, *bufsize, *workers, *metrics); err != nil {
+	if err := run(*msgs, *bufsize, *workers, *metrics, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpmatrix: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(msgs, bufsize, workers int, metrics bool) error {
+func run(msgs, bufsize, workers int, metrics bool, traceOut string) error {
 	var reg *obs.Registry
 	if metrics {
 		reg = obs.NewRegistry()
+	}
+	var rec *tracing.Recorder
+	if traceOut != "" {
+		rec = tracing.NewRecorder(tracing.DefaultRecorderCapacity)
 	}
 	fmt.Printf("producer sends %d message(s); sized channels hold %d\n\n", msgs, bufsize)
 	fmt.Printf("%-52s %-22s %-18s %8s %10s %10s\n", "connector", "verdict", "under-lossy", "states", "states/s", "time")
@@ -56,9 +64,24 @@ func run(msgs, bufsize, workers int, metrics bool) error {
 		SearchBudget: workers,
 		Options:      checker.Options{Workers: workers},
 		Registry:     reg,
+		Tracer:       rec,
 	})
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		werr := tracing.WriteChromeTrace(f, rec.Spans())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", traceOut)
 	}
 	rows := sweep.MatrixRows(res)
 	for _, row := range rows {

@@ -27,6 +27,7 @@ import (
 
 	"pnp/internal/adl"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 	"pnp/internal/sweep"
 	"pnp/internal/verifyd/client"
 )
@@ -50,6 +51,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-cell verification timeout (0 = server default)")
 		ranked     = flag.Int("ranked", 0, "after the table, print the N best cells")
 		jsonOut    = flag.Bool("json", false, "emit the full result as JSON instead of the table")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the sweep's spans (view in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -68,13 +70,13 @@ func main() {
 		Workers:    *workers,
 		TimeoutMS:  int(*timeout / time.Millisecond),
 	}
-	if err := run(ws, *adlPath, *remote, *ranked, *jsonOut); err != nil {
+	if err := run(ws, *adlPath, *remote, *ranked, *jsonOut, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpsweep: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ws client.SweepSpec, adlPath, remote string, ranked int, jsonOut bool) error {
+func run(ws client.SweepSpec, adlPath, remote string, ranked int, jsonOut bool, traceOut string) error {
 	if ws.Preset == "" && adlPath == "" {
 		return fmt.Errorf("need -preset or -adl (see -h)")
 	}
@@ -96,9 +98,9 @@ func run(ws client.SweepSpec, adlPath, remote string, ranked int, jsonOut bool) 
 	var res *sweep.Result
 	var err error
 	if remote != "" {
-		res, err = runRemote(ws, remote)
+		res, err = runRemote(ws, remote, traceOut)
 	} else {
-		res, err = runLocal(ws)
+		res, err = runLocal(ws, traceOut)
 	}
 	if err != nil {
 		return err
@@ -169,23 +171,46 @@ func printRow(connector, verdict string, states int, deduped bool, cacheMisses i
 		time.Duration(elapsedMS*float64(time.Millisecond)).Round(time.Millisecond))
 }
 
-func runLocal(ws client.SweepSpec) (*sweep.Result, error) {
+func runLocal(ws client.SweepSpec, traceOut string) (*sweep.Result, error) {
 	spec, err := toWireSpec(ws).Compile()
 	if err != nil {
 		return nil, err
 	}
+	var rec *tracing.Recorder
+	if traceOut != "" {
+		rec = tracing.NewRecorder(tracing.DefaultRecorderCapacity)
+	}
 	printHeader()
-	return sweep.Run(context.Background(), spec, sweep.Config{
+	res, err := sweep.Run(context.Background(), spec, sweep.Config{
 		Registry: obs.NewRegistry(),
+		Tracer:   rec,
 		OnCell: func(c sweep.CellResult) {
 			printRow(c.Connector, c.Verdict, c.States, c.Deduped, c.CacheMisses, c.Err, c.ElapsedMS)
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		if werr := writeChromeFile(traceOut, rec.Spans()); werr != nil {
+			return nil, werr
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", traceOut)
+	}
+	return res, nil
 }
 
-func runRemote(ws client.SweepSpec, base string) (*sweep.Result, error) {
+func runRemote(ws client.SweepSpec, base, traceOut string) (*sweep.Result, error) {
 	c := client.New(base)
 	ctx := context.Background()
+	// With -trace-out the submission carries a traceparent, so the remote
+	// sweep, its cells, and their jobs all join this locally-rooted trace.
+	var rec *tracing.Recorder
+	var rootSpan *tracing.Span
+	if traceOut != "" {
+		rec = tracing.NewRecorder(tracing.DefaultRecorderCapacity)
+		ctx, rootSpan = rec.StartSpan(ctx, "pnpsweep", tracing.A("remote", base))
+	}
 	st, err := c.SubmitSweep(ctx, ws)
 	if err != nil {
 		return nil, err
@@ -204,7 +229,34 @@ func runRemote(ws client.SweepSpec, base string) (*sweep.Result, error) {
 	if final.Result == nil {
 		return nil, fmt.Errorf("sweep %s finished without a result", st.ID)
 	}
+	if rec != nil {
+		rootSpan.End()
+		spans := rec.Spans()
+		if remoteSpans, terr := c.SweepTrace(ctx, st.ID); terr == nil {
+			spans = append(spans, remoteSpans...)
+		} else {
+			fmt.Fprintf(os.Stderr, "pnpsweep: fetching remote trace: %v (is pnpd running with --trace-entries > 0?)\n", terr)
+		}
+		if werr := writeChromeFile(traceOut, spans); werr != nil {
+			return nil, werr
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", traceOut)
+	}
 	return fromWire(final.Result), nil
+}
+
+// writeChromeFile writes spans to path as Chrome trace_event JSON.
+func writeChromeFile(path string, spans []tracing.SpanData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tracing.WriteChromeTrace(f, spans)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // toWireSpec converts the client's spec to the engine's wire form. The

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	pnpverify [-bfs] [-workers N] [-max-states N] [-msc] [-json]
-//	          [-timeout 30s] [-progress] [-metrics-addr :8080] system.pnp
+//	          [-timeout 30s] [-progress] [-metrics-addr :8080]
+//	          [-trace-out trace.json] system.pnp
 //
 // With -remote the design is submitted to a running verification
 // service (pnpd) instead of being checked in-process: component files
@@ -28,6 +29,7 @@ import (
 	"pnp/internal/adl"
 	"pnp/internal/checker"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 	"pnp/internal/verifyd"
 	"pnp/internal/verifyd/client"
 )
@@ -53,8 +55,9 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "abort each property search after this long with a canceled verdict (0 = no limit)")
 	progress := flag.Bool("progress", false, "print periodic search progress lines and a final stats table")
 	progressInterval := flag.Duration("progress-interval", 200*time.Millisecond, "interval between progress lines")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address while verifying")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, and /debug/trace on this address while verifying")
 	remote := flag.String("remote", "", "submit to a verification service at this base URL instead of checking in-process")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the verification spans (view in chrome://tracing or Perfetto)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: pnpverify [flags] system.pnp\n")
 		flag.PrintDefaults()
@@ -76,7 +79,7 @@ func run() int {
 		return string(b), err
 	}
 	if *remote != "" {
-		return runRemote(*remote, string(src), dir, *bfs, *workers, *maxStates, *timeout, *jsonOut, *msc)
+		return runRemote(*remote, string(src), dir, *bfs, *workers, *maxStates, *timeout, *jsonOut, *msc, *traceOut)
 	}
 	sys, err := adl.Load(string(src), resolve, nil)
 	if err != nil {
@@ -135,6 +138,7 @@ func run() int {
 		opts.Context = ctx
 	}
 	// VerifyAll runs properties sequentially, so the callback needs no lock.
+	// Progress goes to stderr so it never corrupts -json output on stdout.
 	var finals []checker.Progress
 	if *progress {
 		opts.ProgressInterval = *progressInterval
@@ -143,24 +147,48 @@ func run() int {
 				finals = append(finals, p)
 				return
 			}
-			fmt.Printf("  progress [%s] states %d (%d matched) trans %d depth %d %s heap %.1fMB\n",
+			fmt.Fprintf(os.Stderr, "  progress [%s] states %d (%d matched) trans %d depth %d %s heap %.1fMB\n",
 				p.Phase, p.StatesStored, p.StatesMatched, p.Transitions, p.Depth,
 				fmtRate(p.StatesPerSec), float64(p.HeapAlloc)/(1<<20))
 		}
 	}
+	var rec *tracing.Recorder
+	var rootSpan *tracing.Span
+	if *traceOut != "" {
+		rec = tracing.NewRecorder(tracing.DefaultRecorderCapacity)
+		opts.Tracer = rec
+		tctx := opts.Context
+		if tctx == nil {
+			tctx = context.Background()
+		}
+		tctx, rootSpan = rec.StartSpan(tctx, "pnpverify", tracing.A("system", path))
+		opts.Context = tctx
+	}
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		opts.Metrics = reg
-		srv, err := obs.Serve(reg, *metricsAddr)
+		var mounts []obs.Mount
+		if rec != nil {
+			mounts = append(mounts, obs.Mount{Pattern: "/debug/trace", Handler: rec.Handler()})
+		}
+		srv, err := obs.Serve(reg, *metricsAddr, mounts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
 	}
 
 	results := sys.VerifyAll(opts)
+	rootSpan.End()
+	if rec != nil {
+		if err := writeChromeFile(*traceOut, rec.Spans()); err != nil {
+			fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+	}
 	if *jsonOut {
 		rep := verifyd.NewReport(sys, results)
 		enc := json.NewEncoder(os.Stdout)
@@ -202,11 +230,11 @@ func run() int {
 		}
 	}
 	if *progress && len(finals) > 0 {
-		fmt.Println("search statistics:")
-		fmt.Printf("  %-22s %10s %10s %12s %6s %12s %10s\n",
+		fmt.Fprintln(os.Stderr, "search statistics:")
+		fmt.Fprintf(os.Stderr, "  %-22s %10s %10s %12s %6s %12s %10s\n",
 			"phase", "states", "matched", "transitions", "depth", "states/s", "elapsed")
 		for _, p := range finals {
-			fmt.Printf("  %-22s %10d %10d %12d %6d %12s %10s\n",
+			fmt.Fprintf(os.Stderr, "  %-22s %10d %10d %12d %6d %12s %10s\n",
 				p.Phase, p.StatesStored, p.StatesMatched, p.Transitions, p.Depth,
 				fmtRate(p.StatesPerSec), p.Elapsed.Round(time.Millisecond))
 		}
@@ -222,7 +250,10 @@ func run() int {
 // runRemote submits the design to a verification service and prints its
 // verdict report. Component references are resolved locally and inlined
 // into the request — the service never touches this machine's files.
-func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout time.Duration, jsonOut, msc bool) int {
+// With traceOut set, the submission carries a traceparent so the job
+// joins a locally-rooted trace; the server's spans are fetched back and
+// written together with the local root as one Chrome trace file.
+func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout time.Duration, jsonOut, msc bool, traceOut string) int {
 	refs, err := adl.ComponentRefs(src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
@@ -250,6 +281,12 @@ func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout 
 	}
 
 	ctx := context.Background()
+	var rec *tracing.Recorder
+	var rootSpan *tracing.Span
+	if traceOut != "" {
+		rec = tracing.NewRecorder(tracing.DefaultRecorderCapacity)
+		ctx, rootSpan = rec.StartSpan(ctx, "pnpverify", tracing.A("remote", base))
+	}
 	c := client.New(base)
 	job, err := c.Submit(ctx, req)
 	if err != nil {
@@ -260,6 +297,20 @@ func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout 
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
 		return 1
+	}
+	if rec != nil {
+		rootSpan.End()
+		spans := rec.Spans()
+		if remoteSpans, terr := c.JobTrace(ctx, job.ID); terr == nil {
+			spans = append(spans, remoteSpans...)
+		} else {
+			fmt.Fprintf(os.Stderr, "pnpverify: fetching remote trace: %v (is pnpd running with --trace-entries > 0?)\n", terr)
+		}
+		if err := writeChromeFile(traceOut, spans); err != nil {
+			fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", traceOut)
 	}
 	rep := done.Report
 	if rep == nil {
@@ -295,6 +346,20 @@ func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout 
 	}
 	fmt.Println("all properties verified")
 	return 0
+}
+
+// writeChromeFile writes spans to path as Chrome trace_event JSON.
+func writeChromeFile(path string, spans []tracing.SpanData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tracing.WriteChromeTrace(f, spans)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // fmtRate renders a states/second rate compactly (12345678 -> "12.3M/s").

@@ -37,6 +37,7 @@
 package adl
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -45,6 +46,7 @@ import (
 	"pnp/internal/checker"
 	"pnp/internal/faults"
 	"pnp/internal/model"
+	"pnp/internal/obs/tracing"
 	"pnp/internal/pml"
 )
 
@@ -344,17 +346,46 @@ func propertySources(pf *parsedFile) []PropertySource {
 
 // VerifyAll checks every declared property: the safety search with all
 // invariants, then each LTL property. Results are keyed by property name;
-// the safety run is keyed "safety".
+// the safety run is keyed "safety". With opts.Tracer set, each property
+// gets a "property:<name>" span wrapping its checker phases — the same
+// hierarchy the verification service records for remote jobs.
 func (s *System) VerifyAll(opts checker.Options) map[string]*checker.Result {
 	out := make(map[string]*checker.Result, 1+len(s.LTL))
+
+	// propOpts wraps one property's run in a span when tracing is on; the
+	// returned options carry the span's context so checker phases nest
+	// under it.
+	propOpts := func(o checker.Options, name, kind string) (checker.Options, *tracing.Span) {
+		if o.Tracer == nil {
+			return o, nil
+		}
+		ctx := o.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		pctx, span := o.Tracer.StartSpan(ctx, "property:"+name, tracing.A("kind", kind))
+		o.Context = pctx
+		return o, span
+	}
+	finish := func(span *tracing.Span, res *checker.Result) *checker.Result {
+		if span != nil {
+			span.SetAttr("ok", fmt.Sprint(res.OK))
+			span.End()
+		}
+		return res
+	}
+
 	safetyOpts := opts
 	safetyOpts.Invariants = append(append([]checker.Invariant(nil), opts.Invariants...), s.Invariants...)
-	out["safety"] = checker.New(s.Builder.System(), safetyOpts).CheckSafety()
+	so, span := propOpts(safetyOpts, "safety", "invariant")
+	out["safety"] = finish(span, checker.New(s.Builder.System(), so).CheckSafety())
 	for _, g := range s.Goals {
-		out[g.Name] = checker.New(s.Builder.System(), opts).CheckEventuallyReachable(g.Expr)
+		o, span := propOpts(opts, g.Name, "goal")
+		out[g.Name] = finish(span, checker.New(s.Builder.System(), o).CheckEventuallyReachable(g.Expr))
 	}
 	for _, p := range s.LTL {
-		out[p.Name] = checker.New(s.Builder.System(), opts).CheckLTL(p.Formula, p.Props)
+		o, span := propOpts(opts, p.Name, "ltl")
+		out[p.Name] = finish(span, checker.New(s.Builder.System(), o).CheckLTL(p.Formula, p.Props))
 	}
 	return out
 }

@@ -16,6 +16,7 @@ import (
 
 	"pnp/internal/model"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 	"pnp/internal/pml"
 	"pnp/internal/trace"
 )
@@ -137,6 +138,14 @@ type Options struct {
 	// cancelPollEvery iterations, so cancellation latency is bounded but
 	// the hot path pays only a counter decrement.
 	Context context.Context
+	// Tracer, when non-nil, records one span per search phase into the
+	// flight recorder, parented to the current span in Context (so a
+	// verifyd job's trace nests its checker phases). Parallel BFS engines
+	// add one event per level carrying the frontier size; snapshots
+	// otherwise drive the span, so the hot path is unaffected. Like
+	// Progress and Metrics, Tracer never influences verdicts or cache
+	// keys.
+	Tracer *tracing.Recorder
 }
 
 // Stats summarizes the exploration.

@@ -307,7 +307,7 @@ func (c *Checker) checkSafetyPar() *Result {
 		prevStored := res.Stats.StatesStored
 		r.runLevel(len(cur), work)
 		next, problems := r.collect(res)
-		m.tickN(&res.Stats, depth, res.Stats.StatesStored-prevStored)
+		m.level(&res.Stats, depth, len(cur), res.Stats.StatesStored-prevStored)
 
 		if r.cancel.Load() {
 			return r.cancelResult(res)
@@ -439,7 +439,7 @@ func (c *Checker) checkReachablePar(target pml.RExpr) *Result {
 		prevStored := res.Stats.StatesStored
 		r.runLevel(len(cur), expand)
 		next, _ := r.collect(res)
-		m.tickN(&res.Stats, depth, res.Stats.StatesStored-prevStored)
+		m.level(&res.Stats, depth, len(cur), res.Stats.StatesStored-prevStored)
 		if r.cancel.Load() {
 			return r.cancelResult(res)
 		}

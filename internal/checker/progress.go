@@ -4,9 +4,11 @@ import (
 	"context"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 )
 
 // Progress is one periodic snapshot of a running exploration, the
@@ -25,6 +27,9 @@ type Progress struct {
 	Transitions   int
 	Depth         int
 	Reduced       int
+	// Frontier is the size of the current BFS level (parallel engines
+	// only; 0 for depth-first searches).
+	Frontier int
 	// Elapsed is the time since the search started; StatesPerSec is the
 	// average storage rate over that window.
 	Elapsed      time.Duration
@@ -58,12 +63,17 @@ type meter struct {
 	gStored, gDepth, gHeap              *obs.Gauge
 	lastStored, lastMatched, lastTrans  int
 	lastReduced                         int
+
+	// span is the phase's trace span, nil when Options.Tracer is nil.
+	// frontier carries the latest BFS level size into snapshots.
+	span     *tracing.Span
+	frontier int
 }
 
-// newMeter arms a meter for one search phase; nil when neither a
-// Progress callback nor a metrics registry is configured.
+// newMeter arms a meter for one search phase; nil when no Progress
+// callback, metrics registry, or tracer is configured.
 func (c *Checker) newMeter(phase string) *meter {
-	if c.opts.Progress == nil && c.opts.Metrics == nil {
+	if c.opts.Progress == nil && c.opts.Metrics == nil && c.opts.Tracer == nil {
 		return nil
 	}
 	interval := c.opts.ProgressInterval
@@ -89,6 +99,13 @@ func (c *Checker) newMeter(phase string) *meter {
 		m.gStored = reg.Gauge(obs.Labels("checker_states_stored", "phase", phase))
 		m.gDepth = reg.Gauge(obs.Labels("checker_depth", "phase", phase))
 		m.gHeap = reg.Gauge("checker_heap_alloc_bytes")
+	}
+	if tr := c.opts.Tracer; tr != nil {
+		ctx := c.opts.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		_, m.span = tr.StartSpan(ctx, "checker:"+phase)
 	}
 	return m
 }
@@ -117,13 +134,41 @@ func (m *meter) tickN(st *Stats, depth, n int) {
 	m.emit(st, depth, now, false)
 }
 
-// finish emits the final snapshot; call it (usually deferred) on every
-// exit path of a search.
+// level is tickN plus trace bookkeeping: the parallel engines call it at
+// each level barrier with the frontier size, which becomes a span event
+// (the per-level timeline in the Chrome view) and the Frontier field of
+// subsequent snapshots.
+func (m *meter) level(st *Stats, depth, frontier, n int) {
+	if m == nil {
+		return
+	}
+	m.frontier = frontier
+	if m.span != nil {
+		m.span.AddEvent("level",
+			tracing.A("depth", strconv.Itoa(depth)),
+			tracing.A("frontier", strconv.Itoa(frontier)),
+			tracing.A("stored", strconv.Itoa(st.StatesStored)))
+	}
+	m.tickN(st, depth, n)
+}
+
+// finish emits the final snapshot and ends the phase span; call it
+// (usually deferred) on every exit path of a search.
 func (m *meter) finish(st *Stats, depth int) {
 	if m == nil {
 		return
 	}
 	m.emit(st, depth, time.Now(), true)
+	if m.span != nil {
+		m.span.SetAttr("states_stored", strconv.Itoa(st.StatesStored))
+		m.span.SetAttr("states_matched", strconv.Itoa(st.StatesMatched))
+		m.span.SetAttr("transitions", strconv.Itoa(st.Transitions))
+		m.span.SetAttr("max_depth", strconv.Itoa(depth))
+		if st.Truncated {
+			m.span.SetAttr("truncated", "true")
+		}
+		m.span.End()
+	}
 }
 
 func (m *meter) emit(st *Stats, depth int, now time.Time, final bool) {
@@ -137,6 +182,7 @@ func (m *meter) emit(st *Stats, depth int, now time.Time, final bool) {
 		Transitions:   st.Transitions,
 		Depth:         depth,
 		Reduced:       st.Reduced,
+		Frontier:      m.frontier,
 		Elapsed:       elapsed,
 		HeapAlloc:     mem.HeapAlloc,
 		Final:         final,

@@ -154,9 +154,18 @@ func (r *Registry) Dump(w io.Writer) {
 	tw.Flush()
 }
 
+// Mount attaches an extra handler to the metrics mux — the daemons use
+// it to expose their tracing flight recorder on /debug/trace next to
+// /metrics.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns an http.Handler serving the registry: /metrics
-// (Prometheus text), /metrics.json (JSON), and /healthz.
-func (r *Registry) Handler() http.Handler {
+// (Prometheus text), /metrics.json (JSON), and /healthz, plus any
+// extra mounts.
+func (r *Registry) Handler(extra ...Mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -169,6 +178,9 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	for _, m := range extra {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	return mux
 }
 
@@ -179,14 +191,14 @@ type Server struct {
 }
 
 // Serve exposes the registry over HTTP on addr (host:port; port 0
-// picks a free one). It returns as soon as the listener is bound; the
-// server runs until Close.
-func Serve(r *Registry, addr string) (*Server, error) {
+// picks a free one), plus any extra mounts. It returns as soon as the
+// listener is bound; the server runs until Close.
+func Serve(r *Registry, addr string, extra ...Mount) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: %w", err)
 	}
-	srv := &http.Server{Handler: r.Handler()}
+	srv := &http.Server{Handler: r.Handler(extra...)}
 	go srv.Serve(l)
 	return &Server{l: l, srv: srv}, nil
 }

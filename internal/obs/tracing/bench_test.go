@@ -1,0 +1,40 @@
+package tracing
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSpanOverhead measures the cost of one instrumented operation
+// (StartSpan + SetAttr + AddEvent + End) with the recorder enabled and
+// with tracing disabled (nil recorder). The disabled path must stay
+// near-zero: it is the price every verifyd job and checker phase pays
+// when no flight recorder is configured.
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("enabled", func(b *testing.B) {
+		rec := NewRecorder(1024)
+		ctx, root := rec.StartSpan(context.Background(), "root")
+		defer root.End()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, sp := rec.StartSpan(ctx, "op")
+			sp.SetAttr("k", "v")
+			sp.AddEvent("e")
+			sp.End()
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var rec *Recorder
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cctx, sp := rec.StartSpan(ctx, "op")
+			sp.SetAttr("k", "v")
+			sp.AddEvent("e")
+			sp.End()
+			_ = cctx
+		}
+	})
+}

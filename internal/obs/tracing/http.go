@@ -1,0 +1,143 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// Header is the W3C Trace Context propagation header.
+const Header = "traceparent"
+
+// FormatTraceparent renders a span context in the W3C version-00 form:
+// 00-<32 hex trace id>-<16 hex span id>-01 (sampled).
+func FormatTraceparent(sc SpanContext) string {
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+// ParseTraceparent decodes a version-00 traceparent value. It accepts
+// any two-digit version except the reserved "ff", per the spec, and
+// rejects all-zero IDs.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// 2 (version) + 1 + 32 (trace id) + 1 + 16 (span id) + 1 + 2 (flags)
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if s[:2] == "ff" || !isHex(s[:2]) || !isHex(s[53:55]) {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if !parseID(sc.TraceID[:], []byte(s[3:35])) || !parseID(sc.SpanID[:], []byte(s[36:52])) {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject stamps the request with sc as a traceparent header; an invalid
+// sc leaves the request untouched.
+func Inject(req *http.Request, sc SpanContext) {
+	if sc.Valid() {
+		req.Header.Set(Header, FormatTraceparent(sc))
+	}
+}
+
+// Extract reads the request's traceparent, returning a zero SpanContext
+// when absent or malformed.
+func Extract(r *http.Request) SpanContext {
+	sc, _ := ParseTraceparent(r.Header.Get(Header))
+	return sc
+}
+
+// WriteNDJSON streams spans as newline-delimited JSON, one SpanData per
+// line — the wire format of the /v1 trace endpoints.
+func WriteNDJSON(w io.Writer, spans []SpanData) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadNDJSON decodes a span-per-line stream produced by WriteNDJSON.
+// Blank lines are skipped; the typed client uses it to rebuild remote
+// traces for local Chrome export.
+func ReadNDJSON(r io.Reader) ([]SpanData, error) {
+	sc := bufio.NewScanner(r)
+	// Spans with full event lists exceed bufio's default 64KiB line cap.
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []SpanData
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var d SpanData
+		if err := json.Unmarshal(line, &d); err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NDJSONContentType is the media type of the trace endpoints.
+const NDJSONContentType = "application/x-ndjson"
+
+// Handler serves the flight recorder for debugging:
+//
+//	GET /debug/trace                     recent traces in the ring (JSON)
+//	GET /debug/trace?id=<hex>            one trace as NDJSON spans
+//	GET /debug/trace?id=<hex>&format=chrome  one trace as Chrome trace JSON
+//
+// Mount it on the metrics mux; a nil recorder serves 404s.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		id := req.URL.Query().Get("id")
+		if id == "" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Traces  []TraceSummary `json:"traces"`
+				Spans   int            `json:"spans"`
+				Dropped int64          `json:"dropped"`
+			}{r.Traces(), r.Len(), r.Dropped()})
+			return
+		}
+		spans := r.TraceHex(id)
+		if len(spans) == 0 {
+			http.Error(w, "no such trace in the ring", http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			WriteChromeTrace(w, spans)
+			return
+		}
+		w.Header().Set("Content-Type", NDJSONContentType)
+		WriteNDJSON(w, spans)
+	})
+}

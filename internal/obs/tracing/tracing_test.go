@@ -1,0 +1,423 @@
+package tracing
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDs(t *testing.T) {
+	tid := NewTraceID()
+	if tid.IsZero() {
+		t.Fatal("NewTraceID returned zero")
+	}
+	if len(tid.String()) != 32 {
+		t.Fatalf("trace id hex length = %d, want 32", len(tid.String()))
+	}
+	sid := NewSpanID()
+	if sid.IsZero() {
+		t.Fatal("NewSpanID returned zero")
+	}
+	if len(sid.String()) != 16 {
+		t.Fatalf("span id hex length = %d, want 16", len(sid.String()))
+	}
+	if NewTraceID() == tid {
+		t.Fatal("two trace IDs collided")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	s := FormatTraceparent(sc)
+	got, ok := ParseTraceparent(s)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) failed", s)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",    // no flags
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // reserved version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01", // bad hex
+		"000af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-010", // bad dashes
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+	// Future versions with the same layout parse.
+	if _, ok := ParseTraceparent("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"); !ok {
+		t.Error("version 01 with v00 layout should parse")
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", nil)
+	Inject(req, sc)
+	if got := Extract(req); got != sc {
+		t.Fatalf("Extract = %+v, want %+v", got, sc)
+	}
+	// Invalid context leaves the request untouched.
+	req2 := httptest.NewRequest(http.MethodGet, "/", nil)
+	Inject(req2, SpanContext{})
+	if req2.Header.Get(Header) != "" {
+		t.Fatal("Inject set a header for an invalid SpanContext")
+	}
+	if Extract(req2).Valid() {
+		t.Fatal("Extract returned a valid context from a header-less request")
+	}
+}
+
+func TestSpanParenting(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx, root := rec.StartSpan(context.Background(), "sweep", A("cells", "4"))
+	cctx, cell := rec.StartSpan(ctx, "cell")
+	_, job := rec.StartSpan(cctx, "job")
+
+	if cell.TraceID() != root.TraceID() || job.TraceID() != root.TraceID() {
+		t.Fatal("children did not inherit the root's trace ID")
+	}
+	job.End()
+	cell.End()
+	root.End()
+
+	spans := rec.Trace(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	// Ordered by start: root, cell, job.
+	if spans[0].Name != "sweep" || spans[1].Name != "cell" || spans[2].Name != "job" {
+		t.Fatalf("trace order = %s,%s,%s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[0].Parent != "" {
+		t.Fatalf("root span has parent %q", spans[0].Parent)
+	}
+	if spans[1].Parent != spans[0].SpanID {
+		t.Fatalf("cell parent = %q, want %q", spans[1].Parent, spans[0].SpanID)
+	}
+	if spans[2].Parent != spans[1].SpanID {
+		t.Fatalf("job parent = %q, want %q", spans[2].Parent, spans[1].SpanID)
+	}
+	if got := spans[0].Attrs[0]; got.Key != "cells" || got.Value != "4" {
+		t.Fatalf("root attr = %+v", got)
+	}
+}
+
+func TestRemoteParent(t *testing.T) {
+	rec := NewRecorder(16)
+	remote := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	ctx := ContextWithRemote(context.Background(), remote)
+	_, sp := rec.StartSpan(ctx, "job")
+	if sp.TraceID() != remote.TraceID {
+		t.Fatal("span did not join the remote trace")
+	}
+	sp.End()
+	spans := rec.Trace(remote.TraceID)
+	if len(spans) != 1 || spans[0].Parent != remote.SpanID.String() {
+		t.Fatalf("span parent = %+v, want remote %s", spans, remote.SpanID)
+	}
+
+	// The current span wins over a remote parent.
+	ctx2, local := rec.StartSpan(context.Background(), "local")
+	ctx2 = ContextWithRemote(ctx2, remote)
+	_, child := rec.StartSpan(ctx2, "child")
+	if child.TraceID() != local.TraceID() {
+		t.Fatal("in-process span should outrank the remote parent")
+	}
+	if Current(ctx2) != local.Context() {
+		t.Fatal("Current should return the in-process span's context")
+	}
+}
+
+func TestCurrentFallsBackToRemote(t *testing.T) {
+	remote := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	ctx := ContextWithRemote(context.Background(), remote)
+	if Current(ctx) != remote {
+		t.Fatal("Current should surface the remote parent when no span is active")
+	}
+	if Current(context.Background()).Valid() {
+		t.Fatal("Current of an empty context should be invalid")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var rec *Recorder
+	ctx, sp := rec.StartSpan(context.Background(), "noop")
+	if sp != nil {
+		t.Fatal("nil recorder should return a nil span")
+	}
+	if ctx != context.Background() {
+		t.Fatal("nil recorder should return ctx unchanged")
+	}
+	// All nil-span methods are no-ops.
+	sp.SetAttr("k", "v")
+	sp.AddEvent("e")
+	sp.End()
+	if sp.TraceID() != (TraceID{}) || sp.SpanID() != (SpanID{}) || sp.Context().Valid() {
+		t.Fatal("nil span should report zero IDs")
+	}
+	if rec.Len() != 0 || rec.Dropped() != 0 || rec.Spans() != nil || rec.Traces() != nil {
+		t.Fatal("nil recorder accessors should return zeros")
+	}
+	if rec.TraceHex("00") != nil {
+		t.Fatal("nil recorder TraceHex should return nil")
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	rec := NewRecorder(4)
+	var last *Span
+	for i := 0; i < 10; i++ {
+		_, sp := rec.StartSpan(context.Background(), "s")
+		sp.End()
+		last = sp
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("ring holds %d spans, want 4", rec.Len())
+	}
+	if rec.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", rec.Dropped())
+	}
+	spans := rec.Spans()
+	if spans[len(spans)-1].SpanID != last.SpanID().String() {
+		t.Fatal("newest span missing from the ring window")
+	}
+}
+
+func TestEventCapAndIdempotentEnd(t *testing.T) {
+	rec := NewRecorder(4)
+	_, sp := rec.StartSpan(context.Background(), "levels")
+	for i := 0; i < maxEventsPerSpan+10; i++ {
+		sp.AddEvent("level")
+	}
+	sp.End()
+	sp.End() // idempotent
+	sp.SetAttr("late", "ignored")
+	if rec.Len() != 1 {
+		t.Fatalf("ring holds %d spans after double End, want 1", rec.Len())
+	}
+	d := rec.Spans()[0]
+	if len(d.Events) != maxEventsPerSpan {
+		t.Fatalf("events = %d, want cap %d", len(d.Events), maxEventsPerSpan)
+	}
+	var droppedAttr string
+	for _, a := range d.Attrs {
+		if a.Key == "dropped_events" {
+			droppedAttr = a.Value
+		}
+		if a.Key == "late" {
+			t.Fatal("SetAttr after End mutated the recorded span")
+		}
+	}
+	if droppedAttr != "10" {
+		t.Fatalf("dropped_events attr = %q, want \"10\"", droppedAttr)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx, root := rec.StartSpan(context.Background(), "job", A("job_id", "j1"))
+	_, phase := rec.StartSpan(ctx, "phase:safety")
+	phase.AddEvent("level", A("depth", "3"), A("frontier", "128"))
+	phase.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, rec.Trace(root.TraceID())); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("NDJSON lines = %d, want 2", len(lines))
+	}
+	got, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "job" || got[1].Name != "phase:safety" {
+		t.Fatalf("ReadNDJSON = %+v", got)
+	}
+	if len(got[1].Events) != 1 || got[1].Events[0].Attrs[1].Value != "128" {
+		t.Fatalf("event lost in round trip: %+v", got[1].Events)
+	}
+}
+
+func TestReadNDJSONBad(t *testing.T) {
+	if _, err := ReadNDJSON(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("ReadNDJSON accepted malformed input")
+	}
+	got, err := ReadNDJSON(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("blank stream: got %v, %v", got, err)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	rec := NewRecorder(64)
+	ctx, root := rec.StartSpan(context.Background(), "sweep")
+	c1ctx, c1 := rec.StartSpan(ctx, "cell:0")
+	c2ctx, c2 := rec.StartSpan(ctx, "cell:1") // concurrent sibling
+	_, j1 := rec.StartSpan(c1ctx, "job")
+	j1.AddEvent("level", A("frontier", "16"))
+	time.Sleep(time.Millisecond)
+	j1.End()
+	c1.End()
+	_, j2 := rec.StartSpan(c2ctx, "job")
+	j2.End()
+	c2.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec.Trace(root.TraceID())); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v", err)
+	}
+	var xCount, iCount, mCount int
+	lanes := map[string]float64{}
+	for _, e := range evs {
+		switch e["ph"] {
+		case "X":
+			xCount++
+			lanes[e["name"].(string)+"/"+e["args"].(map[string]any)["span_id"].(string)] = e["tid"].(float64)
+		case "i":
+			iCount++
+		case "M":
+			mCount++
+		}
+	}
+	if xCount != 5 {
+		t.Fatalf("X events = %d, want 5", xCount)
+	}
+	if iCount != 1 {
+		t.Fatalf("i events = %d, want 1", iCount)
+	}
+	if mCount != 1 {
+		t.Fatalf("M events = %d, want 1", mCount)
+	}
+	// Concurrent siblings must not share a lane while both are open.
+	var cellLanes []float64
+	for k, v := range lanes {
+		if strings.HasPrefix(k, "cell:") {
+			cellLanes = append(cellLanes, v)
+		}
+	}
+	if len(cellLanes) == 2 && cellLanes[0] == cellLanes[1] {
+		t.Fatal("concurrent sibling cells landed on the same lane")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx, root := rec.StartSpan(context.Background(), "job")
+	_, child := rec.StartSpan(ctx, "phase:safety")
+	child.End()
+	root.End()
+	h := rec.Handler()
+
+	// Listing.
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/trace", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("list status = %d", rw.Code)
+	}
+	var list struct {
+		Traces []TraceSummary `json:"traces"`
+		Spans  int            `json:"spans"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].Spans != 2 || list.Spans != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// NDJSON by id.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/trace?id="+root.TraceID().String(), nil))
+	if rw.Code != http.StatusOK || rw.Header().Get("Content-Type") != NDJSONContentType {
+		t.Fatalf("ndjson status=%d ct=%q", rw.Code, rw.Header().Get("Content-Type"))
+	}
+	spans, err := ReadNDJSON(rw.Body)
+	if err != nil || len(spans) != 2 {
+		t.Fatalf("ndjson spans = %v, %v", spans, err)
+	}
+
+	// Chrome by id.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/trace?id="+root.TraceID().String()+"&format=chrome", nil))
+	var evs []map[string]any
+	if err := json.Unmarshal(rw.Body.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) < 3 {
+		t.Fatalf("chrome events = %d, want >= 3", len(evs))
+	}
+
+	// Unknown trace.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/trace?id=ffffffffffffffffffffffffffffffff", nil))
+	if rw.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", rw.Code)
+	}
+
+	// Nil recorder serves 404.
+	var nilRec *Recorder
+	rw = httptest.NewRecorder()
+	nilRec.Handler().ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/trace", nil))
+	if rw.Code != http.StatusNotFound {
+		t.Fatalf("nil recorder status = %d, want 404", rw.Code)
+	}
+}
+
+// TestConcurrent exercises the recorder and one shared span from many
+// goroutines; run with -race.
+func TestConcurrent(t *testing.T) {
+	rec := NewRecorder(128)
+	ctx, root := rec.StartSpan(context.Background(), "root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, sp := rec.StartSpan(ctx, "worker")
+				sp.SetAttr("g", itoa(g))
+				sp.AddEvent("tick")
+				root.AddEvent("shared")
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+	if rec.Len() != 128 {
+		t.Fatalf("ring holds %d, want full 128", rec.Len())
+	}
+	if got := rec.Dropped(); got != 800+1-128 {
+		t.Fatalf("dropped = %d, want %d", got, 800+1-128)
+	}
+	for _, d := range rec.Spans() {
+		if d.TraceID != root.TraceID().String() {
+			t.Fatal("span escaped the root trace")
+		}
+	}
+}

@@ -23,10 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pnp/internal/blocks"
 	"pnp/internal/faults"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 )
 
 // Status is a SendStatus or RecvStatus delivered to a component through
@@ -162,6 +164,8 @@ type Connector struct {
 	trace   TraceFunc
 	metrics *obs.Registry
 	faults  *faults.Plan
+	tracer  *tracing.Recorder
+	span    atomic.Pointer[tracing.Span] // lifecycle span, set at Start
 
 	ch        *chanProc
 	senders   []*sendPort
@@ -225,10 +229,14 @@ func (c *Connector) Stats() Stats {
 }
 
 func (c *Connector) emit(e Event) {
+	if c.trace == nil && c.tracer == nil {
+		return
+	}
+	e.Connector = c.name
 	if c.trace != nil {
-		e.Connector = c.name
 		c.trace(e)
 	}
+	c.spanEvent(e)
 }
 
 // NewSender attaches a sending endpoint (and its send port). Must be
@@ -279,6 +287,7 @@ func (c *Connector) Start(ctx context.Context) error {
 	}
 	c.started = true
 	c.ch.inj = c.faults.Injector(c.name, c.metrics)
+	c.startSpan(ctx)
 	ctx, cancel := context.WithCancel(ctx)
 	c.cancel = cancel
 
@@ -312,6 +321,7 @@ func (c *Connector) Start(ctx context.Context) error {
 	}
 	go func() {
 		c.wg.Wait()
+		c.endSpan()
 		close(c.done)
 	}()
 	return nil

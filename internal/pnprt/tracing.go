@@ -1,0 +1,62 @@
+package pnprt
+
+import (
+	"context"
+	"strconv"
+
+	"pnp/internal/obs/tracing"
+)
+
+// WithSpans ties the connector to a flight recorder: Start opens a
+// "connector:<name>" lifecycle span (parented from Start's context),
+// and every protocol event — the same IN_OK/SEND_SUCC/... stream an
+// MSCTap sees — lands on it as a span event, so a live run and a
+// checker counterexample speak the same alphabet. The span closes with
+// the final channel counters when the last goroutine exits.
+//
+// Span events are capped per span (the recorder notes the overflow in
+// a dropped_events attribute); for full-fidelity protocol logs keep
+// using WithTrace/MSCTap, which this option composes with.
+func WithSpans(rec *tracing.Recorder) Option {
+	return func(c *Connector) { c.tracer = rec }
+}
+
+// startSpan opens the lifecycle span at Start time; a nil tracer
+// leaves the atomic pointer empty and every other hook a no-op.
+func (c *Connector) startSpan(ctx context.Context) {
+	if c.tracer == nil {
+		return
+	}
+	_, span := c.tracer.StartSpan(ctx, "connector:"+c.name,
+		tracing.A("spec", c.spec.String()),
+		tracing.A("senders", strconv.Itoa(len(c.senders))),
+		tracing.A("receivers", strconv.Itoa(len(c.receivers))))
+	c.span.Store(span)
+}
+
+// endSpan stamps the final counters and closes the lifecycle span.
+func (c *Connector) endSpan() {
+	s := c.span.Load()
+	if s == nil {
+		return
+	}
+	st := c.Stats()
+	s.SetAttr("accepted", strconv.FormatInt(st.Accepted, 10))
+	s.SetAttr("rejected", strconv.FormatInt(st.Rejected, 10))
+	s.SetAttr("dropped", strconv.FormatInt(st.Dropped, 10))
+	s.SetAttr("delivered", strconv.FormatInt(st.Delivered, 10))
+	s.SetAttr("failed", strconv.FormatInt(st.Failed, 10))
+	s.End()
+}
+
+// spanEvent records one protocol event on the lifecycle span. Safe
+// before Start (no span yet) and from any port or channel goroutine.
+func (c *Connector) spanEvent(e Event) {
+	s := c.span.Load()
+	if s == nil {
+		return
+	}
+	s.AddEvent(e.Signal,
+		tracing.A("source", e.Source),
+		tracing.A("port", strconv.Itoa(e.Port)))
+}

@@ -1,0 +1,101 @@
+package pnprt
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pnp/internal/blocks"
+	"pnp/internal/obs/tracing"
+	"pnp/internal/trace"
+)
+
+// TestConnectorSpan: WithSpans records one lifecycle span per run
+// whose events mirror the protocol stream the MSC tap sees, parented
+// from the Start context.
+func TestConnectorSpan(t *testing.T) {
+	rec := tracing.NewRecorder(64)
+	live := trace.NewLive(0)
+	parent := tracing.NewRecorder(64)
+	ctx, root := parent.StartSpan(context.Background(), "run")
+
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.FIFOQueue, Size: 2, Recv: blocks.BlockingRecv}
+	c, err := NewConnector("wire", spec, WithSpans(rec), WithTrace(MSCTap(live)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := c.NewSender()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := c.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx := ctxShort(t)
+	if st, err := snd.Send(cctx, Message{Data: "m"}); err != nil || st != SendSucc {
+		t.Fatalf("Send = %v, %v", st, err)
+	}
+	if st, _, err := rcv.Receive(cctx, RecvRequest{}); err != nil || st != RecvSucc {
+		t.Fatalf("Receive = %v, %v", st, err)
+	}
+	c.Stop()
+	root.End()
+
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1 lifecycle span", len(spans))
+	}
+	d := spans[0]
+	if d.Name != "connector:wire" {
+		t.Fatalf("span name = %q", d.Name)
+	}
+	if d.TraceID != root.TraceID().String() || d.Parent != root.SpanID().String() {
+		t.Fatalf("span not parented to the Start context: %+v", d)
+	}
+	attrs := map[string]string{}
+	for _, a := range d.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["delivered"] != "1" || attrs["accepted"] != "1" {
+		t.Fatalf("final counters missing: %v", attrs)
+	}
+	if !strings.Contains(attrs["spec"], "FifoChannel") {
+		t.Fatalf("spec attr = %q", attrs["spec"])
+	}
+	var sigs []string
+	for _, e := range d.Events {
+		sigs = append(sigs, e.Name)
+	}
+	joined := strings.Join(sigs, " ")
+	for _, want := range []string{"IN_OK", "SEND_SUCC", "RECV_OK"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("span events missing %s: %v", want, sigs)
+		}
+	}
+	// The MSC tap saw the same protocol alphabet.
+	msc := live.MSC(nil)
+	if !strings.Contains(msc, "SEND_SUCC") {
+		t.Errorf("MSC tap missing SEND_SUCC:\n%s", msc)
+	}
+}
+
+// TestConnectorSpanDisabled: without WithSpans the connector records
+// nothing and pays only nil checks.
+func TestConnectorSpanDisabled(t *testing.T) {
+	spec := Spec{Send: blocks.AsynBlockingSend, Channel: blocks.SingleSlot, Recv: blocks.BlockingRecv}
+	c, snd, rcv := startConnector(t, spec, 1, 1)
+	cctx := ctxShort(t)
+	if st, err := snd[0].Send(cctx, Message{Data: "m"}); err != nil || st != SendSucc {
+		t.Fatalf("Send = %v, %v", st, err)
+	}
+	if st, _, err := rcv[0].Receive(cctx, RecvRequest{}); err != nil || st != RecvSucc {
+		t.Fatalf("Receive = %v, %v", st, err)
+	}
+	if s := c.span.Load(); s != nil {
+		t.Fatal("untraced connector grew a span")
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"pnp/internal/checker"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 	"pnp/internal/verifyd"
 )
 
@@ -34,6 +36,12 @@ type Config struct {
 	// sweep_cells_total, sweep_cache_hits_total, sweep_cells_in_flight);
 	// nil disables them.
 	Registry *obs.Registry
+
+	// Tracer records sweep and cell spans. When nil and Server is set,
+	// the server's own recorder is used, so one trace spans the sweep,
+	// its cells, and their jobs. For a private server the tracer is also
+	// handed down as its Config.Tracer.
+	Tracer *tracing.Recorder
 
 	// OnCell, when set, is called with each cell's result as it completes,
 	// in cell-index order — the streaming hook behind NDJSON responses
@@ -146,6 +154,10 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 		ctx = context.Background()
 	}
 
+	tracer := cfg.Tracer
+	if tracer == nil && cfg.Server != nil {
+		tracer = cfg.Server.Tracer()
+	}
 	srv := cfg.Server
 	if srv == nil {
 		srv = verifyd.NewServer(verifyd.Config{
@@ -153,6 +165,7 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 			SearchBudget: cfg.SearchBudget,
 			CacheEntries: cfg.CacheEntries,
 			Registry:     cfg.Registry,
+			Tracer:       tracer,
 			Options:      cfg.Options,
 		})
 		defer func() {
@@ -160,6 +173,16 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 			defer cancel()
 			srv.Shutdown(sctx)
 		}()
+	}
+
+	// One sweep span roots the trace unless the caller already started
+	// one (the sweep service does, so the 202 response can carry the
+	// TraceID before any cell runs).
+	if tracing.SpanFromContext(ctx) == nil {
+		var sspan *tracing.Span
+		ctx, sspan = tracer.StartSpan(ctx, "sweep",
+			tracing.A("name", spec.Name), tracing.A("cells", strconv.Itoa(len(cells))))
+		defer sspan.End()
 	}
 
 	mSweeps := cfg.Registry.Counter("sweeps_total")
@@ -181,8 +204,9 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 	// result. The under-lossy companions of an already-lossy-adjacent
 	// matrix are the common case: half a sweep can collapse this way.
 	type submission struct {
-		job *verifyd.Job
-		err error
+		job  *verifyd.Job
+		err  error
+		span *tracing.Span // the cell's span, ended when its wait completes
 	}
 	leaders := make(map[string]int, len(cells)) // source -> leader cell index
 	subs := make(map[int]*submission, len(cells))
@@ -191,10 +215,15 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 			continue
 		}
 		leaders[c.Source] = c.Index
-		job, err := srv.Submit(c.Source, spec.Components, opts, spec.Timeout)
-		subs[c.Index] = &submission{job: job, err: err}
+		cctx, cspan := tracer.StartSpan(ctx, "cell:"+strconv.Itoa(c.Index),
+			tracing.A("connector", c.Connector))
+		job, err := srv.SubmitContext(cctx, c.Source, spec.Components, opts, spec.Timeout)
+		subs[c.Index] = &submission{job: job, err: err, span: cspan}
 		if err == nil {
 			mInFlight.Add(1)
+		} else {
+			cspan.SetAttr("error", err.Error())
+			cspan.End()
 		}
 	}
 
@@ -221,6 +250,7 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 			cr.Err = sub.err.Error()
 		default:
 			if err := srv.Wait(ctx, sub.job); err != nil {
+				sub.span.End()
 				return nil, fmt.Errorf("sweep: cell %d: %w", c.Index, err)
 			}
 			snap := srv.Snapshot(sub.job)
@@ -229,6 +259,21 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 				cr.CacheHits = snap.CacheHits
 				cr.CacheMisses = snap.CacheMisses
 				mInFlight.Add(-1)
+				if sub.span != nil {
+					sub.span.SetAttr("verdict", cr.Verdict)
+					sub.span.SetAttr("job_id", snap.ID)
+					sub.span.End()
+				}
+			} else {
+				// Followers record a zero-cost span pointing at the
+				// leader's job, so the trace shows where each cell's
+				// verdict came from.
+				_, fspan := tracer.StartSpan(ctx, "cell:"+strconv.Itoa(c.Index),
+					tracing.A("connector", c.Connector),
+					tracing.A("deduped", "true"),
+					tracing.A("leader", strconv.Itoa(leader)),
+					tracing.A("verdict", cr.Verdict))
+				fspan.End()
 			}
 		}
 		mCells.Inc()

@@ -13,6 +13,7 @@ import (
 	"pnp/internal/blocks"
 	"pnp/internal/checker"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 	"pnp/internal/verifyd"
 )
 
@@ -116,6 +117,10 @@ type Status struct {
 	Started time.Time `json:"started"`
 	Total   int       `json:"total_cells"`
 	Done    int       `json:"done_cells"`
+	// TraceID is the hex trace the sweep's spans record into (empty when
+	// the server runs without a Tracer); GET /v1/sweeps/{id}/trace
+	// streams them.
+	TraceID string `json:"trace_id,omitempty"`
 	// Result is present once State is "done"; Err reports a sweep that
 	// failed outright (its cells are then absent).
 	Result *Result `json:"result,omitempty"`
@@ -128,6 +133,7 @@ type sweepJob struct {
 	name    string
 	started time.Time
 	total   int
+	traceID string
 
 	mu     sync.Mutex
 	cells  []CellResult
@@ -142,7 +148,7 @@ func (sj *sweepJob) status(withResult bool) Status {
 	defer sj.mu.Unlock()
 	st := Status{
 		ID: sj.id, Name: sj.name, State: "running", Started: sj.started,
-		Total: sj.total, Done: len(sj.cells), Err: sj.err,
+		Total: sj.total, Done: len(sj.cells), TraceID: sj.traceID, Err: sj.err,
 	}
 	if sj.done {
 		st.State = "done"
@@ -186,12 +192,17 @@ func (sv *Service) Wait() { sv.wg.Wait() }
 //	GET  /v1/sweeps             list sweeps
 //	GET  /v1/sweeps/{id}        sweep status; result included when done
 //	GET  /v1/sweeps/{id}/stream NDJSON: {"cell":...} per cell, then {"sweep":...}
+//	GET  /v1/sweeps/{id}/trace  the sweep's spans as NDJSON (404 w/o tracing)
+//
+// A submission carrying a W3C traceparent header joins the caller's
+// trace.
 func (sv *Service) Handler(base http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", sv.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps", sv.handleList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", sv.handleSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", sv.handleStream)
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", sv.handleTrace)
 	mux.Handle("/", base)
 	return mux
 }
@@ -204,8 +215,10 @@ func (sv *Service) Run(ctx context.Context, spec Spec) (*Result, error) {
 }
 
 // Start validates and launches a sweep in the background, returning its
-// initial status.
-func (sv *Service) Start(ws WireSpec) (Status, error) {
+// initial status. ctx is used only for trace parenting (a span or
+// extracted traceparent joins the sweep to the caller's trace); the
+// background run is never canceled by it.
+func (sv *Service) Start(ctx context.Context, ws WireSpec) (Status, error) {
 	spec, err := ws.Compile()
 	if err != nil {
 		return Status{}, err
@@ -226,6 +239,11 @@ func (sv *Service) Start(ws WireSpec) (Status, error) {
 		return Status{}, err
 	}
 
+	// The sweep span starts here, not in the engine, so the 202 response
+	// already carries the TraceID a client needs to follow the trace.
+	_, sspan := sv.srv.Tracer().StartSpan(ctx, "sweep",
+		tracing.A("name", spec.Name), tracing.A("cells", fmt.Sprintf("%d", len(cells))))
+
 	sv.mu.Lock()
 	sv.nextID++
 	sj := &sweepJob{
@@ -235,13 +253,25 @@ func (sv *Service) Start(ws WireSpec) (Status, error) {
 		total:   len(cells),
 		notify:  make(chan struct{}),
 	}
+	if sspan != nil {
+		sj.traceID = sspan.TraceID().String()
+		sspan.SetAttr("sweep_id", sj.id)
+	}
 	sv.sweeps[sj.id] = sj
 	sv.mu.Unlock()
+	sv.srv.Logger().Info("sweep started", "sweep_id", sj.id, "name", spec.Name,
+		"cells", len(cells), "trace_id", sj.traceID)
 
 	sv.wg.Add(1)
 	go func() {
 		defer sv.wg.Done()
-		res, err := Run(context.Background(), spec, Config{
+		// A fresh context carrying only the sweep span: the run must
+		// outlive the submitting HTTP request.
+		runCtx := context.Background()
+		if sspan != nil {
+			runCtx = tracing.ContextWithSpan(runCtx, sspan)
+		}
+		res, err := Run(runCtx, spec, Config{
 			Server:   sv.srv,
 			Options:  sv.opts,
 			Registry: sv.reg,
@@ -263,6 +293,21 @@ func (sv *Service) Start(ws WireSpec) (Status, error) {
 		close(sj.notify)
 		sj.notify = make(chan struct{})
 		sj.mu.Unlock()
+		if sspan != nil {
+			if err != nil {
+				sspan.SetAttr("error", err.Error())
+			} else {
+				sspan.SetAttr("passed", fmt.Sprintf("%d", res.Passed))
+				sspan.SetAttr("failed", fmt.Sprintf("%d", res.Failed))
+			}
+			sspan.End()
+		}
+		if err != nil {
+			sv.srv.Logger().Warn("sweep failed", "sweep_id", sj.id, "trace_id", sj.traceID, "err", err)
+		} else {
+			sv.srv.Logger().Info("sweep done", "sweep_id", sj.id, "trace_id", sj.traceID,
+				"passed", res.Passed, "failed", res.Failed, "dedup_hits", res.DedupHits)
+		}
 		sv.retire(sj.id)
 	}()
 	return sj.status(false), nil
@@ -299,12 +344,33 @@ func (sv *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		verifyd.WriteError(w, http.StatusBadRequest, verifyd.CodeInvalidArgument, "bad sweep spec: "+err.Error())
 		return
 	}
-	st, err := sv.Start(ws)
+	// Trace parenting from the request's traceparent over a background
+	// context: the sweep must not inherit the request's cancellation.
+	tctx := tracing.ContextWithRemote(context.Background(), tracing.Extract(r))
+	st, err := sv.Start(tctx, ws)
 	if err != nil {
 		verifyd.WriteADLError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleTrace streams the sweep's recorded spans — sweep, cells, their
+// jobs and checker phases — as NDJSON. Spans may still be arriving while
+// the sweep runs. 404 when the server runs without a Tracer.
+func (sv *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sj, ok := sv.lookup(r.PathValue("id"))
+	if !ok {
+		verifyd.WriteError(w, http.StatusNotFound, verifyd.CodeNotFound, "no such sweep")
+		return
+	}
+	tracer := sv.srv.Tracer()
+	if tracer == nil || sj.traceID == "" {
+		verifyd.WriteError(w, http.StatusNotFound, verifyd.CodeNotFound, "tracing disabled")
+		return
+	}
+	w.Header().Set("Content-Type", tracing.NDJSONContentType)
+	tracing.WriteNDJSON(w, tracer.TraceHex(sj.traceID))
 }
 
 func (sv *Service) handleList(w http.ResponseWriter, r *http.Request) {

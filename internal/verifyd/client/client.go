@@ -8,6 +8,13 @@
 // idempotent requests — are retried with capped exponential backoff;
 // API failures surface as *APIError carrying the uniform error
 // envelope's code and message.
+//
+// Every request carries a W3C traceparent header when the context
+// holds a span (tracing.StartSpan / tracing.ContextWithSpan), so a
+// remote job or sweep joins the caller's trace; JobTrace and
+// SweepTrace pull the server's recorded spans back for local export.
+// The tracing package is shared protocol vocabulary, not server
+// implementation — the no-server-imports rule above still holds.
 package client
 
 import (
@@ -23,6 +30,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"pnp/internal/obs/tracing"
 )
 
 // Job mirrors the service's job resource.
@@ -34,6 +43,7 @@ type Job struct {
 	CacheHits   int       `json:"cache_hits"`
 	CacheMisses int       `json:"cache_misses"`
 	Workers     int       `json:"workers,omitempty"`
+	TraceID     string    `json:"trace_id,omitempty"`
 }
 
 // Report mirrors the service's verdict document.
@@ -175,6 +185,7 @@ type SweepStatus struct {
 	Done    int          `json:"done_cells"`
 	Result  *SweepResult `json:"result,omitempty"`
 	Err     string       `json:"err,omitempty"`
+	TraceID string       `json:"trace_id,omitempty"`
 }
 
 // APIError is a non-2xx response decoded from the uniform error
@@ -253,6 +264,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		tracing.Inject(req, tracing.Current(ctx))
 		resp, err := c.hc.Do(req)
 		switch {
 		case err != nil:
@@ -280,17 +292,23 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 }
 
 // decode consumes one response; retry reports whether the failure is
-// transient.
+// transient. out is normally a JSON destination; an out of type
+// func(io.Reader) error consumes the success body itself (the NDJSON
+// trace endpoints are not single JSON documents).
 func (c *Client) decode(resp *http.Response, out any) (retry bool, err error) {
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		if out == nil {
+		switch dst := out.(type) {
+		case nil:
 			return false, nil
+		case func(io.Reader) error:
+			return false, dst(resp.Body)
+		default:
+			return false, json.NewDecoder(resp.Body).Decode(out)
 		}
-		return false, json.NewDecoder(resp.Body).Decode(out)
 	}
 	ae := &APIError{Status: resp.StatusCode}
 	var eb struct {
@@ -376,6 +394,31 @@ func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
 	}
 }
 
+// JobTrace fetches a job's recorded spans (GET /v1/jobs/{id}/trace).
+// It fails with a not_found *APIError when the server runs without a
+// flight recorder or the trace has been evicted from its ring.
+func (c *Client) JobTrace(ctx context.Context, id string) ([]tracing.SpanData, error) {
+	return c.trace(ctx, "/v1/jobs/"+url.PathEscape(id)+"/trace")
+}
+
+// SweepTrace fetches a sweep's recorded spans (GET /v1/sweeps/{id}/trace).
+func (c *Client) SweepTrace(ctx context.Context, id string) ([]tracing.SpanData, error) {
+	return c.trace(ctx, "/v1/sweeps/"+url.PathEscape(id)+"/trace")
+}
+
+func (c *Client) trace(ctx context.Context, path string) ([]tracing.SpanData, error) {
+	var spans []tracing.SpanData
+	read := func(r io.Reader) error {
+		var err error
+		spans, err = tracing.ReadNDJSON(r)
+		return err
+	}
+	if err := c.do(ctx, http.MethodGet, path, nil, read); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
 // SubmitSweep submits a design-space sweep.
 func (c *Client) SubmitSweep(ctx context.Context, spec SweepSpec) (*SweepStatus, error) {
 	body, err := json.Marshal(spec)
@@ -442,6 +485,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, seen *int, onCell fu
 	if err != nil {
 		return nil, err
 	}
+	tracing.Inject(req, tracing.Current(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pnp/internal/obs/tracing"
+)
+
+// TestTraceparentInjected: a context carrying a span stamps every
+// request with its traceparent; a bare context sends none.
+func TestTraceparentInjected(t *testing.T) {
+	var gotHeader atomic.Value
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get(tracing.Header))
+		w.Write([]byte(`{"id":"job-1","state":"queued"}`))
+	}))
+	defer hs.Close()
+	c := New(hs.URL)
+
+	rec := tracing.NewRecorder(16)
+	ctx, span := rec.StartSpan(context.Background(), "cli")
+	if _, err := c.Submit(ctx, JobRequest{ADL: "system x {}"}); err != nil {
+		t.Fatal(err)
+	}
+	want := tracing.FormatTraceparent(span.Context())
+	if h := gotHeader.Load().(string); h != want {
+		t.Fatalf("traceparent = %q, want %q", h, want)
+	}
+	sc, ok := tracing.ParseTraceparent(gotHeader.Load().(string))
+	if !ok || sc.TraceID != span.TraceID() || sc.SpanID != span.SpanID() {
+		t.Fatalf("header %q does not round-trip to the client span", gotHeader.Load())
+	}
+	span.End()
+
+	if _, err := c.Job(context.Background(), "job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if h := gotHeader.Load().(string); h != "" {
+		t.Fatalf("bare context sent traceparent %q", h)
+	}
+}
+
+// TestJobTraceFetch decodes the NDJSON trace endpoint into spans, and
+// surfaces not_found as an *APIError without retrying.
+func TestJobTraceFetch(t *testing.T) {
+	rec := tracing.NewRecorder(16)
+	_, root := rec.StartSpan(context.Background(), "job")
+	root.SetAttr("job_id", "job-1")
+	root.End()
+	spans := rec.Spans()
+
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		switch r.URL.Path {
+		case "/v1/jobs/job-1/trace":
+			w.Header().Set("Content-Type", tracing.NDJSONContentType)
+			tracing.WriteNDJSON(w, spans)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":{"code":"not_found","message":"no trace"}}`))
+		}
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL, WithRetries(2), WithBackoff(time.Millisecond, time.Millisecond))
+	got, err := c.JobTrace(context.Background(), "job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "job" || got[0].TraceID != root.TraceID().String() {
+		t.Fatalf("fetched spans = %+v", got)
+	}
+
+	calls.Store(0)
+	if _, err := c.SweepTrace(context.Background(), "missing"); err == nil {
+		t.Fatal("want not_found error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried: %d calls", calls.Load())
+	}
+}

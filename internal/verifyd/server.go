@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"pnp/internal/blocks"
 	"pnp/internal/checker"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 )
 
 // Config parameterizes a verification server.
@@ -50,6 +52,14 @@ type Config struct {
 	Resolver adl.Resolver
 	// Registry receives service and cache metrics; nil disables them.
 	Registry *obs.Registry
+	// Tracer, when non-nil, is the flight recorder every job records
+	// spans into: submit/compose, queue wait, run, per-property checker
+	// phases. Submissions carrying a traceparent join the caller's
+	// trace; others root their own. Nil disables tracing entirely.
+	Tracer *tracing.Recorder
+	// Logger receives structured job-lifecycle logs (submitted, running,
+	// done) carrying job_id and trace_id fields; nil discards them.
+	Logger *slog.Logger
 	// Options is the base checker configuration applied to every job;
 	// submissions may override the search-shape fields per job.
 	Options checker.Options
@@ -79,12 +89,22 @@ type Job struct {
 	// Workers is the number of search workers granted from the server's
 	// SearchBudget while the job ran (0 until it starts).
 	Workers int `json:"workers,omitempty"`
+	// TraceID is the hex trace this job records spans into (empty when
+	// the server runs without a Tracer). GET /v1/jobs/{id}/trace streams
+	// the spans.
+	TraceID string `json:"trace_id,omitempty"`
 
 	sys     *adl.System
 	opts    checker.Options
 	timeout time.Duration
 	done    chan struct{}
 	seq     int // submission order, the cursor GET /v1/jobs pages over
+
+	// tctx carries the job span for children started by run(); qspan is
+	// the open queue-wait span, ended at worker pickup.
+	tctx  context.Context
+	span  *tracing.Span
+	qspan *tracing.Span
 }
 
 // jobRequest is the JSON submission envelope. Raw (non-JSON) bodies are
@@ -138,11 +158,22 @@ type Server struct {
 	jobsWG   sync.WaitGroup // accepted-but-unfinished jobs
 	wg       sync.WaitGroup // worker goroutines
 
+	tracer *tracing.Recorder
+	log    *slog.Logger
+
 	mSubmitted *obs.Counter
 	mCompleted *obs.Counter
 	mRejected  *obs.Counter
 	mRunning   *obs.Gauge
 	mQueued    *obs.Gauge
+	hWait      *obs.Histogram
+}
+
+// queueWaitBuckets span sub-millisecond pickups on an idle pool out to
+// minute-long waits behind a saturated one — a wider range than the
+// default LatencyBuckets, which top out at one second.
+var queueWaitBuckets = []float64{
+	0.0001, 0.001, 0.004, 0.016, 0.064, 0.256, 1, 4, 16, 64,
 }
 
 // NewServer builds a verification server and starts its workers.
@@ -156,6 +187,10 @@ func NewServer(cfg Config) *Server {
 	if cfg.SearchBudget <= 0 {
 		cfg.SearchBudget = runtime.GOMAXPROCS(0)
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Registry,
@@ -164,11 +199,14 @@ func NewServer(cfg Config) *Server {
 		jobs:       make(map[string]*Job),
 		queue:      make(chan *Job, 64),
 		stop:       make(chan struct{}),
+		tracer:     cfg.Tracer,
+		log:        log,
 		mSubmitted: cfg.Registry.Counter("verifyd_jobs_submitted_total"),
 		mCompleted: cfg.Registry.Counter("verifyd_jobs_completed_total"),
 		mRejected:  cfg.Registry.Counter("verifyd_jobs_rejected_total"),
 		mRunning:   cfg.Registry.Gauge("verifyd_jobs_running"),
 		mQueued:    cfg.Registry.Gauge("verifyd_jobs_queued"),
+		hWait:      cfg.Registry.Histogram("verifyd_queue_wait_seconds", queueWaitBuckets),
 	}
 	s.budget = newWorkerBudget(cfg.SearchBudget, cfg.Registry.Gauge("verifyd_search_workers_in_use"))
 	s.wg.Add(cfg.Workers)
@@ -189,6 +227,15 @@ func (s *Server) Options() checker.Options { return s.cfg.Options }
 // ModelCacheStats reports compiled-model reuse across jobs.
 func (s *Server) ModelCacheStats() (hits, misses int) { return s.models.Stats() }
 
+// Tracer returns the server's flight recorder (nil when tracing is
+// disabled). Embedders like the sweep service record their own spans
+// into it so one trace spans sweep and jobs.
+func (s *Server) Tracer() *tracing.Recorder { return s.tracer }
+
+// Logger returns the server's structured logger (never nil; a discard
+// logger when none was configured).
+func (s *Server) Logger() *slog.Logger { return s.log }
+
 // Submit parses and composes src (resolving component references against
 // inline components first, then the configured resolver), queues the
 // verification, and returns the job. Composition errors surface
@@ -197,6 +244,16 @@ func (s *Server) ModelCacheStats() (hits, misses int) { return s.models.Stats() 
 // JobTimeout for this job; the clock starts when a worker picks the
 // job up, not while it waits in the queue.
 func (s *Server) Submit(src string, components map[string]string, opts checker.Options, timeout time.Duration) (*Job, error) {
+	return s.SubmitContext(context.Background(), src, components, opts, timeout)
+}
+
+// SubmitContext is Submit with trace propagation: if ctx carries a span
+// or an extracted traceparent, the job's spans join that trace; the job
+// otherwise roots a fresh one. ctx is used only for trace parenting —
+// job cancellation stays governed by the timeout, so a caller
+// disconnecting cannot kill a queued job another client is awaiting.
+func (s *Server) SubmitContext(ctx context.Context, src string, components map[string]string, opts checker.Options, timeout time.Duration) (*Job, error) {
+	jctx, jspan := s.tracer.StartSpan(ctx, "job")
 	resolve := func(path string) (string, error) {
 		if text, ok := components[path]; ok {
 			return text, nil
@@ -206,16 +263,23 @@ func (s *Server) Submit(src string, components map[string]string, opts checker.O
 		}
 		return "", fmt.Errorf("unknown component %q (no resolver configured)", path)
 	}
+	_, cspan := s.tracer.StartSpan(jctx, "compose")
 	sys, err := adl.Load(src, resolve, s.models)
+	cspan.End()
 	if err != nil {
 		s.mRejected.Inc()
+		jspan.SetAttr("error", err.Error())
+		jspan.End()
 		return nil, err
 	}
+	jspan.SetAttr("system", sys.Name)
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.mRejected.Inc()
+		jspan.SetAttr("error", ErrDraining.Error())
+		jspan.End()
 		return nil, ErrDraining
 	}
 	s.nextID++
@@ -228,13 +292,21 @@ func (s *Server) Submit(src string, components map[string]string, opts checker.O
 		timeout:   timeout,
 		done:      make(chan struct{}),
 		seq:       s.nextID,
+		tctx:      jctx,
+		span:      jspan,
 	}
+	if jspan != nil {
+		job.TraceID = jspan.TraceID().String()
+		jspan.SetAttr("job_id", job.ID)
+	}
+	_, job.qspan = s.tracer.StartSpan(jctx, "queue")
 	s.jobs[job.ID] = job
 	// Registered under the same lock as the closed check, so Shutdown's
 	// drain wait observes every accepted job.
 	s.jobsWG.Add(1)
 	s.mu.Unlock()
 
+	s.log.Info("job submitted", "job_id", job.ID, "system", sys.Name, "trace_id", job.TraceID)
 	s.mSubmitted.Inc()
 	s.mQueued.Add(1)
 	s.queue <- job
@@ -298,6 +370,11 @@ func (s *Server) worker() {
 		case job := <-s.queue:
 			s.mQueued.Add(-1)
 			s.mRunning.Add(1)
+			// Queue wait is submission to pickup — the latency PR2's
+			// timeout fix deliberately excludes from the search clock,
+			// invisible until now.
+			s.hWait.Observe(time.Since(job.Submitted).Seconds())
+			job.qspan.End()
 			s.run(job)
 			s.mRunning.Add(-1)
 			s.mCompleted.Inc()
@@ -309,11 +386,13 @@ func (s *Server) worker() {
 // run executes (or cache-serves) every property of one job.
 func (s *Server) run(job *Job) {
 	s.setState(job, JobRunning)
+	s.log.Info("job running", "job_id", job.ID, "trace_id", job.TraceID)
 	sys := job.sys
 	mh := ModelHash(sys.Builder)
 
 	opts := job.opts
 	opts.Metrics = s.reg
+	opts.Tracer = s.tracer
 
 	// Claim search workers for the whole job: up to the requested count
 	// (0 = all that are idle), at least one. The grant is the job's
@@ -342,6 +421,14 @@ func (s *Server) run(job *Job) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	// The run span parents to the job span (via job.tctx) but lives on
+	// the cancellation context, so checker phases nest under it and stop
+	// with it.
+	_, rspan := s.tracer.StartSpan(job.tctx, "run")
+	if rspan != nil {
+		rspan.SetAttr("workers", strconv.Itoa(granted))
+		ctx = tracing.ContextWithSpan(ctx, rspan)
+	}
 	opts.Context = ctx
 
 	m := sys.Builder.System()
@@ -364,6 +451,7 @@ func (s *Server) run(job *Job) {
 			v.Cached = true
 			rep.Properties = append(rep.Properties, v)
 			hits++
+			rspan.AddEvent("cache-hit", tracing.A("property", ps.Name))
 			if !v.OK {
 				rep.OK = false
 				rep.Failed++
@@ -371,8 +459,13 @@ func (s *Server) run(job *Job) {
 			continue
 		}
 		misses++
-		res := s.checkProperty(sys, ps, opts)
+		popts := opts
+		pctx, pspan := s.tracer.StartSpan(ctx, "property:"+ps.Name, tracing.A("kind", ps.Kind))
+		popts.Context = pctx
+		res := s.checkProperty(sys, ps, popts)
 		v := NewPropertyVerdict(ps.Name, ps.Kind, res, procs)
+		pspan.SetAttr("verdict", v.Verdict)
+		pspan.End()
 		// Truncated searches (limits, timeouts, cancellation) are not
 		// verdicts about the model and must never be served as such.
 		if !res.Stats.Truncated && res.Kind != checker.Canceled {
@@ -383,6 +476,11 @@ func (s *Server) run(job *Job) {
 			rep.OK = false
 			rep.Failed++
 		}
+	}
+	if rspan != nil {
+		rspan.SetAttr("cache_hits", strconv.Itoa(hits))
+		rspan.SetAttr("cache_misses", strconv.Itoa(misses))
+		rspan.End()
 	}
 
 	s.mu.Lock()
@@ -401,6 +499,13 @@ func (s *Server) run(job *Job) {
 		s.doneIDs = s.doneIDs[1:]
 	}
 	s.mu.Unlock()
+	if job.span != nil {
+		job.span.SetAttr("ok", strconv.FormatBool(rep.OK))
+		job.span.End()
+	}
+	s.log.Info("job done", "job_id", job.ID, "trace_id", job.TraceID,
+		"ok", rep.OK, "failed", rep.Failed, "cache_hits", hits, "cache_misses", misses,
+		"elapsed", time.Since(job.Submitted).Round(time.Millisecond).String())
 	close(job.done)
 }
 
@@ -448,6 +553,7 @@ func (s *Server) snapshotJob(job *Job) Job {
 		CacheHits:   job.CacheHits,
 		CacheMisses: job.CacheMisses,
 		Workers:     job.Workers,
+		TraceID:     job.TraceID,
 		seq:         job.seq,
 	}
 }
@@ -461,16 +567,19 @@ func (s *Server) Snapshot(job *Job) Job { return s.snapshotJob(job) }
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs           submit ADL (raw text or JSON envelope) -> job
-//	GET  /v1/jobs           list jobs (?status=, ?cursor=, ?limit=)
-//	GET  /v1/jobs/{id}      job status; report included when done
-//	GET  /v1/jobs/{id}/wait long-poll until done (or ?timeout=30s)
-//	GET  /v1/cache          result-cache statistics
-//	GET  /healthz           liveness: 200 while the process runs
-//	GET  /readyz            readiness: 200 accepting jobs, 503 draining
-//	GET  /metrics           Prometheus exposition (plus /metrics.json)
+//	POST /v1/jobs            submit ADL (raw text or JSON envelope) -> job
+//	GET  /v1/jobs            list jobs (?status=, ?cursor=, ?limit=)
+//	GET  /v1/jobs/{id}       job status; report included when done
+//	GET  /v1/jobs/{id}/wait  long-poll until done (or ?timeout=30s)
+//	GET  /v1/jobs/{id}/trace the job's spans as NDJSON (404 w/o tracing)
+//	GET  /v1/cache           result-cache statistics
+//	GET  /healthz            liveness: 200 while the process runs
+//	GET  /readyz             readiness: 200 accepting jobs, 503 draining
+//	GET  /metrics            Prometheus exposition (plus /metrics.json)
+//	GET  /debug/trace        flight-recorder listing (?id= for one trace)
 //
-// Every failure response is the uniform JSON envelope
+// A submission carrying a W3C traceparent header joins the caller's
+// trace. Every failure response is the uniform JSON envelope
 // {"error":{"code","message"}} (see WriteError); unknown paths get an
 // enveloped 404 so the whole surface fails uniformly.
 func (s *Server) Handler() http.Handler {
@@ -479,12 +588,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.reg != nil {
 		mux.Handle("/metrics", s.reg.Handler())
 		mux.Handle("/metrics.json", s.reg.Handler())
+	}
+	if s.tracer != nil {
+		mux.Handle("GET /debug/trace", s.tracer.Handler())
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusNotFound, CodeNotFound, "no such route: "+r.URL.Path)
@@ -553,12 +666,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := s.jobOptions(req)
-	job, err := s.Submit(req.ADL, req.Components, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
+	// Trace parenting comes from the request's traceparent header, over a
+	// background context: the job must not inherit the HTTP request's
+	// cancellation, which fires as soon as the 202 is written.
+	tctx := tracing.ContextWithRemote(context.Background(), tracing.Extract(r))
+	job, err := s.SubmitContext(tctx, req.ADL, req.Components, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
 	if err != nil {
 		WriteADLError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, s.snapshotJob(job))
+}
+
+// handleJobTrace streams one job's recorded spans as NDJSON. Spans may
+// still be arriving while the job runs; clients wanting the complete
+// trace should wait for the job first. 404 when the server runs without
+// a Tracer.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no such job")
+		return
+	}
+	snap := s.snapshotJob(job)
+	if s.tracer == nil || snap.TraceID == "" {
+		WriteError(w, http.StatusNotFound, CodeNotFound, "tracing disabled")
+		return
+	}
+	w.Header().Set("Content-Type", tracing.NDJSONContentType)
+	tracing.WriteNDJSON(w, s.tracer.TraceHex(snap.TraceID))
 }
 
 // jobOptions overlays a submission's overrides onto the server defaults.
@@ -600,6 +736,7 @@ type jobSummary struct {
 	CacheHits   int       `json:"cache_hits"`
 	CacheMisses int       `json:"cache_misses"`
 	Workers     int       `json:"workers,omitempty"`
+	TraceID     string    `json:"trace_id,omitempty"`
 	// OK is present once the job is done.
 	OK *bool `json:"ok,omitempty"`
 }
@@ -661,6 +798,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		js := jobSummary{
 			ID: j.ID, State: j.State, Submitted: j.Submitted,
 			CacheHits: j.CacheHits, CacheMisses: j.CacheMisses, Workers: j.Workers,
+			TraceID: j.TraceID,
 		}
 		if j.State == JobDone && j.Report != nil {
 			ok := j.Report.OK

@@ -37,6 +37,7 @@ package pnp
 
 import (
 	"context"
+	"io"
 
 	"pnp/internal/adl"
 	"pnp/internal/blocks"
@@ -44,6 +45,7 @@ import (
 	"pnp/internal/core"
 	"pnp/internal/faults"
 	"pnp/internal/obs"
+	"pnp/internal/obs/tracing"
 	"pnp/internal/pnprt"
 	"pnp/internal/sweep"
 	"pnp/internal/trace"
@@ -265,10 +267,14 @@ type (
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
+// MetricsMount attaches an extra handler to a ServeMetrics mux (e.g. a
+// TraceRecorder's Handler on /debug/trace).
+type MetricsMount = obs.Mount
+
 // ServeMetrics exposes the registry on addr (/metrics, /metrics.json,
-// /healthz) until the returned server is closed.
-func ServeMetrics(r *MetricsRegistry, addr string) (*MetricsServer, error) {
-	return obs.Serve(r, addr)
+// /healthz, plus any extra mounts) until the returned server is closed.
+func ServeMetrics(r *MetricsRegistry, addr string, mounts ...MetricsMount) (*MetricsServer, error) {
+	return obs.Serve(r, addr, mounts...)
 }
 
 // MetricLabels builds a labeled metric name: MetricLabels("x_total",
@@ -290,6 +296,35 @@ func NewLiveTrace(capacity int) *LiveTrace { return trace.NewLive(capacity) }
 // MSCTap streams a connector's protocol events into a live trace
 // window, for rendering running systems as message sequence charts.
 func MSCTap(live *LiveTrace) TraceFunc { return pnprt.MSCTap(live) }
+
+// Tracing API: lightweight spans recorded into a bounded in-process
+// flight recorder, exportable as NDJSON or Chrome trace_event JSON.
+// CheckOptions.Tracer traces verification phases, WithSpans traces
+// executable connectors, and the verification service propagates W3C
+// traceparent headers so remote jobs join the caller's trace.
+type (
+	// TraceRecorder is a bounded ring of completed spans (the flight
+	// recorder); its Handler serves /debug/trace.
+	TraceRecorder = tracing.Recorder
+	// TraceSpan is one in-flight span; End records it.
+	TraceSpan = tracing.Span
+	// TraceSpanData is one completed span as recorded and serialized.
+	TraceSpanData = tracing.SpanData
+)
+
+// NewTraceRecorder creates a flight recorder holding up to capacity
+// completed spans (capacity <= 0 selects the default).
+func NewTraceRecorder(capacity int) *TraceRecorder { return tracing.NewRecorder(capacity) }
+
+// WithSpans records an executable connector's lifecycle as a span with
+// its protocol events attached.
+func WithSpans(rec *TraceRecorder) pnprt.Option { return pnprt.WithSpans(rec) }
+
+// WriteChromeTrace renders spans as Chrome trace_event JSON, viewable
+// in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, spans []TraceSpanData) error {
+	return tracing.WriteChromeTrace(w, spans)
+}
 
 // ADL API.
 type (
