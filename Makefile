@@ -23,6 +23,7 @@ race:
 	$(GO) test -race -short ./internal/checker/ ./internal/model/
 	$(GO) test -race ./internal/verifyd/ -run 'Budget|ServiceJob|Trace'
 	$(GO) test -race -short ./internal/sweep/ ./internal/verifyd/client/
+	$(GO) test -race ./internal/cluster/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -32,16 +33,18 @@ bench:
 # fault-injection middleware overhead, the PR4 parallel-search scaling
 # rows (ParallelSafety worker sweep + the sharded visited set vs the
 # sequential map), the PR5 sweep-engine rows (cold in-process sweep
-# vs fully cache-served re-sweep, plus spec expansion), and the PR6
+# vs fully cache-served re-sweep, plus spec expansion), the PR6
 # tracing rows (span overhead with the recorder enabled vs the nil
-# recorder's disabled path).
+# recorder's disabled path), and the PR7 cluster rows (hash-ring
+# lookup and the coordinator's per-job routing overhead).
 bench-json:
 	($(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR|VerifydCache|FaultMiddleware|ParallelSafety' -benchtime 1x . && \
 	 $(GO) test -run '^$$' -bench 'ShardedVisited' -benchtime 1x ./internal/checker/ && \
 	 $(GO) test -run '^$$' -bench 'SweepInProcess|SweepCacheReuse|ExpandMatrix' -benchtime 1x ./internal/sweep/ && \
-	 $(GO) test -run '^$$' -bench 'SpanOverhead' -benchtime 1000x ./internal/obs/tracing/) \
-		| $(GO) run ./internal/tools/benchjson > BENCH_PR6.json
-	@echo wrote BENCH_PR6.json
+	 $(GO) test -run '^$$' -bench 'SpanOverhead' -benchtime 1000x ./internal/obs/tracing/ && \
+	 $(GO) test -run '^$$' -bench 'HashRing|ClusterRouteOverhead' -benchtime 1000x ./internal/cluster/) \
+		| $(GO) run ./internal/tools/benchjson > BENCH_PR7.json
+	@echo wrote BENCH_PR7.json
 
 # Regenerate every EXPERIMENTS.md table.
 experiments:

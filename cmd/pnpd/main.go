@@ -9,6 +9,15 @@
 //	pnpd [--addr :7447] [--workers N] [--search-budget N]
 //	     [--cache-entries N] [--job-timeout 30s] [--metrics-addr :8080]
 //	     [--root DIR] [--trace-entries N] [--log-level info]
+//	pnpd --coordinator --nodes=http://h1:7447,http://h2:7447 [--addr :7446]
+//	     [--probe-interval 2s] [--cache-entries N]
+//
+// With --coordinator the process serves the same v1 API but routes
+// every job and sweep cell to the worker fleet named by --nodes: a
+// consistent-hash ring over the submission's content address picks the
+// node (so repeats land where the answer is cached), health probes
+// eject dead nodes, and placement fails over along the ring. See
+// docs/CLUSTER.md.
 //
 // Every job and sweep is traced into a bounded in-process flight
 // recorder: GET /v1/jobs/{id}/trace and /v1/sweeps/{id}/trace stream
@@ -44,9 +53,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"pnp/internal/cluster"
 	"pnp/internal/obs"
 	"pnp/internal/obs/tracing"
 	"pnp/internal/sweep"
@@ -59,6 +70,9 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", ":7447", "HTTP listen address for the job API")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator fronting --nodes instead of verifying locally")
+	nodes := flag.String("nodes", "", "comma-separated worker base URLs (coordinator mode)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "health-probe period per node (coordinator mode)")
 	workers := flag.Int("workers", 0, "concurrent checker runs (0 = GOMAXPROCS)")
 	searchBudget := flag.Int("search-budget", 0, "total parallel search workers shared by running jobs (0 = GOMAXPROCS)")
 	cacheEntries := flag.Int("cache-entries", 1024, "result cache capacity (verdicts)")
@@ -91,6 +105,9 @@ func run() int {
 	}
 
 	reg := obs.NewRegistry()
+	if *coordinator {
+		return runCoordinator(*addr, *nodes, *probeInterval, *cacheEntries, *metricsAddr, reg, rec, logger)
+	}
 	cfg := verifyd.Config{
 		Workers:      *workers,
 		SearchBudget: *searchBudget,
@@ -177,4 +194,80 @@ func cfgWorkers(cfg verifyd.Config) int {
 		return cfg.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// runCoordinator is pnpd --coordinator: the same process image serving
+// the same v1 API, but routing every job and sweep cell to the worker
+// fleet named by --nodes instead of verifying locally.
+func runCoordinator(addr, nodes string, probeInterval time.Duration, cacheEntries int,
+	metricsAddr string, reg *obs.Registry, rec *tracing.Recorder, logger *slog.Logger) int {
+	var nodeList []string
+	for _, n := range strings.Split(nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodeList = append(nodeList, n)
+		}
+	}
+	if len(nodeList) == 0 {
+		fmt.Fprintf(os.Stderr, "pnpd: --coordinator requires --nodes=url1,url2,...\n")
+		return 2
+	}
+	coord, err := cluster.New(cluster.Config{
+		Nodes:         nodeList,
+		ProbeInterval: probeInterval,
+		CacheEntries:  cacheEntries,
+		Registry:      reg,
+		Tracer:        rec,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("pnpd: coordinator on http://%s (nodes=%d, cache=%d, probe=%s)\n",
+		ln.Addr(), len(coord.Nodes()), cacheEntries, probeInterval)
+
+	if metricsAddr != "" {
+		var mounts []obs.Mount
+		if rec != nil {
+			mounts = append(mounts, obs.Mount{Pattern: "/debug/trace", Handler: rec.Handler()})
+		}
+		msrv, err := obs.Serve(reg, metricsAddr, mounts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnpd: metrics: %v\n", err)
+			return 1
+		}
+		defer msrv.Close()
+		fmt.Printf("pnpd: metrics on http://%s/metrics\n", msrv.Addr())
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("pnpd: %s received, draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pnpd: %v\n", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: drain: %v\n", err)
+		return 1
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: http shutdown: %v\n", err)
+	}
+	fmt.Println("pnpd: coordinator drained")
+	return 0
 }

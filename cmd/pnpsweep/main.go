@@ -287,7 +287,7 @@ func fromWire(r *client.SweepResult) *sweep.Result {
 			Faults: c.Faults, Companion: c.Companion, Primary: c.Primary,
 			Verdict: c.Verdict, OK: c.OK, States: c.States,
 			CacheHits: c.CacheHits, CacheMisses: c.CacheMisses, Deduped: c.Deduped,
-			ElapsedMS: c.ElapsedMS, Err: c.Err,
+			Node: c.Node, ElapsedMS: c.ElapsedMS, Err: c.Err,
 		})
 	}
 	return out

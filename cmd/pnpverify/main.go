@@ -314,6 +314,10 @@ func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout 
 	}
 	rep := done.Report
 	if rep == nil {
+		if done.Err != "" {
+			fmt.Fprintf(os.Stderr, "pnpverify: job %s failed: %s\n", job.ID, done.Err)
+			return 1
+		}
 		fmt.Fprintf(os.Stderr, "pnpverify: job %s finished without a report\n", job.ID)
 		return 1
 	}
@@ -329,8 +333,14 @@ func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout 
 		}
 		return 1
 	}
+	// Against a cluster coordinator the final document names the worker
+	// that served the job (or "coordinator" for cluster-cache answers).
+	served := base
+	if done.Node != "" {
+		served = done.Node
+	}
 	fmt.Printf("system %s: %d processes, %d channels (remote %s, job %s, %d cached)\n",
-		rep.System, rep.Processes, rep.Channels, base, job.ID, done.CacheHits)
+		rep.System, rep.Processes, rep.Channels, served, job.ID, done.CacheHits)
 	for _, p := range rep.Properties {
 		fmt.Printf("  %-20s %s\n", p.Name, p.Summary)
 		if !p.OK && p.Counterexample != "" {

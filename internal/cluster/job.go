@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pnp/internal/obs/tracing"
+	"pnp/internal/verifyd"
+	"pnp/internal/verifyd/client"
+	"sync"
+)
+
+// cjob is one job as the coordinator tracks it: the submission (kept
+// for re-placement), where it currently runs, and eventually its
+// report.
+type cjob struct {
+	id        string
+	submitted time.Time
+	key       verifyd.CacheKey
+	req       client.JobRequest
+	traceID   string
+	span      *tracing.Span
+
+	mu            sync.Mutex
+	state         string // "running" or "done"
+	report        *verifyd.Report
+	node          string
+	remoteID      string
+	failovers     int
+	clusterCached bool
+	cacheHits     int
+	cacheMisses   int
+	workers       int
+	errMsg        string
+	done          chan struct{} // closed once state is "done"
+}
+
+// JobStatus is the coordinator's job resource — the single-node job
+// document extended with placement fields (node, remote_id, failovers,
+// cluster_cached), so existing clients decode it unchanged and
+// cluster-aware ones see the routing.
+type JobStatus struct {
+	ID          string          `json:"id"`
+	State       string          `json:"state"`
+	Submitted   time.Time       `json:"submitted"`
+	Report      *verifyd.Report `json:"report,omitempty"`
+	CacheHits   int             `json:"cache_hits"`
+	CacheMisses int             `json:"cache_misses"`
+	Workers     int             `json:"workers,omitempty"`
+	TraceID     string          `json:"trace_id,omitempty"`
+
+	Node          string `json:"node,omitempty"`
+	RemoteID      string `json:"remote_id,omitempty"`
+	Failovers     int    `json:"failovers,omitempty"`
+	ClusterCached bool   `json:"cluster_cached,omitempty"`
+	Err           string `json:"err,omitempty"`
+}
+
+func (j *cjob) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:            j.id,
+		State:         j.state,
+		Submitted:     j.submitted,
+		Report:        j.report,
+		CacheHits:     j.cacheHits,
+		CacheMisses:   j.cacheMisses,
+		Workers:       j.workers,
+		TraceID:       j.traceID,
+		Node:          j.node,
+		RemoteID:      j.remoteID,
+		Failovers:     j.failovers,
+		ClusterCached: j.clusterCached,
+		Err:           j.errMsg,
+	}
+}
+
+func (j *cjob) setPlacement(node, remoteID string) {
+	j.mu.Lock()
+	j.node, j.remoteID = node, remoteID
+	j.mu.Unlock()
+}
+
+func (j *cjob) bumpFailover() {
+	j.mu.Lock()
+	j.failovers++
+	j.mu.Unlock()
+}
+
+// placement reads the node/remoteID pair for trace fetches.
+func (j *cjob) placement() (node, remoteID string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.node, j.remoteID
+}
+
+// fatalSubmitErr reports whether a submission failure would repeat on
+// every node: a 4xx that is not a drain signal (bad ADL, oversized
+// body). Such errors surface to the caller instead of failing over.
+func fatalSubmitErr(err error) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae) && ae.Status < 500 && !ae.Temporary() &&
+		ae.Status != http.StatusNotFound
+}
+
+// transportErr reports whether err carries no API envelope at all — the
+// node is unreachable, the "dead, eject" signal (a Temporary APIError
+// means the opposite: alive, telling us to go elsewhere).
+func transportErr(err error) bool {
+	var ae *client.APIError
+	return !errors.As(err, &ae)
+}
+
+// SubmitJob routes one job into the cluster and returns its
+// coordinator-side status. Placement is synchronous — a bad submission
+// (ADL error) fails here with the worker's envelope, line and column
+// included — while waiting and failover run in the background.
+//
+// The placement sequence per job: coordinator result cache, then the
+// ring walk from the key's owner — each candidate first peeked for a
+// cached report, then handed the job. A transport failure ejects the
+// candidate and moves on; a drain (503) just moves on.
+func (c *Coordinator) SubmitJob(ctx context.Context, req client.JobRequest) (JobStatus, error) {
+	j, err := c.submitJob(ctx, req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.snapshot(), nil
+}
+
+// submitJob is SubmitJob returning the live job handle; the sweep
+// fan-out holds it to wait on cells without racing job-table eviction.
+func (c *Coordinator) submitJob(ctx context.Context, req client.JobRequest) (*cjob, error) {
+	if c.draining.Load() {
+		return nil, verifyd.ErrDraining
+	}
+	key := submissionKey(req)
+	jctx, span := c.tracer.StartSpan(ctx, "cluster-job", tracing.A("key", key.String()[:12]))
+	j := &cjob{
+		submitted: time.Now(),
+		key:       key,
+		req:       req,
+		span:      span,
+		state:     "running",
+		done:      make(chan struct{}),
+	}
+	if span != nil {
+		j.traceID = span.TraceID().String()
+	}
+
+	// Tier 1: the coordinator's own result cache.
+	if rep, _, ok := c.cache.Get(key); ok {
+		c.mCacheHits.Inc()
+		c.register(j)
+		c.finishCached(j, "coordinator", rep)
+		return j, nil
+	}
+
+	cands := c.route(key)
+	if len(cands) == 0 {
+		c.closeSpan(j, "error", "no nodes on ring")
+		return nil, fmt.Errorf("cluster: no nodes available")
+	}
+	var lastErr error
+	for i, n := range cands {
+		if i > 0 {
+			j.bumpFailover()
+			c.mFailovers.Inc()
+		}
+		// Tier 2: the candidate's report cache. The first candidate is
+		// the ring owner — the node a repeat of this key was routed to
+		// before — so this peek is what makes worker caches cluster-wide.
+		rep, err := n.pc.CachePeek(ctx, key.String())
+		switch {
+		case err == nil && rep != nil:
+			c.mCacheHits.Inc()
+			c.register(j)
+			c.finishCached(j, n.name, toReport(rep))
+			return j, nil
+		case err != nil && transportErr(err):
+			c.eject(n, err)
+			lastErr = err
+			continue
+		}
+		rjob, err := n.rc.Submit(ctx, req)
+		if err != nil {
+			if fatalSubmitErr(err) {
+				c.closeSpan(j, "error", err.Error())
+				return nil, err
+			}
+			if transportErr(err) {
+				c.eject(n, err)
+			}
+			lastErr = err
+			continue
+		}
+		j.setPlacement(n.name, rjob.ID)
+		n.routed.Inc()
+		if span != nil {
+			span.SetAttr("node", n.name)
+		}
+		c.register(j)
+		c.wg.Add(1)
+		go c.driveJob(jctx, j, cands, i)
+		return j, nil
+	}
+	c.closeSpan(j, "error", fmt.Sprintf("no node accepted the job: %v", lastErr))
+	return nil, fmt.Errorf("cluster: no node accepted the job: %w", lastErr)
+}
+
+// driveJob waits for a placed job and fails it over along the remaining
+// candidates when its node dies or drains mid-run. Re-submission
+// repeats at most one cell's work; the content-addressed caches make
+// the retry cheap when the node got far enough to publish.
+func (c *Coordinator) driveJob(ctx context.Context, j *cjob, cands []*node, idx int) {
+	defer c.wg.Done()
+	n := cands[idx]
+	for {
+		_, remoteID := j.placement()
+		rjob, err := n.rc.Wait(ctx, remoteID)
+		if err == nil {
+			c.finishJob(j, n.name, rjob)
+			return
+		}
+		if fatalSubmitErr(err) {
+			c.failJob(j, err)
+			return
+		}
+		if transportErr(err) {
+			c.eject(n, err)
+		}
+		// A 404 also lands here: the node restarted and lost the job —
+		// re-place it like any other failover.
+		placed := false
+		for idx++; idx < len(cands); idx++ {
+			n = cands[idx]
+			j.bumpFailover()
+			c.mFailovers.Inc()
+			rjob, serr := n.rc.Submit(ctx, j.req)
+			if serr != nil {
+				if fatalSubmitErr(serr) {
+					c.failJob(j, serr)
+					return
+				}
+				if transportErr(serr) {
+					c.eject(n, serr)
+				}
+				err = serr
+				continue
+			}
+			j.setPlacement(n.name, rjob.ID)
+			n.routed.Inc()
+			c.logger.Warn("cluster: job failed over", "job_id", j.id, "node", n.name)
+			placed = true
+			break
+		}
+		if !placed {
+			c.failJob(j, err)
+			return
+		}
+	}
+}
+
+// register inserts the job into the coordinator's table under a fresh
+// id.
+func (c *Coordinator) register(j *cjob) {
+	c.mu.Lock()
+	c.nextJob++
+	j.id = fmt.Sprintf("job-%d", c.nextJob)
+	c.jobs[j.id] = j
+	c.mu.Unlock()
+	if j.span != nil {
+		j.span.SetAttr("job_id", j.id)
+	}
+}
+
+// retire records a completed job and evicts the oldest beyond the
+// retention bound.
+func (c *Coordinator) retire(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobOrder = append(c.jobOrder, id)
+	for len(c.jobOrder) > c.cfg.RetainJobs {
+		delete(c.jobs, c.jobOrder[0])
+		c.jobOrder = c.jobOrder[1:]
+	}
+}
+
+func (c *Coordinator) lookupJob(id string) (*cjob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// finishCached completes a job from a cache tier without running
+// anything. node is "coordinator" for LRU hits, the worker's name for
+// peek hits.
+func (c *Coordinator) finishCached(j *cjob, node string, rep *verifyd.Report) {
+	if node != "coordinator" && verifyd.Cacheable(rep) {
+		c.cache.Put(j.key, rep, node)
+	}
+	j.mu.Lock()
+	j.state = "done"
+	j.report = rep
+	j.node = node
+	j.clusterCached = true
+	if rep != nil {
+		j.cacheHits = len(rep.Properties)
+	}
+	close(j.done)
+	j.mu.Unlock()
+	c.closeSpan(j, "cache", node)
+	c.retire(j.id)
+}
+
+// finishJob completes a job from its node's final document and
+// publishes the report into the coordinator cache.
+func (c *Coordinator) finishJob(j *cjob, node string, rjob *client.Job) {
+	rep := toReport(rjob.Report)
+	if verifyd.Cacheable(rep) {
+		c.cache.Put(j.key, rep, node)
+	}
+	j.mu.Lock()
+	j.state = "done"
+	j.report = rep
+	j.node = node
+	j.cacheHits = rjob.CacheHits
+	j.cacheMisses = rjob.CacheMisses
+	j.workers = rjob.Workers
+	close(j.done)
+	j.mu.Unlock()
+	c.closeSpan(j, "node", node)
+	c.retire(j.id)
+}
+
+// failJob completes a job with an error after every candidate refused
+// it.
+func (c *Coordinator) failJob(j *cjob, err error) {
+	j.mu.Lock()
+	j.state = "done"
+	j.errMsg = err.Error()
+	close(j.done)
+	j.mu.Unlock()
+	c.logger.Warn("cluster: job failed", "job_id", j.id, "err", err)
+	c.closeSpan(j, "error", err.Error())
+	c.retire(j.id)
+}
+
+func (c *Coordinator) closeSpan(j *cjob, attr, val string) {
+	if j.span == nil {
+		return
+	}
+	j.span.SetAttr(attr, val)
+	j.span.End()
+}
+
+// WaitJob blocks until the job completes or ctx expires, returning the
+// job's current status either way (nil error only on completion).
+func (c *Coordinator) WaitJob(ctx context.Context, j *cjob) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,151 @@
+// Package cluster turns a fleet of pnpd workers into one verification
+// service. A Coordinator fronts the fleet behind the same v1 wire
+// contract a single pnpd speaks — pnpverify -remote and pnpsweep
+// -remote work against it unchanged — routing each job to a node chosen
+// by consistent hashing over the submission's content address, so
+// repeat submissions land on the node whose caches already hold the
+// answer. Health probes eject unreachable nodes and readmit them when
+// they return; placement fails over along the ring, so a killed worker
+// mid-sweep costs a re-submit, not the sweep.
+//
+// Results are cached at two tiers keyed on the same submission hash:
+// each worker publishes completed reports into its own report cache
+// (peekable at GET /v1/cache/{key}), and the coordinator keeps a
+// cluster-wide LRU of reports so a repeat submission is answered
+// without touching any worker at all.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping content-address keys to node
+// names. Each node occupies many virtual points (replicas) so keys
+// spread evenly and a membership change moves only ~1/N of the key
+// space — the property that keeps per-node caches warm across
+// join/leave. The zero Ring is empty; Add populates it.
+//
+// Lookups are safe for concurrent use; Add/Remove are not and belong to
+// setup and tests (the Coordinator's ring is immutable after
+// construction — node failure is handled by skipping unhealthy owners
+// at route time, not by mutating the ring, so a flapping node does not
+// churn key ownership).
+type Ring struct {
+	replicas int
+	nodes    map[string]bool
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultReplicas is the virtual-node count per physical node. 128
+// points keeps the max/min load ratio within a few percent for small
+// fleets while the full ring stays a few KiB.
+const DefaultReplicas = 128
+
+// NewRing builds an empty ring with the given virtual-node count per
+// node (<= 0 selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+// fnv1a64 is FNV-1a with a splitmix64-style finalizer: FNV alone
+// clusters for short, similar inputs (vnode labels differ in one
+// digit), and the mix spreads those into the full 64-bit space.
+func fnv1a64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Add inserts a node's virtual points. Adding a present node is a
+// no-op.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		label := fmt.Sprintf("%s\x00%d", node, i)
+		r.points = append(r.points, ringPoint{hash: fnv1a64([]byte(label)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node's virtual points. Removing an absent node is a
+// no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the number of physical nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes lists the physical nodes in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the node owning key: the first virtual point at or
+// clockwise after the key's hash. Empty ring returns "".
+func (r *Ring) Owner(key []byte) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct nodes in ring-walk order starting at
+// the key's owner — the failover sequence for the key. n <= 0 (or n
+// beyond the fleet) returns every node.
+func (r *Ring) Owners(key []byte, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := fnv1a64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

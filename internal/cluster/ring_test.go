@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates n distinct synthetic content-address keys.
+func ringKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%d", i))
+	}
+	return keys
+}
+
+// ownerMap snapshots every key's owner.
+func ownerMap(r *Ring, keys [][]byte) map[string]string {
+	m := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m[string(k)] = r.Owner(k)
+	}
+	return m
+}
+
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	keys := ringKeys(2000)
+	a := NewRing(0)
+	for _, n := range []string{"http://w1", "http://w2", "http://w3"} {
+		a.Add(n)
+	}
+	b := NewRing(0)
+	for _, n := range []string{"http://w3", "http://w1", "http://w2"} {
+		b.Add(n)
+	}
+	am, bm := ownerMap(a, keys), ownerMap(b, keys)
+	for k, owner := range am {
+		if bm[k] != owner {
+			t.Fatalf("key %q: owner %q vs %q under different insertion order", k, owner, bm[k])
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://w1", "http://w2", "http://w3", "http://w4"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := ringKeys(20000)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/2 || c > fair*2 {
+			t.Errorf("node %s owns %d keys, fair share %d — load ratio out of band", n, c, fair)
+		}
+	}
+}
+
+// TestRingMinimalDisruptionJoin is the consistent-hashing contract: a
+// node joining an N-node ring moves ~1/(N+1) of the key space and
+// every moved key moves TO the new node — no key shuffles between
+// surviving nodes, so their caches stay warm.
+func TestRingMinimalDisruptionJoin(t *testing.T) {
+	keys := ringKeys(20000)
+	r := NewRing(0)
+	for _, n := range []string{"http://w1", "http://w2", "http://w3"} {
+		r.Add(n)
+	}
+	before := ownerMap(r, keys)
+	r.Add("http://w4")
+	after := ownerMap(r, keys)
+
+	moved := 0
+	for k, prev := range before {
+		if now := after[k]; now != prev {
+			moved++
+			if now != "http://w4" {
+				t.Fatalf("key %q moved %s -> %s, not to the joining node", k, prev, now)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Expected 1/4; allow a generous band around it.
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("join moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestRingMinimalDisruptionLeave: a leaving node's keys redistribute
+// over the survivors; keys it did not own stay put.
+func TestRingMinimalDisruptionLeave(t *testing.T) {
+	keys := ringKeys(20000)
+	r := NewRing(0)
+	for _, n := range []string{"http://w1", "http://w2", "http://w3", "http://w4"} {
+		r.Add(n)
+	}
+	before := ownerMap(r, keys)
+	r.Remove("http://w2")
+	after := ownerMap(r, keys)
+
+	moved := 0
+	for k, prev := range before {
+		if prev == "http://w2" {
+			moved++
+			if after[k] == "http://w2" {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+			continue
+		}
+		if after[k] != prev {
+			t.Fatalf("key %q moved %s -> %s though its owner never left", k, prev, after[k])
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("leave moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestRingReaddRestoresOwnership: remove + re-add is an identity — the
+// vnode positions depend only on the node name, so a node returning
+// after an outage reclaims exactly its old key space (and finds its
+// cache still relevant).
+func TestRingReaddRestoresOwnership(t *testing.T) {
+	keys := ringKeys(5000)
+	r := NewRing(0)
+	for _, n := range []string{"http://w1", "http://w2", "http://w3"} {
+		r.Add(n)
+	}
+	before := ownerMap(r, keys)
+	r.Remove("http://w2")
+	r.Add("http://w2")
+	after := ownerMap(r, keys)
+	for k, prev := range before {
+		if after[k] != prev {
+			t.Fatalf("key %q: owner %s before remove, %s after re-add", k, prev, after[k])
+		}
+	}
+}
+
+func TestRingOwnersWalk(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://w1", "http://w2", "http://w3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	key := []byte("some-key")
+
+	// n <= 0 and n > fleet both return every node, each exactly once,
+	// starting at the owner.
+	for _, n := range []int{0, -1, 5} {
+		owners := r.Owners(key, n)
+		if len(owners) != len(nodes) {
+			t.Fatalf("Owners(key, %d) = %v, want all %d nodes", n, owners, len(nodes))
+		}
+		seen := make(map[string]bool)
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(key, %d) repeats %s: %v", n, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners starts at %s, Owner is %s", owners[0], r.Owner(key))
+		}
+	}
+
+	if got := r.Owners(key, 2); len(got) != 2 {
+		t.Fatalf("Owners(key, 2) = %v, want 2 nodes", got)
+	}
+
+	empty := NewRing(0)
+	if empty.Owner(key) != "" || empty.Owners(key, 3) != nil {
+		t.Fatal("empty ring should own nothing")
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(16)
+	r.Add("http://w1")
+	points := len(r.points)
+	r.Add("http://w1")
+	if len(r.points) != points {
+		t.Fatalf("double Add grew the ring: %d -> %d points", points, len(r.points))
+	}
+	r.Remove("http://absent")
+	if len(r.points) != points {
+		t.Fatal("removing an absent node changed the ring")
+	}
+	r.Remove("http://w1")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("remove left residue: %d nodes, %d points", r.Len(), len(r.points))
+	}
+}
+
+func BenchmarkHashRing(b *testing.B) {
+	r := NewRing(0)
+	for i := 0; i < 8; i++ {
+		r.Add(fmt.Sprintf("http://worker-%d:7447", i))
+	}
+	keys := ringKeys(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Owner(keys[i%len(keys)]) == "" {
+			b.Fatal("no owner")
+		}
+	}
+}

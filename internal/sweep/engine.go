@@ -78,6 +78,10 @@ type CellResult struct {
 	CacheMisses int  `json:"cache_misses"`
 	Deduped     bool `json:"deduped,omitempty"`
 
+	// Node names the cluster node that served the cell ("coordinator"
+	// for cluster-cache answers); empty on a single-node sweep.
+	Node string `json:"node,omitempty"`
+
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Err reports a per-cell submission failure; the sweep continues.
 	Err string `json:"err,omitempty"`
@@ -254,7 +258,7 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("sweep: cell %d: %w", c.Index, err)
 			}
 			snap := srv.Snapshot(sub.job)
-			classify(&cr, snap.Report)
+			Classify(&cr, snap.Report)
 			if !cr.Deduped {
 				cr.CacheHits = snap.CacheHits
 				cr.CacheMisses = snap.CacheMisses
@@ -301,12 +305,13 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// classify reduces a job report to the cell's verdict: a failing safety
+// Classify reduces a job report to the cell's verdict: a failing safety
 // property names the violation ("deadlock" for invalid end states), a
 // failing goal means the design can lose messages, and a clean report
 // delivers all. States is the safety search's cost — the number the
-// matrix experiment compares across cells.
-func classify(cr *CellResult, rep *verifyd.Report) {
+// matrix experiment compares across cells. Exported so the cluster
+// coordinator classifies remotely executed cells by the same rule.
+func Classify(cr *CellResult, rep *verifyd.Report) {
 	if rep == nil {
 		cr.Verdict = "error"
 		cr.Err = "job finished without a report"

@@ -55,3 +55,11 @@ func (b *workerBudget) release(n int) {
 	b.gauge.Set(int64(b.inUse))
 	b.mu.Unlock()
 }
+
+// snapshot reports the pool size and the tokens currently granted — the
+// numbers /healthz exposes so a coordinator can see a node's headroom.
+func (b *workerBudget) snapshot() (total, inUse int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total, b.inUse
+}

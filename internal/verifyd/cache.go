@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"pnp/internal/checker"
 	"pnp/internal/obs"
 )
 
@@ -109,4 +110,107 @@ func (c *ResultCache) Stats() CacheStats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 	}
+}
+
+// reportCache is a bounded LRU from submission keys to completed job
+// reports — the worker-side tier of the cluster result cache. Where
+// ResultCache addresses single property verdicts by compiled model, this
+// cache addresses whole reports by the wire content of the submission
+// (Submission.Key), so a coordinator can ask any node "have you already
+// answered exactly this request?" with one GET /v1/cache/{key} and no
+// composition work on either side.
+type reportCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List
+	entries map[CacheKey]*list.Element
+
+	hits, misses int64
+
+	mHits, mMisses *obs.Counter
+	mEntries       *obs.Gauge
+}
+
+type reportEntry struct {
+	key CacheKey
+	rep *Report
+}
+
+func newReportCache(maxEntries int, reg *obs.Registry) *reportCache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	return &reportCache{
+		max:      maxEntries,
+		ll:       list.New(),
+		entries:  make(map[CacheKey]*list.Element),
+		mHits:    reg.Counter("verifyd_report_cache_hits_total"),
+		mMisses:  reg.Counter("verifyd_report_cache_misses_total"),
+		mEntries: reg.Gauge("verifyd_report_cache_entries"),
+	}
+}
+
+// Get looks a report up by submission key. The returned report is
+// shared — callers must treat it as immutable.
+func (c *reportCache) Get(k CacheKey) (*Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		c.mMisses.Inc()
+		return nil, false
+	}
+	c.hits++
+	c.mHits.Inc()
+	c.ll.MoveToFront(el)
+	return el.Value.(*reportEntry).rep, true
+}
+
+// Put stores a completed report, evicting LRU past the bound.
+func (c *reportCache) Put(k CacheKey, rep *Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*reportEntry).rep = rep
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*reportEntry).key)
+	}
+	c.entries[k] = c.ll.PushFront(&reportEntry{key: k, rep: rep})
+	c.mEntries.Set(int64(c.ll.Len()))
+}
+
+// Len reports the number of cached reports.
+func (c *reportCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the report-cache counters.
+func (c *reportCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses}
+}
+
+// Cacheable reports whether rep may be served for a future identical
+// submission: truncated or canceled searches are not verdicts about the
+// model and must never be replayed as such — the same rule the property
+// cache applies, lifted to the report level.
+func Cacheable(rep *Report) bool {
+	if rep == nil {
+		return false
+	}
+	for _, p := range rep.Properties {
+		if p.Truncated || p.Verdict == checker.Canceled.String() {
+			return false
+		}
+	}
+	return true
 }

@@ -34,7 +34,9 @@ import (
 	"pnp/internal/obs/tracing"
 )
 
-// Job mirrors the service's job resource.
+// Job mirrors the service's job resource. Node, Failovers, and
+// ClusterCached are populated only by a cluster coordinator; a single
+// pnpd leaves them zero.
 type Job struct {
 	ID          string    `json:"id"`
 	State       string    `json:"state"` // "queued", "running", "done"
@@ -44,6 +46,11 @@ type Job struct {
 	CacheMisses int       `json:"cache_misses"`
 	Workers     int       `json:"workers,omitempty"`
 	TraceID     string    `json:"trace_id,omitempty"`
+
+	Node          string `json:"node,omitempty"`
+	Failovers     int    `json:"failovers,omitempty"`
+	ClusterCached bool   `json:"cluster_cached,omitempty"`
+	Err           string `json:"err,omitempty"`
 }
 
 // Report mirrors the service's verdict document.
@@ -157,6 +164,10 @@ type SweepCell struct {
 	CacheMisses int  `json:"cache_misses"`
 	Deduped     bool `json:"deduped,omitempty"`
 
+	// Node names the cluster node that served this cell ("coordinator"
+	// for cluster-cache hits); empty on a single-node sweep.
+	Node string `json:"node,omitempty"`
+
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Err       string  `json:"err,omitempty"`
 }
@@ -196,6 +207,10 @@ type APIError struct {
 	Message string
 	Line    int // source position, set on ADL errors
 	Col     int
+
+	// RetryAfter is the Retry-After header in seconds (0 if absent).
+	// A draining pnpd sends it on every 503.
+	RetryAfter int
 }
 
 // Error implements the error interface.
@@ -204,6 +219,19 @@ func (e *APIError) Error() string {
 		return fmt.Sprintf("verifyd: %s (%d): %s (line %d, col %d)", e.Code, e.Status, e.Message, e.Line, e.Col)
 	}
 	return fmt.Sprintf("verifyd: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Temporary reports whether the node said "alive but not serving right
+// now" — a 503 (draining, overloaded), a 429, or any response carrying
+// Retry-After. A cluster coordinator reroutes Temporary failures to the
+// next ring replica without ejecting the node; everything else on the
+// 5xx side means the node itself misbehaved. Transport errors (the node
+// is unreachable) never produce an APIError at all — they are the
+// "dead, eject" signal.
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusServiceUnavailable ||
+		e.Status == http.StatusTooManyRequests ||
+		e.RetryAfter > 0
 }
 
 // Option configures a Client.
@@ -311,6 +339,11 @@ func (c *Client) decode(resp *http.Response, out any) (retry bool, err error) {
 		}
 	}
 	ae := &APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+			ae.RetryAfter = secs
+		}
+	}
 	var eb struct {
 		Error struct {
 			Code    string `json:"code"`
@@ -325,7 +358,12 @@ func (c *Client) decode(resp *http.Response, out any) (retry bool, err error) {
 	if ae.Message == "" {
 		ae.Message = http.StatusText(resp.StatusCode)
 	}
-	return resp.StatusCode >= 500, ae
+	// Temporary failures (503 drain, 429) are not retried here: the server
+	// is telling us to go away for a while, and the right reaction differs
+	// by caller — a CLI backs off and resubmits, a coordinator reroutes to
+	// another node immediately. Blind in-place retry would just re-ask the
+	// same draining node.
+	return resp.StatusCode >= 500 && !ae.Temporary(), ae
 }
 
 // Submit submits a verification job and returns its initial state.
@@ -394,6 +432,56 @@ func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
 	}
 }
 
+// Health mirrors the GET /healthz body: liveness plus node identity
+// (build version) and load (worker pool, search-budget occupancy, cache
+// sizes, queue depth).
+type Health struct {
+	Status             string `json:"status"`
+	Version            string `json:"version"`
+	Workers            int    `json:"workers"`
+	SearchBudget       int    `json:"search_budget"`
+	SearchWorkersInUse int    `json:"search_workers_in_use"`
+	ResultCacheEntries int    `json:"result_cache_entries"`
+	ReportCacheEntries int    `json:"report_cache_entries"`
+	Jobs               int    `json:"jobs"`
+	Draining           bool   `json:"draining,omitempty"`
+}
+
+// Health fetches the node's /healthz document.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Ready probes /readyz: nil means the node accepts new work; a
+// *APIError with Temporary() true means it is up but draining.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// CachePeek asks the node whether it has already completed the
+// submission addressed by key (a Submission hash in hex, as computed by
+// a coordinator). A miss returns (nil, nil) — it is an expected answer,
+// not a failure.
+func (c *Client) CachePeek(ctx context.Context, key string) (*Report, error) {
+	var hit struct {
+		Key    string  `json:"key"`
+		Report *Report `json:"report"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/cache/"+url.PathEscape(key), nil, &hit)
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return hit.Report, nil
+}
+
 // JobTrace fetches a job's recorded spans (GET /v1/jobs/{id}/trace).
 // It fails with a not_found *APIError when the server runs without a
 // flight recorder or the trace has been evicted from its ring.
@@ -455,7 +543,9 @@ func (c *Client) StreamSweep(ctx context.Context, id string, onCell func(SweepCe
 			return st, nil
 		}
 		var ae *APIError
-		if errors.As(err, &ae) && ae.Status < 500 {
+		if errors.As(err, &ae) && (ae.Status < 500 || ae.Temporary()) {
+			// 4xx won't improve on retry, and a Temporary 5xx (drain) is a
+			// routing decision for the caller, not a backoff-and-rehash.
 			return nil, err
 		}
 		if ctx.Err() != nil {

@@ -1,0 +1,120 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAPIErrorTemporary(t *testing.T) {
+	cases := []struct {
+		name string
+		err  APIError
+		want bool
+	}{
+		{"503 drain", APIError{Status: http.StatusServiceUnavailable}, true},
+		{"429 throttle", APIError{Status: http.StatusTooManyRequests}, true},
+		{"retry-after on any status", APIError{Status: http.StatusInternalServerError, RetryAfter: 3}, true},
+		{"plain 500", APIError{Status: http.StatusInternalServerError}, false},
+		{"bad request", APIError{Status: http.StatusBadRequest}, false},
+		{"not found", APIError{Status: http.StatusNotFound}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.err.Temporary(); got != tc.want {
+			t.Errorf("%s: Temporary() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestNoRetryOn503Drain: a 503 is the server saying "go elsewhere" —
+// retrying in place would re-ask the draining node, so the client must
+// fail fast and surface the drain distinctly from transport errors.
+func TestNoRetryOn503Drain(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"code":"unavailable","message":"draining"}}`)
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL, WithRetries(3))
+	_, err := c.Submit(context.Background(), JobRequest{ADL: "system x {}"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if ae.Status != http.StatusServiceUnavailable || ae.RetryAfter != 7 {
+		t.Fatalf("decoded envelope: %+v", ae)
+	}
+	if !ae.Temporary() {
+		t.Fatal("a 503 with Retry-After must be Temporary")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("client called the draining server %d times, want 1", got)
+	}
+}
+
+func TestHealthReadyAndCachePeek(t *testing.T) {
+	const key = "0000000000000000000000000000000000000000000000000000000000000000"
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","version":"1.2.3","workers":4,"search_budget":8,"result_cache_entries":2}`)
+	})
+	ready := &atomic.Bool{}
+	ready.Store(true)
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":{"code":"unavailable","message":"draining"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ready"}`)
+	})
+	mux.HandleFunc("GET /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("key") != key {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"not_found","message":"miss"}}`)
+			return
+		}
+		fmt.Fprintf(w, `{"key":%q,"report":{"system":"ping","ok":true}}`, key)
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	c := New(hs.URL, WithRetries(0))
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version != "1.2.3" || h.Workers != 4 || h.SearchBudget != 8 {
+		t.Fatalf("health document: %+v", h)
+	}
+
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+	ready.Store(false)
+	err = c.Ready(ctx)
+	var ae *APIError
+	if !errors.As(err, &ae) || !ae.Temporary() {
+		t.Fatalf("draining readyz should be a Temporary APIError, got %v", err)
+	}
+
+	rep, err := c.CachePeek(ctx, key)
+	if err != nil || rep == nil || !rep.OK || rep.System != "ping" {
+		t.Fatalf("cache hit: rep=%+v err=%v", rep, err)
+	}
+	miss, err := c.CachePeek(ctx, "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff")
+	if err != nil || miss != nil {
+		t.Fatalf("cache miss must be (nil, nil), got rep=%+v err=%v", miss, err)
+	}
+}

@@ -37,8 +37,14 @@ type ErrorBody struct {
 
 // WriteError writes the uniform error envelope. It is exported so every
 // handler layered onto the service's HTTP surface (the sweep service,
-// future route groups) fails with the same shape.
+// the cluster coordinator, future route groups) fails with the same
+// shape. A 503 carries Retry-After: 1 so clients (and the coordinator's
+// APIError.Temporary) can tell "busy or draining, come back" apart from
+// a dead transport.
 func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: msg}})
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"sort"
 
 	"pnp/internal/adl"
 	"pnp/internal/blocks"
@@ -49,6 +50,74 @@ func OptionsKey(o checker.Options) string {
 	return fmt.Sprintf("ms=%d;md=%d;bfs=%t;id=%t;ru=%t;po=%t;wf=%t;sf=%t;bs=%t;bb=%d;par=%t",
 		o.MaxStates, o.MaxDepth, o.BFS, o.IgnoreDeadlock, o.ReportUnreached,
 		o.PartialOrder, o.WeakFairness, o.StrongFairness, o.Bitstate, o.BitstateBits, par)
+}
+
+// Submission is the wire-visible content of one job submission that
+// determines its verdict: the ADL source, the inlined components, and
+// the verdict-relevant search-shape overrides, exactly as they appear
+// in the POST /v1/jobs envelope. Workers and timeout are deliberately
+// absent — they change how fast a verdict is computed, never what it
+// is — so resubmitting with a different worker cap still hits.
+//
+// Its Key content-addresses whole job reports the way CacheKey
+// addresses single property verdicts. The cluster coordinator hashes
+// its routing ring and its cluster-wide result cache on it, and GET
+// /v1/cache/{key} on a worker answers by it; both sides compute the key
+// from the wire fields alone — before any server-side defaulting — so
+// they always agree.
+type Submission struct {
+	ADL        string
+	Components map[string]string
+
+	MaxStates      *int
+	MaxDepth       *int
+	BFS            *bool
+	IgnoreDeadlock *bool
+	PartialOrder   *bool
+	WeakFairness   *bool
+	StrongFairness *bool
+}
+
+// Key digests the submission into its content address.
+func (s Submission) Key() CacheKey {
+	h := sha256.New()
+	io.WriteString(h, s.ADL)
+	h.Write([]byte{0})
+	names := make([]string, 0, len(s.Components))
+	for name := range s.Components {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		io.WriteString(h, name+"\x00"+s.Components[name]+"\x00")
+	}
+	opt := func(tag string, v any) {
+		// Absent overrides hash differently from explicit zero values:
+		// "max_states absent" means "the server's default", which need
+		// not be zero.
+		io.WriteString(h, tag+"=")
+		switch p := v.(type) {
+		case *int:
+			if p != nil {
+				fmt.Fprintf(h, "%d", *p)
+			}
+		case *bool:
+			if p != nil {
+				fmt.Fprintf(h, "%t", *p)
+			}
+		}
+		h.Write([]byte{0})
+	}
+	opt("ms", s.MaxStates)
+	opt("md", s.MaxDepth)
+	opt("bfs", s.BFS)
+	opt("id", s.IgnoreDeadlock)
+	opt("po", s.PartialOrder)
+	opt("wf", s.WeakFairness)
+	opt("sf", s.StrongFairness)
+	var out CacheKey
+	h.Sum(out[:0])
+	return out
 }
 
 // Key combines a model hash, one property's canonical source, the

@@ -2,6 +2,8 @@ package verifyd
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +24,11 @@ import (
 	"pnp/internal/obs"
 	"pnp/internal/obs/tracing"
 )
+
+// Version identifies the build in /healthz responses and cluster node
+// listings. Override at link time with
+// -ldflags "-X pnp/internal/verifyd.Version=...".
+var Version = "0.7.0-dev"
 
 // Config parameterizes a verification server.
 type Config struct {
@@ -99,6 +106,11 @@ type Job struct {
 	timeout time.Duration
 	done    chan struct{}
 	seq     int // submission order, the cursor GET /v1/jobs pages over
+	// subKey, when non-nil, is the submission's content address: the
+	// completed report is published into the report cache under it, so
+	// GET /v1/cache/{key} can answer an identical future submission.
+	// Only HTTP submissions carry one — the key hashes wire fields.
+	subKey *CacheKey
 
 	// tctx carries the job span for children started by run(); qspan is
 	// the open queue-wait span, ended at worker pickup.
@@ -131,10 +143,11 @@ type jobRequest struct {
 // Server runs verification jobs on a bounded worker pool with a shared
 // compiled-model cache and a content-addressed result cache.
 type Server struct {
-	cfg    Config
-	reg    *obs.Registry
-	cache  *ResultCache
-	models *blocks.Cache
+	cfg     Config
+	reg     *obs.Registry
+	cache   *ResultCache
+	reports *reportCache
+	models  *blocks.Cache
 
 	budget *workerBudget
 
@@ -195,6 +208,7 @@ func NewServer(cfg Config) *Server {
 		cfg:        cfg,
 		reg:        cfg.Registry,
 		cache:      NewResultCache(cfg.CacheEntries, cfg.Registry),
+		reports:    newReportCache(cfg.CacheEntries, cfg.Registry),
 		models:     blocks.NewCache(),
 		jobs:       make(map[string]*Job),
 		queue:      make(chan *Job, 64),
@@ -253,6 +267,13 @@ func (s *Server) Submit(src string, components map[string]string, opts checker.O
 // job cancellation stays governed by the timeout, so a caller
 // disconnecting cannot kill a queued job another client is awaiting.
 func (s *Server) SubmitContext(ctx context.Context, src string, components map[string]string, opts checker.Options, timeout time.Duration) (*Job, error) {
+	return s.submitKeyed(ctx, src, components, opts, timeout, nil)
+}
+
+// submitKeyed is SubmitContext carrying an optional submission key; the
+// key must be attached before the job is queued, because a cache-served
+// job can complete within microseconds of the queue send.
+func (s *Server) submitKeyed(ctx context.Context, src string, components map[string]string, opts checker.Options, timeout time.Duration, subKey *CacheKey) (*Job, error) {
 	jctx, jspan := s.tracer.StartSpan(ctx, "job")
 	resolve := func(path string) (string, error) {
 		if text, ok := components[path]; ok {
@@ -292,6 +313,7 @@ func (s *Server) SubmitContext(ctx context.Context, src string, components map[s
 		timeout:   timeout,
 		done:      make(chan struct{}),
 		seq:       s.nextID,
+		subKey:    subKey,
 		tctx:      jctx,
 		span:      jspan,
 	}
@@ -483,6 +505,9 @@ func (s *Server) run(job *Job) {
 		rspan.End()
 	}
 
+	if job.subKey != nil && Cacheable(rep) {
+		s.reports.Put(*job.subKey, rep)
+	}
 	s.mu.Lock()
 	job.Report = rep
 	job.CacheHits = hits
@@ -573,6 +598,7 @@ func (s *Server) Snapshot(job *Job) Job { return s.snapshotJob(job) }
 //	GET  /v1/jobs/{id}/wait  long-poll until done (or ?timeout=30s)
 //	GET  /v1/jobs/{id}/trace the job's spans as NDJSON (404 w/o tracing)
 //	GET  /v1/cache           result-cache statistics
+//	GET  /v1/cache/{key}     peek a cached report by submission key (hex)
 //	GET  /healthz            liveness: 200 while the process runs
 //	GET  /readyz             readiness: 200 accepting jobs, 503 draining
 //	GET  /metrics            Prometheus exposition (plus /metrics.json)
@@ -590,6 +616,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.reg != nil {
@@ -608,13 +635,49 @@ func (s *Server) Handler() http.Handler {
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Health is the GET /healthz response body: liveness plus enough
+// identity and load detail for a cluster coordinator (or a human) to
+// tell nodes apart — build version, worker-pool shape, search-budget
+// occupancy, and cache sizes. The status code stays a plain 200 for the
+// process lifetime, so probes that only check the code (load balancers,
+// PR3-era scripts) keep working unchanged.
+type Health struct {
+	Status             string `json:"status"`
+	Version            string `json:"version"`
+	Workers            int    `json:"workers"`
+	SearchBudget       int    `json:"search_budget"`
+	SearchWorkersInUse int    `json:"search_workers_in_use"`
+	ResultCacheEntries int    `json:"result_cache_entries"`
+	ReportCacheEntries int    `json:"report_cache_entries"`
+	Jobs               int    `json:"jobs"`
+	Draining           bool   `json:"draining,omitempty"`
+}
+
 // handleHealthz is liveness: the process is up and serving HTTP. It
 // stays 200 through a drain — a draining server is unhealthy only to
-// new traffic, which is readiness' job to signal.
+// new traffic, which is readiness' job to signal; the body's draining
+// field lets a single probe see both.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-	}{"ok"})
+	writeJSON(w, http.StatusOK, s.HealthInfo())
+}
+
+// HealthInfo snapshots the /healthz body (for embedders and tests).
+func (s *Server) HealthInfo() Health {
+	budget, inUse := s.budget.snapshot()
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	return Health{
+		Status:             "ok",
+		Version:            Version,
+		Workers:            s.cfg.Workers,
+		SearchBudget:       budget,
+		SearchWorkersInUse: inUse,
+		ResultCacheEntries: s.cache.Len(),
+		ReportCacheEntries: s.reports.Len(),
+		Jobs:               jobs,
+		Draining:           s.draining.Load(),
+	}
 }
 
 // handleReadyz is readiness: 503 once Shutdown begins, so orchestrators
@@ -666,11 +729,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := s.jobOptions(req)
+	// The submission key is computed from the wire fields, exactly as a
+	// cluster coordinator computes it, so the completed report is
+	// peekable at GET /v1/cache/{key} under the address the coordinator
+	// already knows.
+	key := Submission{
+		ADL: req.ADL, Components: req.Components,
+		MaxStates: req.MaxStates, MaxDepth: req.MaxDepth,
+		BFS: req.BFS, IgnoreDeadlock: req.IgnoreDeadlock, PartialOrder: req.PartialOrder,
+		WeakFairness: req.WeakFairness, StrongFairness: req.StrongFairness,
+	}.Key()
 	// Trace parenting comes from the request's traceparent header, over a
 	// background context: the job must not inherit the HTTP request's
 	// cancellation, which fires as soon as the 202 is written.
 	tctx := tracing.ContextWithRemote(context.Background(), tracing.Extract(r))
-	job, err := s.SubmitContext(tctx, req.ADL, req.Components, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
+	job, err := s.submitKeyed(tctx, req.ADL, req.Components, opts, time.Duration(req.TimeoutMS)*time.Millisecond, &key)
 	if err != nil {
 		WriteADLError(w, err)
 		return
@@ -851,15 +924,46 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	mh, mm := s.models.Stats()
 	writeJSON(w, http.StatusOK, struct {
 		Results CacheStats `json:"results"`
+		Reports CacheStats `json:"reports"`
 		Models  struct {
 			Hits   int `json:"hits"`
 			Misses int `json:"misses"`
 		} `json:"models"`
 	}{
 		Results: s.cache.Stats(),
+		Reports: s.reports.Stats(),
 		Models: struct {
 			Hits   int `json:"hits"`
 			Misses int `json:"misses"`
 		}{mh, mm},
 	})
+}
+
+// CachedReport is the GET /v1/cache/{key} hit body: the submission key
+// echoed back plus the completed report it addresses.
+type CachedReport struct {
+	Key    string  `json:"key"`
+	Report *Report `json:"report"`
+}
+
+// handleCachePeek answers "has this node already completed exactly this
+// submission?" — the worker-side read path of the cluster result cache.
+// The key is a Submission.Key in hex; a miss is an enveloped 404, so a
+// coordinator can treat it exactly like an unknown job id.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("key")
+	b, err := hex.DecodeString(raw)
+	if err != nil || len(b) != sha256.Size {
+		WriteError(w, http.StatusBadRequest, CodeInvalidArgument,
+			"cache key must be 64 hex characters")
+		return
+	}
+	var key CacheKey
+	copy(key[:], b)
+	rep, ok := s.reports.Get(key)
+	if !ok {
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no cached report for key "+raw)
+		return
+	}
+	writeJSON(w, http.StatusOK, CachedReport{Key: raw, Report: rep})
 }

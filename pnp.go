@@ -42,6 +42,7 @@ import (
 	"pnp/internal/adl"
 	"pnp/internal/blocks"
 	"pnp/internal/checker"
+	"pnp/internal/cluster"
 	"pnp/internal/core"
 	"pnp/internal/faults"
 	"pnp/internal/obs"
@@ -425,3 +426,31 @@ type (
 // NewClient builds a client for the verification service at base, e.g.
 // "http://localhost:7447".
 func NewClient(base string, opts ...ClientOption) *Client { return client.New(base, opts...) }
+
+// Cluster API: a coordinator that fronts a fleet of verification
+// services behind the same v1 wire contract, routing jobs and sweep
+// cells over a consistent-hash ring keyed on each submission's content
+// address, failing over past dead nodes, and answering repeats from a
+// cluster-wide result cache (see cmd/pnpd --coordinator for the CLI
+// and docs/CLUSTER.md for the design).
+type (
+	// Coordinator routes jobs and sweeps to a worker fleet.
+	Coordinator = cluster.Coordinator
+	// ClusterConfig parameterizes a Coordinator (nodes, probing,
+	// failover bounds, cache size, observability).
+	ClusterConfig = cluster.Config
+	// ClusterInfo is a snapshot of cluster topology and node health,
+	// served at GET /v1/cluster.
+	ClusterInfo = cluster.ClusterInfo
+	// HashRing is the consistent-hash ring the coordinator routes
+	// with; usable standalone for other placement problems.
+	HashRing = cluster.Ring
+)
+
+// NewCoordinator builds and starts a cluster coordinator fronting
+// cfg.Nodes. Shut it down with Coordinator.Shutdown.
+func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.New(cfg) }
+
+// NewHashRing builds a consistent-hash ring with the given number of
+// virtual nodes per member (0 = a sensible default).
+func NewHashRing(replicas int) *HashRing { return cluster.NewRing(replicas) }
