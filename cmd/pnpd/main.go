@@ -9,6 +9,7 @@
 //	pnpd [--addr :7447] [--workers N] [--search-budget N]
 //	     [--cache-entries N] [--job-timeout 30s] [--metrics-addr :8080]
 //	     [--root DIR] [--trace-entries N] [--log-level info]
+//	     [--data-dir DIR] [--checkpoint-interval N]
 //	pnpd --coordinator --nodes=http://h1:7447,http://h2:7447 [--addr :7446]
 //	     [--probe-interval 2s] [--cache-entries N]
 //
@@ -18,6 +19,13 @@
 // node (so repeats land where the answer is cached), health probes
 // eject dead nodes, and placement fails over along the ring. See
 // docs/CLUSTER.md.
+//
+// With --data-dir the daemon is crash-safe: every accepted submission
+// is journaled to an append-only WAL before it is acknowledged, running
+// searches snapshot their frontier at BFS level barriers, and a
+// restarted daemon replays the journal — completed verdicts are served
+// from disk, interrupted jobs are re-enqueued and resume from their
+// last snapshot. kill -9 loses no acknowledged work. See docs/API.md.
 //
 // Every job and sweep is traced into a bounded in-process flight
 // recorder: GET /v1/jobs/{id}/trace and /v1/sweeps/{id}/trace stream
@@ -79,6 +87,8 @@ func run() int {
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-property search timeout (0 = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on a separate address (default: on --addr)")
 	root := flag.String("root", "", "directory for resolving component references in raw ADL submissions")
+	dataDir := flag.String("data-dir", "", "durable state directory (job journal + search checkpoints); submissions survive a crash and a restart resumes interrupted searches")
+	ckptInterval := flag.Int("checkpoint-interval", 1, "completed BFS levels between search snapshots (with --data-dir)")
 	traceEntries := flag.Int("trace-entries", tracing.DefaultRecorderCapacity,
 		"flight-recorder capacity in spans; jobs and sweeps record traces served on /v1/*/trace and /debug/trace (0 disables tracing)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
@@ -109,13 +119,15 @@ func run() int {
 		return runCoordinator(*addr, *nodes, *probeInterval, *cacheEntries, *metricsAddr, reg, rec, logger)
 	}
 	cfg := verifyd.Config{
-		Workers:      *workers,
-		SearchBudget: *searchBudget,
-		CacheEntries: *cacheEntries,
-		JobTimeout:   *jobTimeout,
-		Registry:     reg,
-		Tracer:       rec,
-		Logger:       logger,
+		Workers:            *workers,
+		SearchBudget:       *searchBudget,
+		CacheEntries:       *cacheEntries,
+		JobTimeout:         *jobTimeout,
+		DataDir:            *dataDir,
+		CheckpointInterval: *ckptInterval,
+		Registry:           reg,
+		Tracer:             rec,
+		Logger:             logger,
 	}
 	if *root != "" {
 		dir := *root
@@ -124,7 +136,14 @@ func run() int {
 			return string(b), err
 		}
 	}
-	srv := verifyd.NewServer(cfg)
+	// An explicit --data-dir that cannot be opened is a configuration
+	// error the operator must see — unlike library callers, the daemon
+	// refuses to silently degrade to memory-only.
+	srv, err := verifyd.OpenServer(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: data dir %s: %v\n", *dataDir, err)
+		return 1
+	}
 	// The sweep service layers the /v1/sweeps routes over the job API;
 	// every sweep fans out into jobs on this server, sharing its result
 	// cache and search budget with direct submissions.
@@ -140,6 +159,9 @@ func run() int {
 	go func() { errc <- httpSrv.Serve(ln) }()
 	fmt.Printf("pnpd: listening on http://%s (workers=%d, cache=%d, timeout=%s)\n",
 		ln.Addr(), cfgWorkers(cfg), *cacheEntries, *jobTimeout)
+	if *dataDir != "" {
+		fmt.Printf("pnpd: durable state in %s (checkpoint every %d level(s))\n", *dataDir, *ckptInterval)
+	}
 
 	if *metricsAddr != "" {
 		var mounts []obs.Mount

@@ -7,7 +7,13 @@
 //
 //	pnpverify [-bfs] [-workers N] [-max-states N] [-msc] [-json]
 //	          [-timeout 30s] [-progress] [-metrics-addr :8080]
-//	          [-trace-out trace.json] system.pnp
+//	          [-trace-out trace.json] [-checkpoint-dir DIR] system.pnp
+//
+// With -checkpoint-dir the parallel searches snapshot their frontier
+// and visited set into that directory at BFS level barriers, keyed by a
+// content hash of the design; re-running the same command after an
+// interruption resumes each property's search from its last snapshot
+// instead of starting over.
 //
 // With -remote the design is submitted to a running verification
 // service (pnpd) instead of being checked in-process: component files
@@ -17,6 +23,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,6 +55,8 @@ func run() int {
 	fair := flag.Bool("fair", false, "weak process fairness for LTL properties")
 	strongFair := flag.Bool("strong-fair", false, "strong process fairness for LTL properties (fair-SCC search)")
 	por := flag.Bool("por", false, "partial-order reduction for the safety search")
+	ckptDir := flag.String("checkpoint-dir", "", "snapshot parallel searches into this directory at BFS level barriers and resume them on re-run (keyed by a content hash of the design)")
+	ckptInterval := flag.Int("checkpoint-interval", 1, "completed BFS levels between snapshots (with -checkpoint-dir)")
 	unreached := flag.Bool("unreached", false, "report never-executed transitions (dead code)")
 	dotFile := flag.String("dot", "", "write the state graph (<=500 states) to this DOT file")
 	simulate := flag.Int("simulate", 0, "random-walk simulate N steps instead of verifying")
@@ -131,6 +141,17 @@ func run() int {
 		StrongFairness:  *strongFair,
 		PartialOrder:    *por,
 		ReportUnreached: *unreached,
+	}
+	if *ckptDir != "" {
+		// The key is the design's content address; VerifyAll suffixes it
+		// per property, so each search gets its own snapshot file.
+		sum := sha256.Sum256(src)
+		opts.Checkpoint = &checker.CheckpointOptions{
+			Dir:      *ckptDir,
+			Key:      hex.EncodeToString(sum[:]),
+			Interval: *ckptInterval,
+			Resume:   true,
+		}
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

@@ -352,10 +352,17 @@ func propertySources(pf *parsedFile) []PropertySource {
 func (s *System) VerifyAll(opts checker.Options) map[string]*checker.Result {
 	out := make(map[string]*checker.Result, 1+len(s.LTL))
 
-	// propOpts wraps one property's run in a span when tracing is on; the
-	// returned options carry the span's context so checker phases nest
-	// under it.
+	// propOpts wraps one property's run in a span when tracing is on and
+	// gives each property its own checkpoint file: one submission carries
+	// several searchable properties, so a shared caller-provided key is
+	// suffixed per property — mirroring how the verification service
+	// derives its checkpoint keys.
 	propOpts := func(o checker.Options, name, kind string) (checker.Options, *tracing.Span) {
+		if o.Checkpoint != nil && o.Checkpoint.Key != "" {
+			ck := *o.Checkpoint
+			ck.Key = ck.Key + "-" + name
+			o.Checkpoint = &ck
+		}
 		if o.Tracer == nil {
 			return o, nil
 		}

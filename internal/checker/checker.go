@@ -146,6 +146,15 @@ type Options struct {
 	// Progress and Metrics, Tracer never influences verdicts or cache
 	// keys.
 	Tracer *tracing.Recorder
+	// Checkpoint, when non-nil, makes the parallel BFS engines durable:
+	// at level-barrier boundaries the frontier and the sharded visited
+	// set are snapshotted to a file under Checkpoint.Dir, and a search
+	// restarted with Checkpoint.Resume continues from the last complete
+	// snapshot instead of state zero. Like Progress and Metrics it never
+	// influences verdicts — a resumed search stores exactly the states an
+	// uninterrupted one would. No-op for the sequential engines, liveness
+	// search, and bitstate runs (see CheckpointOptions).
+	Checkpoint *CheckpointOptions
 }
 
 // Stats summarizes the exploration.

@@ -1,0 +1,284 @@
+package checker
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pnp/internal/model"
+)
+
+// ckptSrc is deep enough (~120 levels) that a search canceled mid-way
+// has real work left, and wide enough that every barrier snapshot
+// carries a non-trivial frontier.
+const ckptSrc = `
+byte a; byte b;
+active proctype P() { do :: a < 80 -> a = a + 1 :: else -> break od }
+active proctype Q() { do :: b < 80 -> b = b + 1 :: else -> break od }`
+
+// snapAt runs a checkpointed search to completion, stealing a copy of
+// the snapshot written at the given depth — exactly the file a process
+// killed at that barrier would leave behind.
+func snapAt(t *testing.T, dir string, depth int) (stolen string) {
+	t.Helper()
+	stolen = filepath.Join(dir, "stolen.bin")
+	s := sysFromSource(t, ckptSrc)
+	res := New(s, Options{Workers: 2, Checkpoint: &CheckpointOptions{
+		Dir: dir, Key: "steal", Interval: 1,
+		OnWrite: func(file string, d, states int) {
+			if d == depth {
+				data, err := os.ReadFile(file)
+				if err != nil {
+					t.Fatalf("reading snapshot: %v", err)
+				}
+				if err := os.WriteFile(stolen, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+	}}).CheckSafety()
+	if !res.OK {
+		t.Fatalf("checkpointed search should verify: %s", res.Summary())
+	}
+	if _, err := os.Stat(stolen); err != nil {
+		t.Fatalf("no snapshot captured at depth %d: %v", depth, err)
+	}
+	return stolen
+}
+
+// A search resumed from a mid-run snapshot must produce the same
+// verdict and the same stats as an uninterrupted run — including when
+// the worker counts before and after the crash differ.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	full := New(sysFromSource(t, ckptSrc), Options{Workers: 1}).CheckSafety()
+	if !full.OK {
+		t.Fatalf("baseline should verify: %s", full.Summary())
+	}
+	stolen := snapAt(t, t.TempDir(), 40)
+
+	for _, w := range []int{1, 8} {
+		dir := t.TempDir()
+		data, _ := os.ReadFile(stolen)
+		if err := os.WriteFile(filepath.Join(dir, CheckpointFileName("k")), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var depths []int
+		res := New(sysFromSource(t, ckptSrc), Options{Workers: w, Checkpoint: &CheckpointOptions{
+			Dir: dir, Key: "k", Resume: true,
+			OnWrite: func(file string, d, states int) { depths = append(depths, d) },
+		}}).CheckSafety()
+		if !res.OK {
+			t.Fatalf("workers=%d: resumed search should verify: %s", w, res.Summary())
+		}
+		if !statsEqualIgnoringElapsed(res.Stats, full.Stats) {
+			t.Errorf("workers=%d: resumed stats %+v, uninterrupted %+v", w, res.Stats, full.Stats)
+		}
+		// Proof it resumed rather than restarting: the first snapshot of
+		// the resumed run is past the stolen one, not at depth 1.
+		if len(depths) == 0 || depths[0] <= 40 {
+			t.Errorf("workers=%d: first snapshot at %v, want > 40 (did the search restart?)", w, depths)
+		}
+		// The completed verdict clears the checkpoint.
+		if _, err := os.Stat(filepath.Join(dir, CheckpointFileName("k"))); !os.IsNotExist(err) {
+			t.Errorf("workers=%d: checkpoint not removed after verdict (err=%v)", w, err)
+		}
+	}
+}
+
+// A violation behind the snapshot point is still found on resume, with
+// the same kind and counterexample length as the uninterrupted search.
+func TestCheckpointResumeFindsViolation(t *testing.T) {
+	src := ckptSrc + `
+active proctype R() { (a == 50 && b == 2) -> assert(false) }`
+	full := New(sysFromSource(t, src), Options{Workers: 1}).CheckSafety()
+	if full.OK || full.Trace == nil {
+		t.Fatalf("baseline should find the assertion: %s", full.Summary())
+	}
+
+	dir := t.TempDir()
+	sys := sysFromSource(t, src)
+	var stolen []byte
+	res := New(sys, Options{Workers: 2, Checkpoint: &CheckpointOptions{
+		Dir: dir, Key: "v", Interval: 1,
+		OnWrite: func(file string, d, states int) {
+			if d == 20 {
+				stolen, _ = os.ReadFile(file)
+			}
+		},
+	}}).CheckSafety()
+	if res.OK || len(stolen) == 0 {
+		t.Fatalf("expected violation and a depth-20 snapshot: %s", res.Summary())
+	}
+
+	rdir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(rdir, CheckpointFileName("v")), stolen, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed := New(sysFromSource(t, src), Options{Workers: 8, Checkpoint: &CheckpointOptions{
+		Dir: rdir, Key: "v", Resume: true,
+	}}).CheckSafety()
+	if resumed.OK || resumed.Kind != full.Kind {
+		t.Fatalf("resumed: %s, want %s", resumed.Summary(), full.Kind)
+	}
+	if !statsEqualIgnoringElapsed(resumed.Stats, full.Stats) {
+		t.Errorf("resumed stats %+v, uninterrupted %+v", resumed.Stats, full.Stats)
+	}
+	// The resumed counterexample starts at the checkpoint frontier: its
+	// prefix covers only the levels explored after the resume.
+	wantLen := full.Trace.Len() - 20
+	if resumed.Trace == nil || resumed.Trace.Len() != wantLen {
+		t.Errorf("resumed counterexample length %d, want %d (full %d minus 20 checkpointed levels)",
+			resumed.Trace.Len(), wantLen, full.Trace.Len())
+	}
+}
+
+// The real crash path: a canceled search keeps its last snapshot, and a
+// fresh checker resumes it to the uninterrupted verdict.
+func TestCheckpointCanceledKeepsFileAndResumes(t *testing.T) {
+	full := New(sysFromSource(t, ckptSrc), Options{Workers: 1}).CheckSafety()
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res := New(sysFromSource(t, ckptSrc), Options{Workers: 2, Context: ctx,
+		Checkpoint: &CheckpointOptions{
+			Dir: dir, Key: "c", Interval: 1,
+			OnWrite: func(file string, d, states int) {
+				if d == 30 {
+					cancel()
+				}
+			},
+		}}).CheckSafety()
+	if res.Kind != Canceled {
+		t.Fatalf("expected Canceled, got %s", res.Summary())
+	}
+	file := filepath.Join(dir, CheckpointFileName("c"))
+	if _, err := os.Stat(file); err != nil {
+		t.Fatalf("canceled search should keep its checkpoint: %v", err)
+	}
+
+	resumed := New(sysFromSource(t, ckptSrc), Options{Workers: 2,
+		Checkpoint: &CheckpointOptions{Dir: dir, Key: "c", Resume: true}}).CheckSafety()
+	if !resumed.OK {
+		t.Fatalf("resumed search should verify: %s", resumed.Summary())
+	}
+	if !statsEqualIgnoringElapsed(resumed.Stats, full.Stats) {
+		t.Errorf("resumed stats %+v, uninterrupted %+v", resumed.Stats, full.Stats)
+	}
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after resumed verdict (err=%v)", err)
+	}
+}
+
+// Reachability checkpoints resume to the same witness length and, for
+// unreachable targets, the same exhaustive state count.
+func TestCheckpointReachabilityResume(t *testing.T) {
+	s := sysFromSource(t, ckptSrc)
+	target, err := s.Prog.CompileGlobalExpr("a == 55 && b == 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := New(s, Options{Workers: 1}).CheckReachable(target)
+	if !full.OK || full.Trace == nil {
+		t.Fatalf("baseline witness search failed: %s", full.Summary())
+	}
+
+	dir := t.TempDir()
+	var stolen []byte
+	sys2 := sysFromSource(t, ckptSrc)
+	res := New(sys2, Options{Workers: 2, Checkpoint: &CheckpointOptions{
+		Dir: dir, Key: "r", Interval: 1,
+		OnWrite: func(file string, d, states int) {
+			if d == 25 {
+				stolen, _ = os.ReadFile(file)
+			}
+		},
+	}}).CheckReachable(target)
+	if !res.OK || len(stolen) == 0 {
+		t.Fatalf("expected witness and a depth-25 snapshot: %s", res.Summary())
+	}
+
+	rdir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(rdir, CheckpointFileName("r")), stolen, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys3 := sysFromSource(t, ckptSrc)
+	target3, _ := sys3.Prog.CompileGlobalExpr("a == 55 && b == 3")
+	resumed := New(sys3, Options{Workers: 8, Checkpoint: &CheckpointOptions{
+		Dir: rdir, Key: "r", Resume: true,
+	}}).CheckReachable(target3)
+	if !resumed.OK || resumed.Trace == nil {
+		t.Fatalf("resumed witness search failed: %s", resumed.Summary())
+	}
+	if got, want := resumed.Trace.Len(), full.Trace.Len()-25; got != want {
+		t.Errorf("resumed witness length %d, want %d", got, want)
+	}
+	if resumed.Stats.StatesStored != full.Stats.StatesStored {
+		t.Errorf("resumed StatesStored %d, uninterrupted %d",
+			resumed.Stats.StatesStored, full.Stats.StatesStored)
+	}
+}
+
+// A snapshot from a different system (or a corrupt file) must be
+// ignored: the search starts fresh and still verifies.
+func TestCheckpointForeignOrCorruptSnapshotIgnored(t *testing.T) {
+	stolen := snapAt(t, t.TempDir(), 10)
+	data, _ := os.ReadFile(stolen)
+
+	t.Run("foreign-model", func(t *testing.T) {
+		dir := t.TempDir()
+		os.WriteFile(filepath.Join(dir, CheckpointFileName("f")), data, 0o644)
+		res := New(sysFromSource(t, parOKSrc), Options{Workers: 2,
+			Checkpoint: &CheckpointOptions{Dir: dir, Key: "f", Resume: true}}).CheckSafety()
+		want := New(sysFromSource(t, parOKSrc), Options{Workers: 1}).CheckSafety()
+		if !res.OK || !statsEqualIgnoringElapsed(res.Stats, want.Stats) {
+			t.Errorf("foreign snapshot not ignored: %+v vs fresh %+v", res.Stats, want.Stats)
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		dir := t.TempDir()
+		bad := append([]byte(nil), data...)
+		bad[len(bad)/2] ^= 0xff // flip a bit mid-file: some section CRC must fail
+		os.WriteFile(filepath.Join(dir, CheckpointFileName("c")), bad, 0o644)
+		res := New(sysFromSource(t, ckptSrc), Options{Workers: 2,
+			Checkpoint: &CheckpointOptions{Dir: dir, Key: "c", Resume: true}}).CheckSafety()
+		want := New(sysFromSource(t, ckptSrc), Options{Workers: 1}).CheckSafety()
+		if !res.OK || !statsEqualIgnoringElapsed(res.Stats, want.Stats) {
+			t.Errorf("corrupt snapshot not ignored: %+v vs fresh %+v", res.Stats, want.Stats)
+		}
+	})
+}
+
+// DecodeKey inverts AppendKey exactly, given the system's state shape.
+func TestDecodeKeyRoundTrip(t *testing.T) {
+	s := sysFromSource(t, parOKSrc)
+	shape := s.InitialState()
+	seen := 0
+	frontier := []*model.State{shape}
+	for depth := 0; depth < 8; depth++ {
+		var next []*model.State
+		for _, st := range frontier {
+			enc := st.AppendKey(nil)
+			dec, err := model.DecodeKey(shape, enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if dec.Key() != st.Key() {
+				t.Fatalf("round trip diverged at depth %d", depth)
+			}
+			seen++
+			for _, tr := range s.Successors(st) {
+				if tr.Violation == "" {
+					next = append(next, tr.Next)
+				}
+			}
+		}
+		frontier = next
+	}
+	if seen < 10 {
+		t.Fatalf("walked only %d states", seen)
+	}
+	if _, err := model.DecodeKey(shape, []byte{0x01}); err == nil {
+		t.Error("truncated encoding should fail to decode")
+	}
+}

@@ -255,11 +255,22 @@ func (c *Checker) checkSafetyPar() *Result {
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	r := c.newParRunner("safety-par-bfs")
-	levels := r.seedRoot()
-	res.Stats.StatesStored = 1
+	ck := c.newCheckpointer("safety-par-bfs", r)
+	defer func() { ck.finish(res) }()
+	// On resume, levels[0] is the checkpointed frontier at depth base;
+	// counterexample prefixes then start at that frontier (the path from
+	// the root was discarded with the crashed process). Verdicts, stats,
+	// and counterexample lengths are unaffected.
+	levels, base, resumed := ck.restore(r, res)
+	if !resumed {
+		levels = r.seedRoot()
+		res.Stats.StatesStored = 1
+		base = 0
+	}
 
-	for depth := 0; depth < len(levels); depth++ {
-		cur := levels[depth]
+	for li := 0; li < len(levels); li++ {
+		depth := base + li
+		cur := levels[li]
 		if len(cur) == 0 {
 			break
 		}
@@ -323,7 +334,7 @@ func (c *Checker) checkSafetyPar() *Result {
 			if p.trIdx >= 0 {
 				extra = &p.tr
 			}
-			res.Trace = c.parTrace(levels, depth, p.node, extra)
+			res.Trace = c.parTrace(levels, li, p.node, extra)
 			res.Trace.Final = p.msg
 			return res
 		}
@@ -334,6 +345,7 @@ func (c *Checker) checkSafetyPar() *Result {
 			res.Message = fmt.Sprintf("depth limit %d reached; search incomplete", c.opts.MaxDepth)
 			return res
 		}
+		ck.maybeSnapshot(depth+1, next, r, &res.Stats)
 		levels = append(levels, next)
 	}
 	return res
@@ -352,11 +364,18 @@ func (c *Checker) checkReachablePar(target pml.RExpr) *Result {
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	r := c.newParRunner("reachability-par")
-	levels := r.seedRoot()
-	res.Stats.StatesStored = 1
+	ck := c.newCheckpointer("reachability-par", r)
+	defer func() { ck.finish(res) }()
+	levels, base, resumed := ck.restore(r, res)
+	if !resumed {
+		levels = r.seedRoot()
+		res.Stats.StatesStored = 1
+		base = 0
+	}
 
-	for depth := 0; depth < len(levels); depth++ {
-		cur := levels[depth]
+	for li := 0; li < len(levels); li++ {
+		depth := base + li
+		cur := levels[li]
 		if len(cur) == 0 {
 			break
 		}
@@ -398,7 +417,7 @@ func (c *Checker) checkReachablePar(target pml.RExpr) *Result {
 		}
 		if p := bestProblem(cur, sats); p != nil {
 			res.OK = true
-			res.Trace = c.parTrace(levels, depth, p.node, nil)
+			res.Trace = c.parTrace(levels, li, p.node, nil)
 			res.Trace.Final = "target state reached"
 			return res
 		}
@@ -446,6 +465,7 @@ func (c *Checker) checkReachablePar(target pml.RExpr) *Result {
 		if r.limit.Load() {
 			return r.limitResult(res)
 		}
+		ck.maybeSnapshot(depth+1, next, r, &res.Stats)
 		levels = append(levels, next)
 	}
 	res.Kind = NoViolation

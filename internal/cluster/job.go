@@ -30,6 +30,8 @@ type cjob struct {
 	node          string
 	remoteID      string
 	failovers     int
+	attempt       int    // executions so far (0 = served from cache)
+	resumedFrom   string // node whose checkpoint the current attempt resumes
 	clusterCached bool
 	cacheHits     int
 	cacheMisses   int
@@ -52,9 +54,15 @@ type JobStatus struct {
 	Workers     int             `json:"workers,omitempty"`
 	TraceID     string          `json:"trace_id,omitempty"`
 
-	Node          string `json:"node,omitempty"`
-	RemoteID      string `json:"remote_id,omitempty"`
+	Node     string `json:"node,omitempty"`
+	RemoteID string `json:"remote_id,omitempty"`
+	// Failovers counts re-placements; Attempt counts executions (one
+	// more than failovers that actually re-ran, zero when the job was
+	// served from a cache tier); ResumedFrom names the node whose search
+	// checkpoint the current attempt picked up, empty for fresh runs.
 	Failovers     int    `json:"failovers,omitempty"`
+	Attempt       int    `json:"attempt,omitempty"`
+	ResumedFrom   string `json:"resumed_from,omitempty"`
 	ClusterCached bool   `json:"cluster_cached,omitempty"`
 	Err           string `json:"err,omitempty"`
 }
@@ -74,14 +82,17 @@ func (j *cjob) snapshot() JobStatus {
 		Node:          j.node,
 		RemoteID:      j.remoteID,
 		Failovers:     j.failovers,
+		Attempt:       j.attempt,
+		ResumedFrom:   j.resumedFrom,
 		ClusterCached: j.clusterCached,
 		Err:           j.errMsg,
 	}
 }
 
-func (j *cjob) setPlacement(node, remoteID string) {
+func (j *cjob) setPlacement(node, remoteID string, attempt int, resumedFrom string) {
 	j.mu.Lock()
 	j.node, j.remoteID = node, remoteID
+	j.attempt, j.resumedFrom = attempt, resumedFrom
 	j.mu.Unlock()
 }
 
@@ -198,7 +209,7 @@ func (c *Coordinator) submitJob(ctx context.Context, req client.JobRequest) (*cj
 			lastErr = err
 			continue
 		}
-		j.setPlacement(n.name, rjob.ID)
+		j.setPlacement(n.name, rjob.ID, 1, "")
 		n.routed.Inc()
 		if span != nil {
 			span.SetAttr("node", n.name)
@@ -214,11 +225,16 @@ func (c *Coordinator) submitJob(ctx context.Context, req client.JobRequest) (*cj
 
 // driveJob waits for a placed job and fails it over along the remaining
 // candidates when its node dies or drains mid-run. Re-submission
-// repeats at most one cell's work; the content-addressed caches make
-// the retry cheap when the node got far enough to publish.
+// carries a resume token — the attempt count and the previous node's
+// URL — so the replica can fetch the interrupted search's checkpoint
+// and continue it instead of re-exploring; when the previous node is
+// truly dead (fetch fails) the replica degrades to a fresh search, and
+// the content-addressed caches still make the retry cheap when the
+// node got far enough to publish.
 func (c *Coordinator) driveJob(ctx context.Context, j *cjob, cands []*node, idx int) {
 	defer c.wg.Done()
 	n := cands[idx]
+	attempt := 1
 	for {
 		_, remoteID := j.placement()
 		rjob, err := n.rc.Wait(ctx, remoteID)
@@ -235,12 +251,16 @@ func (c *Coordinator) driveJob(ctx context.Context, j *cjob, cands []*node, idx 
 		}
 		// A 404 also lands here: the node restarted and lost the job —
 		// re-place it like any other failover.
+		prev := n.name
 		placed := false
 		for idx++; idx < len(cands); idx++ {
 			n = cands[idx]
 			j.bumpFailover()
 			c.mFailovers.Inc()
-			rjob, serr := n.rc.Submit(ctx, j.req)
+			req := j.req
+			req.Attempt = attempt + 1
+			req.ResumeFrom = prev
+			rjob, serr := n.rc.Submit(ctx, req)
 			if serr != nil {
 				if fatalSubmitErr(serr) {
 					c.failJob(j, serr)
@@ -252,9 +272,11 @@ func (c *Coordinator) driveJob(ctx context.Context, j *cjob, cands []*node, idx 
 				err = serr
 				continue
 			}
-			j.setPlacement(n.name, rjob.ID)
+			attempt++
+			j.setPlacement(n.name, rjob.ID, attempt, prev)
 			n.routed.Inc()
-			c.logger.Warn("cluster: job failed over", "job_id", j.id, "node", n.name)
+			c.logger.Warn("cluster: job failed over", "job_id", j.id, "node", n.name,
+				"attempt", attempt, "resume_from", prev)
 			placed = true
 			break
 		}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"pnp/internal/verifyd/client"
+)
+
+// captureStub is stubNode plus a record of the submission it accepted —
+// the probe that proves the coordinator hands replicas a resume token
+// when it re-places a job off a dead node.
+type captureStub struct {
+	*stubNode
+	reqMu sync.Mutex
+	req   client.JobRequest
+}
+
+func newCaptureStub() *captureStub {
+	return &captureStub{stubNode: newStubNode()}
+}
+
+func (s *captureStub) lastReq() client.JobRequest {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	return s.req
+}
+
+func (s *captureStub) handler() http.Handler {
+	base := s.stubNode.handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			var req client.JobRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err == nil {
+				s.reqMu.Lock()
+				s.req = req
+				s.reqMu.Unlock()
+			}
+		}
+		base.ServeHTTP(w, r)
+	})
+}
+
+// routeThrough finds a message count whose failover sequence starts at
+// first and then second — deterministic, because node names are fixed.
+func routeThrough(t *testing.T, c *Coordinator, first, second string) int {
+	t.Helper()
+	for msgs := 1; msgs <= 256; msgs++ {
+		key := submissionKey(pingRequest(msgs))
+		owners := c.ring.Owners(key[:], 2)
+		if len(owners) == 2 && owners[0] == first && owners[1] == second {
+			return msgs
+		}
+	}
+	t.Fatalf("no ping variant walks the ring %s -> %s (hash or ring changed?)", first, second)
+	return 0
+}
+
+// TestClusterDoubleFailoverCarriesResumeToken kills the first replica
+// mid-job and then the second: each re-placement must carry a resume
+// token pointing at the node that just died, and the job must still
+// finish — on the only real worker — with the full failover history in
+// its document.
+func TestClusterDoubleFailoverCarriesResumeToken(t *testing.T) {
+	f := newFabric()
+	s1 := newCaptureStub()
+	s2 := newCaptureStub()
+	f.add(t, "s1", s1.handler())
+	f.add(t, "s2", s2.handler())
+	newWorker(t, f, "w1")
+	hosts := []string{"http://s1", "http://s2", "http://w1"}
+	c, reg := newTestCluster(t, f, hosts, nil)
+
+	msgs := routeThrough(t, c, "http://s1", "http://s2")
+	go func() {
+		<-s1.submitted
+		f.drop("s1")
+		close(s1.die)
+		<-s2.submitted
+		f.drop("s2")
+		close(s2.die)
+	}()
+	st, err := c.SubmitJob(context.Background(), pingRequest(msgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJobStatus(t, c, st.ID)
+	if done.Err != "" || done.Report == nil || !done.Report.OK {
+		t.Fatalf("job lost in double failover: %+v", done)
+	}
+	if done.Node != "http://w1" {
+		t.Fatalf("job finished on %s, want the surviving worker http://w1", done.Node)
+	}
+	if done.Failovers < 2 {
+		t.Fatalf("failovers = %d, want >= 2", done.Failovers)
+	}
+	if done.Attempt != 3 {
+		t.Fatalf("attempt = %d, want 3 (one run per node)", done.Attempt)
+	}
+	if done.ResumedFrom != "http://s2" {
+		t.Fatalf("resumed_from = %q, want the second dead node http://s2", done.ResumedFrom)
+	}
+
+	// The original placement carries no token; the first re-placement
+	// names the node that just died.
+	if first := s1.lastReq(); first.Attempt != 0 || first.ResumeFrom != "" {
+		t.Fatalf("fresh submission carried a resume token: attempt=%d resume_from=%q",
+			first.Attempt, first.ResumeFrom)
+	}
+	second := s2.lastReq()
+	if second.Attempt != 2 {
+		t.Fatalf("re-placed submission attempt = %d, want 2", second.Attempt)
+	}
+	if second.ResumeFrom != "http://s1" {
+		t.Fatalf("re-placed submission resume_from = %q, want http://s1", second.ResumeFrom)
+	}
+
+	if got := reg.Counter("cluster_failovers_total").Value(); got < 2 {
+		t.Fatalf("cluster_failovers_total = %d, want >= 2", got)
+	}
+	for _, dead := range []string{"http://s1", "http://s2"} {
+		if c.nodes[dead].healthy.Load() {
+			t.Fatalf("dead node %s was not ejected", dead)
+		}
+	}
+	if got := c.HealthyNodes(); got != 1 {
+		t.Fatalf("HealthyNodes = %d, want 1", got)
+	}
+}

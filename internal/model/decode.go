@@ -1,0 +1,82 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DecodeKey reconstructs a State from its canonical encoding — the exact
+// bytes AppendKey produces. The encoding is injective but not fully
+// self-describing: the outer arities (process count, globals count,
+// locals and channel slice counts) are fixed per system, so they are
+// taken from shape — any state of the same system, typically
+// System.InitialState(). Inner slice lengths are length-prefixed in the
+// encoding itself.
+//
+// DecodeKey is the read side of search checkpointing: frontier states
+// persisted as their canonical encodings are rebuilt through it on
+// resume. The round trip is exact — st2 := DecodeKey(shape,
+// st.AppendKey(nil)) satisfies st2.Key() == st.Key().
+func DecodeKey(shape *State, enc []byte) (*State, error) {
+	d := keyDecoder{buf: enc}
+	st := &State{
+		PCs:     make([]int32, len(shape.PCs)),
+		Locals:  make([][]int64, len(shape.Locals)),
+		Globals: make([]int64, len(shape.Globals)),
+		Chans:   make([][]int64, len(shape.Chans)),
+	}
+	st.Atomic = int32(d.varint())
+	for i := range st.PCs {
+		st.PCs[i] = int32(d.varint())
+	}
+	for i := range st.Globals {
+		st.Globals[i] = d.varint()
+	}
+	for i := range st.Locals {
+		st.Locals[i] = d.slice()
+	}
+	for i := range st.Chans {
+		st.Chans[i] = d.slice()
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("model: decode state key: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("model: decode state key: %d trailing bytes", len(d.buf))
+	}
+	return st, nil
+}
+
+type keyDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *keyDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *keyDecoder) slice() []int64 {
+	n := d.varint()
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > int64(len(d.buf)) {
+		d.err = fmt.Errorf("bad slice length %d", n)
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.varint()
+	}
+	return out
+}

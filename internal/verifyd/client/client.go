@@ -25,10 +25,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"pnp/internal/obs/tracing"
@@ -46,6 +48,12 @@ type Job struct {
 	CacheMisses int       `json:"cache_misses"`
 	Workers     int       `json:"workers,omitempty"`
 	TraceID     string    `json:"trace_id,omitempty"`
+	// Attempt counts executions across crashes and failovers (1 for a
+	// fresh run); ResumedFrom records where this attempt's search
+	// checkpoints came from — a peer node's base URL (cluster re-drive)
+	// or "journal" (restart recovery). Both zero on an undisturbed job.
+	Attempt     int    `json:"attempt,omitempty"`
+	ResumedFrom string `json:"resumed_from,omitempty"`
 
 	Node          string `json:"node,omitempty"`
 	Failovers     int    `json:"failovers,omitempty"`
@@ -100,6 +108,14 @@ type JobRequest struct {
 	StrongFairness *bool `json:"strong_fairness,omitempty"`
 	Workers        *int  `json:"workers,omitempty"`
 	TimeoutMS      int   `json:"timeout_ms,omitempty"`
+
+	// Attempt and ResumeFrom form the resume token a cluster coordinator
+	// attaches when re-placing a job after a worker died mid-run: the
+	// replica fetches the dead node's search checkpoint (GET
+	// /v1/checkpoints/{key}) and continues instead of re-exploring.
+	// Neither field enters the submission's content address.
+	Attempt    int    `json:"attempt,omitempty"`
+	ResumeFrom string `json:"resume_from,omitempty"`
 }
 
 // JobSummary mirrors a GET /v1/jobs list element.
@@ -251,6 +267,13 @@ func WithBackoff(initial, max time.Duration) Option {
 	return func(c *Client) { c.backoff, c.maxBackoff = initial, max }
 }
 
+// WithJitterSeed pins the backoff jitter's random seed, making retry
+// timing reproducible (tests, deterministic simulations). Without it
+// each client seeds from the clock.
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
 // Client talks to one verification service.
 type Client struct {
 	base       string
@@ -258,6 +281,9 @@ type Client struct {
 	retries    int
 	backoff    time.Duration
 	maxBackoff time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // New builds a client for the service at base (e.g.
@@ -269,11 +295,26 @@ func New(base string, opts ...Option) *Client {
 		retries:    3,
 		backoff:    100 * time.Millisecond,
 		maxBackoff: 2 * time.Second,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// jitter spreads a retry delay over [delay/2, delay] (equal jitter), so
+// a fleet of clients retrying against a just-recovered server does not
+// stampede it in lockstep. Mutex-guarded: one client may retry from
+// many goroutines.
+func (c *Client) jitter(delay time.Duration) time.Duration {
+	half := delay / 2
+	if half <= 0 {
+		return delay
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
 }
 
 // do issues one request with retries. body is re-sent on each attempt;
@@ -308,7 +349,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			return lastErr
 		}
 		select {
-		case <-time.After(delay):
+		case <-time.After(c.jitter(delay)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -444,7 +485,10 @@ type Health struct {
 	ResultCacheEntries int    `json:"result_cache_entries"`
 	ReportCacheEntries int    `json:"report_cache_entries"`
 	Jobs               int    `json:"jobs"`
-	Draining           bool   `json:"draining,omitempty"`
+	// Durable reports whether the node journals jobs to a data dir and
+	// can therefore survive kill -9 without losing accepted work.
+	Durable  bool `json:"durable,omitempty"`
+	Draining bool `json:"draining,omitempty"`
 }
 
 // Health fetches the node's /healthz document.
@@ -556,7 +600,7 @@ func (c *Client) StreamSweep(ctx context.Context, id string, onCell func(SweepCe
 			return nil, lastErr
 		}
 		select {
-		case <-time.After(delay):
+		case <-time.After(c.jitter(delay)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

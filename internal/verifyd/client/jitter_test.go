@@ -1,0 +1,87 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestJitterBounds: jittered delays stay within the equal-jitter window
+// [delay/2, delay] and never collapse to zero.
+func TestJitterBounds(t *testing.T) {
+	c := New("http://unused", WithJitterSeed(7))
+	for _, delay := range []time.Duration{100 * time.Millisecond, time.Second, 2 * time.Second} {
+		for i := 0; i < 200; i++ {
+			got := c.jitter(delay)
+			if got < delay/2 || got > delay {
+				t.Fatalf("jitter(%v) = %v, want within [%v, %v]", delay, got, delay/2, delay)
+			}
+		}
+	}
+	// Degenerate tiny delays pass through rather than panicking.
+	if got := c.jitter(1); got != 1 {
+		t.Errorf("jitter(1ns) = %v, want 1ns", got)
+	}
+}
+
+// TestJitterSeededDeterminism: two clients with the same seed produce
+// identical jitter sequences — retry timing is reproducible — and a
+// different seed diverges.
+func TestJitterSeededDeterminism(t *testing.T) {
+	a := New("http://unused", WithJitterSeed(42))
+	b := New("http://unused", WithJitterSeed(42))
+	other := New("http://unused", WithJitterSeed(43))
+	diverged := false
+	for i := 0; i < 100; i++ {
+		av, bv := a.jitter(time.Second), b.jitter(time.Second)
+		if av != bv {
+			t.Fatalf("same-seed clients diverged at draw %d: %v != %v", i, av, bv)
+		}
+		if av != other.jitter(time.Second) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds never diverged — jitter is not actually random")
+	}
+}
+
+// TestRetryBackoffJittered: a retried request sleeps the jittered
+// delays of the fixed seed, not the raw exponential schedule.
+func TestRetryBackoffJittered(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	const seed = 99
+	c := New(ts.URL, WithJitterSeed(seed),
+		WithBackoff(20*time.Millisecond, 100*time.Millisecond), WithRetries(4))
+	// The expected schedule, drawn from an identical generator.
+	ref := New("http://unused", WithJitterSeed(seed),
+		WithBackoff(20*time.Millisecond, 100*time.Millisecond))
+	expected := ref.jitter(20*time.Millisecond) + ref.jitter(40*time.Millisecond)
+
+	start := time.Now()
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+	if elapsed < expected {
+		t.Errorf("retries returned in %v, faster than the jittered schedule %v", elapsed, expected)
+	}
+	if elapsed > expected+2*time.Second {
+		t.Errorf("retries took %v, way past the jittered schedule %v", elapsed, expected)
+	}
+}

@@ -10,6 +10,9 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -53,6 +56,18 @@ type Config struct {
 	// Canceled verdict instead of hanging a worker forever. Zero means
 	// no timeout.
 	JobTimeout time.Duration
+	// DataDir, when set, makes the server crash-safe: HTTP submissions
+	// are journaled to an append-only WAL under DataDir/journal before
+	// they are acknowledged, long searches snapshot their frontier to
+	// DataDir/checkpoints at BFS level barriers, and a restarted server
+	// replays the journal — completed verdicts are re-served, incomplete
+	// jobs re-enqueued and resumed from their last checkpoint. Empty
+	// (the default) keeps the server exactly as before: memory-only,
+	// nothing written to disk.
+	DataDir string
+	// CheckpointInterval is the number of completed BFS levels between
+	// search snapshots when DataDir is set (default 1: every barrier).
+	CheckpointInterval int
 	// Resolver loads component files referenced by raw ADL submissions.
 	// JSON submissions can inline components instead; inline components
 	// shadow the resolver.
@@ -100,6 +115,14 @@ type Job struct {
 	// the server runs without a Tracer). GET /v1/jobs/{id}/trace streams
 	// the spans.
 	TraceID string `json:"trace_id,omitempty"`
+	// Attempt counts executions of this submission across crashes and
+	// failovers: 1 for a first run, incremented by a cluster
+	// coordinator's re-placement or a journal replay.
+	Attempt int `json:"attempt,omitempty"`
+	// ResumedFrom records where this attempt's search checkpoints came
+	// from: a peer worker's base URL (cluster re-drive) or "journal"
+	// (re-enqueued by replay on restart). Empty for a fresh run.
+	ResumedFrom string `json:"resumed_from,omitempty"`
 
 	sys     *adl.System
 	opts    checker.Options
@@ -117,6 +140,12 @@ type Job struct {
 	tctx  context.Context
 	span  *tracing.Span
 	qspan *tracing.Span
+
+	// jreq retains the wire request for journal compaction until the job
+	// completes (nil on journal-less servers and in-process submissions);
+	// resumeFrom is the peer base URL to fetch search checkpoints from.
+	jreq       *jobRequest
+	resumeFrom string
 }
 
 // jobRequest is the JSON submission envelope. Raw (non-JSON) bodies are
@@ -138,6 +167,16 @@ type jobRequest struct {
 	Workers *int `json:"workers,omitempty"`
 	// TimeoutMS overrides the server's per-job timeout (0 keeps it).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Attempt and ResumeFrom are the cluster re-drive resume token: a
+	// coordinator re-placing a job after a mid-run worker death sets
+	// Attempt to the execution count and ResumeFrom to the dead (or
+	// draining) worker's base URL, so the replica fetches the search
+	// checkpoint via GET /v1/checkpoints/{key} instead of re-exploring
+	// from state zero. Neither field enters the submission content
+	// address — they change where a verdict is computed, never what it
+	// is.
+	Attempt    int    `json:"attempt,omitempty"`
+	ResumeFrom string `json:"resume_from,omitempty"`
 }
 
 // Server runs verification jobs on a bounded worker pool with a shared
@@ -174,12 +213,19 @@ type Server struct {
 	tracer *tracing.Recorder
 	log    *slog.Logger
 
+	// journal and ckptDir are the durability state of a DataDir server;
+	// both zero on a memory-only one.
+	journal *journal
+	ckptDir string
+
 	mSubmitted *obs.Counter
 	mCompleted *obs.Counter
 	mRejected  *obs.Counter
 	mRunning   *obs.Gauge
 	mQueued    *obs.Gauge
 	hWait      *obs.Histogram
+	cRecovered *obs.Counter
+	cCkptFetch *obs.Counter
 }
 
 // queueWaitBuckets span sub-millisecond pickups on an idle pool out to
@@ -189,8 +235,32 @@ var queueWaitBuckets = []float64{
 	0.0001, 0.001, 0.004, 0.016, 0.064, 0.256, 1, 4, 16, 64,
 }
 
-// NewServer builds a verification server and starts its workers.
+// NewServer builds a verification server and starts its workers. A
+// Config.DataDir that cannot be opened (or whose journal fails to
+// replay) is reported through the logger and durability is disabled;
+// servers that must not degrade silently use OpenServer.
 func NewServer(cfg Config) *Server {
+	s, err := OpenServer(cfg)
+	if err != nil {
+		log := cfg.Logger
+		if log == nil {
+			log = slog.New(slog.NewTextHandler(io.Discard, nil))
+		}
+		log.Error("data dir unusable; running memory-only", "data_dir", cfg.DataDir, "err", err.Error())
+		cfg.DataDir = ""
+		s, _ = OpenServer(cfg)
+	}
+	return s
+}
+
+// OpenServer builds a verification server and starts its workers,
+// reporting durability failures instead of masking them. With
+// Config.DataDir set it opens (or creates) the job journal, replays it
+// — re-registering completed jobs with their verdicts and re-enqueuing
+// incomplete ones — and arms search checkpointing; re-enqueued jobs
+// resume their searches from the last snapshot in
+// DataDir/checkpoints. Without DataDir it is identical to NewServer.
+func OpenServer(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -223,11 +293,219 @@ func NewServer(cfg Config) *Server {
 		hWait:      cfg.Registry.Histogram("verifyd_queue_wait_seconds", queueWaitBuckets),
 	}
 	s.budget = newWorkerBudget(cfg.SearchBudget, cfg.Registry.Gauge("verifyd_search_workers_in_use"))
+
+	var requeue []*Job
+	if cfg.DataDir != "" {
+		s.ckptDir = filepath.Join(cfg.DataDir, "checkpoints")
+		if err := os.MkdirAll(s.ckptDir, 0o755); err != nil {
+			return nil, err
+		}
+		j, recs, err := openJournal(filepath.Join(cfg.DataDir, "journal"), journalSegmentBytes, cfg.Registry)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.cRecovered = cfg.Registry.Counter("verifyd_jobs_recovered_total")
+		s.cCkptFetch = cfg.Registry.Counter("verifyd_checkpoints_fetched_total")
+		// Replay before the workers start, so recovered jobs hold their
+		// original IDs and no new submission can race into them.
+		requeue = s.replay(recs)
+	}
+
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	if len(requeue) > 0 {
+		// The queue holds 64; re-enqueue from a goroutine so a journal
+		// with hundreds of incomplete jobs cannot deadlock startup.
+		go func() {
+			for _, job := range requeue {
+				s.mQueued.Add(1)
+				s.queue <- job
+			}
+		}()
+	}
+	return s, nil
+}
+
+// replay folds journal records back into server state: completed jobs
+// are re-registered done (verdicts served from disk), incomplete jobs
+// are rebuilt from their journaled wire requests and returned for
+// re-enqueueing. Incomplete jobs sharing a submission key are deduped —
+// the first becomes the leader and actually runs; followers wait for
+// its report, so a crash can never cause duplicate execution of one
+// submission. Runs before the worker pool starts; no locking needed.
+func (s *Server) replay(recs []journalRecord) []*Job {
+	type replayJob struct {
+		accepted  *journalRecord
+		completed *journalRecord
+		attempts  int
+	}
+	byID := make(map[string]*replayJob)
+	var order []string
+	for i := range recs {
+		rec := &recs[i]
+		rj := byID[rec.ID]
+		if rj == nil {
+			rj = &replayJob{}
+			byID[rec.ID] = rj
+			order = append(order, rec.ID)
+		}
+		switch rec.Type {
+		case recAccepted:
+			rj.accepted = rec
+		case recStarted:
+			if rec.Attempt > rj.attempts {
+				rj.attempts = rec.Attempt
+			}
+		case recCompleted:
+			rj.completed = rec
+		}
+		if rec.Seq > s.nextID {
+			s.nextID = rec.Seq
+		}
+	}
+
+	closedCh := make(chan struct{})
+	close(closedCh)
+	var requeue []*Job
+	leaders := make(map[string]*Job) // submission key -> re-enqueued leader
+	for _, id := range order {
+		rj := byID[id]
+		switch {
+		case rj.completed != nil:
+			rec := rj.completed
+			job := &Job{
+				ID: id, State: JobDone, Submitted: rec.Time, Report: rec.Report,
+				CacheHits: rec.CacheHits, CacheMisses: rec.CacheMisses,
+				Attempt: max(rec.Attempt, 1), done: closedCh, seq: rec.Seq,
+			}
+			s.jobs[id] = job
+			s.doneIDs = append(s.doneIDs, id)
+			if key, ok := parseCacheKey(rec.Key); ok && rec.Report != nil && Cacheable(rec.Report) {
+				s.reports.Put(key, rec.Report)
+			}
+			s.cRecovered.Add(1)
+		case rj.accepted != nil && rj.accepted.Req != nil:
+			rec := rj.accepted
+			req := rec.Req
+			resolve := s.resolver(req.Components)
+			sys, err := adl.Load(req.ADL, resolve, s.models)
+			if err != nil {
+				s.log.Error("journal replay: job no longer composes; dropping",
+					"job_id", id, "err", err.Error())
+				continue
+			}
+			job := &Job{
+				ID: id, State: JobQueued, Submitted: rec.Time,
+				Attempt: max(rj.attempts, rec.Attempt) + 1, ResumedFrom: "journal",
+				sys: sys, opts: s.jobOptions(*req),
+				timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+				done:    make(chan struct{}), seq: rec.Seq, jreq: req,
+				tctx: context.Background(),
+			}
+			if key, ok := parseCacheKey(rec.Key); ok {
+				job.subKey = &key
+			}
+			s.jobs[id] = job
+			s.jobsWG.Add(1)
+			s.cRecovered.Add(1)
+			if job.subKey != nil {
+				if leader, dup := leaders[rec.Key]; dup {
+					// Follower: mirror the leader's report when it lands.
+					go s.finishFollower(job, leader)
+					s.log.Info("job recovered (deduped onto leader)",
+						"job_id", id, "leader", leader.ID, "attempt", job.Attempt)
+					continue
+				}
+				leaders[rec.Key] = job
+			}
+			requeue = append(requeue, job)
+			s.log.Info("job recovered; re-enqueued", "job_id", id, "attempt", job.Attempt)
+		}
+	}
+	for len(s.doneIDs) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneIDs[0])
+		s.doneIDs = s.doneIDs[1:]
+	}
+	return requeue
+}
+
+// resolver builds the component-resolution closure submissions use:
+// inline components shadow the configured resolver.
+func (s *Server) resolver(components map[string]string) adl.Resolver {
+	return func(path string) (string, error) {
+		if text, ok := components[path]; ok {
+			return text, nil
+		}
+		if s.cfg.Resolver != nil {
+			return s.cfg.Resolver(path)
+		}
+		return "", fmt.Errorf("unknown component %q (no resolver configured)", path)
+	}
+}
+
+// parseCacheKey decodes a hex submission key from a journal record.
+func parseCacheKey(hexKey string) (CacheKey, bool) {
+	var key CacheKey
+	b, err := hex.DecodeString(hexKey)
+	if err != nil || len(b) != sha256.Size {
+		return key, false
+	}
+	copy(key[:], b)
+	return key, true
+}
+
+// finishFollower completes a replayed duplicate submission from its
+// leader's report — zero duplicate execution for same-key submissions.
+func (s *Server) finishFollower(job *Job, leader *Job) {
+	<-leader.done
+	snap := s.snapshotJob(leader)
+	rep := snap.Report
+	hits := 0
+	if rep != nil {
+		hits = len(rep.Properties)
+	}
+	s.mu.Lock()
+	job.Report = rep
+	job.CacheHits = hits
+	job.State = JobDone
+	job.sys = nil
+	job.opts = checker.Options{}
+	job.jreq = nil
+	s.doneIDs = append(s.doneIDs, job.ID)
+	for len(s.doneIDs) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneIDs[0])
+		s.doneIDs = s.doneIDs[1:]
+	}
+	s.mu.Unlock()
+	if s.journal != nil && rep != nil {
+		s.appendJournal(journalRecord{
+			Type: recCompleted, ID: job.ID, Seq: job.seq, Time: time.Now(),
+			Key: subKeyHex(job), Report: rep, Attempt: job.Attempt, CacheHits: hits,
+		})
+	}
+	s.log.Info("job done (follower of "+leader.ID+")", "job_id", job.ID)
+	s.mCompleted.Inc()
+	close(job.done)
+	s.jobsWG.Done()
+}
+
+// subKeyHex renders a job's submission key ("" when it has none).
+func subKeyHex(job *Job) string {
+	if job.subKey == nil {
+		return ""
+	}
+	return job.subKey.String()
+}
+
+// appendJournal journals one record, logging (never failing the job) on
+// error: a full disk degrades durability, not availability.
+func (s *Server) appendJournal(rec journalRecord) {
+	if err := s.journal.append(rec); err != nil {
+		s.log.Error("journal append failed", "job_id", rec.ID, "type", rec.Type, "err", err.Error())
+	}
 }
 
 // Cache exposes the result cache (for stats endpoints and tests).
@@ -267,23 +545,16 @@ func (s *Server) Submit(src string, components map[string]string, opts checker.O
 // job cancellation stays governed by the timeout, so a caller
 // disconnecting cannot kill a queued job another client is awaiting.
 func (s *Server) SubmitContext(ctx context.Context, src string, components map[string]string, opts checker.Options, timeout time.Duration) (*Job, error) {
-	return s.submitKeyed(ctx, src, components, opts, timeout, nil)
+	return s.submitKeyed(ctx, src, components, opts, timeout, nil, nil)
 }
 
-// submitKeyed is SubmitContext carrying an optional submission key; the
-// key must be attached before the job is queued, because a cache-served
-// job can complete within microseconds of the queue send.
-func (s *Server) submitKeyed(ctx context.Context, src string, components map[string]string, opts checker.Options, timeout time.Duration, subKey *CacheKey) (*Job, error) {
+// submitKeyed is SubmitContext carrying an optional submission key and,
+// for HTTP submissions on a durable server, the wire request to
+// journal; the key must be attached before the job is queued, because a
+// cache-served job can complete within microseconds of the queue send.
+func (s *Server) submitKeyed(ctx context.Context, src string, components map[string]string, opts checker.Options, timeout time.Duration, subKey *CacheKey, wire *jobRequest) (*Job, error) {
 	jctx, jspan := s.tracer.StartSpan(ctx, "job")
-	resolve := func(path string) (string, error) {
-		if text, ok := components[path]; ok {
-			return text, nil
-		}
-		if s.cfg.Resolver != nil {
-			return s.cfg.Resolver(path)
-		}
-		return "", fmt.Errorf("unknown component %q (no resolver configured)", path)
-	}
+	resolve := s.resolver(components)
 	_, cspan := s.tracer.StartSpan(jctx, "compose")
 	sys, err := adl.Load(src, resolve, s.models)
 	cspan.End()
@@ -316,6 +587,17 @@ func (s *Server) submitKeyed(ctx context.Context, src string, components map[str
 		subKey:    subKey,
 		tctx:      jctx,
 		span:      jspan,
+		Attempt:   1,
+	}
+	if wire != nil {
+		job.Attempt = max(wire.Attempt, 1)
+		if wire.ResumeFrom != "" {
+			job.resumeFrom = wire.ResumeFrom
+			job.ResumedFrom = wire.ResumeFrom
+		}
+		if s.journal != nil {
+			job.jreq = wire
+		}
 	}
 	if jspan != nil {
 		job.TraceID = jspan.TraceID().String()
@@ -327,6 +609,16 @@ func (s *Server) submitKeyed(ctx context.Context, src string, components map[str
 	// drain wait observes every accepted job.
 	s.jobsWG.Add(1)
 	s.mu.Unlock()
+
+	// The accepted record is durable before the job is queued (and so
+	// before the caller's 202): an acknowledged submission survives
+	// kill -9 from this point on.
+	if s.journal != nil && job.jreq != nil {
+		s.appendJournal(journalRecord{
+			Type: recAccepted, ID: job.ID, Seq: job.seq, Time: job.Submitted,
+			Key: subKeyHex(job), Req: job.jreq, Attempt: job.Attempt,
+		})
+	}
 
 	s.log.Info("job submitted", "job_id", job.ID, "system", sys.Name, "trace_id", job.TraceID)
 	s.mSubmitted.Inc()
@@ -373,6 +665,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.jobsWG.Wait()
 		s.stopOnce.Do(func() { close(s.stop) })
 		s.wg.Wait()
+		if s.journal != nil {
+			s.journal.close()
+		}
 		close(finished)
 	}()
 	select {
@@ -409,6 +704,26 @@ func (s *Server) worker() {
 func (s *Server) run(job *Job) {
 	s.setState(job, JobRunning)
 	s.log.Info("job running", "job_id", job.ID, "trace_id", job.TraceID)
+	// Whole-report fast path: an identical submission already completed
+	// here (possibly in a previous process — replay rebuilds this cache
+	// from the journal), so serve it without composing a search.
+	if job.subKey != nil {
+		if cached, ok := s.reports.Get(*job.subKey); ok {
+			rep := new(Report)
+			*rep = *cached
+			rep.Properties = append([]PropertyVerdict(nil), cached.Properties...)
+			for i := range rep.Properties {
+				rep.Properties[i].Cached = true
+			}
+			s.finishJob(job, rep, len(rep.Properties), 0)
+			return
+		}
+	}
+	if s.journal != nil && job.jreq != nil {
+		s.appendJournal(journalRecord{
+			Type: recStarted, ID: job.ID, Seq: job.seq, Time: time.Now(), Attempt: job.Attempt,
+		})
+	}
 	sys := job.sys
 	mh := ModelHash(sys.Builder)
 
@@ -482,6 +797,12 @@ func (s *Server) run(job *Job) {
 		}
 		misses++
 		popts := opts
+		if ck := s.checkpointFor(job, ps); ck != nil {
+			if job.resumeFrom != "" {
+				s.fetchCheckpoint(ctx, job.resumeFrom, ck.Key)
+			}
+			popts.Checkpoint = ck
+		}
 		pctx, pspan := s.tracer.StartSpan(ctx, "property:"+ps.Name, tracing.A("kind", ps.Kind))
 		popts.Context = pctx
 		res := s.checkProperty(sys, ps, popts)
@@ -505,9 +826,18 @@ func (s *Server) run(job *Job) {
 		rspan.End()
 	}
 
+	s.finishJob(job, rep, hits, misses)
+}
+
+// finishJob publishes a job's report: report cache, job table (with
+// FIFO eviction of old completed jobs), journal (a self-contained
+// completed record, making every earlier record of this job dead weight
+// for compaction), span, and done signal.
+func (s *Server) finishJob(job *Job, rep *Report, hits, misses int) {
 	if job.subKey != nil && Cacheable(rep) {
 		s.reports.Put(*job.subKey, rep)
 	}
+	journaled := s.journal != nil && job.jreq != nil
 	s.mu.Lock()
 	job.Report = rep
 	job.CacheHits = hits
@@ -518,12 +848,25 @@ func (s *Server) run(job *Job) {
 	// their report.
 	job.sys = nil
 	job.opts = checker.Options{}
+	job.jreq = nil
 	s.doneIDs = append(s.doneIDs, job.ID)
 	for len(s.doneIDs) > s.cfg.RetainJobs {
 		delete(s.jobs, s.doneIDs[0])
 		s.doneIDs = s.doneIDs[1:]
 	}
 	s.mu.Unlock()
+	if journaled {
+		s.appendJournal(journalRecord{
+			Type: recCompleted, ID: job.ID, Seq: job.seq, Time: time.Now(),
+			Key: subKeyHex(job), Report: rep, Attempt: job.Attempt,
+			CacheHits: hits, CacheMisses: misses,
+		})
+		if s.journal.overLimit() {
+			if err := s.journal.compact(s.journalLive); err != nil {
+				s.log.Error("journal compaction failed", "err", err.Error())
+			}
+		}
+	}
 	if job.span != nil {
 		job.span.SetAttr("ok", strconv.FormatBool(rep.OK))
 		job.span.End()
@@ -532,6 +875,125 @@ func (s *Server) run(job *Job) {
 		"ok", rep.OK, "failed", rep.Failed, "cache_hits", hits, "cache_misses", misses,
 		"elapsed", time.Since(job.Submitted).Round(time.Millisecond).String())
 	close(job.done)
+}
+
+// checkpointFor builds one property's checkpoint options on a durable
+// server (nil on a memory-only one, or for jobs without a submission
+// key). The checkpoint key is the submission content address plus the
+// property name, so a resumed attempt — locally after a restart, or on
+// a cluster replica that fetched the file — finds exactly its own
+// frontier. One checkpoint journal record is written per property per
+// attempt (the file path never changes, so later snapshots add nothing).
+func (s *Server) checkpointFor(job *Job, ps adl.PropertySource) *checker.CheckpointOptions {
+	if s.ckptDir == "" || job.subKey == nil {
+		return nil
+	}
+	key := job.subKey.String() + "-" + ps.Name
+	var once sync.Once
+	return &checker.CheckpointOptions{
+		Dir:      s.ckptDir,
+		Key:      key,
+		Interval: s.cfg.CheckpointInterval,
+		Resume:   true,
+		OnWrite: func(file string, depth, states int) {
+			once.Do(func() {
+				// Depth doubles as the resume proof: a search resumed from
+				// a checkpoint writes its first snapshot past the restored
+				// depth, a fresh one at the first barrier.
+				s.appendJournal(journalRecord{
+					Type: recCheckpoint, ID: job.ID, Seq: job.seq, Time: time.Now(),
+					Key: key, File: filepath.Base(file), Depth: depth, Attempt: job.Attempt,
+				})
+			})
+		},
+	}
+}
+
+// fetchCheckpoint pulls a search snapshot from a peer worker's
+// GET /v1/checkpoints/{key} into this server's checkpoint dir, so a
+// re-driven attempt continues the previous node's search instead of
+// restarting from state zero. Every failure path (peer already dead —
+// the common cause of the re-drive — no snapshot, bad local write)
+// degrades to a fresh search; resume is an optimization, never a
+// correctness dependency.
+func (s *Server) fetchCheckpoint(ctx context.Context, base, key string) {
+	fctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	u := strings.TrimRight(base, "/") + "/v1/checkpoints/" + url.PathEscape(key)
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, u, nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		s.log.Info("checkpoint fetch failed; searching from scratch",
+			"peer", base, "key", key, "err", err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.log.Info("peer has no checkpoint; searching from scratch",
+			"peer", base, "key", key, "status", strconv.Itoa(resp.StatusCode))
+		return
+	}
+	dst := filepath.Join(s.ckptDir, checker.CheckpointFileName(key))
+	tmp := dst + ".fetch"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	if _, err = io.Copy(f, resp.Body); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, dst)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		s.log.Info("checkpoint fetch failed; searching from scratch",
+			"peer", base, "key", key, "err", err.Error())
+		return
+	}
+	s.cCkptFetch.Add(1)
+	s.log.Info("checkpoint fetched from peer", "peer", base, "key", key)
+}
+
+// journalLive snapshots the records compaction must keep: one
+// self-contained completed record per retained done job, the accepted
+// record for every job still queued or running. The journal calls it
+// under its own lock; it takes s.mu — safe because no code path appends
+// to the journal while holding s.mu.
+func (s *Server) journalLive() []journalRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	var recs []journalRecord
+	for _, j := range jobs {
+		switch {
+		case j.State == JobDone:
+			if j.Report == nil {
+				continue
+			}
+			recs = append(recs, journalRecord{
+				Type: recCompleted, ID: j.ID, Seq: j.seq, Time: j.Submitted,
+				Key: subKeyHex(j), Report: j.Report, Attempt: j.Attempt,
+				CacheHits: j.CacheHits, CacheMisses: j.CacheMisses,
+			})
+		case j.jreq != nil:
+			recs = append(recs, journalRecord{
+				Type: recAccepted, ID: j.ID, Seq: j.seq, Time: j.Submitted,
+				Key: subKeyHex(j), Req: j.jreq, Attempt: j.Attempt,
+			})
+		}
+	}
+	return recs
 }
 
 // checkProperty runs the checker for one declared property, mirroring
@@ -579,6 +1041,8 @@ func (s *Server) snapshotJob(job *Job) Job {
 		CacheMisses: job.CacheMisses,
 		Workers:     job.Workers,
 		TraceID:     job.TraceID,
+		Attempt:     job.Attempt,
+		ResumedFrom: job.ResumedFrom,
 		seq:         job.seq,
 	}
 }
@@ -599,6 +1063,8 @@ func (s *Server) Snapshot(job *Job) Job { return s.snapshotJob(job) }
 //	GET  /v1/jobs/{id}/trace the job's spans as NDJSON (404 w/o tracing)
 //	GET  /v1/cache           result-cache statistics
 //	GET  /v1/cache/{key}     peek a cached report by submission key (hex)
+//	GET  /v1/checkpoints/{key} fetch a live search checkpoint (durable
+//	                         servers only; cluster replicas resume from it)
 //	GET  /healthz            liveness: 200 while the process runs
 //	GET  /readyz             readiness: 200 accepting jobs, 503 draining
 //	GET  /metrics            Prometheus exposition (plus /metrics.json)
@@ -617,6 +1083,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
+	mux.HandleFunc("GET /v1/checkpoints/{key}", s.handleCheckpointPeek)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.reg != nil {
@@ -650,7 +1117,10 @@ type Health struct {
 	ResultCacheEntries int    `json:"result_cache_entries"`
 	ReportCacheEntries int    `json:"report_cache_entries"`
 	Jobs               int    `json:"jobs"`
-	Draining           bool   `json:"draining,omitempty"`
+	// Durable reports whether the server journals jobs to a data dir —
+	// a coordinator may prefer durable nodes for long searches.
+	Durable  bool `json:"durable,omitempty"`
+	Draining bool `json:"draining,omitempty"`
 }
 
 // handleHealthz is liveness: the process is up and serving HTTP. It
@@ -676,6 +1146,7 @@ func (s *Server) HealthInfo() Health {
 		ResultCacheEntries: s.cache.Len(),
 		ReportCacheEntries: s.reports.Len(),
 		Jobs:               jobs,
+		Durable:            s.journal != nil,
 		Draining:           s.draining.Load(),
 	}
 }
@@ -743,7 +1214,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// background context: the job must not inherit the HTTP request's
 	// cancellation, which fires as soon as the 202 is written.
 	tctx := tracing.ContextWithRemote(context.Background(), tracing.Extract(r))
-	job, err := s.submitKeyed(tctx, req.ADL, req.Components, opts, time.Duration(req.TimeoutMS)*time.Millisecond, &key)
+	job, err := s.submitKeyed(tctx, req.ADL, req.Components, opts, time.Duration(req.TimeoutMS)*time.Millisecond, &key, &req)
 	if err != nil {
 		WriteADLError(w, err)
 		return
@@ -966,4 +1437,26 @@ func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, CachedReport{Key: raw, Report: rep})
+}
+
+// handleCheckpointPeek serves a live search checkpoint file to a
+// cluster replica resuming this node's job. 404 on a memory-only server
+// and once the search has delivered a verdict (the checkpoint is
+// removed with it) — the replica then searches from scratch, which is
+// always correct. CheckpointFileName sanitizes the key, so the path
+// cannot escape the checkpoint dir.
+func (s *Server) handleCheckpointPeek(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.ckptDir == "" {
+		WriteError(w, http.StatusNotFound, CodeNotFound, "server runs without a data dir")
+		return
+	}
+	f, err := os.Open(filepath.Join(s.ckptDir, checker.CheckpointFileName(key)))
+	if err != nil {
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no checkpoint for key "+key)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f)
 }
