@@ -35,16 +35,18 @@ bench:
 # sequential map), the PR5 sweep-engine rows (cold in-process sweep
 # vs fully cache-served re-sweep, plus spec expansion), the PR6
 # tracing rows (span overhead with the recorder enabled vs the nil
-# recorder's disabled path), and the PR7 cluster rows (hash-ring
-# lookup and the coordinator's per-job routing overhead).
+# recorder's disabled path), the PR7 cluster rows (hash-ring lookup and
+# the coordinator's per-job routing overhead), and the PR9 visited-set
+# storage rows (bytes/state for exact vs collapse-compressed vs
+# spill-forced storage, on the micro workload and on the E9 bridge).
 bench-json:
-	($(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR|VerifydCache|FaultMiddleware|ParallelSafety' -benchtime 1x . && \
+	($(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR|VerifydCache|FaultMiddleware|ParallelSafety|ShardedVisitedBridge' -benchtime 1x . && \
 	 $(GO) test -run '^$$' -bench 'ShardedVisited' -benchtime 1x ./internal/checker/ && \
 	 $(GO) test -run '^$$' -bench 'SweepInProcess|SweepCacheReuse|ExpandMatrix' -benchtime 1x ./internal/sweep/ && \
 	 $(GO) test -run '^$$' -bench 'SpanOverhead' -benchtime 1000x ./internal/obs/tracing/ && \
 	 $(GO) test -run '^$$' -bench 'HashRing|ClusterRouteOverhead' -benchtime 1000x ./internal/cluster/) \
-		| $(GO) run ./internal/tools/benchjson > BENCH_PR7.json
-	@echo wrote BENCH_PR7.json
+		| $(GO) run ./internal/tools/benchjson > BENCH_PR9.json
+	@echo wrote BENCH_PR9.json
 
 # Regenerate every EXPERIMENTS.md table.
 experiments:

@@ -611,6 +611,52 @@ func BenchmarkVerifydCache(b *testing.B) {
 // floor); the GOMAXPROCS row is the headline speedup. On a single-core
 // host every row degenerates to the same schedule, so speedups only
 // manifest with 2+ cores.
+// BenchmarkShardedVisitedBridge measures visited-set storage cost on
+// the E9 workload (exhaustive verification of the fixed exactly-N
+// bridge): bytes/state for the exact tier versus collapse compression,
+// and the throughput cost of running under a spill-forcing 1-byte
+// memory budget. The verdict and StatesStored are identical across all
+// three — storage is a memory knob, never a semantic one.
+func BenchmarkShardedVisitedBridge(b *testing.B) {
+	modes := []struct {
+		name string
+		opts checker.Options
+	}{
+		{"Exact", checker.Options{Workers: runtime.GOMAXPROCS(0), Visited: checker.VisitedExact}},
+		{"Collapse", checker.Options{Workers: runtime.GOMAXPROCS(0), Visited: checker.VisitedCollapse}},
+		{"CollapseSpill", checker.Options{Workers: runtime.GOMAXPROCS(0), Visited: checker.VisitedCollapse, MemLimit: 1}},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			if m.opts.MemLimit > 0 {
+				m.opts.SpillDir = b.TempDir()
+			}
+			cache := blocks.NewCache()
+			var last *checker.Result
+			for i := 0; i < b.N; i++ {
+				res, err := bridge.Verify(bridge.Config{
+					Variant: bridge.ExactlyN, EnterSend: blocks.SynBlockingSend,
+				}, cache, m.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK {
+					b.Fatal("expected verified")
+				}
+				last = res
+			}
+			reportStates(b, last)
+			if last.Stats.StatesStored > 0 {
+				b.ReportMetric(float64(last.Stats.VisitedBytes)/float64(last.Stats.StatesStored), "bytes/state")
+			}
+			if m.opts.MemLimit > 0 {
+				b.ReportMetric(float64(last.Stats.SpilledStates), "spilled")
+			}
+		})
+	}
+}
+
 func BenchmarkParallelSafety(b *testing.B) {
 	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 	seen := map[int]bool{}

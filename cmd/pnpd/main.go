@@ -10,6 +10,7 @@
 //	     [--cache-entries N] [--job-timeout 30s] [--metrics-addr :8080]
 //	     [--root DIR] [--trace-entries N] [--log-level info]
 //	     [--data-dir DIR] [--checkpoint-interval N]
+//	     [--visited collapse] [--mem-limit 2GiB] [--spill-dir DIR]
 //	pnpd --coordinator --nodes=http://h1:7447,http://h2:7447 [--addr :7446]
 //	     [--probe-interval 2s] [--cache-entries N]
 //
@@ -65,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"pnp/internal/checker"
 	"pnp/internal/cluster"
 	"pnp/internal/obs"
 	"pnp/internal/obs/tracing"
@@ -88,6 +90,9 @@ func run() int {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on a separate address (default: on --addr)")
 	root := flag.String("root", "", "directory for resolving component references in raw ADL submissions")
 	dataDir := flag.String("data-dir", "", "durable state directory (job journal + search checkpoints); submissions survive a crash and a restart resumes interrupted searches")
+	visited := flag.String("visited", "", "default visited-set storage for parallel searches: exact or collapse (jobs may override per submission)")
+	memLimit := flag.String("mem-limit", "", "default per-search visited-set memory budget (e.g. 2GiB); searches over budget spill visited states to disk")
+	spillDir := flag.String("spill-dir", "", "parent directory for spill segment files (default: the OS temp dir); never wire-settable by clients")
 	ckptInterval := flag.Int("checkpoint-interval", 1, "completed BFS levels between search snapshots (with --data-dir)")
 	traceEntries := flag.Int("trace-entries", tracing.DefaultRecorderCapacity,
 		"flight-recorder capacity in spans; jobs and sweeps record traces served on /v1/*/trace and /debug/trace (0 disables tracing)")
@@ -105,6 +110,17 @@ func run() int {
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: bad -log-level %q\n", *logLevel)
+		return 2
+	}
+	switch *visited {
+	case "", checker.VisitedExact, checker.VisitedCollapse:
+	default:
+		fmt.Fprintf(os.Stderr, "pnpd: --visited=%s: want exact or collapse\n", *visited)
+		return 2
+	}
+	memBudget, err := checker.ParseByteSize(*memLimit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpd: --mem-limit: %v\n", err)
 		return 2
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
@@ -128,6 +144,11 @@ func run() int {
 		Registry:           reg,
 		Tracer:             rec,
 		Logger:             logger,
+		Options: checker.Options{
+			Visited:  *visited,
+			MemLimit: memBudget,
+			SpillDir: *spillDir,
+		},
 	}
 	if *root != "" {
 		dir := *root

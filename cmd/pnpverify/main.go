@@ -7,7 +7,15 @@
 //
 //	pnpverify [-bfs] [-workers N] [-max-states N] [-msc] [-json]
 //	          [-timeout 30s] [-progress] [-metrics-addr :8080]
-//	          [-trace-out trace.json] [-checkpoint-dir DIR] system.pnp
+//	          [-trace-out trace.json] [-checkpoint-dir DIR]
+//	          [-visited collapse] [-mem-limit 2GiB] [-spill-dir DIR]
+//	          system.pnp
+//
+// Big searches: -visited=collapse interns per-process and per-channel
+// sub-vectors so each stored state costs a few bytes instead of its
+// full encoding, and -mem-limit spills the visited set to disk segments
+// when it outgrows the budget. Both change memory use only — verdicts,
+// counterexamples, and state counts are identical to an exact run.
 //
 // With -checkpoint-dir the parallel searches snapshot their frontier
 // and visited set into that directory at BFS level barriers, keyed by a
@@ -55,6 +63,9 @@ func run() int {
 	fair := flag.Bool("fair", false, "weak process fairness for LTL properties")
 	strongFair := flag.Bool("strong-fair", false, "strong process fairness for LTL properties (fair-SCC search)")
 	por := flag.Bool("por", false, "partial-order reduction for the safety search")
+	visited := flag.String("visited", "", "visited-set storage for parallel searches: exact or collapse (collapse interns per-process/per-channel sub-vectors, Spin -DCOLLAPSE style)")
+	memLimit := flag.String("mem-limit", "", "visited-set memory budget with an optional size suffix (e.g. 512MB, 2GiB); searches over budget spill visited states to disk and keep going")
+	spillDir := flag.String("spill-dir", "", "parent directory for spill segment files (default: the OS temp dir)")
 	ckptDir := flag.String("checkpoint-dir", "", "snapshot parallel searches into this directory at BFS level barriers and resume them on re-run (keyed by a content hash of the design)")
 	ckptInterval := flag.Int("checkpoint-interval", 1, "completed BFS levels between snapshots (with -checkpoint-dir)")
 	unreached := flag.Bool("unreached", false, "report never-executed transitions (dead code)")
@@ -78,6 +89,17 @@ func run() int {
 		return 2
 	}
 	path := flag.Arg(0)
+	switch *visited {
+	case "", checker.VisitedExact, checker.VisitedCollapse:
+	default:
+		fmt.Fprintf(os.Stderr, "pnpverify: -visited=%s: want exact or collapse\n", *visited)
+		return 2
+	}
+	memBudget, err := checker.ParseByteSize(*memLimit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnpverify: -mem-limit: %v\n", err)
+		return 2
+	}
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
@@ -89,7 +111,7 @@ func run() int {
 		return string(b), err
 	}
 	if *remote != "" {
-		return runRemote(*remote, string(src), dir, *bfs, *workers, *maxStates, *timeout, *jsonOut, *msc, *traceOut)
+		return runRemote(*remote, string(src), dir, *bfs, *workers, *maxStates, *visited, memBudget, *timeout, *jsonOut, *msc, *traceOut)
 	}
 	sys, err := adl.Load(string(src), resolve, nil)
 	if err != nil {
@@ -141,6 +163,9 @@ func run() int {
 		StrongFairness:  *strongFair,
 		PartialOrder:    *por,
 		ReportUnreached: *unreached,
+		Visited:         *visited,
+		MemLimit:        memBudget,
+		SpillDir:        *spillDir,
 	}
 	if *ckptDir != "" {
 		// The key is the design's content address; VerifyAll suffixes it
@@ -203,6 +228,20 @@ func run() int {
 
 	results := sys.VerifyAll(opts)
 	rootSpan.End()
+	// Spill summary goes to stderr (like progress) so it never corrupts
+	// -json output; the counter name matches the /metrics series.
+	var spilledTotal int
+	var peakBytes int64
+	for _, res := range results {
+		spilledTotal += res.Stats.SpilledStates
+		if res.Stats.VisitedBytes > peakBytes {
+			peakBytes = res.Stats.VisitedBytes
+		}
+	}
+	if spilledTotal > 0 {
+		fmt.Fprintf(os.Stderr, "visited storage: over budget, spilled to disk: visited_spilled_states_total %d (peak in-memory %.1fMB)\n",
+			spilledTotal, float64(peakBytes)/(1<<20))
+	}
 	if rec != nil {
 		if err := writeChromeFile(*traceOut, rec.Spans()); err != nil {
 			fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
@@ -274,7 +313,7 @@ func run() int {
 // With traceOut set, the submission carries a traceparent so the job
 // joins a locally-rooted trace; the server's spans are fetched back and
 // written together with the local root as one Chrome trace file.
-func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout time.Duration, jsonOut, msc bool, traceOut string) int {
+func runRemote(base, src, dir string, bfs bool, workers, maxStates int, visited string, memLimit int64, timeout time.Duration, jsonOut, msc bool, traceOut string) int {
 	refs, err := adl.ComponentRefs(src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpverify: %v\n", err)
@@ -299,6 +338,12 @@ func runRemote(base, src, dir string, bfs bool, workers, maxStates int, timeout 
 	}
 	if maxStates > 0 {
 		req.MaxStates = &maxStates
+	}
+	if visited != "" {
+		req.Visited = &visited
+	}
+	if memLimit > 0 {
+		req.MemLimitBytes = &memLimit
 	}
 
 	ctx := context.Background()

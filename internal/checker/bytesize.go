@@ -1,0 +1,48 @@
+package checker
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a human-readable byte size for Options.MemLimit:
+// a bare number is bytes, the suffixes KB/MB/GB/TB are decimal powers,
+// K/KiB/M/MiB/G/GiB/T/TiB are binary powers, and a lone trailing "B" is
+// accepted. Matching is case-insensitive and fractions work ("1.5GiB").
+// The empty string parses to 0 (no limit).
+func ParseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	num := strings.TrimRight(s, "kmgtbiKMGTBI")
+	suffix := strings.ToLower(strings.TrimSpace(s[len(num):]))
+	mult := float64(1)
+	switch suffix {
+	case "", "b":
+	case "kb":
+		mult = 1e3
+	case "mb":
+		mult = 1e6
+	case "gb":
+		mult = 1e9
+	case "tb":
+		mult = 1e12
+	case "k", "kib":
+		mult = 1 << 10
+	case "m", "mib":
+		mult = 1 << 20
+	case "g", "gib":
+		mult = 1 << 30
+	case "t", "tib":
+		mult = 1 << 40
+	default:
+		return 0, fmt.Errorf("unknown size suffix %q in %q", suffix, s)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return int64(v * mult), nil
+}

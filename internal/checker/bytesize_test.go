@@ -1,0 +1,37 @@
+package checker
+
+import "testing"
+
+func TestParseByteSize(t *testing.T) {
+	cases := map[string]int64{
+		"":       0,
+		"123":    123,
+		"64KB":   64_000,
+		"512mb":  512_000_000,
+		"2GB":    2_000_000_000,
+		"1TiB":   1 << 40,
+		"64KiB":  64 << 10,
+		"512MiB": 512 << 20,
+		"2GiB":   2 << 30,
+		"1.5GiB": 3 << 29,
+		"100 MB": 100_000_000,
+		"7B":     7,
+		"3k":     3 << 10,
+		"3m":     3 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseByteSize(in)
+		if err != nil {
+			t.Errorf("ParseByteSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, in := range []string{"nope", "12XB", "-5MB", "GB"} {
+		if v, err := ParseByteSize(in); err == nil {
+			t.Errorf("ParseByteSize(%q) = %d, want error", in, v)
+		}
+	}
+}

@@ -120,6 +120,29 @@ type Options struct {
 	// partial.
 	Bitstate     bool
 	BitstateBits uint
+	// Visited selects the exact visited-set storage of the parallel
+	// engine: VisitedExact ("" or "exact", the default) stores full
+	// canonical encodings; VisitedCollapse ("collapse") interns
+	// per-process and per-channel sub-vectors in side tables and stores
+	// each state as a tuple of indices (Spin's -DCOLLAPSE analogue),
+	// cutting bytes/state severalfold at the cost of extra hashing.
+	// Membership stays exact either way — verdicts, StatesStored, and
+	// counterexamples are identical — so Visited is a speed/memory knob,
+	// not a semantic one. Ignored by the sequential engines and by
+	// bitstate runs.
+	Visited string
+	// MemLimit caps the resident bytes of the parallel engine's visited
+	// set (entries plus table overhead, the checker_visited_bytes gauge).
+	// When a level barrier finds the set over budget, its entries are
+	// spilled to fingerprint-indexed segment files under SpillDir and
+	// lookups probe the (mmap-backed) segments before the in-memory
+	// tier, so the search completes with the exact same verdict and
+	// stats instead of exhausting memory. 0 (default) disables spilling.
+	MemLimit int64
+	// SpillDir is the parent directory for spill segments (a unique
+	// per-search subdirectory is created on first spill and removed when
+	// the search ends). Empty means the system temp directory.
+	SpillDir string
 	// Progress, when non-nil, receives a periodic exploration snapshot
 	// every ProgressInterval plus one final snapshot — Spin-style
 	// progress lines for long searches.
@@ -168,6 +191,13 @@ type Stats struct {
 	Reduced   int
 	Truncated bool
 	Elapsed   time.Duration
+	// VisitedBytes is the peak resident size of the parallel engine's
+	// visited set (sampled at level barriers); 0 for sequential and
+	// bitstate runs. SpilledStates counts entries moved to disk segments
+	// under Options.MemLimit. Both are observability fields: they vary
+	// with storage mode and budget while the verdict does not.
+	VisitedBytes  int64
+	SpilledStates int
 }
 
 // Result is the outcome of a verification run.
@@ -291,11 +321,14 @@ func newBitstateSet(bitsLog2 uint) *bitstateSet {
 
 // bitstateHashes is the double-hash pair of the bitstate tables: FNV-1a
 // with two different offset bases, shared by the sequential and parallel
-// (sharded) implementations so both mark identical bit positions.
+// (sharded) implementations so both mark identical bit positions. The
+// primary hash is exactly model.Hash64 (h1 of the full encoding equals
+// State.Fingerprint); the secondary derives its seeds from the same
+// constants rather than restating them.
 func bitstateHashes[T ~string | ~[]byte](key T, mask uint64) (uint64, uint64) {
-	const prime = 1099511628211
-	h1 := uint64(14695981039346656037)
-	h2 := uint64(1099511628211*31 + 7)
+	offset, prime := model.Hash64Seeds()
+	h1 := offset
+	h2 := prime*31 + 7
 	for i := 0; i < len(key); i++ {
 		h1 = (h1 ^ uint64(key[i])) * prime
 		h2 = (h2 ^ uint64(key[i])) * (prime + 2)

@@ -119,7 +119,7 @@ func (c *Checker) newCheckpointer(phase string, r *parRunner) *checkpointer {
 	if o == nil || o.Dir == "" || o.Key == "" {
 		return nil
 	}
-	if _, ok := r.visited.(*shardedSet); !ok {
+	if _, ok := r.visited.(visitedDrainer); !ok {
 		return nil
 	}
 	ck := &checkpointer{c: c, opts: *o, phase: phase, modelID: modelFingerprint(c.sys)}
@@ -136,23 +136,9 @@ func (c *Checker) newCheckpointer(phase string, r *parRunner) *checkpointer {
 // modelFingerprint identifies the system a snapshot belongs to (FNV-1a
 // over the model's structural fingerprint, hex).
 func modelFingerprint(sys *model.System) string {
-	w := &fnvHashWriter{h: fnvOffset}
-	sys.WriteFingerprint(w)
-	return fmt.Sprintf("%016x", w.h)
-}
-
-const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
-)
-
-type fnvHashWriter struct{ h uint64 }
-
-func (w *fnvHashWriter) Write(p []byte) (int, error) {
-	for _, b := range p {
-		w.h = (w.h ^ uint64(b)) * fnvPrime
-	}
-	return len(p), nil
+	var w model.Hash64Writer
+	sys.WriteFingerprint(&w)
+	return fmt.Sprintf("%016x", w.Sum64())
 }
 
 // maybeSnapshot writes a snapshot of the search at a completed level
@@ -180,11 +166,12 @@ func (ck *checkpointer) maybeSnapshot(depth int, frontier []parNode, r *parRunne
 	}
 }
 
-// snapshot streams the visited set (per shard, under that shard's lock
-// only) and the frontier to file.tmp, fsyncs, and renames. Returns the
-// bytes written.
+// snapshot streams the visited set (shard by shard under each shard's
+// lock for the in-memory tiers, segment by segment for spilled entries)
+// and the frontier to file.tmp, fsyncs, and renames. Returns the bytes
+// written.
 func (ck *checkpointer) snapshot(depth int, frontier []parNode, r *parRunner, st *Stats) (int64, error) {
-	set := r.visited.(*shardedSet)
+	set := r.visited.(visitedDrainer)
 	if err := os.MkdirAll(ck.opts.Dir, 0o755); err != nil {
 		return 0, err
 	}
@@ -210,20 +197,18 @@ func (ck *checkpointer) snapshot(depth int, frontier []parNode, r *parRunner, st
 	}
 	w.section(ckptSectionHeader, hb)
 	var batch bytes.Buffer
-	for i := range set.shards {
-		sh := &set.shards[i]
-		batch.Reset()
-		batch.WriteByte(ckptSectionVisited)
-		sh.mu.Lock()
-		for _, bucket := range sh.m {
-			for _, enc := range bucket {
-				appendEntry(&batch, enc)
-			}
-		}
-		sh.mu.Unlock()
-		if batch.Len() > 1 {
+	const visitedBatch = 1 << 20
+	batch.WriteByte(ckptSectionVisited)
+	set.forEachEncoding(func(enc []byte) {
+		appendEntry(&batch, enc)
+		if batch.Len() >= visitedBatch {
 			w.framed(batch.Bytes())
+			batch.Reset()
+			batch.WriteByte(ckptSectionVisited)
 		}
+	})
+	if batch.Len() > 1 {
+		w.framed(batch.Bytes())
 	}
 	const frontierBatch = 1 << 16
 	for off := 0; off < len(frontier); off += frontierBatch {
@@ -254,11 +239,11 @@ func (ck *checkpointer) snapshot(depth int, frontier []parNode, r *parRunner, st
 }
 
 // appendEntry appends one uvarint-length-prefixed state encoding.
-func appendEntry(b *bytes.Buffer, enc string) {
+func appendEntry[T ~string | ~[]byte](b *bytes.Buffer, enc T) {
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], uint64(len(enc)))
 	b.Write(tmp[:n])
-	b.WriteString(enc)
+	b.Write([]byte(enc))
 }
 
 // syncDir fsyncs a directory so a rename survives power loss; errors
@@ -325,7 +310,8 @@ func (ck *checkpointer) restore(r *parRunner, res *Result) (levels [][]parNode, 
 		return nil, 0, false
 	}
 	for _, enc := range snap.visited {
-		r.visited.seen(fnv64([]byte(enc)), []byte(enc))
+		// nil ends: the collapse set re-splits the encoding itself.
+		r.visited.seen(model.Hash64([]byte(enc)), []byte(enc), nil)
 	}
 	r.stored.Store(int64(snap.header.Stored))
 	res.Stats.StatesStored = snap.header.Stored

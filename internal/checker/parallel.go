@@ -59,6 +59,7 @@ type parProblem struct {
 type parWorker struct {
 	arena    *model.Arena
 	scratch  []byte
+	ends     []int
 	trs      []model.Transition
 	next     []parNode
 	problems []parProblem
@@ -78,8 +79,8 @@ type parRunner struct {
 	limit   atomic.Bool
 	cancel  atomic.Bool
 
-	gFrontier, gWorkers *obs.Gauge
-	cBusy               *obs.Counter
+	gFrontier, gWorkers, gVisitedBytes *obs.Gauge
+	cBusy                              *obs.Counter
 }
 
 func (c *Checker) newParRunner(phase string) *parRunner {
@@ -88,15 +89,17 @@ func (c *Checker) newParRunner(phase string) *parRunner {
 		w = 1
 	}
 	r := &parRunner{c: c}
-	var contention *obs.Counter
+	var contention, spilled *obs.Counter
 	if reg := c.opts.Metrics; reg != nil {
 		contention = reg.Counter(obs.Labels("checker_visited_shard_contention_total", "phase", phase))
+		spilled = reg.Counter(obs.Labels("checker_visited_spilled_states_total", "phase", phase))
 		r.cBusy = reg.Counter(obs.Labels("checker_worker_busy_ns_total", "phase", phase))
 		r.gFrontier = reg.Gauge(obs.Labels("checker_frontier_states", "phase", phase))
 		r.gWorkers = reg.Gauge(obs.Labels("checker_workers", "phase", phase))
+		r.gVisitedBytes = reg.Gauge(obs.Labels("checker_visited_bytes", "phase", phase))
 	}
 	r.gWorkers.Set(int64(w))
-	r.visited = c.newParVisited(contention)
+	r.visited = c.newParVisited(contention, spilled)
 	r.workers = make([]*parWorker, w)
 	for i := range r.workers {
 		r.workers[i] = &parWorker{arena: &model.Arena{}, cc: c.newCanceler()}
@@ -108,10 +111,18 @@ func (c *Checker) newParRunner(phase string) *parRunner {
 // one-node root level.
 func (r *parRunner) seedRoot() [][]parNode {
 	init := r.c.sys.InitialState()
-	enc := init.AppendKey(nil)
-	r.visited.seen(fnv64(enc), enc)
+	enc, ends := init.AppendComponentKeys(nil, nil)
+	r.visited.seen(model.Hash64(enc), enc, ends)
 	r.stored.Store(1)
 	return [][]parNode{{{st: init, parent: -1}}}
+}
+
+// close releases visited-set resources (spill segment mappings and
+// files) once the search is over.
+func (r *parRunner) close() {
+	if s, ok := r.visited.(*spillSet); ok {
+		s.close()
+	}
 }
 
 // abort flags a worker-side stop condition. Cancellation and the state
@@ -169,6 +180,19 @@ func (r *parRunner) collect(res *Result) (next []parNode, problems []parProblem)
 		w.busy = 0
 	}
 	res.Stats.StatesStored = int(r.stored.Load())
+
+	// Barrier-granularity memory accounting: record the peak before any
+	// spill (that is what the search actually needed resident), let the
+	// spill tier flush if the budget is exceeded, then publish the
+	// current footprint.
+	if b := r.visited.bytes(); b > res.Stats.VisitedBytes {
+		res.Stats.VisitedBytes = b
+	}
+	if s, ok := r.visited.(*spillSet); ok {
+		s.maybeSpill()
+		res.Stats.SpilledStates = int(s.spilled.Load())
+	}
+	r.gVisitedBytes.Set(r.visited.bytes())
 	return next, problems
 }
 
@@ -255,6 +279,7 @@ func (c *Checker) checkSafetyPar() *Result {
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	r := c.newParRunner("safety-par-bfs")
+	defer r.close()
 	ck := c.newCheckpointer("safety-par-bfs", r)
 	defer func() { ck.finish(res) }()
 	// On resume, levels[0] is the checkpointed frontier at depth base;
@@ -301,8 +326,8 @@ func (c *Checker) checkSafetyPar() *Result {
 					})
 					continue
 				}
-				w.scratch = tr.Next.AppendKey(w.scratch[:0])
-				if r.visited.seen(fnv64(w.scratch), w.scratch) {
+				w.scratch, w.ends = tr.Next.AppendComponentKeys(w.scratch[:0], w.ends[:0])
+				if r.visited.seen(model.Hash64(w.scratch), w.scratch, w.ends) {
 					w.matched++
 					w.arena.Recycle(tr.Next)
 					continue
@@ -364,6 +389,7 @@ func (c *Checker) checkReachablePar(target pml.RExpr) *Result {
 	defer func() { m.finish(&res.Stats, res.Stats.MaxDepth) }()
 
 	r := c.newParRunner("reachability-par")
+	defer r.close()
 	ck := c.newCheckpointer("reachability-par", r)
 	defer func() { ck.finish(res) }()
 	levels, base, resumed := ck.restore(r, res)
@@ -441,8 +467,8 @@ func (c *Checker) checkReachablePar(target pml.RExpr) *Result {
 				if tr.Violation != "" {
 					continue
 				}
-				w.scratch = tr.Next.AppendKey(w.scratch[:0])
-				if r.visited.seen(fnv64(w.scratch), w.scratch) {
+				w.scratch, w.ends = tr.Next.AppendComponentKeys(w.scratch[:0], w.ends[:0])
+				if r.visited.seen(model.Hash64(w.scratch), w.scratch, w.ends) {
 					w.matched++
 					w.arena.Recycle(tr.Next)
 					continue

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package checker
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap reads the whole file into
+// memory; spill then only bounds the live visited structure, not total
+// process memory. The unix build maps the file instead.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	return data, false, err
+}
+
+func unmapFile([]byte) {}

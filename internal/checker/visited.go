@@ -1,21 +1,44 @@
 package checker
 
 import (
+	"bytes"
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
 
+	"pnp/internal/model"
 	"pnp/internal/obs"
 )
 
 // parVisited is the duplicate detector of the parallel engine. seen
 // tests-and-sets a state by its canonical encoding enc (the bytes
-// State.AppendKey produces) and its 64-bit fingerprint fp (fnv64 of
-// enc), reporting whether the state was already present.
-// Implementations are safe for concurrent callers; enc is only read
-// during the call and may be reused by the caller afterwards.
+// State.AppendKey produces), its 64-bit fingerprint fp
+// (model.Hash64(enc)), and the component section boundaries ends (from
+// State.AppendComponentKeys; nil makes implementations that need them
+// recompute the split from the system shape). It reports whether the
+// state was already present. Implementations are safe for concurrent
+// callers; enc and ends are only read during the call and may be reused
+// by the caller afterwards.
 type parVisited interface {
-	seen(fp uint64, enc []byte) bool
+	seen(fp uint64, enc []byte, ends []int) bool
 	size() int
+	// bytes estimates the resident memory of the structure: stored
+	// entries plus table overhead. It feeds the checker_visited_bytes
+	// gauge and the Options.MemLimit spill decision, and is only called
+	// at level barriers (no concurrent seen).
+	bytes() int64
+}
+
+// visitedDrainer is the extra capability the spill tier needs from its
+// in-memory set: stream out every stored encoding and then forget them
+// (side tables survive a reset so collapse interning keeps paying off).
+type visitedDrainer interface {
+	parVisited
+	// forEachEncoding calls fn with every stored full canonical encoding.
+	// fn must not retain enc. Only called at level barriers.
+	forEachEncoding(fn func(enc []byte))
+	// reset drops all stored entries (size returns 0 afterwards).
+	reset()
 }
 
 // visitedShards is the stripe count of the parallel visited structures.
@@ -23,33 +46,167 @@ type parVisited interface {
 // low even at high core counts, for a fixed cost of a few KiB.
 const visitedShards = 64
 
-// fnv64 is FNV-1a over b — the same hash State.Fingerprint streams, so
-// fnv64(st.AppendKey(nil)) == st.Fingerprint().
-func fnv64(b []byte) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(b); i++ {
-		h = (h ^ uint64(b[i])) * prime64
-	}
-	return h
+// encTable is an open-addressed hash table of byte strings over an
+// append-only arena of [uvarint length][bytes] entries. Each slot packs
+// the top 24 bits of the entry's hash (a cheap probe filter) with its
+// arena offset + 1 into one uint64, zero marking an empty slot, so slot
+// overhead is 8 bytes against the ~48 of the map[uint64][]string it
+// replaced — and entries live as one length-prefixed copy in a single
+// arena instead of a string header plus heap object each. The arena
+// grows by 1/8 steps, not doubling, so bytes() (which reports capacity)
+// tracks real residency closely.
+//
+// The fp passed to every method MUST be model.Hash64 of the entry bytes
+// — grow rehashes entries from their bytes alone. Probing starts at the
+// hash's low bits and filters on its top bits, so a full byte compare
+// happens only on a 24-bit tag match. Not safe for concurrent use;
+// callers shard and lock.
+type encTable struct {
+	slots []uint64 // tag(24) | arena offset+1 (40); 0 = empty
+	idxs  []uint32 // per-slot intern index; nil unless insertAt is given one
+	n     int
+	arena []byte
 }
 
-// visitedShard is one stripe of shardedSet, padded so neighboring
-// stripe locks don't share a cache line.
+const (
+	encTableMinSlots = 64
+	encTagShift      = 40
+	encOffMask       = 1<<encTagShift - 1
+)
+
+// lookup reports whether b is present.
+func (t *encTable) lookup(fp uint64, b []byte) bool {
+	_, ok := t.find(fp, b)
+	return ok
+}
+
+// find returns the slot holding b, or the empty slot where it belongs.
+func (t *encTable) find(fp uint64, b []byte) (slot uint64, ok bool) {
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.slots) - 1)
+	tag := fp &^ encOffMask
+	i := fp & mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			return i, false
+		}
+		if s&^encOffMask == tag && bytes.Equal(t.entryAt(s&encOffMask-1), b) {
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// testAndSet inserts b if absent, reporting whether it was present.
+func (t *encTable) testAndSet(fp uint64, b []byte) bool {
+	t.ensure()
+	slot, ok := t.find(fp, b)
+	if ok {
+		return true
+	}
+	t.insertAt(slot, fp, b, 0)
+	return false
+}
+
+func (t *encTable) ensure() {
+	if len(t.slots) == 0 {
+		t.slots = make([]uint64, encTableMinSlots)
+	}
+}
+
+func (t *encTable) insertAt(slot, fp uint64, b []byte, idx uint32) {
+	t.slots[slot] = fp&^encOffMask | uint64(len(t.arena)) + 1
+	if t.idxs != nil {
+		t.idxs[slot] = idx
+	}
+	t.appendEntry(b)
+	t.n++
+	if t.n*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+}
+
+// appendEntry adds a length-prefixed copy of b to the arena, growing it
+// in 1/8 steps so capacity stays within ~12% of the data.
+func (t *encTable) appendEntry(b []byte) {
+	if need := len(t.arena) + binary.MaxVarintLen64 + len(b); need > cap(t.arena) {
+		newCap := cap(t.arena) + cap(t.arena)/8 + 4096
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]byte, len(t.arena), newCap)
+		copy(grown, t.arena)
+		t.arena = grown
+	}
+	t.arena = binary.AppendUvarint(t.arena, uint64(len(b)))
+	t.arena = append(t.arena, b...)
+}
+
+func (t *encTable) entryAt(off uint64) []byte {
+	l, w := binary.Uvarint(t.arena[off:])
+	start := off + uint64(w)
+	return t.arena[start : start+l]
+}
+
+func (t *encTable) grow() {
+	old, oldIdxs := t.slots, t.idxs
+	n := 2 * len(old)
+	t.slots = make([]uint64, n)
+	if oldIdxs != nil {
+		t.idxs = make([]uint32, n)
+	}
+	mask := uint64(n - 1)
+	for i, s := range old {
+		if s == 0 {
+			continue
+		}
+		// The slot keeps only a 24-bit tag of the hash; the probe start
+		// in the doubled table comes from rehashing the entry bytes.
+		j := model.Hash64(t.entryAt(s&encOffMask-1)) & mask
+		for t.slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		t.slots[j] = s
+		if oldIdxs != nil {
+			t.idxs[j] = oldIdxs[i]
+		}
+	}
+}
+
+// bytes is the resident footprint: arena data plus slot arrays.
+func (t *encTable) bytes() int64 {
+	return int64(cap(t.arena)) + int64(cap(t.slots))*8 + int64(cap(t.idxs))*4
+}
+
+func (t *encTable) forEach(fn func(fp uint64, enc []byte)) {
+	for _, s := range t.slots {
+		if s != 0 {
+			e := t.entryAt(s&encOffMask - 1)
+			fn(model.Hash64(e), e)
+		}
+	}
+}
+
+func (t *encTable) reset() {
+	t.slots, t.idxs, t.arena, t.n = nil, nil, nil, 0
+}
+
+// visitedShard is one stripe of shardedSet / collapseSet: a lock, an
+// encTable of entries routed here by fingerprint, and (collapse only) a
+// scratch buffer for building index tuples under the lock.
 type visitedShard struct {
-	mu sync.Mutex
-	m  map[uint64][]string
-	_  [40]byte
+	mu      sync.Mutex
+	t       encTable
+	scratch []byte
 }
 
 // shardedSet is the exact visited set of the parallel engine: states
 // route to one of visitedShards stripes by fingerprint, and each stripe
-// buckets full encodings by fingerprint, so a lookup compares the cheap
-// uint64 first and the bytes only on a bucket hit. The encoding is
-// materialized as a string only when a state is actually inserted.
+// keeps full encodings in an open-addressed encTable, so a lookup
+// compares the cheap uint64 first and the bytes only on a slot hit.
 type shardedSet struct {
 	shards [visitedShards]visitedShard
 	stored atomic.Int64
@@ -59,33 +216,240 @@ type shardedSet struct {
 }
 
 func newShardedSet(contention *obs.Counter) *shardedSet {
-	s := &shardedSet{contention: contention}
-	for i := range s.shards {
-		s.shards[i].m = make(map[uint64][]string, 64)
-	}
-	return s
+	return &shardedSet{contention: contention}
 }
 
-func (s *shardedSet) seen(fp uint64, enc []byte) bool {
+func (s *shardedSet) seen(fp uint64, enc []byte, _ []int) bool {
 	sh := &s.shards[fp%visitedShards]
 	if !sh.mu.TryLock() {
 		s.contention.Add(1)
 		sh.mu.Lock()
 	}
-	bucket := sh.m[fp]
-	for _, k := range bucket {
-		if k == string(enc) { // compiles to a no-alloc comparison
-			sh.mu.Unlock()
-			return true
-		}
-	}
-	sh.m[fp] = append(bucket, string(enc))
+	had := sh.t.testAndSet(fp, enc)
 	sh.mu.Unlock()
-	s.stored.Add(1)
-	return false
+	if !had {
+		s.stored.Add(1)
+	}
+	return had
 }
 
 func (s *shardedSet) size() int { return int(s.stored.Load()) }
+
+func (s *shardedSet) bytes() int64 {
+	var b int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		b += sh.t.bytes()
+		sh.mu.Unlock()
+	}
+	return b
+}
+
+func (s *shardedSet) forEachEncoding(fn func(enc []byte)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.t.forEach(func(_ uint64, enc []byte) { fn(enc) })
+		sh.mu.Unlock()
+	}
+}
+
+func (s *shardedSet) reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.t.reset()
+		sh.mu.Unlock()
+	}
+	s.stored.Store(0)
+}
+
+// collapseTable interns the sub-vectors of one component (one process's
+// locals, one channel's contents, or the shared core). Reads take the
+// read lock — after warm-up almost every component of a new state is
+// already interned — and only a genuinely new sub-vector upgrades to
+// the write lock. starts records each entry's arena offset by intern
+// index so tuples can be expanded back into full encodings (checkpoint
+// streaming, spill).
+type collapseTable struct {
+	mu     sync.RWMutex
+	t      encTable
+	starts []uint64
+}
+
+func (ct *collapseTable) intern(b []byte) uint32 {
+	fp := model.Hash64(b)
+	ct.mu.RLock()
+	slot, ok := ct.t.find(fp, b)
+	if ok {
+		idx := ct.t.idxs[slot]
+		ct.mu.RUnlock()
+		return idx
+	}
+	ct.mu.RUnlock()
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.t.ensure()
+	if ct.t.idxs == nil {
+		ct.t.idxs = make([]uint32, len(ct.t.slots))
+	}
+	slot, ok = ct.t.find(fp, b)
+	if ok {
+		return ct.t.idxs[slot]
+	}
+	idx := uint32(len(ct.starts))
+	ct.starts = append(ct.starts, uint64(len(ct.t.arena)))
+	ct.t.insertAt(slot, fp, b, idx)
+	return idx
+}
+
+func (ct *collapseTable) entry(idx uint32) []byte {
+	return ct.t.entryAt(ct.starts[idx])
+}
+
+func (ct *collapseTable) bytes() int64 {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return ct.t.bytes() + int64(cap(ct.starts))*8
+}
+
+// collapseSet is the collapse-compressed visited set (Spin's -DCOLLAPSE
+// analogue): each component sub-vector of a state is interned once in a
+// per-component side table, and the state itself is stored as a tuple
+// of uvarint intern indices, routed to a stripe by the fingerprint of
+// the full encoding. Tuple equality is equivalent to encoding equality
+// — two states produce the same tuple iff every component matches —
+// so membership, verdicts, and StatesStored are identical to the exact
+// set even though the physical index assignment varies run to run.
+// The trade is CPU for memory: one extra hash+probe per component.
+type collapseSet struct {
+	comps  []collapseTable // 1 + processes + channels
+	shards [visitedShards]visitedShard
+	stored atomic.Int64
+	// shape re-splits encodings that arrive without section boundaries
+	// (checkpoint restore).
+	shape      *model.State
+	contention *obs.Counter
+}
+
+func newCollapseSet(shape *model.State, contention *obs.Counter) *collapseSet {
+	return &collapseSet{
+		comps:      make([]collapseTable, shape.NumComponents()),
+		shape:      shape,
+		contention: contention,
+	}
+}
+
+func (s *collapseSet) seen(fp uint64, enc []byte, ends []int) bool {
+	if ends == nil {
+		var err error
+		ends, err = model.ComponentEnds(s.shape, enc, nil)
+		if err != nil {
+			// Only reachable with an encoding that AppendKey could not
+			// have produced; storing it exactly in shard 0 keeps the
+			// set total rather than dropping the state.
+			ends = []int{len(enc)}
+		}
+	}
+	sh := &s.shards[fp%visitedShards]
+	if !sh.mu.TryLock() {
+		s.contention.Add(1)
+		sh.mu.Lock()
+	}
+	tuple := sh.scratch[:0]
+	start := 0
+	for i, end := range ends {
+		tuple = binary.AppendUvarint(tuple, uint64(s.comps[i].intern(enc[start:end])))
+		start = end
+	}
+	sh.scratch = tuple
+	// The stripe table keys the tuple by its own hash (the encTable
+	// contract); the state fingerprint only routes to a stripe.
+	had := sh.t.testAndSet(model.Hash64(tuple), tuple)
+	sh.mu.Unlock()
+	if !had {
+		s.stored.Add(1)
+	}
+	return had
+}
+
+func (s *collapseSet) size() int { return int(s.stored.Load()) }
+
+func (s *collapseSet) bytes() int64 {
+	var b int64
+	for i := range s.comps {
+		b += s.comps[i].bytes()
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		b += sh.t.bytes() + int64(cap(sh.scratch))
+		sh.mu.Unlock()
+	}
+	return b
+}
+
+// forEachEncoding expands every stored tuple back into the full
+// canonical encoding via the side tables.
+func (s *collapseSet) forEachEncoding(fn func(enc []byte)) {
+	var buf []byte
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.t.forEach(func(_ uint64, tuple []byte) {
+			buf = buf[:0]
+			for _, ct := range s.compRefs(tuple) {
+				buf = append(buf, ct...)
+			}
+			fn(buf)
+		})
+		sh.mu.Unlock()
+	}
+}
+
+// compRefs decodes a tuple into its component byte slices. A tuple that
+// does not decode to the expected component count is an exact-stored
+// fallback entry (see seen) and is returned as-is.
+func (s *collapseSet) compRefs(tuple []byte) [][]byte {
+	refs := make([][]byte, 0, len(s.comps))
+	rest := tuple
+	for i := range s.comps {
+		idx, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return [][]byte{tuple}
+		}
+		s.comps[i].mu.RLock()
+		ok := idx < uint64(len(s.comps[i].starts))
+		var e []byte
+		if ok {
+			e = s.comps[i].entry(uint32(idx))
+		}
+		s.comps[i].mu.RUnlock()
+		if !ok {
+			return [][]byte{tuple}
+		}
+		refs = append(refs, e)
+		rest = rest[w:]
+	}
+	if len(rest) != 0 {
+		return [][]byte{tuple}
+	}
+	return refs
+}
+
+// reset drops the stored tuples but keeps the component side tables:
+// after a spill the same sub-vectors keep resolving to the same
+// indices, so compression keeps working without re-paying warm-up.
+func (s *collapseSet) reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.t.reset()
+		sh.mu.Unlock()
+	}
+	s.stored.Store(0)
+}
 
 // paddedMutex is a mutex padded to its own cache line.
 type paddedMutex struct {
@@ -116,7 +480,7 @@ func newParBitstateSet(bitsLog2 uint, contention *obs.Counter) *parBitstateSet {
 	return &parBitstateSet{bits: make([]uint64, n/64), mask: n - 1, contention: contention}
 }
 
-func (s *parBitstateSet) seen(fp uint64, enc []byte) bool {
+func (s *parBitstateSet) seen(fp uint64, enc []byte, _ []int) bool {
 	a, b := bitstateHashes(enc, s.mask)
 	lk := &s.locks[fp%visitedShards]
 	if !lk.TryLock() {
@@ -151,9 +515,20 @@ func (s *parBitstateSet) setBit(pos uint64) bool {
 
 func (s *parBitstateSet) size() int { return int(s.count.Load()) }
 
-// newParVisited builds the parallel engine's visited structure,
-// mirroring newVisited's exact/bitstate split.
-func (c *Checker) newParVisited(contention *obs.Counter) parVisited {
+func (s *parBitstateSet) bytes() int64 { return int64(len(s.bits)) * 8 }
+
+// VisitedExact and VisitedCollapse name the exact visited-set storage
+// modes for Options.Visited.
+const (
+	VisitedExact    = "exact"
+	VisitedCollapse = "collapse"
+)
+
+// newParVisited builds the parallel engine's visited structure:
+// bitstate when requested, otherwise an exact or collapse-compressed
+// set per Options.Visited, wrapped in the disk-spill tier when a memory
+// budget is configured.
+func (c *Checker) newParVisited(contention, spilled *obs.Counter) parVisited {
 	if c.opts.Bitstate {
 		bits := c.opts.BitstateBits
 		if bits == 0 {
@@ -161,5 +536,14 @@ func (c *Checker) newParVisited(contention *obs.Counter) parVisited {
 		}
 		return newParBitstateSet(bits, contention)
 	}
-	return newShardedSet(contention)
+	var mem visitedDrainer
+	if c.opts.Visited == VisitedCollapse {
+		mem = newCollapseSet(c.sys.InitialState(), contention)
+	} else {
+		mem = newShardedSet(contention)
+	}
+	if c.opts.MemLimit > 0 {
+		return newSpillSet(mem, c.opts.MemLimit, c.opts.SpillDir, spilled)
+	}
+	return mem
 }

@@ -1,0 +1,152 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The collapse-compressed visited set stores a state as a tuple of
+// indices into side tables of component sub-vectors, Spin's -DCOLLAPSE
+// idea: most states differ from an already-stored neighbor in one
+// component, so each sub-vector is interned once and the tuple costs a
+// few bytes. The component split of the canonical encoding is defined
+// here so the encoder (AppendComponentKeys) and the re-splitter for
+// already-encoded states (ComponentEnds) cannot drift apart.
+//
+// The encoding is cut at its natural unit boundaries — Atomic, each PC,
+// the global vector, each process's locals, each channel's contents —
+// and consecutive units are grouped into sections. Grouping is what
+// makes the tuple small: a per-channel section for an empty channel is
+// one byte, so an index referencing it costs as much as the data, and
+// at the other extreme one section holding every PC is nearly unique
+// per state, so its side table grows as fast as the exact store. The
+// group sizes below balance the two failure modes:
+//
+//	control units (Atomic, PC0..PCn, Globals)  grouped by 4
+//	per-process Locals                         grouped by 2
+//	per-channel contents                       grouped by 8
+//
+// Section boundaries depend only on the system's shape (process and
+// channel counts), never on a state's contents, so every state of one
+// system splits at the same unit positions. Concatenating the sections
+// in order yields exactly the AppendKey encoding, so Hash64 over the
+// whole buffer still equals Fingerprint.
+const (
+	ctrlGroup  = 4
+	localGroup = 2
+	chanGroup  = 8
+)
+
+// NumComponents returns the number of sections AppendComponentKeys
+// emits for states of this state's system.
+func (st *State) NumComponents() int {
+	ceil := func(n, g int) int { return (n + g - 1) / g }
+	return ceil(2+len(st.PCs), ctrlGroup) + ceil(len(st.Locals), localGroup) + ceil(len(st.Chans), chanGroup)
+}
+
+// AppendComponentKeys appends the state's canonical encoding to buf —
+// the same bytes AppendKey produces — and appends the end offset (into
+// the returned buffer) of every component section to ends. Hot paths
+// reuse both slices across states.
+func (st *State) AppendComponentKeys(buf []byte, ends []int) ([]byte, []int) {
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	run := 0
+	mark := func(group int) {
+		if run++; run == group {
+			ends = append(ends, len(buf))
+			run = 0
+		}
+	}
+	flush := func() {
+		if run > 0 {
+			ends = append(ends, len(buf))
+			run = 0
+		}
+	}
+	put(int64(st.Atomic))
+	mark(ctrlGroup)
+	for _, pc := range st.PCs {
+		put(int64(pc))
+		mark(ctrlGroup)
+	}
+	for _, g := range st.Globals {
+		put(g)
+	}
+	mark(ctrlGroup) // the global vector is one unit
+	flush()
+	for _, l := range st.Locals {
+		put(int64(len(l)))
+		for _, v := range l {
+			put(v)
+		}
+		mark(localGroup)
+	}
+	flush()
+	for _, c := range st.Chans {
+		put(int64(len(c)))
+		for _, v := range c {
+			put(v)
+		}
+		mark(chanGroup)
+	}
+	flush()
+	return buf, ends
+}
+
+// ComponentEnds recomputes the section end offsets of an
+// already-encoded state — the ends AppendComponentKeys would have
+// emitted alongside enc. As with DecodeKey, the outer arities come from
+// shape (any state of the same system). Callers that built enc
+// themselves get the ends for free from AppendComponentKeys; this is
+// the path for encodings read back from checkpoints.
+func ComponentEnds(shape *State, enc []byte, ends []int) ([]int, error) {
+	d := keyDecoder{buf: enc}
+	skip := func(n int) {
+		for i := 0; i < n; i++ {
+			d.varint()
+		}
+	}
+	run := 0
+	mark := func(group int) {
+		if run++; run == group {
+			ends = append(ends, len(enc)-len(d.buf))
+			run = 0
+		}
+	}
+	flush := func() {
+		if run > 0 {
+			ends = append(ends, len(enc)-len(d.buf))
+			run = 0
+		}
+	}
+	skip(1)
+	mark(ctrlGroup)
+	for range shape.PCs {
+		skip(1)
+		mark(ctrlGroup)
+	}
+	skip(len(shape.Globals))
+	mark(ctrlGroup)
+	flush()
+	for range shape.Locals {
+		skip(int(d.varint()))
+		mark(localGroup)
+	}
+	flush()
+	for range shape.Chans {
+		skip(int(d.varint()))
+		mark(chanGroup)
+	}
+	flush()
+	if d.err != nil {
+		return nil, fmt.Errorf("model: component ends: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("model: component ends: %d trailing bytes", len(d.buf))
+	}
+	return ends, nil
+}

@@ -103,3 +103,36 @@ func TestOptionsKeyNormalizesWorkers(t *testing.T) {
 		t.Error("POR fallback should normalize to the sequential key")
 	}
 }
+
+// Visited-set storage trades memory for time without changing
+// membership, so every storage configuration must share one cache key.
+func TestOptionsKeyIgnoresVisitedStorage(t *testing.T) {
+	base := OptionsKey(checker.Options{Workers: 1})
+	for name, o := range map[string]checker.Options{
+		"collapse":  {Workers: 1, Visited: checker.VisitedCollapse},
+		"mem-limit": {Workers: 1, MemLimit: 64 << 20},
+		"spill":     {Workers: 1, Visited: checker.VisitedCollapse, MemLimit: 1, SpillDir: "/tmp/x"},
+	} {
+		if OptionsKey(o) != base {
+			t.Errorf("%s storage fragments the cache key: %q vs %q", name, OptionsKey(o), base)
+		}
+	}
+}
+
+// The wire overrides for visited storage overlay server defaults; an
+// unknown storage name keeps the default, and SpillDir has no wire
+// field at all (clients must not control server paths).
+func TestJobOptionsVisitedStorageOverrides(t *testing.T) {
+	s := &Server{cfg: Config{Options: checker.Options{Visited: checker.VisitedExact, SpillDir: "/srv/spill"}}}
+	o := s.jobOptions(jobRequest{Visited: ptrTo(checker.VisitedCollapse), MemLimitBytes: ptrTo(int64(1 << 20))})
+	if o.Visited != checker.VisitedCollapse || o.MemLimit != 1<<20 {
+		t.Errorf("overrides not applied: %+v", o)
+	}
+	if o.SpillDir != "/srv/spill" {
+		t.Errorf("SpillDir changed by wire request: %q", o.SpillDir)
+	}
+	o = s.jobOptions(jobRequest{Visited: ptrTo("bogus"), MemLimitBytes: ptrTo(int64(-5))})
+	if o.Visited != checker.VisitedExact || o.MemLimit != 0 {
+		t.Errorf("invalid overrides should keep defaults: %+v", o)
+	}
+}

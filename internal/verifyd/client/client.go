@@ -109,6 +109,14 @@ type JobRequest struct {
 	Workers        *int  `json:"workers,omitempty"`
 	TimeoutMS      int   `json:"timeout_ms,omitempty"`
 
+	// Visited ("exact" or "collapse") and MemLimitBytes tune the
+	// server's visited-set storage for this job. Speed/memory knobs
+	// only — they never change the verdict and do not enter the
+	// submission's content address. There is deliberately no spill-dir
+	// field: spill paths are server configuration.
+	Visited       *string `json:"visited,omitempty"`
+	MemLimitBytes *int64  `json:"mem_limit_bytes,omitempty"`
+
 	// Attempt and ResumeFrom form the resume token a cluster coordinator
 	// attaches when re-placing a job after a worker died mid-run: the
 	// replica fetches the dead node's search checkpoint (GET

@@ -45,6 +45,10 @@ func ModelHash(b *blocks.Builder) [sha256.Size]byte {
 // the engine it selects ("par"), not the count: the parallel engine's
 // verdicts and stats are identical at every worker count, and hashing
 // the dynamically granted count would fragment the cache for no reason.
+// Visited, MemLimit, and SpillDir are likewise excluded: visited-set
+// storage (exact, collapse-compressed, or disk-spilled) trades memory
+// for time without ever changing membership, so every storage mode
+// computes the same verdict and shares one cache entry.
 func OptionsKey(o checker.Options) string {
 	par := o.Workers >= 1 && !o.PartialOrder && !o.ReportUnreached
 	return fmt.Sprintf("ms=%d;md=%d;bfs=%t;id=%t;ru=%t;po=%t;wf=%t;sf=%t;bs=%t;bb=%d;par=%t",

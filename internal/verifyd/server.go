@@ -165,6 +165,15 @@ type jobRequest struct {
 	// Workers caps the search workers granted to this job from the
 	// server's SearchBudget (0 or absent = as many as are idle).
 	Workers *int `json:"workers,omitempty"`
+	// Visited and MemLimitBytes tune visited-set storage (see
+	// checker.Options.Visited/MemLimit). They change memory footprint,
+	// never the verdict, so they are excluded from the submission key —
+	// a budgeted run shares its cache entry with an unbudgeted one.
+	// SpillDir is deliberately NOT wire-settable: clients must not
+	// control server filesystem paths. Spilling uses the server's
+	// configured SpillDir (or the OS temp dir).
+	Visited       *string `json:"visited,omitempty"`
+	MemLimitBytes *int64  `json:"mem_limit_bytes,omitempty"`
 	// TimeoutMS overrides the server's per-job timeout (0 keeps it).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// Attempt and ResumeFrom are the cluster re-drive resume token: a
@@ -1267,6 +1276,17 @@ func (s *Server) jobOptions(req jobRequest) checker.Options {
 	}
 	if req.Workers != nil {
 		opts.Workers = *req.Workers
+	}
+	if req.Visited != nil {
+		// Unknown storage names fall back to the server default rather
+		// than failing the job: the knob is advisory, not semantic.
+		switch *req.Visited {
+		case checker.VisitedExact, checker.VisitedCollapse:
+			opts.Visited = *req.Visited
+		}
+	}
+	if req.MemLimitBytes != nil && *req.MemLimitBytes >= 0 {
+		opts.MemLimit = *req.MemLimitBytes
 	}
 	return opts
 }
