@@ -20,6 +20,7 @@ race:
 	$(GO) test -race ./internal/faults/... ./internal/pnprt/... ./internal/obs/tracing/
 	$(GO) test -race ./internal/bridge/ -run Runtime
 	$(GO) test -race ./internal/blocks/ ./internal/verifyd/ -run 'Concurrent|Cache'
+	$(GO) test -race ./internal/artifact/ ./internal/adl/
 	$(GO) test -race -short ./internal/checker/ ./internal/model/
 	$(GO) test -race ./internal/verifyd/ -run 'Budget|ServiceJob|Trace'
 	$(GO) test -race -short ./internal/sweep/ ./internal/verifyd/client/
@@ -36,17 +37,21 @@ bench:
 # vs fully cache-served re-sweep, plus spec expansion), the PR6
 # tracing rows (span overhead with the recorder enabled vs the nil
 # recorder's disabled path), the PR7 cluster rows (hash-ring lookup and
-# the coordinator's per-job routing overhead), and the PR9 visited-set
+# the coordinator's per-job routing overhead), the PR9 visited-set
 # storage rows (bytes/state for exact vs collapse-compressed vs
-# spill-forced storage, on the micro workload and on the E9 bridge).
+# spill-forced storage, on the micro workload and on the E9 bridge),
+# and the PR10 incremental-recompile rows (cold modular compile vs a
+# one-connector edit against a warm artifact store vs full reuse, with
+# modules_compiled/modules_reused reported per row).
 bench-json:
 	($(GO) test -run '^$$' -bench 'E8|E9|E10|E11|E12|E13|E15|POR|VerifydCache|FaultMiddleware|ParallelSafety|ShardedVisitedBridge' -benchtime 1x . && \
 	 $(GO) test -run '^$$' -bench 'ShardedVisited' -benchtime 1x ./internal/checker/ && \
 	 $(GO) test -run '^$$' -bench 'SweepInProcess|SweepCacheReuse|ExpandMatrix' -benchtime 1x ./internal/sweep/ && \
 	 $(GO) test -run '^$$' -bench 'SpanOverhead' -benchtime 1000x ./internal/obs/tracing/ && \
-	 $(GO) test -run '^$$' -bench 'HashRing|ClusterRouteOverhead' -benchtime 1000x ./internal/cluster/) \
-		| $(GO) run ./internal/tools/benchjson > BENCH_PR9.json
-	@echo wrote BENCH_PR9.json
+	 $(GO) test -run '^$$' -bench 'HashRing|ClusterRouteOverhead' -benchtime 1000x ./internal/cluster/ && \
+	 $(GO) test -run '^$$' -bench 'IncrementalRecompile' -benchtime 1x ./internal/adl/) \
+		| $(GO) run ./internal/tools/benchjson > BENCH_PR10.json
+	@echo wrote BENCH_PR10.json
 
 # Regenerate every EXPERIMENTS.md table.
 experiments:

@@ -66,11 +66,11 @@ import (
 	"syscall"
 	"time"
 
+	"pnp"
 	"pnp/internal/checker"
 	"pnp/internal/cluster"
 	"pnp/internal/obs"
 	"pnp/internal/obs/tracing"
-	"pnp/internal/sweep"
 	"pnp/internal/verifyd"
 )
 
@@ -157,25 +157,25 @@ func run() int {
 			return string(b), err
 		}
 	}
-	// An explicit --data-dir that cannot be opened is a configuration
-	// error the operator must see — unlike library callers, the daemon
-	// refuses to silently degrade to memory-only.
-	srv, err := verifyd.OpenServer(cfg)
+	// pnp.Serve assembles the verification server with the /v1/sweeps
+	// routes layered over it; every sweep fans out into jobs on this
+	// server, sharing its result cache and search budget with direct
+	// submissions. An explicit --data-dir that cannot be opened is a
+	// configuration error the operator must see — unlike library
+	// callers, the daemon refuses to silently degrade to memory-only.
+	svc, err := pnp.Serve(pnp.ServeOptions{Verify: cfg})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: data dir %s: %v\n", *dataDir, err)
 		return 1
 	}
-	// The sweep service layers the /v1/sweeps routes over the job API;
-	// every sweep fans out into jobs on this server, sharing its result
-	// cache and search budget with direct submissions.
-	swp := sweep.NewService(srv, srv.Options(), reg)
+	srv := svc.VerifyServer()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: %v\n", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: swp.Handler(srv.Handler())}
+	httpSrv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	fmt.Printf("pnpd: listening on http://%s (workers=%d, cache=%d, timeout=%s)\n",
@@ -208,20 +208,18 @@ func run() int {
 		return 1
 	}
 
-	// Drain the service first, HTTP second: the moment srv.Shutdown
+	// Drain the service first, HTTP second: the moment svc.Shutdown
 	// begins, new submissions get 503 and /readyz reports draining —
 	// but the listener stays up, so orchestrators can watch the drain
 	// and clients can still collect verdicts for in-flight jobs. Only
-	// once every accepted job has finished does the HTTP server close.
+	// once every accepted job has finished (and every sweep has
+	// aggregated) does the HTTP server close.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := svc.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: drain: %v\n", err)
 		return 1
 	}
-	// With the job queue drained every sweep's cells have resolved; this
-	// only waits for their aggregation goroutines to publish results.
-	swp.Wait()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: http shutdown: %v\n", err)
 	}
@@ -254,25 +252,26 @@ func runCoordinator(addr, nodes string, probeInterval time.Duration, cacheEntrie
 		fmt.Fprintf(os.Stderr, "pnpd: --coordinator requires --nodes=url1,url2,...\n")
 		return 2
 	}
-	coord, err := cluster.New(cluster.Config{
+	svc, err := pnp.Serve(pnp.ServeOptions{Cluster: &cluster.Config{
 		Nodes:         nodeList,
 		ProbeInterval: probeInterval,
 		CacheEntries:  cacheEntries,
 		Registry:      reg,
 		Tracer:        rec,
 		Logger:        logger,
-	})
+	}})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: %v\n", err)
 		return 1
 	}
+	coord := svc.Coordinator()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: %v\n", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: coord.Handler()}
+	httpSrv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	fmt.Printf("pnpd: coordinator on http://%s (nodes=%d, cache=%d, probe=%s)\n",
@@ -304,7 +303,7 @@ func runCoordinator(addr, nodes string, probeInterval time.Duration, cacheEntrie
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := coord.Shutdown(ctx); err != nil {
+	if err := svc.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "pnpd: drain: %v\n", err)
 		return 1
 	}

@@ -42,6 +42,7 @@ import (
 	"sort"
 	"strings"
 
+	"pnp/internal/artifact"
 	"pnp/internal/blocks"
 	"pnp/internal/checker"
 	"pnp/internal/faults"
@@ -90,6 +91,12 @@ type System struct {
 	// executed and joins the verification service's cache key, so the same
 	// design under a different plan is a different cache entry.
 	Faults *faults.Plan
+	// Modules is the design's module DAG in compilation order — library,
+	// components, linked program, connectors — with per-module reuse
+	// flags. Populated only by LoadModular; the counters summarize it.
+	Modules         []artifact.Info
+	ModulesReused   int
+	ModulesCompiled int
 }
 
 // Resolver loads referenced component files; path is the string given in
@@ -198,12 +205,36 @@ type parsedLTL struct {
 
 // Load parses src and composes the described system. Component files are
 // fetched through resolve; a non-nil cache reuses compiled models.
+//
+// Load compiles the design as one monolithic source blob. Services that
+// want per-module reuse accounting, bounded memory, and cross-restart
+// artifact sharing should call LoadModular instead; both paths compose
+// byte-identical systems (same Builder source, same ModelHash).
 func Load(src string, resolve Resolver, cache *blocks.Cache) (*System, error) {
 	pf, err := parse(src)
 	if err != nil {
 		return nil, err
 	}
+	texts, err := resolveComponents(pf, resolve)
+	if err != nil {
+		return nil, err
+	}
 	var compSrc strings.Builder
+	for _, text := range texts {
+		compSrc.WriteString(text)
+		compSrc.WriteByte('\n')
+	}
+	b, err := blocks.NewBuilder(compSrc.String(), cache)
+	if err != nil {
+		return nil, err
+	}
+	return compose(pf, b)
+}
+
+// resolveComponents fetches every referenced component file, in
+// declaration order.
+func resolveComponents(pf *parsedFile, resolve Resolver) ([]string, error) {
+	texts := make([]string, 0, len(pf.components))
 	for _, path := range pf.components {
 		if resolve == nil {
 			return nil, fmt.Errorf("adl: system references %q but no resolver was given", path)
@@ -212,13 +243,16 @@ func Load(src string, resolve Resolver, cache *blocks.Cache) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("adl: loading %q: %w", path, err)
 		}
-		compSrc.WriteString(text)
-		compSrc.WriteByte('\n')
+		texts = append(texts, text)
 	}
-	b, err := blocks.NewBuilder(compSrc.String(), cache)
-	if err != nil {
-		return nil, err
-	}
+	return texts, nil
+}
+
+// compose instantiates the parsed design against an already-built
+// Builder: connectors, instances, properties, and the fault plan. Both
+// load paths (monolithic and modular) funnel through here, so they
+// cannot drift.
+func compose(pf *parsedFile, b *blocks.Builder) (*System, error) {
 	sys := &System{
 		Name:       pf.name,
 		Builder:    b,

@@ -1,0 +1,158 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+
+	"pnp/internal/artifact"
+	"pnp/internal/checker"
+)
+
+// twoWireSystem has two distinct connectors so a one-connector edit
+// leaves a sibling module to reuse.
+const twoWireSystem = `
+system twowire {
+    components "ping.pml"
+
+    connector Wire {
+        send    syn-blocking
+        channel single-slot
+        receive blocking
+    }
+    connector Back {
+        send    asyn-blocking
+        channel fifo(2)
+        receive blocking
+    }
+
+    instance p = Ping(send Wire)
+    instance q = Pong(recv Wire)
+
+    invariant bounded "hits <= 2"
+}
+`
+
+func newTestStore(t *testing.T) *artifact.Store {
+	t.Helper()
+	s, err := artifact.NewStore(64, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestLoadModularMatchesLoad pins the refactor's central invariant: the
+// modular compilation route composes a byte-identical system — same
+// Builder source, same verdicts — and only adds module accounting.
+func TestLoadModularMatchesLoad(t *testing.T) {
+	files := map[string]string{"ping.pml": pingPml}
+	mono, err := Load(twoWireSystem, resolver(files), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModular(twoWireSystem, resolver(files), newTestStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Builder.Source() != mod.Builder.Source() {
+		t.Fatal("modular composition must produce the identical program source")
+	}
+	if len(mono.Connectors) != len(mod.Connectors) || len(mono.Sources) != len(mod.Sources) {
+		t.Fatalf("composition diverged: %d/%d connectors, %d/%d properties",
+			len(mono.Connectors), len(mod.Connectors), len(mono.Sources), len(mod.Sources))
+	}
+	monoRes := mono.VerifyAll(checker.Options{})
+	modRes := mod.VerifyAll(checker.Options{})
+	for name, mr := range monoRes {
+		dr := modRes[name]
+		if dr == nil || dr.OK != mr.OK || dr.Stats.StatesStored != mr.Stats.StatesStored {
+			t.Errorf("property %s: monolithic %v/%d states, modular %v",
+				name, mr.OK, mr.Stats.StatesStored, dr)
+		}
+	}
+	// Module DAG shape: library + 1 component + program + 2 connectors.
+	if len(mod.Modules) != 5 {
+		t.Fatalf("modules = %d, want 5:\n%+v", len(mod.Modules), mod.Modules)
+	}
+	if mod.ModulesCompiled != 5 || mod.ModulesReused != 0 {
+		t.Fatalf("cold load: compiled=%d reused=%d, want all 5 compiled",
+			mod.ModulesCompiled, mod.ModulesReused)
+	}
+	kinds := []string{artifact.KindLibrary, artifact.KindComponent, artifact.KindProgram,
+		artifact.KindConnector, artifact.KindConnector}
+	for i, m := range mod.Modules {
+		if m.Kind != kinds[i] {
+			t.Errorf("module %d kind = %s, want %s", i, m.Kind, kinds[i])
+		}
+	}
+}
+
+// TestLoadModularOneConnectorEdit is the PR's headline path: editing one
+// connector recompiles exactly that module, reusing library, component,
+// program, and the untouched sibling connector.
+func TestLoadModularOneConnectorEdit(t *testing.T) {
+	files := map[string]string{"ping.pml": pingPml}
+	store := newTestStore(t)
+	base, err := LoadModular(twoWireSystem, resolver(files), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(twoWireSystem, "channel fifo(2)", "channel fifo(3)", 1)
+	if edited == twoWireSystem {
+		t.Fatal("edit did not apply")
+	}
+	sys, err := LoadModular(edited, resolver(files), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(sys.Modules)
+	if total != 5 || sys.ModulesReused != total-1 || sys.ModulesCompiled != 1 {
+		t.Fatalf("one-connector edit: total=%d reused=%d compiled=%d, want %d reused and 1 compiled",
+			total, sys.ModulesReused, sys.ModulesCompiled, total-1)
+	}
+	// The one fresh module is the edited connector; everything else kept
+	// its content address.
+	for i, m := range sys.Modules {
+		wantReused := m.Name != "Back"
+		if m.Reused != wantReused {
+			t.Errorf("module %d (%s %s): reused=%v, want %v", i, m.Kind, m.Name, m.Reused, wantReused)
+		}
+		if m.Name != "Back" && m.Hash != base.Modules[i].Hash {
+			t.Errorf("module %d (%s) changed address without changing content", i, m.Name)
+		}
+	}
+	// An unchanged resubmission reuses everything.
+	again, err := LoadModular(edited, resolver(files), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ModulesReused != total || again.ModulesCompiled != 0 {
+		t.Fatalf("identical resubmission: reused=%d compiled=%d, want full reuse",
+			again.ModulesReused, again.ModulesCompiled)
+	}
+}
+
+// TestLoadModularComponentEditRecompilesProgram: editing a component
+// changes its module and, transitively, the program module — but the
+// connectors depend on the program by fingerprint, so they change too.
+// Only the library survives a component edit.
+func TestLoadModularComponentEdit(t *testing.T) {
+	store := newTestStore(t)
+	if _, err := LoadModular(twoWireSystem, resolver(map[string]string{"ping.pml": pingPml}), store); err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(pingPml, "hits <= 2", "hits <= 2", 1) + "\n"
+	sys, err := LoadModular(twoWireSystem, resolver(map[string]string{"ping.pml": edited}), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.ModulesReused != 1 || sys.Modules[0].Kind != artifact.KindLibrary || !sys.Modules[0].Reused {
+		t.Fatalf("component edit must reuse exactly the library: %+v", sys.Modules)
+	}
+}
+
+func TestLoadModularRequiresStore(t *testing.T) {
+	if _, err := LoadModular(twoWireSystem, resolver(map[string]string{"ping.pml": pingPml}), nil); err == nil {
+		t.Fatal("LoadModular without a store must fail")
+	}
+}

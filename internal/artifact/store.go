@@ -1,0 +1,276 @@
+package artifact
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"pnp/internal/model"
+	"pnp/internal/obs"
+)
+
+// Store is a bounded, content-addressed LRU of compiled module
+// artifacts, safe for concurrent use. With a disk directory attached,
+// every Put also writes a canonical-source envelope file, and a memory
+// miss falls through to disk — so module identity (and the decision of
+// what to recompile) survives eviction and restarts even though live
+// payloads do not.
+type Store struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[model.ModuleFingerprint]*list.Element
+	dir     string // "" = memory only
+
+	hits, misses, evictions int64
+
+	mHits, mMisses, mEvictions *obs.Counter
+	mEntries                   *obs.Gauge
+}
+
+type storeEntry struct {
+	art *Artifact
+}
+
+// Stats is a point-in-time snapshot of store effectiveness.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// NewStore creates a store bounded to maxEntries artifacts (<= 0
+// selects the default of 1024). dir, when non-empty, is created and
+// used as the disk tier; a nil registry is fine.
+func NewStore(maxEntries int, dir string, reg *obs.Registry) (*Store, error) {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("artifact: %w", err)
+		}
+	}
+	return &Store{
+		max:        maxEntries,
+		ll:         list.New(),
+		entries:    make(map[model.ModuleFingerprint]*list.Element),
+		dir:        dir,
+		mHits:      reg.Counter("artifact_store_hits_total"),
+		mMisses:    reg.Counter("artifact_store_misses_total"),
+		mEvictions: reg.Counter("artifact_store_evictions_total"),
+		mEntries:   reg.Gauge("artifact_store_entries"),
+	}, nil
+}
+
+// envelope is the disk and wire form of one artifact: everything but
+// the live payload. Deterministic compilation makes the canonical
+// source a complete serialization of the compiled module.
+type envelope struct {
+	Hash   string   `json:"hash"`
+	Kind   string   `json:"kind"`
+	Name   string   `json:"name,omitempty"`
+	Deps   []string `json:"deps,omitempty"`
+	Source string   `json:"source"`
+}
+
+// Get looks an artifact up by fingerprint, marking it most recently
+// used on a memory hit. On a memory miss with a disk tier attached, the
+// envelope is loaded back into the LRU (payload nil) and counts as a
+// hit — the module's identity and source were reused even though its
+// payload needs reattaching.
+func (s *Store) Get(h model.ModuleFingerprint) (*Artifact, bool) {
+	s.mu.Lock()
+	if el, ok := s.entries[h]; ok {
+		s.hits++
+		s.mHits.Inc()
+		s.ll.MoveToFront(el)
+		art := el.Value.(*storeEntry).art
+		s.mu.Unlock()
+		return art, true
+	}
+	s.mu.Unlock()
+	if art := s.diskLoad(h); art != nil {
+		s.mu.Lock()
+		s.hits++
+		s.mHits.Inc()
+		s.insertLocked(art)
+		s.mu.Unlock()
+		return art, true
+	}
+	s.mu.Lock()
+	s.misses++
+	s.mMisses.Inc()
+	s.mu.Unlock()
+	return nil, false
+}
+
+// Put stores an artifact, evicting the least recently used entry past
+// the bound and mirroring the envelope to disk when a tier is attached.
+// Storing an existing fingerprint refreshes its payload and recency.
+func (s *Store) Put(art *Artifact) {
+	s.mu.Lock()
+	if el, ok := s.entries[art.Hash]; ok {
+		el.Value.(*storeEntry).art = art
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.insertLocked(art)
+	s.mu.Unlock()
+	s.diskWrite(art)
+}
+
+// Attach reattaches a live payload to an already-stored artifact — the
+// step after a disk or wire hit hands back an envelope and the caller
+// recompiles its canonical source. A no-op for unknown fingerprints.
+func (s *Store) Attach(h model.ModuleFingerprint, payload any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[h]; ok {
+		el.Value.(*storeEntry).art.Payload = payload
+		s.ll.MoveToFront(el)
+	}
+}
+
+// insertLocked adds a new entry, evicting LRU past the bound. Eviction
+// drops only the in-memory copy; the disk envelope, if any, stays.
+func (s *Store) insertLocked(art *Artifact) {
+	if el, ok := s.entries[art.Hash]; ok {
+		el.Value.(*storeEntry).art = art
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.max {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.entries, oldest.Value.(*storeEntry).art.Hash)
+		s.evictions++
+		s.mEvictions.Inc()
+	}
+	s.entries[art.Hash] = s.ll.PushFront(&storeEntry{art: art})
+	s.mEntries.Set(int64(s.ll.Len()))
+}
+
+// Peek answers a wire lookup: the artifact's envelope JSON, from memory
+// or disk, without touching hit/miss accounting — mirroring how result
+// cache peeks are free reads for the peer, not local cache traffic.
+func (s *Store) Peek(h model.ModuleFingerprint) ([]byte, bool) {
+	s.mu.Lock()
+	el, ok := s.entries[h]
+	var art *Artifact
+	if ok {
+		art = el.Value.(*storeEntry).art
+	}
+	s.mu.Unlock()
+	if art == nil {
+		if art = s.diskLoad(h); art == nil {
+			return nil, false
+		}
+	}
+	b, err := json.MarshalIndent(envelopeOf(art), "", "  ")
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func envelopeOf(art *Artifact) envelope {
+	env := envelope{Hash: art.Hash.String(), Kind: art.Kind, Name: art.Name, Source: art.Source}
+	for _, d := range art.Deps {
+		env.Deps = append(env.Deps, d.String())
+	}
+	return env
+}
+
+// path places one envelope file. Fingerprints are hex, so the file name
+// needs no escaping.
+func (s *Store) path(h model.ModuleFingerprint) string {
+	return filepath.Join(s.dir, h.String()+".json")
+}
+
+// diskWrite mirrors an artifact's envelope to the disk tier
+// (best-effort: the store is a cache, and a failed write only costs a
+// future recompile). The write is atomic via rename so a crash never
+// leaves a torn envelope.
+func (s *Store) diskWrite(art *Artifact) {
+	if s.dir == "" {
+		return
+	}
+	b, err := json.Marshal(envelopeOf(art))
+	if err != nil {
+		return
+	}
+	tmp := s.path(art.Hash) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, s.path(art.Hash)); err != nil {
+		os.Remove(tmp)
+	}
+}
+
+// diskLoad reads one envelope back as a payload-less artifact. The
+// envelope's content is verified against the fingerprint it claims —
+// a corrupted or hand-edited file is ignored, never trusted.
+func (s *Store) diskLoad(h model.ModuleFingerprint) *Artifact {
+	if s.dir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(s.path(h))
+	if err != nil {
+		return nil
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil
+	}
+	art := &Artifact{
+		Ref:    Ref{Hash: h, Kind: env.Kind, Name: env.Name},
+		Source: env.Source,
+	}
+	for _, ds := range env.Deps {
+		d, err := model.ParseModuleFingerprint(ds)
+		if err != nil {
+			return nil
+		}
+		art.Deps = append(art.Deps, d)
+	}
+	if model.FingerprintModule(art.Kind, art.Deps, art.Source) != h {
+		return nil
+	}
+	return art
+}
+
+// Len reports the number of in-memory artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:   s.ll.Len(),
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+	}
+}
+
+// ParseHash decodes the {hash} path element of the v1 artifacts route,
+// rejecting anything that is not exactly one lowercase-hex fingerprint.
+func ParseHash(s string) (model.ModuleFingerprint, error) {
+	if strings.ContainsAny(s, "/\\") {
+		return model.ModuleFingerprint{}, fmt.Errorf("artifact: bad hash %q", s)
+	}
+	return model.ParseModuleFingerprint(s)
+}

@@ -170,9 +170,28 @@ func (s ConnectorSpec) String() string {
 	return fmt.Sprintf("%s--%s--%s", s.Send, s.Channel, s.Recv)
 }
 
+// Token renders the spec in its canonical ADL spelling, e.g.
+// "send=syn-blocking;channel=fifo(2);recv=blocking". This is the
+// canonical source text of a connector module: two ADL clauses that
+// parse to the same spec render the same token, so they share one
+// module fingerprint however they were written.
+func (s ConnectorSpec) Token() string {
+	ch := s.Channel.Token()
+	if s.Channel.sized() {
+		ch = fmt.Sprintf("%s(%d)", ch, s.Size)
+	}
+	return fmt.Sprintf("send=%s;channel=%s;recv=%s", s.Send.Token(), ch, s.Recv.Token())
+}
+
 // Cache memoizes compiled pml programs by source text, modeling the
 // paper's reuse of pre-defined building-block models across verification
 // runs. It is safe for concurrent use.
+//
+// Deprecated: the cache is unbounded and process-local. Services should
+// compose through internal/adl's modular load path backed by an
+// artifact.Store, which bounds memory, persists across restarts, and
+// tracks per-module reuse; Cache remains for in-process callers and the
+// experiment harnesses.
 type Cache struct {
 	mu     sync.Mutex
 	m      map[string]*pml.Compiled
@@ -254,6 +273,16 @@ func NewBuilderWithLibrary(library, componentSource string, cache *Cache) (*Buil
 		return nil, fmt.Errorf("blocks: %w", err)
 	}
 	return &Builder{prog: prog, sys: model.New(prog), src: full}, nil
+}
+
+// NewBuilderFromProgram wraps an already-compiled program — a program
+// module artifact out of an artifact store — in a fresh Builder with an
+// empty system. src must be the canonical source the program was
+// compiled from (the Builder's Source contract); sharing one compiled
+// program across builders is safe because composition only spawns
+// instances, never mutates the program.
+func NewBuilderFromProgram(prog *pml.Compiled, src string) *Builder {
+	return &Builder{prog: prog, sys: model.New(prog), src: src}
 }
 
 // Program exposes the combined compiled program (for property compilation).

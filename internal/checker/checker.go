@@ -114,10 +114,22 @@ type Options struct {
 	// liveness search (LTL, weak/strong fairness) and AG-EF goal checks
 	// are always sequential — Workers is a documented no-op there.
 	Workers int
+	// Storage is the canonical nested spelling of the visited-set
+	// storage knobs (since PR10). The flat fields below — Bitstate,
+	// BitstateBits, Visited, MemLimit, SpillDir — are deprecated
+	// aliases; Normalized merges the two spellings, and checker.New and
+	// the verification service's OptionsKey normalize first, so either
+	// spelling verifies and cache-hits identically.
+	Storage StorageOptions
+	// Durability is the canonical nested spelling of Checkpoint (since
+	// PR10); see DurabilityOptions.
+	Durability *DurabilityOptions
 	// Bitstate replaces the exact visited set with a double-hash bitstate
 	// table of 2^BitstateBits bits (Spin's -DBITSTATE analogue). The search
 	// becomes probabilistic: violations found are real, but coverage may be
 	// partial.
+	//
+	// Deprecated: set Storage.Bitstate / Storage.BitstateBits.
 	Bitstate     bool
 	BitstateBits uint
 	// Visited selects the exact visited-set storage of the parallel
@@ -130,6 +142,8 @@ type Options struct {
 	// counterexamples are identical — so Visited is a speed/memory knob,
 	// not a semantic one. Ignored by the sequential engines and by
 	// bitstate runs.
+	//
+	// Deprecated: set Storage.Visited.
 	Visited string
 	// MemLimit caps the resident bytes of the parallel engine's visited
 	// set (entries plus table overhead, the checker_visited_bytes gauge).
@@ -138,10 +152,14 @@ type Options struct {
 	// lookups probe the (mmap-backed) segments before the in-memory
 	// tier, so the search completes with the exact same verdict and
 	// stats instead of exhausting memory. 0 (default) disables spilling.
+	//
+	// Deprecated: set Storage.MemLimit.
 	MemLimit int64
 	// SpillDir is the parent directory for spill segments (a unique
 	// per-search subdirectory is created on first spill and removed when
 	// the search ends). Empty means the system temp directory.
+	//
+	// Deprecated: set Storage.SpillDir.
 	SpillDir string
 	// Progress, when non-nil, receives a periodic exploration snapshot
 	// every ProgressInterval plus one final snapshot — Spin-style
@@ -177,6 +195,9 @@ type Options struct {
 	// influences verdicts — a resumed search stores exactly the states an
 	// uninterrupted one would. No-op for the sequential engines, liveness
 	// search, and bitstate runs (see CheckpointOptions).
+	//
+	// Deprecated: set Durability. When both are non-nil, Checkpoint
+	// wins (see Normalized).
 	Checkpoint *CheckpointOptions
 }
 
@@ -247,9 +268,11 @@ type Checker struct {
 	opts Options
 }
 
-// New creates a Checker for a system with the given options.
+// New creates a Checker for a system with the given options. Options
+// are normalized first, so the nested Storage/Durability groups and
+// their deprecated flat aliases are interchangeable.
 func New(sys *model.System, opts Options) *Checker {
-	return &Checker{sys: sys, opts: opts}
+	return &Checker{sys: sys, opts: opts.Normalized()}
 }
 
 // InvariantFromSource parses src as a global-scope pml expression and

@@ -1,0 +1,70 @@
+package checker
+
+// StorageOptions groups the visited-set storage knobs — how states are
+// stored, never which states exist. Every combination computes the same
+// verdict; these trade memory for time. This nested form is the
+// canonical spelling (since PR10); the identically named flat fields on
+// Options remain as deprecated aliases and the two are merged by
+// Normalized, with a non-zero flat field overriding its nested
+// counterpart so legacy overlay code keeps working.
+type StorageOptions struct {
+	// Visited selects the parallel engine's exact storage: VisitedExact
+	// ("" or "exact") or VisitedCollapse ("collapse").
+	Visited string
+	// MemLimit caps visited-set resident bytes; over budget, entries
+	// spill to segment files under SpillDir. 0 disables spilling.
+	MemLimit int64
+	// SpillDir is the parent directory for spill segments (empty = the
+	// system temp directory).
+	SpillDir string
+	// Bitstate replaces the exact visited set with a double-hash
+	// bitstate table of 2^BitstateBits bits.
+	Bitstate     bool
+	BitstateBits uint
+}
+
+// DurabilityOptions is the canonical nested spelling of the
+// checkpoint/resume knobs (since PR10). It is the same type as
+// CheckpointOptions, so existing constructors work for either field.
+type DurabilityOptions = CheckpointOptions
+
+// Normalized merges the nested option groups with their deprecated flat
+// aliases and returns the canonical form: nested values propagate to
+// the flat fields (so engine code reading either spelling agrees), and
+// an explicitly set flat field overrides its nested counterpart.
+// checker.New and verifyd's OptionsKey both normalize first, which is
+// what makes old and new spellings hash — and verify — identically.
+func (o Options) Normalized() Options {
+	st := o.Storage
+	if o.Visited != "" {
+		st.Visited = o.Visited
+	}
+	if o.MemLimit != 0 {
+		st.MemLimit = o.MemLimit
+	}
+	if o.SpillDir != "" {
+		st.SpillDir = o.SpillDir
+	}
+	if o.Bitstate {
+		st.Bitstate = true
+	}
+	if o.BitstateBits != 0 {
+		st.BitstateBits = o.BitstateBits
+	}
+	o.Storage = st
+	o.Visited = st.Visited
+	o.MemLimit = st.MemLimit
+	o.SpillDir = st.SpillDir
+	o.Bitstate = st.Bitstate
+	o.BitstateBits = st.BitstateBits
+
+	// The legacy Checkpoint pointer wins when both are set: callers that
+	// derive per-property checkpoint keys clone-and-reassign it, and
+	// that edit must not be shadowed by a stale Durability alias.
+	if o.Checkpoint != nil {
+		o.Durability = o.Checkpoint
+	} else if o.Durability != nil {
+		o.Checkpoint = o.Durability
+	}
+	return o
+}

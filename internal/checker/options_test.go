@@ -1,0 +1,67 @@
+package checker
+
+import "testing"
+
+// TestNormalizedMergesSpellings: nested Storage values propagate to the
+// deprecated flat aliases and vice versa, and after normalization both
+// spellings agree.
+func TestNormalizedMergesSpellings(t *testing.T) {
+	nested := Options{Storage: StorageOptions{
+		Visited: VisitedCollapse, MemLimit: 1 << 20, SpillDir: "/tmp/x",
+		Bitstate: true, BitstateBits: 24,
+	}}.Normalized()
+	flat := Options{
+		Visited: VisitedCollapse, MemLimit: 1 << 20, SpillDir: "/tmp/x",
+		Bitstate: true, BitstateBits: 24,
+	}.Normalized()
+	if nested.Storage != flat.Storage {
+		t.Fatalf("nested %+v != flat %+v after Normalized", nested.Storage, flat.Storage)
+	}
+	for _, o := range []Options{nested, flat} {
+		if o.Visited != o.Storage.Visited || o.MemLimit != o.Storage.MemLimit ||
+			o.SpillDir != o.Storage.SpillDir || o.Bitstate != o.Storage.Bitstate ||
+			o.BitstateBits != o.Storage.BitstateBits {
+			t.Fatalf("flat aliases out of sync with Storage: %+v", o)
+		}
+	}
+}
+
+// TestNormalizedFlatOverridesNested: overlay code that mutates a flat
+// field on an already-normalized Options (the verifyd per-job override
+// path) must win over the stale nested copy.
+func TestNormalizedFlatOverridesNested(t *testing.T) {
+	o := Options{Storage: StorageOptions{Visited: VisitedCollapse, MemLimit: 100}}.Normalized()
+	o.Visited = VisitedExact
+	o.MemLimit = 200
+	o = o.Normalized()
+	if o.Storage.Visited != VisitedExact || o.Storage.MemLimit != 200 {
+		t.Fatalf("flat edits must override nested: %+v", o.Storage)
+	}
+}
+
+// TestNormalizedDurabilityAlias: Durability and the legacy Checkpoint
+// pointer are merged, with Checkpoint winning when both are set — the
+// per-property clone-and-reassign path must not be shadowed.
+func TestNormalizedDurabilityAlias(t *testing.T) {
+	d := &DurabilityOptions{Dir: "/tmp/ckpt"}
+	o := Options{Durability: d}.Normalized()
+	if o.Checkpoint != d {
+		t.Fatal("Durability must propagate to the legacy Checkpoint field")
+	}
+	c := &CheckpointOptions{Dir: "/tmp/other"}
+	o.Checkpoint = c
+	o = o.Normalized()
+	if o.Durability != c || o.Checkpoint != c {
+		t.Fatal("an explicitly set Checkpoint must win over the stale Durability alias")
+	}
+}
+
+// TestNormalizedIdempotent: normalizing twice is the same as once
+// (checker.New normalizes again after callers may have).
+func TestNormalizedIdempotent(t *testing.T) {
+	o := Options{Visited: VisitedCollapse, Storage: StorageOptions{MemLimit: 42}}.Normalized()
+	if again := o.Normalized(); again.Storage != o.Storage ||
+		again.Visited != o.Visited || again.MemLimit != o.MemLimit {
+		t.Fatalf("Normalized not idempotent: %+v vs %+v", again, o)
+	}
+}

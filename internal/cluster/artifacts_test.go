@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pnp/internal/verifyd/client"
+)
+
+// TestCoordinatorArtifactPeek: after a job runs on some node, the
+// coordinator resolves any of its module artifacts by fanning the peek
+// across the fleet — the caller does not need to know which node
+// compiled the module. Module accounting flows through the coordinator
+// job document on the way.
+func TestCoordinatorArtifactPeek(t *testing.T) {
+	f := newFabric()
+	workers := []string{"http://w1", "http://w2"}
+	for _, w := range workers {
+		newWorker(t, f, w[len("http://"):])
+	}
+	c, _ := newTestCluster(t, f, workers, nil)
+	hs := httptest.NewServer(c.Handler())
+	t.Cleanup(hs.Close)
+	cc := client.New(hs.URL, client.WithRetries(0))
+	ctx := context.Background()
+
+	job, err := cc.Submit(ctx, pingRequest(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cc.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Modules) == 0 || done.ModulesTotal != len(done.Modules) {
+		t.Fatalf("coordinator job document must carry the module DAG: %+v", done)
+	}
+
+	// Every module of the job resolves through the coordinator route.
+	for _, m := range done.Modules {
+		art, err := cc.Artifact(ctx, m.Hash)
+		if err != nil {
+			t.Fatalf("artifact %s: %v", m.Hash, err)
+		}
+		if art == nil {
+			t.Fatalf("artifact %s must be resolvable somewhere in the fleet", m.Hash)
+		}
+		if art.Hash != m.Hash || art.Kind != m.Kind {
+			t.Fatalf("artifact %s came back as %+v", m.Hash, art)
+		}
+	}
+
+	// Absent hash: 404 mapped to (nil, nil) by the typed client.
+	if art, err := cc.Artifact(ctx, strings.Repeat("0", 64)); err != nil || art != nil {
+		t.Fatalf("absent artifact = (%+v, %v), want (nil, nil)", art, err)
+	}
+}

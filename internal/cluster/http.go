@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"pnp/internal/artifact"
 	"pnp/internal/obs/tracing"
 	"pnp/internal/sweep"
 	"pnp/internal/verifyd"
@@ -34,6 +35,7 @@ import (
 //	GET  /v1/cluster            node table, ring shape, cache stats
 //	GET  /v1/cache              coordinator result-cache statistics
 //	GET  /v1/cache/{key}        peek the coordinator cache by key
+//	GET  /v1/artifacts/{hash}   peek a module artifact on any healthy node
 //	GET  /healthz               liveness + coordinator identity (JSON)
 //	GET  /readyz                200 with >= 1 healthy node, else 503
 //	GET  /metrics               Prometheus exposition (and /metrics.json)
@@ -56,6 +58,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cluster", c.handleCluster)
 	mux.HandleFunc("GET /v1/cache", c.handleCacheStats)
 	mux.HandleFunc("GET /v1/cache/{key}", c.handleCachePeek)
+	mux.HandleFunc("GET /v1/artifacts/{hash}", c.handleArtifactPeek)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /readyz", c.handleReadyz)
 	if c.reg != nil {
@@ -386,6 +389,34 @@ func (c *Coordinator) handleCachePeek(w http.ResponseWriter, r *http.Request) {
 		Node   string          `json:"node"`
 		Report *verifyd.Report `json:"report"`
 	}{raw, node, rep})
+}
+
+// handleArtifactPeek resolves a module artifact by fanning the peek out
+// across healthy nodes (since PR10). Artifacts are content-addressed,
+// so any node's copy is the copy — the first hit answers; a miss
+// everywhere is a plain 404. Unlike /v1/cache/{key}, the coordinator
+// holds no artifact tier of its own: modules live where compilation
+// happened.
+func (c *Coordinator) handleArtifactPeek(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("hash")
+	if _, err := artifact.ParseHash(raw); err != nil {
+		verifyd.WriteError(w, http.StatusBadRequest, verifyd.CodeInvalidArgument,
+			"artifact hash must be 64 hex characters")
+		return
+	}
+	for _, name := range c.Nodes() {
+		n := c.nodes[name]
+		if n == nil || !n.healthy.Load() {
+			continue
+		}
+		art, err := n.rc.Artifact(r.Context(), raw)
+		if err != nil || art == nil {
+			continue
+		}
+		writeJSON(w, http.StatusOK, art)
+		return
+	}
+	verifyd.WriteError(w, http.StatusNotFound, verifyd.CodeNotFound, "no artifact for hash "+raw)
 }
 
 // CoordinatorHealth is the coordinator's GET /healthz body.

@@ -35,6 +35,9 @@ type cjob struct {
 	clusterCached bool
 	cacheHits     int
 	cacheMisses   int
+	modules       []client.ModuleInfo
+	modReused     int
+	modCompiled   int
 	workers       int
 	errMsg        string
 	done          chan struct{} // closed once state is "done"
@@ -54,6 +57,13 @@ type JobStatus struct {
 	Workers     int             `json:"workers,omitempty"`
 	TraceID     string          `json:"trace_id,omitempty"`
 
+	// Module accounting forwarded from the worker that ran the job
+	// (since PR10); zero/empty when a cache tier answered.
+	Modules         []client.ModuleInfo `json:"modules,omitempty"`
+	ModulesTotal    int                 `json:"modules_total,omitempty"`
+	ModulesReused   int                 `json:"modules_reused,omitempty"`
+	ModulesCompiled int                 `json:"modules_compiled,omitempty"`
+
 	Node     string `json:"node,omitempty"`
 	RemoteID string `json:"remote_id,omitempty"`
 	// Failovers counts re-placements; Attempt counts executions (one
@@ -71,21 +81,25 @@ func (j *cjob) snapshot() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID:            j.id,
-		State:         j.state,
-		Submitted:     j.submitted,
-		Report:        j.report,
-		CacheHits:     j.cacheHits,
-		CacheMisses:   j.cacheMisses,
-		Workers:       j.workers,
-		TraceID:       j.traceID,
-		Node:          j.node,
-		RemoteID:      j.remoteID,
-		Failovers:     j.failovers,
-		Attempt:       j.attempt,
-		ResumedFrom:   j.resumedFrom,
-		ClusterCached: j.clusterCached,
-		Err:           j.errMsg,
+		ID:              j.id,
+		State:           j.state,
+		Submitted:       j.submitted,
+		Report:          j.report,
+		CacheHits:       j.cacheHits,
+		CacheMisses:     j.cacheMisses,
+		Modules:         j.modules,
+		ModulesTotal:    len(j.modules),
+		ModulesReused:   j.modReused,
+		ModulesCompiled: j.modCompiled,
+		Workers:         j.workers,
+		TraceID:         j.traceID,
+		Node:            j.node,
+		RemoteID:        j.remoteID,
+		Failovers:       j.failovers,
+		Attempt:         j.attempt,
+		ResumedFrom:     j.resumedFrom,
+		ClusterCached:   j.clusterCached,
+		Err:             j.errMsg,
 	}
 }
 
@@ -353,6 +367,9 @@ func (c *Coordinator) finishJob(j *cjob, node string, rjob *client.Job) {
 	j.node = node
 	j.cacheHits = rjob.CacheHits
 	j.cacheMisses = rjob.CacheMisses
+	j.modules = rjob.Modules
+	j.modReused = rjob.ModulesReused
+	j.modCompiled = rjob.ModulesCompiled
 	j.workers = rjob.Workers
 	close(j.done)
 	j.mu.Unlock()

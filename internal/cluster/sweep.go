@@ -219,6 +219,8 @@ func (c *Coordinator) runSweep(ctx context.Context, sj *csweep, spec sweep.Spec,
 			if !cr.Deduped {
 				cr.CacheHits = snap.CacheHits
 				cr.CacheMisses = snap.CacheMisses
+				cr.ModulesReused = snap.ModulesReused
+				cr.ModulesCompiled = snap.ModulesCompiled
 				if sub.span != nil {
 					sub.span.SetAttr("verdict", cr.Verdict)
 					sub.span.SetAttr("node", snap.Node)
@@ -236,6 +238,8 @@ func (c *Coordinator) runSweep(ctx context.Context, sj *csweep, spec sweep.Spec,
 		}
 		res.CacheHits += cr.CacheHits
 		res.CacheMisses += cr.CacheMisses
+		res.ModulesReused += cr.ModulesReused
+		res.ModulesCompiled += cr.ModulesCompiled
 		if cr.Err == "" && cr.OK {
 			res.Passed++
 		} else {

@@ -1,0 +1,63 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// A ModuleFingerprint content-addresses one compilation module: a unit
+// of the model compiler's output (a component program, the block
+// library, the linked program, a connector block composition) together
+// with the fingerprints of everything it was compiled against. Equal
+// fingerprints mean the compiler would produce the same artifact, so
+// the artifact can be reused instead of recompiled — across jobs, sweep
+// cells, restarts, and (via the wire peek) cluster nodes.
+type ModuleFingerprint [sha256.Size]byte
+
+// String renders the fingerprint as hex, the form used on the wire and
+// in artifact file names.
+func (f ModuleFingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// IsZero reports whether the fingerprint is the zero value (no module).
+func (f ModuleFingerprint) IsZero() bool { return f == ModuleFingerprint{} }
+
+// ParseModuleFingerprint decodes the 64-hex-digit wire form.
+func ParseModuleFingerprint(s string) (ModuleFingerprint, error) {
+	var f ModuleFingerprint
+	if len(s) != 2*sha256.Size {
+		return f, fmt.Errorf("model: fingerprint must be %d hex digits, got %d", 2*sha256.Size, len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return f, fmt.Errorf("model: bad fingerprint: %w", err)
+	}
+	copy(f[:], b)
+	return f, nil
+}
+
+// FingerprintModule digests a module into its content address: the
+// module kind, the fingerprints of its dependencies in declaration
+// order, and its own canonical source text. Dependencies enter by
+// fingerprint, not by content, so the address of a linked program
+// chains through its inputs — editing one component changes that
+// component's fingerprint and, transitively, the program's, while every
+// sibling module keeps its address. The module's display name is
+// deliberately excluded: two connectors with the same block composition
+// against the same program are the same module, whatever the ADL calls
+// them.
+func FingerprintModule(kind string, deps []ModuleFingerprint, canonical string) ModuleFingerprint {
+	h := sha256.New()
+	io.WriteString(h, "pnp-module/v1\x00")
+	io.WriteString(h, kind)
+	h.Write([]byte{0})
+	for _, d := range deps {
+		h.Write(d[:])
+	}
+	h.Write([]byte{0})
+	io.WriteString(h, canonical)
+	var out ModuleFingerprint
+	h.Sum(out[:0])
+	return out
+}

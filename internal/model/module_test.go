@@ -1,0 +1,48 @@
+package model
+
+import "testing"
+
+func TestFingerprintModuleDeterministic(t *testing.T) {
+	dep := FingerprintModule("component", nil, "proctype C() { skip }")
+	a := FingerprintModule("program", []ModuleFingerprint{dep}, "full source")
+	b := FingerprintModule("program", []ModuleFingerprint{dep}, "full source")
+	if a != b {
+		t.Fatal("equal inputs must produce equal fingerprints")
+	}
+	if a.IsZero() {
+		t.Fatal("a real fingerprint cannot be zero")
+	}
+}
+
+// TestFingerprintModuleSensitivity: every input dimension — kind, dep
+// set, dep order, canonical source — must change the address.
+func TestFingerprintModuleSensitivity(t *testing.T) {
+	d1 := FingerprintModule("component", nil, "one")
+	d2 := FingerprintModule("component", nil, "two")
+	base := FingerprintModule("program", []ModuleFingerprint{d1, d2}, "src")
+	variants := map[string]ModuleFingerprint{
+		"kind":       FingerprintModule("connector", []ModuleFingerprint{d1, d2}, "src"),
+		"dep order":  FingerprintModule("program", []ModuleFingerprint{d2, d1}, "src"),
+		"dep set":    FingerprintModule("program", []ModuleFingerprint{d1}, "src"),
+		"canonical":  FingerprintModule("program", []ModuleFingerprint{d1, d2}, "src2"),
+		"empty deps": FingerprintModule("program", nil, "src"),
+	}
+	for dim, v := range variants {
+		if v == base {
+			t.Errorf("changing %s must change the fingerprint", dim)
+		}
+	}
+}
+
+func TestModuleFingerprintParseRoundTrip(t *testing.T) {
+	f := FingerprintModule("library", nil, "lib")
+	got, err := ParseModuleFingerprint(f.String())
+	if err != nil || got != f {
+		t.Fatalf("round-trip = (%v, %v), want %v", got, err, f)
+	}
+	for _, bad := range []string{"", "abc", f.String()[:63], f.String() + "0", "g" + f.String()[1:]} {
+		if _, err := ParseModuleFingerprint(bad); err == nil {
+			t.Errorf("ParseModuleFingerprint(%q) must fail", bad)
+		}
+	}
+}

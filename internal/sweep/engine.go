@@ -78,6 +78,12 @@ type CellResult struct {
 	CacheMisses int  `json:"cache_misses"`
 	Deduped     bool `json:"deduped,omitempty"`
 
+	// ModulesReused/ModulesCompiled are the cell's job module-compilation
+	// counters (since PR10): how many per-module artifacts the submission
+	// pulled from the artifact store versus compiled fresh.
+	ModulesReused   int `json:"modules_reused,omitempty"`
+	ModulesCompiled int `json:"modules_compiled,omitempty"`
+
 	// Node names the cluster node that served the cell ("coordinator"
 	// for cluster-cache answers); empty on a single-node sweep.
 	Node string `json:"node,omitempty"`
@@ -98,10 +104,15 @@ type Result struct {
 	// DedupHits counts cells answered by another cell of this sweep;
 	// CacheHits/CacheMisses sum the executed jobs' property-cache
 	// counters.
-	DedupHits   int     `json:"dedup_hits"`
-	CacheHits   int     `json:"cache_hits"`
-	CacheMisses int     `json:"cache_misses"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
+	DedupHits   int `json:"dedup_hits"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// ModulesReused/ModulesCompiled sum the executed jobs' module
+	// accounting (since PR10) — a warm sweep of near-identical cells
+	// shows reuse dominating compilation.
+	ModulesReused   int     `json:"modules_reused,omitempty"`
+	ModulesCompiled int     `json:"modules_compiled,omitempty"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
 }
 
 // verdictRank orders verdicts from strongest to weakest guarantee.
@@ -262,6 +273,8 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 			if !cr.Deduped {
 				cr.CacheHits = snap.CacheHits
 				cr.CacheMisses = snap.CacheMisses
+				cr.ModulesReused = snap.ModulesReused
+				cr.ModulesCompiled = snap.ModulesCompiled
 				mInFlight.Add(-1)
 				if sub.span != nil {
 					sub.span.SetAttr("verdict", cr.Verdict)
@@ -291,6 +304,8 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 		}
 		res.CacheHits += cr.CacheHits
 		res.CacheMisses += cr.CacheMisses
+		res.ModulesReused += cr.ModulesReused
+		res.ModulesCompiled += cr.ModulesCompiled
 		if cr.Err == "" && cr.OK {
 			res.Passed++
 		} else {

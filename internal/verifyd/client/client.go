@@ -54,11 +54,43 @@ type Job struct {
 	// or "journal" (restart recovery). Both zero on an undisturbed job.
 	Attempt     int    `json:"attempt,omitempty"`
 	ResumedFrom string `json:"resumed_from,omitempty"`
+	// Modules is the submission's module DAG — block library, component
+	// files, linked program, connectors — with per-module content
+	// addresses and reuse flags; the counters summarize it (since PR10).
+	Modules         []ModuleInfo `json:"modules,omitempty"`
+	ModulesTotal    int          `json:"modules_total,omitempty"`
+	ModulesReused   int          `json:"modules_reused,omitempty"`
+	ModulesCompiled int          `json:"modules_compiled,omitempty"`
 
 	Node          string `json:"node,omitempty"`
 	Failovers     int    `json:"failovers,omitempty"`
 	ClusterCached bool   `json:"cluster_cached,omitempty"`
 	Err           string `json:"err,omitempty"`
+}
+
+// ModuleInfo mirrors one entry of a job's module DAG: the module's
+// content address, its kind ("library", "component", "program",
+// "connector"), the fingerprints it was compiled against, and whether
+// the server reused a stored artifact instead of compiling (since
+// PR10).
+type ModuleInfo struct {
+	Hash   string   `json:"hash"`
+	Kind   string   `json:"kind"`
+	Name   string   `json:"name,omitempty"`
+	Deps   []string `json:"deps,omitempty"`
+	Reused bool     `json:"reused,omitempty"`
+}
+
+// Artifact mirrors the GET /v1/artifacts/{hash} hit body: a compiled
+// module's envelope — identity plus the canonical source the
+// fingerprint covers (since PR10). Deterministic compilation makes the
+// source a faithful serialization of the compiled module.
+type Artifact struct {
+	Hash   string   `json:"hash"`
+	Kind   string   `json:"kind"`
+	Name   string   `json:"name,omitempty"`
+	Deps   []string `json:"deps,omitempty"`
+	Source string   `json:"source"`
 }
 
 // Report mirrors the service's verdict document.
@@ -188,6 +220,10 @@ type SweepCell struct {
 	CacheMisses int  `json:"cache_misses"`
 	Deduped     bool `json:"deduped,omitempty"`
 
+	// Module accounting of the cell's job (since PR10).
+	ModulesReused   int `json:"modules_reused,omitempty"`
+	ModulesCompiled int `json:"modules_compiled,omitempty"`
+
 	// Node names the cluster node that served this cell ("coordinator"
 	// for cluster-cache hits); empty on a single-node sweep.
 	Node string `json:"node,omitempty"`
@@ -201,13 +237,17 @@ type SweepResult struct {
 	Name  string      `json:"name"`
 	Cells []SweepCell `json:"cells"`
 
-	Total       int     `json:"total"`
-	Passed      int     `json:"passed"`
-	Failed      int     `json:"failed"`
-	DedupHits   int     `json:"dedup_hits"`
-	CacheHits   int     `json:"cache_hits"`
-	CacheMisses int     `json:"cache_misses"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
+	Total       int `json:"total"`
+	Passed      int `json:"passed"`
+	Failed      int `json:"failed"`
+	DedupHits   int `json:"dedup_hits"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// Summed module accounting across the sweep's executed jobs (since
+	// PR10).
+	ModulesReused   int     `json:"modules_reused,omitempty"`
+	ModulesCompiled int     `json:"modules_compiled,omitempty"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
 }
 
 // SweepStatus mirrors a sweep resource.
@@ -532,6 +572,23 @@ func (c *Client) CachePeek(ctx context.Context, key string) (*Report, error) {
 		return nil, err
 	}
 	return hit.Report, nil
+}
+
+// Artifact asks the node whether it holds the compiled module
+// addressed by hash (a module fingerprint in hex, as listed in a job's
+// modules section). A miss returns (nil, nil) — like CachePeek, a miss
+// is an expected answer, not a failure.
+func (c *Client) Artifact(ctx context.Context, hash string) (*Artifact, error) {
+	var art Artifact
+	err := c.do(ctx, http.MethodGet, "/v1/artifacts/"+url.PathEscape(hash), nil, &art)
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &art, nil
 }
 
 // JobTrace fetches a job's recorded spans (GET /v1/jobs/{id}/trace).

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"pnp/internal/artifact"
 	"pnp/internal/obs"
 )
 
@@ -62,6 +63,12 @@ type journalRecord struct {
 
 	CacheHits   int `json:"cache_hits,omitempty"`
 	CacheMisses int `json:"cache_misses,omitempty"`
+
+	// Module accounting of the completed job (since PR10), so a
+	// replayed verdict keeps reporting what its compilation reused.
+	Modules         []artifact.Info `json:"modules,omitempty"`
+	ModulesReused   int             `json:"modules_reused,omitempty"`
+	ModulesCompiled int             `json:"modules_compiled,omitempty"`
 }
 
 // journalFsyncBuckets resolve sub-millisecond SSD flushes out to

@@ -22,7 +22,7 @@ import (
 	"time"
 
 	"pnp/internal/adl"
-	"pnp/internal/blocks"
+	"pnp/internal/artifact"
 	"pnp/internal/checker"
 	"pnp/internal/obs"
 	"pnp/internal/obs/tracing"
@@ -123,6 +123,16 @@ type Job struct {
 	// from: a peer worker's base URL (cluster re-drive) or "journal"
 	// (re-enqueued by replay on restart). Empty for a fresh run.
 	ResumedFrom string `json:"resumed_from,omitempty"`
+	// Modules is the submission's module DAG in compilation order —
+	// block library, component files, linked program, connectors — each
+	// with its content address and whether composition found it already
+	// in the artifact store (since PR10). The counters summarize the
+	// list: a warm one-connector edit shows ModulesReused ==
+	// ModulesTotal-1. The slice is immutable once set.
+	Modules         []artifact.Info `json:"modules,omitempty"`
+	ModulesTotal    int             `json:"modules_total,omitempty"`
+	ModulesReused   int             `json:"modules_reused,omitempty"`
+	ModulesCompiled int             `json:"modules_compiled,omitempty"`
 
 	sys     *adl.System
 	opts    checker.Options
@@ -195,7 +205,11 @@ type Server struct {
 	reg     *obs.Registry
 	cache   *ResultCache
 	reports *reportCache
-	models  *blocks.Cache
+	// artifacts is the content-addressed store of compiled modules —
+	// library, component, program, and connector artifacts shared across
+	// jobs and sweep cells (and, on a DataDir server, across restarts
+	// via DataDir/artifacts).
+	artifacts *artifact.Store
 
 	budget *workerBudget
 
@@ -235,6 +249,9 @@ type Server struct {
 	hWait      *obs.Histogram
 	cRecovered *obs.Counter
 	cCkptFetch *obs.Counter
+
+	cModReused   *obs.Counter
+	cModCompiled *obs.Counter
 }
 
 // queueWaitBuckets span sub-millisecond pickups on an idle pool out to
@@ -283,12 +300,24 @@ func OpenServer(cfg Config) (*Server, error) {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	// Compiled-module artifacts share the result cache's entry bound; on
+	// a DataDir server they are also mirrored to DataDir/artifacts, so
+	// module identity — and the what-needs-recompiling decision —
+	// survives restarts.
+	artDir := ""
+	if cfg.DataDir != "" {
+		artDir = filepath.Join(cfg.DataDir, "artifacts")
+	}
+	artifacts, err := artifact.NewStore(cfg.CacheEntries, artDir, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Registry,
 		cache:      NewResultCache(cfg.CacheEntries, cfg.Registry),
 		reports:    newReportCache(cfg.CacheEntries, cfg.Registry),
-		models:     blocks.NewCache(),
+		artifacts:  artifacts,
 		jobs:       make(map[string]*Job),
 		queue:      make(chan *Job, 64),
 		stop:       make(chan struct{}),
@@ -300,6 +329,9 @@ func OpenServer(cfg Config) (*Server, error) {
 		mRunning:   cfg.Registry.Gauge("verifyd_jobs_running"),
 		mQueued:    cfg.Registry.Gauge("verifyd_jobs_queued"),
 		hWait:      cfg.Registry.Histogram("verifyd_queue_wait_seconds", queueWaitBuckets),
+
+		cModReused:   cfg.Registry.Counter("jobs_modules_reused_total"),
+		cModCompiled: cfg.Registry.Counter("jobs_modules_compiled_total"),
 	}
 	s.budget = newWorkerBudget(cfg.SearchBudget, cfg.Registry.Gauge("verifyd_search_workers_in_use"))
 
@@ -388,6 +420,8 @@ func (s *Server) replay(recs []journalRecord) []*Job {
 			job := &Job{
 				ID: id, State: JobDone, Submitted: rec.Time, Report: rec.Report,
 				CacheHits: rec.CacheHits, CacheMisses: rec.CacheMisses,
+				Modules: rec.Modules, ModulesTotal: len(rec.Modules),
+				ModulesReused: rec.ModulesReused, ModulesCompiled: rec.ModulesCompiled,
 				Attempt: max(rec.Attempt, 1), done: closedCh, seq: rec.Seq,
 			}
 			s.jobs[id] = job
@@ -400,7 +434,7 @@ func (s *Server) replay(recs []journalRecord) []*Job {
 			rec := rj.accepted
 			req := rec.Req
 			resolve := s.resolver(req.Components)
-			sys, err := adl.Load(req.ADL, resolve, s.models)
+			sys, err := adl.LoadModular(req.ADL, resolve, s.artifacts)
 			if err != nil {
 				s.log.Error("journal replay: job no longer composes; dropping",
 					"job_id", id, "err", err.Error())
@@ -409,6 +443,8 @@ func (s *Server) replay(recs []journalRecord) []*Job {
 			job := &Job{
 				ID: id, State: JobQueued, Submitted: rec.Time,
 				Attempt: max(rj.attempts, rec.Attempt) + 1, ResumedFrom: "journal",
+				Modules: sys.Modules, ModulesTotal: len(sys.Modules),
+				ModulesReused: sys.ModulesReused, ModulesCompiled: sys.ModulesCompiled,
 				sys: sys, opts: s.jobOptions(*req),
 				timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 				done:    make(chan struct{}), seq: rec.Seq, jreq: req,
@@ -525,8 +561,19 @@ func (s *Server) Cache() *ResultCache { return s.cache }
 // their jobs hash into the same cache entries as direct submissions.
 func (s *Server) Options() checker.Options { return s.cfg.Options }
 
-// ModelCacheStats reports compiled-model reuse across jobs.
-func (s *Server) ModelCacheStats() (hits, misses int) { return s.models.Stats() }
+// ModelCacheStats reports compiled-module reuse across jobs: artifact
+// store hits (modules served without compiling) and misses (modules
+// compiled and stored). Granularity changed in PR10 from whole programs
+// to modules — a design now accounts one entry per library, component,
+// program, and connector module.
+func (s *Server) ModelCacheStats() (hits, misses int) {
+	st := s.artifacts.Stats()
+	return int(st.Hits), int(st.Misses)
+}
+
+// ArtifactStore exposes the compiled-module store (for embedders like
+// the sweep service, the cluster coordinator's peeks, and tests).
+func (s *Server) ArtifactStore() *artifact.Store { return s.artifacts }
 
 // Tracer returns the server's flight recorder (nil when tracing is
 // disabled). Embedders like the sweep service record their own spans
@@ -565,7 +612,7 @@ func (s *Server) submitKeyed(ctx context.Context, src string, components map[str
 	jctx, jspan := s.tracer.StartSpan(ctx, "job")
 	resolve := s.resolver(components)
 	_, cspan := s.tracer.StartSpan(jctx, "compose")
-	sys, err := adl.Load(src, resolve, s.models)
+	sys, err := adl.LoadModular(src, resolve, s.artifacts)
 	cspan.End()
 	if err != nil {
 		s.mRejected.Inc()
@@ -597,6 +644,11 @@ func (s *Server) submitKeyed(ctx context.Context, src string, components map[str
 		tctx:      jctx,
 		span:      jspan,
 		Attempt:   1,
+
+		Modules:         sys.Modules,
+		ModulesTotal:    len(sys.Modules),
+		ModulesReused:   sys.ModulesReused,
+		ModulesCompiled: sys.ModulesCompiled,
 	}
 	if wire != nil {
 		job.Attempt = max(wire.Attempt, 1)
@@ -629,7 +681,10 @@ func (s *Server) submitKeyed(ctx context.Context, src string, components map[str
 		})
 	}
 
-	s.log.Info("job submitted", "job_id", job.ID, "system", sys.Name, "trace_id", job.TraceID)
+	s.cModReused.Add(int64(job.ModulesReused))
+	s.cModCompiled.Add(int64(job.ModulesCompiled))
+	s.log.Info("job submitted", "job_id", job.ID, "system", sys.Name, "trace_id", job.TraceID,
+		"modules_reused", job.ModulesReused, "modules_compiled", job.ModulesCompiled)
 	s.mSubmitted.Inc()
 	s.mQueued.Add(1)
 	s.queue <- job
@@ -869,6 +924,8 @@ func (s *Server) finishJob(job *Job, rep *Report, hits, misses int) {
 			Type: recCompleted, ID: job.ID, Seq: job.seq, Time: time.Now(),
 			Key: subKeyHex(job), Report: rep, Attempt: job.Attempt,
 			CacheHits: hits, CacheMisses: misses,
+			Modules:       job.Modules,
+			ModulesReused: job.ModulesReused, ModulesCompiled: job.ModulesCompiled,
 		})
 		if s.journal.overLimit() {
 			if err := s.journal.compact(s.journalLive); err != nil {
@@ -994,6 +1051,8 @@ func (s *Server) journalLive() []journalRecord {
 				Type: recCompleted, ID: j.ID, Seq: j.seq, Time: j.Submitted,
 				Key: subKeyHex(j), Report: j.Report, Attempt: j.Attempt,
 				CacheHits: j.CacheHits, CacheMisses: j.CacheMisses,
+				Modules:       j.Modules,
+				ModulesReused: j.ModulesReused, ModulesCompiled: j.ModulesCompiled,
 			})
 		case j.jreq != nil:
 			recs = append(recs, journalRecord{
@@ -1052,7 +1111,13 @@ func (s *Server) snapshotJob(job *Job) Job {
 		TraceID:     job.TraceID,
 		Attempt:     job.Attempt,
 		ResumedFrom: job.ResumedFrom,
-		seq:         job.seq,
+		// The modules slice is written once at compose time and never
+		// mutated, so sharing it across snapshots is race-free.
+		Modules:         job.Modules,
+		ModulesTotal:    job.ModulesTotal,
+		ModulesReused:   job.ModulesReused,
+		ModulesCompiled: job.ModulesCompiled,
+		seq:             job.seq,
 	}
 }
 
@@ -1072,6 +1137,8 @@ func (s *Server) Snapshot(job *Job) Job { return s.snapshotJob(job) }
 //	GET  /v1/jobs/{id}/trace the job's spans as NDJSON (404 w/o tracing)
 //	GET  /v1/cache           result-cache statistics
 //	GET  /v1/cache/{key}     peek a cached report by submission key (hex)
+//	GET  /v1/artifacts/{hash} peek a compiled-module artifact by its
+//	                         module fingerprint (hex; since PR10)
 //	GET  /v1/checkpoints/{key} fetch a live search checkpoint (durable
 //	                         servers only; cluster replicas resume from it)
 //	GET  /healthz            liveness: 200 while the process runs
@@ -1092,6 +1159,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
+	mux.HandleFunc("GET /v1/artifacts/{hash}", s.handleArtifactPeek)
 	mux.HandleFunc("GET /v1/checkpoints/{key}", s.handleCheckpointPeek)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -1412,14 +1480,17 @@ func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
-	mh, mm := s.models.Stats()
+	mh, mm := s.ModelCacheStats()
 	writeJSON(w, http.StatusOK, struct {
 		Results CacheStats `json:"results"`
 		Reports CacheStats `json:"reports"`
-		Models  struct {
+		// Models keeps its PR2 shape for old clients; since PR10 it
+		// mirrors the artifact store, which Artifacts reports in full.
+		Models struct {
 			Hits   int `json:"hits"`
 			Misses int `json:"misses"`
 		} `json:"models"`
+		Artifacts artifact.Stats `json:"artifacts"`
 	}{
 		Results: s.cache.Stats(),
 		Reports: s.reports.Stats(),
@@ -1427,6 +1498,7 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 			Hits   int `json:"hits"`
 			Misses int `json:"misses"`
 		}{mh, mm},
+		Artifacts: s.artifacts.Stats(),
 	})
 }
 
@@ -1457,6 +1529,28 @@ func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, CachedReport{Key: raw, Report: rep})
+}
+
+// handleArtifactPeek answers "does this node hold this compiled
+// module?" — the artifact-store sibling of handleCachePeek. The hash is
+// a model.ModuleFingerprint in hex; a hit returns the artifact's
+// envelope (hash, kind, name, deps, canonical source), a miss an
+// enveloped 404. A cluster coordinator fans this peek across its fleet
+// so any node's compilation work is visible cluster-wide.
+func (s *Server) handleArtifactPeek(w http.ResponseWriter, r *http.Request) {
+	h, err := artifact.ParseHash(r.PathValue("hash"))
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, CodeInvalidArgument,
+			"artifact hash must be 64 hex characters")
+		return
+	}
+	body, ok := s.artifacts.Peek(h)
+	if !ok {
+		WriteError(w, http.StatusNotFound, CodeNotFound, "no artifact for hash "+h.String())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 // handleCheckpointPeek serves a live search checkpoint file to a

@@ -38,6 +38,7 @@ package pnp
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"pnp/internal/adl"
 	"pnp/internal/blocks"
@@ -363,6 +364,10 @@ type (
 // NewVerifyServer starts a verification service (workers begin draining
 // the queue immediately; use its Handler for the HTTP API and Shutdown
 // to drain).
+//
+// Deprecated: use Serve, which assembles the verification server, the
+// sweep routes, and the drain sequence behind one handler (since PR10).
+// NewVerifyServer remains for callers that want the bare job API.
 func NewVerifyServer(cfg VerifyServerConfig) *VerifyServer { return verifyd.NewServer(cfg) }
 
 // NewResultCache creates a standalone content-addressed verdict cache.
@@ -407,6 +412,9 @@ func Sweep(ctx context.Context, spec SweepSpec, cfg SweepConfig) (*SweepResult, 
 func MatrixSweep(msgs, bufsize int) SweepSpec { return sweep.Matrix(msgs, bufsize) }
 
 // NewSweepService layers sweep routes over a verification server's API.
+//
+// Deprecated: use Serve, which layers the sweep routes automatically
+// and keeps their drain ordered after the job queue's (since PR10).
 func NewSweepService(srv *VerifyServer, opts CheckOptions, reg *MetricsRegistry) *SweepService {
 	return sweep.NewService(srv, opts, reg)
 }
@@ -449,8 +457,90 @@ type (
 
 // NewCoordinator builds and starts a cluster coordinator fronting
 // cfg.Nodes. Shut it down with Coordinator.Shutdown.
+//
+// Deprecated: use Serve with ServeOptions.Cluster set — one entry point
+// covers both roles a pnpd process can play (since PR10).
 func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.New(cfg) }
 
 // NewHashRing builds a consistent-hash ring with the given number of
 // virtual nodes per member (0 = a sensible default).
 func NewHashRing(replicas int) *HashRing { return cluster.NewRing(replicas) }
+
+// Unified service entry point (since PR10). Serve assembles everything
+// a pnpd process serves — the verification server, the sweep routes
+// layered over it, or a cluster coordinator — behind one handler and
+// one ordered shutdown, replacing the NewVerifyServer + NewSweepService
+// + NewCoordinator wiring every embedder used to repeat.
+
+// ServeOptions selects and parameterizes the service Serve assembles.
+// Zero value: a memory-only single-node verification service with
+// sweep routes.
+type ServeOptions struct {
+	// Verify parameterizes the local verification server (workers,
+	// cache size, durable data dir, observability). Ignored when
+	// Cluster is set.
+	Verify VerifyServerConfig
+	// Cluster, when non-nil, runs the service as a coordinator fronting
+	// Cluster.Nodes instead of verifying locally — the same v1 wire
+	// surface, routed to a fleet.
+	Cluster *ClusterConfig
+}
+
+// Service is a running verification service assembled by Serve: either
+// a verification server with sweep routes, or a cluster coordinator.
+// Mount Handler on an http.Server and call Shutdown to drain.
+type Service struct {
+	srv   *VerifyServer
+	swp   *SweepService
+	coord *Coordinator
+	h     http.Handler
+}
+
+// Serve builds and starts the service described by opts. The returned
+// Service is live immediately: its workers (or node probes) are
+// running, and Handler serves the full v1 API.
+func Serve(opts ServeOptions) (*Service, error) {
+	if opts.Cluster != nil {
+		coord, err := cluster.New(*opts.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		return &Service{coord: coord, h: coord.Handler()}, nil
+	}
+	srv, err := verifyd.OpenServer(opts.Verify)
+	if err != nil {
+		return nil, err
+	}
+	swp := sweep.NewService(srv, srv.Options(), opts.Verify.Registry)
+	return &Service{srv: srv, swp: swp, h: swp.Handler(srv.Handler())}, nil
+}
+
+// Handler is the service's complete HTTP API (jobs, sweeps, artifacts,
+// health, metrics routes as configured).
+func (s *Service) Handler() http.Handler { return s.h }
+
+// Shutdown drains the service: new submissions get 503 while in-flight
+// work finishes (bounded by ctx), in the right order — the job queue
+// first, then sweep aggregation. Callers owning an http.Server should
+// close it after Shutdown returns, so clients can collect in-flight
+// verdicts during the drain.
+func (s *Service) Shutdown(ctx context.Context) error {
+	if s.coord != nil {
+		return s.coord.Shutdown(ctx)
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	s.swp.Wait()
+	return nil
+}
+
+// VerifyServer returns the underlying verification server, nil in
+// coordinator mode.
+func (s *Service) VerifyServer() *VerifyServer { return s.srv }
+
+// SweepService returns the sweep layer, nil in coordinator mode.
+func (s *Service) SweepService() *SweepService { return s.swp }
+
+// Coordinator returns the cluster coordinator, nil in single-node mode.
+func (s *Service) Coordinator() *Coordinator { return s.coord }

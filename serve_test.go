@@ -1,0 +1,141 @@
+package pnp_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"pnp"
+)
+
+func loadExampleADL(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile("examples/adl/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServeSingleNode drives the PR10 unified entry point end to end:
+// one Serve call yields a handler covering jobs, sweeps, artifacts, and
+// health, and one Shutdown drains it in order.
+func TestServeSingleNode(t *testing.T) {
+	svc, err := pnp.Serve(pnp.ServeOptions{Verify: pnp.VerifyServerConfig{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.VerifyServer() == nil || svc.SweepService() == nil || svc.Coordinator() != nil {
+		t.Fatal("single-node service must expose server and sweep layer, no coordinator")
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	env := map[string]any{
+		"adl":        loadExampleADL(t, "pingpong.pnp"),
+		"components": map[string]string{"pingpong.pml": loadExampleADL(t, "pingpong.pml")},
+	}
+	body, _ := json.Marshal(env)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID           string `json:"id"`
+		ModulesTotal int    `json:"modules_total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, job)
+	}
+	if job.ModulesTotal == 0 {
+		t.Fatal("the assembled handler must serve the PR10 module fields")
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + job.ID + "/wait?timeout=60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done struct {
+		State  string `json:"state"`
+		Report *struct {
+			OK bool `json:"ok"`
+		} `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&done); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if done.State != "done" || done.Report == nil || !done.Report.OK {
+		t.Fatalf("pingpong must verify: %+v", done)
+	}
+
+	// The sweep routes are layered on the same handler.
+	resp, err = http.Get(ts.URL + "/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/sweeps = %d, want 200", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeCoordinator assembles the cluster role through the same
+// entry point: a coordinator fronting one real single-node service.
+func TestServeCoordinator(t *testing.T) {
+	worker, err := pnp.Serve(pnp.ServeOptions{Verify: pnp.VerifyServerConfig{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wts := httptest.NewServer(worker.Handler())
+	defer wts.Close()
+
+	svc, err := pnp.Serve(pnp.ServeOptions{Cluster: &pnp.ClusterConfig{Nodes: []string{wts.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Coordinator() == nil || svc.VerifyServer() != nil {
+		t.Fatal("cluster service must expose the coordinator, not a local server")
+	}
+	cts := httptest.NewServer(svc.Handler())
+	defer cts.Close()
+
+	resp, err := http.Get(cts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Role string `json:"role"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Role != "coordinator" {
+		t.Fatalf("role = %q, want coordinator", health.Role)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("coordinator shutdown: %v", err)
+	}
+	if err := worker.Shutdown(ctx); err != nil {
+		t.Fatalf("worker shutdown: %v", err)
+	}
+}
